@@ -1,0 +1,58 @@
+"""Benchmarks ABL1-ABL4: the ablation studies from DESIGN.md §4."""
+
+from repro.experiments.ablations import (
+    run_abl1,
+    run_abl2,
+    run_abl3,
+    run_abl4,
+    run_abl5,
+    run_abl6,
+)
+
+
+def test_abl1_static_vs_dynamic(benchmark):
+    result = benchmark(run_abl1, n_agents=12)
+    # Conservative all-pairs sharing must cost strictly more messages.
+    assert result.messages_conservative > result.messages_dynamic
+
+
+def test_abl2_trigger_period_sweep(benchmark):
+    result = benchmark(run_abl2, periods=(5.0, 20.0, 80.0), n_agents=5)
+    periods = [p for p, _, _ in result.points]
+    messages = [m for _, m, _ in result.points]
+    quality = [q for _, _, q in result.points]
+    assert periods == sorted(periods)
+    # Longer period -> fewer messages, worse (higher) unseen counts.
+    assert messages == sorted(messages, reverse=True)
+    assert quality == sorted(quality)
+
+
+def test_abl3_granularity(benchmark):
+    result = benchmark(run_abl3, n_agents=8)
+    assert result.messages_coarse > result.messages_fine
+
+
+def test_abl4_centralization_analysis(benchmark):
+    result = benchmark(run_abl4)
+    for n, centralized, decentralized in result.points:
+        assert centralized == 4 * n
+        assert decentralized > centralized or n <= 1
+
+
+def test_abl6_loss_tolerance(benchmark):
+    """Retransmission + dedup + state-seq keep strong mode exact under
+    probabilistic request/reply loss."""
+    result = benchmark(run_abl6, loss_rates=(0.0, 0.1, 0.2), n_agents=3)
+    assert all(ok for _, _, _, ok in result.points)
+    retries = [r for _, r, _, _ in result.points]
+    assert retries[0] == 0 and retries[-1] > 0
+
+
+def test_abl5_rw_semantics(benchmark):
+    """Paper §6 direction 1: read/write annotations cut control messages."""
+    result = benchmark(run_abl5, read_fractions=(0.0, 1.0), n_agents=4)
+    (f0, rw0, wo0), (f1, rw1, wo1) = result.points
+    assert rw0 == wo0          # all-writes: annotations change nothing
+    assert rw1 < wo1           # all-reads: sharers skip invalidations
+    rw_series = [rw for _, rw, _ in result.points]
+    assert rw_series == sorted(rw_series, reverse=True)

@@ -1,0 +1,14 @@
+"""Benchmark FIG2: the strong-mode interaction trace (paper Figure 2).
+
+Regenerates the Fig 2 scenario and asserts its invariants each
+iteration; the benchmark time is the full two-view protocol exchange.
+"""
+
+from repro.experiments.fig2_trace import run_fig2
+
+
+def test_fig2_trace(benchmark):
+    result = benchmark(run_fig2)
+    assert result.v1_was_invalidated
+    assert result.v2_saw_v1_update
+    assert result.final_data == {"x": 100, "y": 2, "z": 300}

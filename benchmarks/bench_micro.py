@@ -1,0 +1,76 @@
+"""Micro-benchmarks of Flecc's hot paths.
+
+These are not paper figures; they quantify the per-operation costs the
+coherence layer adds (conflict computation, trigger evaluation, image
+merging, kernel throughput) so regressions in the substrate are caught.
+"""
+
+from repro.core import DiscreteSet, Interval, Property, PropertySet
+from repro.core.conflicts import dyn_confl
+from repro.core.image import ObjectImage
+from repro.core.triggers import Trigger
+from repro.core.versioning import VersionVector
+from repro.sim import SimKernel
+
+
+def test_property_set_intersection(benchmark):
+    a = PropertySet(
+        [Property(f"p{i}", Interval(0, 100 + i)) for i in range(10)]
+    )
+    b = PropertySet(
+        [Property(f"p{i}", Interval(50, 200 + i)) for i in range(10)]
+    )
+    result = benchmark(a.intersect, b)
+    assert len(result) == 10
+
+
+def test_dyn_confl_discrete_domains(benchmark):
+    a = PropertySet([Property("Flights", DiscreteSet({f"FL{i}" for i in range(100)}))])
+    b = PropertySet([Property("Flights", DiscreteSet({f"FL{i}" for i in range(90, 200)}))])
+    assert benchmark(dyn_confl, a, b) == 1
+
+
+def test_trigger_parse(benchmark):
+    src = "(t > 1500) && pending < 5 || !(force == false) && t % 200 == 0"
+    trig = benchmark(Trigger, src)
+    assert trig.variables == {"t", "pending", "force"}
+
+
+def test_trigger_evaluate(benchmark):
+    trig = Trigger("(t > 1500) && pending < 5 || force")
+    env = {"t": 2000.0, "pending": 3, "force": False}
+    assert benchmark(trig.evaluate, env) is True
+
+
+def test_image_merge_newer(benchmark):
+    def run():
+        base = ObjectImage(
+            {f"c{i}": i for i in range(200)},
+            VersionVector({f"c{i}": 1 for i in range(200)}),
+        )
+        incoming = ObjectImage(
+            {f"c{i}": i * 2 for i in range(200)},
+            VersionVector({f"c{i}": 2 if i % 2 else 1 for i in range(200)}),
+        )
+        return base.merge_newer(incoming)
+
+    assert benchmark(run) == 100
+
+
+def test_version_vector_unseen(benchmark):
+    master = VersionVector({f"c{i}": i for i in range(500)})
+    seen = VersionVector({f"c{i}": i // 2 for i in range(500)})
+    total = benchmark(master.unseen_updates, seen)
+    assert total > 0
+
+
+def test_kernel_event_throughput(benchmark):
+    """Time to drain 10k timeout events."""
+
+    def run():
+        k = SimKernel()
+        for i in range(10_000):
+            k.timeout(float(i % 100))
+        return k.run()
+
+    assert benchmark(run) == 99.0

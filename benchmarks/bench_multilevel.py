@@ -1,0 +1,81 @@
+"""Benchmarks for the two-level protocol extension: anti-entropy
+convergence cost as the replica count grows."""
+
+import pytest
+
+from repro.core.cache_manager import CacheManager
+from repro.core.directory import DirectoryManager
+from repro.core.multilevel import ReplicaCoordinator, converged
+from repro.core.system import run_all_scripts
+from repro.net import SimTransport
+from repro.sim import SimKernel
+from repro.testing import (
+    Agent,
+    Store,
+    extract_from_object,
+    extract_from_view,
+    merge_into_object,
+    merge_into_view,
+    props_for,
+)
+
+
+def run_gossip(n_replicas: int, sync_period: float = 20.0) -> float:
+    """One update per replica, gossip until convergence; returns the
+    simulated time at which all replicas converged."""
+    kernel = SimKernel()
+    transport = SimTransport(kernel, default_latency=1.0, strict_wire=False)
+    names = [f"rep{i}" for i in range(n_replicas)]
+    coordinators = []
+    cms = []
+    for i, name in enumerate(names):
+        store = Store({f"cell{j}": 0 for j in range(n_replicas)})
+        directory = DirectoryManager(
+            transport=transport, address=f"dir:{name}", component=store,
+            extract_from_object=extract_from_object,
+            merge_into_object=merge_into_object,
+        )
+        coordinators.append(
+            ReplicaCoordinator(
+                transport, name, directory,
+                peers=[p for p in names if p != name],
+                sync_period=sync_period,
+            )
+        )
+        agent = Agent()
+        cm = CacheManager(
+            transport=transport, directory_address=f"dir:{name}",
+            view_id=f"v{i}", view=agent, properties=props_for([f"cell{i}"]),
+            extract_from_view=extract_from_view,
+            merge_into_view=merge_into_view,
+        )
+        cms.append((cm, agent, f"cell{i}"))
+
+    def update(cm, agent, cell):
+        yield cm.start()
+        yield cm.init_image()
+        yield cm.start_use_image()
+        agent.local[cell] = 1
+        cm.end_use_image()
+        yield cm.push_image()
+
+    run_all_scripts(transport, [update(*args) for args in cms])
+    for c in coordinators:
+        c.start()
+    deadline = 200.0 * n_replicas
+    while not converged(coordinators):
+        now = kernel.now
+        kernel.run(until=now + sync_period)
+        assert kernel.now < deadline, "gossip failed to converge"
+    t_converged = kernel.now
+    for c in coordinators:
+        c.stop()
+    kernel.run()
+    assert converged(coordinators)
+    return t_converged
+
+
+@pytest.mark.parametrize("n_replicas", [2, 4, 8])
+def test_gossip_convergence(benchmark, n_replicas):
+    t = benchmark.pedantic(run_gossip, args=(n_replicas,), rounds=3, iterations=1)
+    assert t > 0

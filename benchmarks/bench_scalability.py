@@ -1,0 +1,65 @@
+"""Scalability benchmarks: wall-clock cost of simulating the protocol
+as the agent population grows (not a paper figure; guards against
+complexity regressions in the directory's conflict computation and the
+kernel's event handling)."""
+
+import pytest
+
+from repro.apps.airline.app_spec import build_airline_system
+from repro.apps.airline.travel_agent import lifecycle
+from repro.apps.airline.workload import (
+    flights_needed,
+    generate_flight_database,
+    make_agent_groups,
+    reserve_operations,
+)
+from repro.core.system import run_all_scripts
+
+
+def run_population(n_agents: int, ops_per_agent: int = 2) -> int:
+    """All-disjoint population (conflict checks dominated by dynConfl)."""
+    database = generate_flight_database(
+        flights_needed(n_agents, 0), seed=0
+    )
+    airline = build_airline_system(database, strict_wire=False)
+    groups = make_agent_groups(n_agents, 0)
+    scripts = []
+    for i, served in enumerate(groups):
+        agent, cm = airline.add_travel_agent(f"ta-{i:03d}", served)
+        ops = reserve_operations(served, ops_per_agent, seed=0, agent_index=i)
+        scripts.append(lifecycle(cm, agent, ops, think_time=0.5))
+    run_all_scripts(airline.transport, scripts)
+    return airline.stats.total
+
+
+@pytest.mark.parametrize("n_agents", [10, 50, 100])
+def test_population_scaling(benchmark, n_agents):
+    total = benchmark.pedantic(
+        run_population, args=(n_agents,), rounds=3, iterations=1
+    )
+    # Per-agent message cost is flat for disjoint agents.
+    assert total == pytest.approx(n_agents * (total / n_agents))
+    assert total >= n_agents * 8
+
+
+def test_conflict_group_cost(benchmark):
+    """Fully-conflicting 40-agent group: the quadratic fetch pattern."""
+    def run():
+        database = generate_flight_database(flights_needed(40, 40), seed=0)
+        airline = build_airline_system(database, strict_wire=False)
+        from repro.core.triggers import TriggerSet
+
+        groups = make_agent_groups(40, 40)
+        scripts = []
+        for i, served in enumerate(groups):
+            agent, cm = airline.add_travel_agent(
+                f"ta-{i:03d}", served, triggers=TriggerSet(validity="true")
+            )
+            scripts.append(
+                lifecycle(cm, agent, [("reserve", served[0], 1)], think_time=0.5)
+            )
+        run_all_scripts(airline.transport, scripts)
+        return airline.stats.total
+
+    total = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert total > 40 * 10  # fetch rounds dominate

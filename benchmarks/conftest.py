@@ -1,0 +1,6 @@
+"""Benchmark configuration.
+
+Benchmarks run the experiment harnesses at reduced scale so a full
+``pytest benchmarks/ --benchmark-only`` stays under a few minutes;
+the paper-scale numbers come from ``python -m repro.experiments.<name>``.
+"""

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Application-neutrality demo: collaborative document editing on the
+unmodified Flecc protocol.
+
+Three editors share a document.  Alice and Bob work on the *same*
+section (their ``Sections`` properties intersect → they conflict and
+their concurrent edits are merged by the application's line-union
+rule); Carol works on a disjoint section and never receives their
+coherence traffic.  An autosave push trigger fires off a reflected view
+variable (``unsaved_edits``).
+
+Run:  python examples/collaborative_editing.py
+"""
+
+from repro.apps.docshare import (
+    EditorView,
+    SharedDocument,
+    extract_from_document,
+    line_merge_resolver,
+    merge_into_document,
+)
+from repro.apps.docshare.editor import attach_editor
+from repro.core import FleccSystem
+from repro.core.system import run_all_scripts
+from repro.core.triggers import TriggerSet
+from repro.net import SimTransport
+from repro.sim import SimKernel
+
+
+def main():
+    kernel = SimKernel()
+    transport = SimTransport(kernel, default_latency=1.0)
+    document = SharedDocument(
+        {"abstract": "We study flexible cache coherence.", "appendix": ""}
+    )
+    system = FleccSystem(
+        transport, document, extract_from_document, merge_into_document,
+        conflict_resolver=line_merge_resolver,
+    )
+
+    alice = EditorView("alice", ["abstract"])
+    bob = EditorView("bob", ["abstract"])
+    carol = EditorView("carol", ["appendix"])
+    cm_alice = attach_editor(
+        system, alice,
+        triggers=TriggerSet(push="unsaved_edits >= 2"),  # autosave
+        trigger_poll_period=5.0,
+    )
+    cm_bob = attach_editor(system, bob)
+    cm_carol = attach_editor(system, carol)
+
+    def alice_session():
+        yield cm_alice.start()
+        yield cm_alice.init_image()
+        yield cm_alice.start_use_image()
+        alice.append_line("abstract", "Alice: added motivation.")
+        alice.append_line("abstract", "Alice: added contributions.")
+        cm_alice.end_use_image()
+        yield ("sleep", 30.0)  # the autosave trigger pushes for her
+        alice.mark_saved()
+
+    def bob_session():
+        yield cm_bob.start()
+        yield cm_bob.init_image()  # same base text as alice
+        yield cm_bob.start_use_image()
+        bob.append_line("abstract", "Bob: tightened the claim.")
+        cm_bob.end_use_image()
+        yield ("sleep", 40.0)
+        yield cm_bob.push_image()  # stale push -> line-union merge
+        yield cm_bob.pull_image()  # fetch the merged result
+
+    def carol_session():
+        yield cm_carol.start()
+        yield cm_carol.init_image()
+        yield cm_carol.start_use_image()
+        carol.append_line("appendix", "Carol: proofs go here.")
+        cm_carol.end_use_image()
+        yield cm_carol.push_image()
+
+    run_all_scripts(
+        transport, [alice_session(), bob_session(), carol_session()]
+    )
+
+    print("final abstract (merged, nobody's edit lost):")
+    for line in document.text_of("abstract").splitlines():
+        print(f"   | {line}")
+    print("\nfinal appendix:")
+    for line in document.text_of("appendix").splitlines():
+        print(f"   | {line}")
+    print(f"\nbob's merged local copy: {len(bob.lines('abstract'))} lines")
+    from repro.core import messages as M
+
+    fetches_to_carol = transport.stats.by_pair.get(("dir", cm_carol.address), 0)
+    print(f"\nprotocol messages: {transport.stats.total}")
+    print("carol (disjoint section) received "
+          f"{transport.stats.by_type.get(M.FETCH_REQ, 0) and fetches_to_carol} "
+          "fetch/invalidate messages — her property never intersected.")
+
+
+if __name__ == "__main__":
+    main()

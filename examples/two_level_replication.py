@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Extension demo: the two-level protocol (paper §6, future direction 2).
+
+Two airline database *instances* run in different domains, each with
+its own directory manager and travel-agent views (the unmodified
+low-level Flecc).  A decentralized high level — anti-entropy gossip
+between replica coordinators, no primary copy — keeps the instances
+loosely convergent.
+
+Run:  python examples/two_level_replication.py
+"""
+
+from repro.apps.airline import Flight, FlightDatabase
+from repro.apps.airline.flights import extract_from_database, merge_into_database
+from repro.apps.airline.travel_agent import (
+    TravelAgent,
+    extract_from_agent,
+    lifecycle,
+    merge_into_agent,
+)
+from repro.core.directory import DirectoryManager
+from repro.core.multilevel import ReplicaCoordinator, converged
+from repro.core.system import run_all_scripts
+from repro.net import SimTransport
+from repro.sim import SimKernel
+
+
+def make_database():
+    return FlightDatabase(
+        [
+            Flight("UA100", "NYC", "SFO", 100, 100, 300.0),
+            Flight("BA200", "LHR", "NYC", 100, 100, 500.0),
+        ]
+    )
+
+
+def main():
+    kernel = SimKernel()
+    transport = SimTransport(kernel, default_latency=1.0)
+
+    # Two instances of the original component, one per domain.
+    replicas = {}
+    for name in ("us", "eu"):
+        database = make_database()
+        directory = DirectoryManager(
+            transport=transport, address=f"dir:{name}", component=database,
+            extract_from_object=extract_from_database,
+            merge_into_object=merge_into_database,
+        )
+        coordinator = ReplicaCoordinator(
+            transport, name, directory,
+            peers=[p for p in ("us", "eu") if p != name],
+            sync_period=40.0,
+        )
+        replicas[name] = (database, directory, coordinator)
+
+    # Low level: a travel agent per domain, attached to ITS instance.
+    def make_agent(domain, flight):
+        database, directory, _ = replicas[domain]
+        agent = TravelAgent(f"{domain}-agent", [flight])
+        from repro.core.cache_manager import CacheManager
+
+        cm = CacheManager(
+            transport=transport, directory_address=directory.address,
+            view_id=agent.agent_id, view=agent, properties=agent.properties(),
+            extract_from_view=extract_from_agent,
+            merge_into_view=merge_into_agent,
+        )
+        return agent, cm
+
+    us_agent, us_cm = make_agent("us", "UA100")
+    eu_agent, eu_cm = make_agent("eu", "BA200")
+
+    # Start the high-level gossip.
+    for _, _, coordinator in replicas.values():
+        coordinator.start()
+
+    # Each domain sells tickets on its own flight through its own
+    # instance (low-level Flecc as usual).
+    run_all_scripts(
+        transport,
+        [
+            lifecycle(us_cm, us_agent, [("reserve", "UA100", 1)] * 5),
+            lifecycle(eu_cm, eu_agent, [("reserve", "BA200", 2)] * 3),
+        ],
+    )
+
+    print("immediately after the local sales:")
+    for name, (database, _, _) in replicas.items():
+        print(f"  {name}: UA100={database.seats_available('UA100')} "
+              f"BA200={database.seats_available('BA200')}")
+
+    # Let anti-entropy rounds run, then stop gossip.
+    kernel.run(until=kernel.now + 200.0)
+    for _, _, coordinator in replicas.values():
+        coordinator.stop()
+    kernel.run()
+
+    print("\nafter anti-entropy gossip:")
+    for name, (database, _, _) in replicas.items():
+        print(f"  {name}: UA100={database.seats_available('UA100')} "
+              f"BA200={database.seats_available('BA200')}")
+    coords = [c for _, _, c in replicas.values()]
+    print(f"\nreplicas converged: {converged(coords)}")
+    print(f"gossip rounds completed: "
+          f"{sum(c.rounds_completed for c in coords)}")
+    print("\nNo primary copy at the high level: updates made at either")
+    print("instance flowed to the other via decentralized anti-entropy,")
+    print("while each instance kept one-copy semantics for its own views.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — reproduction of *Flecc: A Flexible Cache Coherence Protocol
+for Dynamic Component-Based Systems* (Ivan & Karamcheti, IPDPS 2004).
+
+Subpackages:
+
+- :mod:`repro.sim` — discrete-event simulation kernel.
+- :mod:`repro.net` — messages, codecs, transports (sim + TCP), topology.
+- :mod:`repro.core` — the Flecc protocol (the paper's contribution).
+- :mod:`repro.baselines` — time-sharing and multicast comparators.
+- :mod:`repro.psf` — the Partitionable Services Framework substrate.
+- :mod:`repro.apps.airline` — the §5.1 airline reservation case study.
+- :mod:`repro.experiments` — harnesses regenerating every paper figure.
+
+See README.md for a quickstart and DESIGN.md for the full map from
+paper sections to modules.
+"""
+
+__version__ = "1.0.0"
+__paper__ = (
+    "Anca Ivan and Vijay Karamcheti. Flecc: A Flexible Cache Coherence "
+    "Protocol for Dynamic Component-Based Systems. IPDPS 2004."
+)

@@ -1,0 +1,48 @@
+"""Command-line entry: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro                    # list experiments
+    python -m repro fig4               # run one (fuzzy name match)
+    python -m repro all                # run everything, save results/
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import runner
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        print("available experiments:")
+        for name in runner.EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+    target = argv[0].lower()
+    if target == "all":
+        runner.main()
+        return 0
+    matches = [n for n in runner.EXPERIMENTS if target in n]
+    if not matches:
+        print(f"no experiment matches {target!r}; try one of:")
+        for name in runner.EXPERIMENTS:
+            print(f"  {name}")
+        return 1
+    for name in matches:
+        print(f"== {name} ==")
+        result = runner.EXPERIMENTS[name]()
+        table = getattr(result, "table", None)
+        if callable(table):
+            print(table())
+        elif hasattr(result, "phase_stats"):
+            print(result.phase_stats())
+        else:
+            print(result)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

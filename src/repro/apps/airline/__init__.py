@@ -1,0 +1,61 @@
+"""The airline reservation system (paper §5.1).
+
+"The main components are reservation clients of different capabilities
+(viewers and buyers), a main flight database that contains all
+information about existing flights, and travel agents that can be
+replicated as necessary to assist the reservation clients when browsing
+the database or buying tickets."
+
+- :mod:`repro.apps.airline.flights` — the flight database (original
+  component) and its Flecc extract/merge functions.
+- :mod:`repro.apps.airline.travel_agent` — the travel-agent view and
+  its Fig 3-style lifecycle.
+- :mod:`repro.apps.airline.clients` — viewer/buyer client behaviors.
+- :mod:`repro.apps.airline.security` — encryptor/decryptor components.
+- :mod:`repro.apps.airline.workload` — seeded workload generators for
+  the Fig 4/5/6 experiments.
+- :mod:`repro.apps.airline.app_spec` — the PSF declarative spec +
+  deployment wiring.
+"""
+
+from repro.apps.airline.flights import (
+    Flight,
+    FlightDatabase,
+    extract_from_database,
+    flights_property,
+    merge_into_database,
+)
+from repro.apps.airline.travel_agent import (
+    TravelAgent,
+    extract_from_agent,
+    merge_into_agent,
+)
+from repro.apps.airline.clients import Buyer, Viewer
+from repro.apps.airline.security import Decryptor, Encryptor
+from repro.apps.airline.workload import (
+    generate_flight_database,
+    make_agent_groups,
+)
+from repro.apps.airline.app_spec import airline_spec, build_airline_system
+from repro.apps.airline.service import RemoteClient, TravelAgentService
+
+__all__ = [
+    "Flight",
+    "FlightDatabase",
+    "extract_from_database",
+    "merge_into_database",
+    "flights_property",
+    "TravelAgent",
+    "extract_from_agent",
+    "merge_into_agent",
+    "Viewer",
+    "Buyer",
+    "Encryptor",
+    "Decryptor",
+    "generate_flight_database",
+    "make_agent_groups",
+    "airline_spec",
+    "build_airline_system",
+    "RemoteClient",
+    "TravelAgentService",
+]

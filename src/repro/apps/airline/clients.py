@@ -1,0 +1,92 @@
+"""Reservation clients: viewers and buyers (paper §5.1).
+
+"In general, users accept stale data during browsing (weak
+consistency), but require most current data when buying tickets (strong
+consistency)."  A :class:`Viewer` drives its travel agent in weak mode;
+a :class:`Buyer` in strong mode; ``Viewer.become_buyer`` performs the
+run-time switch the paper calls out ("a viewer can become at any point
+a buyer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.apps.airline.flights import ReservationError
+from repro.apps.airline.travel_agent import TravelAgent
+from repro.core.cache_manager import CacheManager
+from repro.core.modes import Mode
+
+
+@dataclass
+class ClientLog:
+    """What a client observed, for assertions and experiment series."""
+
+    browses: List[Tuple[str, int]] = field(default_factory=list)  # (flight, seats seen)
+    purchases: List[Tuple[str, int]] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+
+class Viewer:
+    """A browsing client: tolerates stale data (weak consistency)."""
+
+    def __init__(self, client_id: str, agent: TravelAgent, cm: CacheManager) -> None:
+        self.client_id = client_id
+        self.agent = agent
+        self.cm = cm
+        self.log = ClientLog()
+
+    def session(self, flights: Iterable[str], think_time: float = 1.0):
+        """Browse a sequence of flights through the agent (view script)."""
+        if self.cm.mode is not Mode.WEAK:
+            yield self.cm.set_mode(Mode.WEAK)
+        for number in flights:
+            yield self.cm.start_use_image()
+            try:
+                flight = self.agent.browse(number)
+                self.log.browses.append((number, flight.seats_available))
+            except ReservationError as exc:
+                self.log.failures.append(str(exc))
+            finally:
+                self.cm.end_use_image()
+            if think_time:
+                yield ("sleep", think_time)
+        return self.log
+
+    def become_buyer(self) -> "Buyer":
+        """Upgrade to buying capability (the §1 mode transition)."""
+        return Buyer(self.client_id, self.agent, self.cm, log=self.log)
+
+
+class Buyer:
+    """A purchasing client: needs fresh data (strong consistency)."""
+
+    def __init__(
+        self,
+        client_id: str,
+        agent: TravelAgent,
+        cm: CacheManager,
+        log: Optional[ClientLog] = None,
+    ) -> None:
+        self.client_id = client_id
+        self.agent = agent
+        self.cm = cm
+        self.log = log or ClientLog()
+
+    def session(self, purchases: Iterable[Tuple[str, int]], think_time: float = 1.0):
+        """Buy (flight, seats) pairs under one-copy semantics (view script)."""
+        if self.cm.mode is not Mode.STRONG:
+            yield self.cm.set_mode(Mode.STRONG)
+        for number, seats in purchases:
+            yield self.cm.start_use_image()
+            try:
+                self.agent.confirm_tickets(seats, number)
+                self.log.purchases.append((number, seats))
+            except ReservationError as exc:
+                self.log.failures.append(str(exc))
+            finally:
+                self.cm.end_use_image()
+            if think_time:
+                yield ("sleep", think_time)
+        return self.log

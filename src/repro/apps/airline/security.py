@@ -1,0 +1,73 @@
+"""Encryptor/decryptor components (paper §5.1).
+
+"The privacy of a transaction is ensured by deploying encryptor/
+decryptor pairs around insecure links."
+
+The cipher is a toy (keyed byte rotation) — what matters for the
+reproduction is the *component shape*: a stateless transformer the PSF
+planner can inject onto a node, with counters experiments can assert
+on.  The pair is self-inverse under the same key, and tampering is
+detectable through a checksum.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Tuple
+
+from repro.errors import ReproError
+
+
+class CipherError(ReproError):
+    """Decryption failed (wrong key or corrupted payload)."""
+
+
+def _key_stream(key: str, n: int) -> bytes:
+    """Deterministic keystream: iterated SHA-256 blocks of the key."""
+    out = bytearray()
+    block = key.encode("utf-8")
+    while len(out) < n:
+        block = hashlib.sha256(block).digest()
+        out.extend(block)
+    return bytes(out[:n])
+
+
+class Encryptor:
+    """Encrypts payload strings traversing an insecure link."""
+
+    def __init__(self, key: str = "psf-default-key") -> None:
+        self.key = key
+        self.processed = 0
+
+    def encrypt(self, plaintext: str) -> str:
+        data = plaintext.encode("utf-8")
+        digest = hashlib.sha256(data).hexdigest()[:8]
+        stream = _key_stream(self.key, len(data))
+        ciphered = bytes(b ^ s for b, s in zip(data, stream))
+        self.processed += 1
+        return f"{digest}:{ciphered.hex()}"
+
+
+class Decryptor:
+    """Inverse of :class:`Encryptor` under the same key."""
+
+    def __init__(self, key: str = "psf-default-key") -> None:
+        self.key = key
+        self.processed = 0
+
+    def decrypt(self, ciphertext: str) -> str:
+        try:
+            digest, hexdata = ciphertext.split(":", 1)
+            ciphered = bytes.fromhex(hexdata)
+        except ValueError as exc:
+            raise CipherError(f"malformed ciphertext: {exc}") from exc
+        stream = _key_stream(self.key, len(ciphered))
+        data = bytes(b ^ s for b, s in zip(ciphered, stream))
+        if hashlib.sha256(data).hexdigest()[:8] != digest:
+            raise CipherError("checksum mismatch: wrong key or tampered data")
+        self.processed += 1
+        return data.decode("utf-8")
+
+
+def make_pair(key: str = "psf-default-key") -> Tuple[Encryptor, Decryptor]:
+    return Encryptor(key), Decryptor(key)

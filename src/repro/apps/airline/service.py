@@ -1,0 +1,201 @@
+"""Networked client access to travel agents (paper Fig 1).
+
+In the paper's deployment picture, reservation clients reach their
+domain's travel agent *over the network*.  This module adds that last
+hop: a :class:`TravelAgentService` binds a transport endpoint next to a
+travel agent and serves BROWSE / BUY / SWITCH_MODE requests, running
+the agent's cache-manager protocol underneath; a :class:`RemoteClient`
+issues those requests from anywhere on the transport.
+
+The request handlers are fully asynchronous (completion chains), so the
+service works identically on the simulated and TCP transports.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+from repro.apps.airline.flights import ReservationError
+from repro.apps.airline.travel_agent import TravelAgent
+from repro.core.cache_manager import CacheManager
+from repro.core.modes import Mode
+from repro.errors import ProtocolError
+from repro.net.message import Message
+from repro.net.transport import Completion, Transport
+
+BROWSE = "SVC_BROWSE"
+BUY = "SVC_BUY"
+SWITCH_MODE = "SVC_SWITCH_MODE"
+SVC_OK = "SVC_OK"
+SVC_ERROR = "SVC_ERROR"
+
+
+class TravelAgentService:
+    """Serves client requests against one travel agent + cache manager."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        agent: TravelAgent,
+        cache_manager: CacheManager,
+        address: Optional[str] = None,
+    ) -> None:
+        self.transport = transport
+        self.agent = agent
+        self.cm = cache_manager
+        self.address = address or f"svc:{agent.agent_id}"
+        self.requests_served = 0
+        self._lock = threading.RLock()
+        self.endpoint = transport.bind(self.address, self._on_message)
+
+    # ------------------------------------------------------------------
+    def _on_message(self, msg: Message) -> None:
+        with self._lock:
+            handler = {
+                BROWSE: self._h_browse,
+                BUY: self._h_buy,
+                SWITCH_MODE: self._h_switch_mode,
+            }.get(msg.msg_type)
+            if handler is None:
+                self.endpoint.send(
+                    msg.reply(SVC_ERROR, {"error": f"unknown request {msg.msg_type}"})
+                )
+                return
+            self.requests_served += 1
+            handler(msg)
+
+    def _finish(self, msg: Message, payload: Dict[str, Any]) -> None:
+        self.endpoint.send(msg.reply(SVC_OK, payload))
+
+    def _fail(self, msg: Message, error: str) -> None:
+        self.endpoint.send(msg.reply(SVC_ERROR, {"error": error}))
+
+    # -- handlers ------------------------------------------------------------
+    def _h_browse(self, msg: Message) -> None:
+        """Browse tolerates staleness: use the local copy directly."""
+        flight_number = msg.payload.get("flight")
+
+        def in_use(use: Completion) -> None:
+            try:
+                use.value
+                flight = self.agent.browse(flight_number)
+                payload = {"flight": flight.to_cell()}
+            except (ReservationError, ProtocolError) as exc:
+                self.cm.end_use_image()
+                self._fail(msg, str(exc))
+                return
+            self.cm.end_use_image()
+            self._finish(msg, payload)
+
+        self.cm.start_use_image().then(in_use)
+
+    def _h_buy(self, msg: Message) -> None:
+        """Buy needs fresh data; in strong mode start_use acquires it,
+        in weak mode we pull first (the client chose its consistency)."""
+        flight_number = msg.payload.get("flight")
+        seats = int(msg.payload.get("seats", 1))
+
+        def after_sync(_sync: Optional[Completion]) -> None:
+            def in_use(use: Completion) -> None:
+                try:
+                    use.value
+                    self.agent.confirm_tickets(seats, flight_number)
+                    left = self.agent.seats_available(flight_number)
+                except (ReservationError, ProtocolError) as exc:
+                    self.cm.end_use_image()
+                    self._fail(msg, str(exc))
+                    return
+                self.cm.end_use_image()
+
+                def after_push(push: Completion) -> None:
+                    try:
+                        push.value
+                    except BaseException as exc:
+                        self._fail(msg, str(exc))
+                        return
+                    self._finish(
+                        msg, {"flight": flight_number, "seats": seats,
+                              "seats_left": left}
+                    )
+
+                self.cm.push_image().then(after_push)
+
+            self.cm.start_use_image().then(in_use)
+
+        if self.cm.mode is Mode.WEAK:
+            self.cm.pull_image().then(after_sync)
+        else:
+            after_sync(None)
+
+    def _h_switch_mode(self, msg: Message) -> None:
+        mode = msg.payload.get("mode", "weak")
+
+        def done(comp: Completion) -> None:
+            try:
+                comp.value
+            except BaseException as exc:
+                self._fail(msg, str(exc))
+                return
+            self._finish(msg, {"mode": self.cm.mode.value})
+
+        self.cm.set_mode(mode).then(done)
+
+    def close(self) -> None:
+        self.endpoint.close()
+
+
+class RemoteClient:
+    """A reservation client reaching a service endpoint over the network."""
+
+    def __init__(
+        self, transport: Transport, client_id: str, service_address: str
+    ) -> None:
+        self.transport = transport
+        self.client_id = client_id
+        self.service_address = service_address
+        self.address = f"client:{client_id}"
+        self._pending: Dict[int, Completion] = {}
+        self._lock = threading.RLock()
+        self.endpoint = transport.bind(self.address, self._on_message)
+
+    def _on_message(self, msg: Message) -> None:
+        with self._lock:
+            comp = self._pending.pop(msg.reply_to, None)
+        if comp is None:
+            return
+        if msg.msg_type == SVC_ERROR:
+            comp.fail(ReservationError(msg.payload.get("error", "service error")))
+        else:
+            comp.resolve(msg.payload)
+
+    def _request(self, msg_type: str, payload: Dict[str, Any]) -> Completion:
+        msg = Message(msg_type, self.address, self.service_address, payload)
+        comp = self.transport.completion(f"{self.client_id}.{msg_type}")
+        with self._lock:
+            self._pending[msg.msg_id] = comp
+        self.endpoint.send(msg)
+        return comp
+
+    # -- client API (each returns a Completion) ---------------------------
+    def browse(self, flight: str) -> Completion:
+        return self._request(BROWSE, {"flight": flight})
+
+    def buy(self, flight: str, seats: int = 1) -> Completion:
+        return self._request(BUY, {"flight": flight, "seats": seats})
+
+    def switch_mode(self, mode: Mode | str) -> Completion:
+        mode = Mode.parse(mode)
+        return self._request(SWITCH_MODE, {"mode": mode.value})
+
+    def set_operation(self, operation: "Operation | str") -> Completion:
+        """Switch between browsing and buying (paper §1): the QoS
+        operation type implies the consistency mode the travel agent
+        should run under (browse -> weak, buy -> strong)."""
+        from repro.psf.qos import Operation
+
+        op = Operation(operation)
+        return self.switch_mode(op.implied_mode)
+
+    def close(self) -> None:
+        self.endpoint.close()

@@ -1,0 +1,145 @@
+"""Seeded workload generators for the airline experiments.
+
+The Fig 4 experiment: "100 travel agent components deployed into a LAN
+... Each travel agent defines a property ('Flights') that contains a
+list of all the served flights.  The number of travel agents that serve
+similar flights is initially 10, and increases in increments of 10 up
+to 100."
+
+:func:`make_agent_groups` builds that structure: ``n_conflicting``
+agents all serving one shared flight block, the rest serving disjoint
+per-agent blocks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.apps.airline.flights import Flight, FlightDatabase
+from repro.sim.rng import stream_for
+
+_CITIES = [
+    "NYC", "BOS", "SFO", "LAX", "ORD", "SEA", "MIA", "DEN", "AUS", "IAD",
+]
+
+
+def generate_flight_database(
+    n_flights: int,
+    seed: int = 0,
+    capacity_range: Tuple[int, int] = (100, 300),
+) -> FlightDatabase:
+    """A database of ``n_flights`` synthetic flights (deterministic)."""
+    rng = stream_for(seed, "flights")
+    db = FlightDatabase()
+    for i in range(n_flights):
+        origin, dest = rng.choice(len(_CITIES), size=2, replace=False)
+        capacity = int(rng.integers(capacity_range[0], capacity_range[1] + 1))
+        db.add_flight(
+            Flight(
+                number=f"FL{i:04d}",
+                origin=_CITIES[origin],
+                destination=_CITIES[dest],
+                capacity=capacity,
+                seats_available=capacity,
+                price=float(np.round(50 + 450 * rng.random(), 2)),
+            )
+        )
+    return db
+
+
+def make_agent_groups(
+    n_agents: int,
+    n_conflicting: int,
+    flights_per_agent: int = 5,
+) -> List[List[str]]:
+    """Served-flight lists: first ``n_conflicting`` agents share one
+    block; the others get disjoint blocks (no overlap anywhere else).
+
+    Flight numbers follow :func:`generate_flight_database` naming, so a
+    database of ``flights_for_groups(...)`` size covers them all.
+    """
+    if not 0 <= n_conflicting <= n_agents:
+        raise ValueError(
+            f"n_conflicting={n_conflicting} out of range [0, {n_agents}]"
+        )
+    shared_block = [f"FL{i:04d}" for i in range(flights_per_agent)]
+    groups: List[List[str]] = []
+    next_flight = flights_per_agent
+    for i in range(n_agents):
+        if i < n_conflicting:
+            groups.append(list(shared_block))
+        else:
+            groups.append(
+                [f"FL{j:04d}" for j in range(next_flight, next_flight + flights_per_agent)]
+            )
+            next_flight += flights_per_agent
+    return groups
+
+
+def flights_needed(n_agents: int, n_conflicting: int, flights_per_agent: int = 5) -> int:
+    """Database size that covers every group from make_agent_groups."""
+    disjoint = n_agents - n_conflicting
+    return flights_per_agent * (1 + disjoint)
+
+
+def reserve_operations(
+    served_flights: Sequence[str],
+    n_ops: int,
+    seed: int = 0,
+    agent_index: int = 0,
+    seats: int = 1,
+) -> List[tuple]:
+    """A reserve-only op sequence over the agent's served flights."""
+    rng = stream_for(seed, "ops", agent_index)
+    ops: List[tuple] = []
+    for _ in range(n_ops):
+        number = served_flights[int(rng.integers(0, len(served_flights)))]
+        ops.append(("reserve", number, seats))
+    return ops
+
+
+def zipf_reserve_operations(
+    served_flights: Sequence[str],
+    n_ops: int,
+    skew: float = 1.2,
+    seed: int = 0,
+    agent_index: int = 0,
+) -> List[tuple]:
+    """Reserve ops with Zipf-distributed flight popularity.
+
+    Real reservation traffic concentrates on a few popular flights;
+    ``skew`` > 1 controls how sharply (rank-r flight drawn with weight
+    r^-skew).  Deterministic per (seed, agent_index).
+    """
+    if skew <= 0:
+        raise ValueError(f"skew must be positive, got {skew}")
+    rng = stream_for(seed, "zipf", agent_index)
+    ranks = np.arange(1, len(served_flights) + 1, dtype=float)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    ops: List[tuple] = []
+    for _ in range(n_ops):
+        idx = int(rng.choice(len(served_flights), p=weights))
+        ops.append(("reserve", served_flights[idx], 1))
+    return ops
+
+
+def browse_buy_mix(
+    served_flights: Sequence[str],
+    n_ops: int,
+    buy_fraction: float = 0.2,
+    seed: int = 0,
+    agent_index: int = 0,
+) -> List[tuple]:
+    """A browse-heavy mix with occasional buys (intro's viewer/buyer mix)."""
+    rng = stream_for(seed, "mix", agent_index)
+    ops: List[tuple] = []
+    for _ in range(n_ops):
+        number = served_flights[int(rng.integers(0, len(served_flights)))]
+        if rng.random() < buy_fraction:
+            ops.append(("reserve", number, 1))
+        else:
+            ops.append(("browse", number))
+    return ops

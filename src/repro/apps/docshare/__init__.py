@@ -1,0 +1,38 @@
+"""A second case-study application: collaborative document editing.
+
+The paper's central claim is that Flecc is *application-neutral*: any
+component-based application can use it by supplying data properties,
+triggers, and extract/merge functions.  The airline system exercises a
+transactional workload; this package exercises a collaborative-editing
+one — shared documents whose sections are edited concurrently, with an
+application merge rule (line-set union) resolving write-write races —
+without a single change to the protocol.
+
+- :mod:`repro.apps.docshare.document` — the shared document (original
+  component) and its Flecc functions.
+- :mod:`repro.apps.docshare.editor` — the editor view.
+"""
+
+from repro.apps.docshare.document import (
+    SharedDocument,
+    extract_from_document,
+    line_merge_resolver,
+    merge_into_document,
+    sections_property,
+)
+from repro.apps.docshare.editor import (
+    EditorView,
+    extract_from_editor,
+    merge_into_editor,
+)
+
+__all__ = [
+    "SharedDocument",
+    "extract_from_document",
+    "merge_into_document",
+    "sections_property",
+    "line_merge_resolver",
+    "EditorView",
+    "extract_from_editor",
+    "merge_into_editor",
+]

@@ -1,0 +1,97 @@
+"""The shared document — the docshare app's original component.
+
+A document is a set of named sections; each section is one Flecc cell
+holding its text.  Editors declare the sections they work on through a
+``Sections`` data property, so two editors conflict exactly when their
+section sets overlap.
+
+The application conflict rule, :func:`line_merge_resolver`, unions the
+*lines* of divergent section texts — concurrent edits to the same
+section both survive (order-normalized), which is the behavior a
+collaborative editor wants from a state-based merge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.image import ObjectImage
+from repro.core.property import Property
+from repro.core.property_set import PropertySet
+from repro.errors import ReproError
+
+
+class DocumentError(ReproError):
+    """Invalid document operation."""
+
+
+class SharedDocument:
+    """The primary copy: section name -> text."""
+
+    def __init__(self, sections: Dict[str, str] | None = None) -> None:
+        self.sections: Dict[str, str] = dict(sections or {})
+
+    def add_section(self, name: str, text: str = "") -> None:
+        if name in self.sections:
+            raise DocumentError(f"section exists: {name}")
+        self.sections[name] = text
+
+    def text_of(self, name: str) -> str:
+        try:
+            return self.sections[name]
+        except KeyError:
+            raise DocumentError(f"no such section: {name}") from None
+
+    def word_count(self) -> int:
+        return sum(len(t.split()) for t in self.sections.values())
+
+    def line_count(self) -> int:
+        return sum(
+            len([l for l in t.splitlines() if l.strip()])
+            for t in self.sections.values()
+        )
+
+
+def sections_property(section_names: Iterable[str]) -> PropertySet:
+    """The ``Sections`` data property: which sections an editor touches."""
+    return PropertySet([Property("Sections", set(section_names))])
+
+
+def _covered(names: Iterable[str], props: PropertySet) -> List[str]:
+    p = props.get("Sections")
+    if p is None:
+        return sorted(names)
+    return sorted(n for n in names if p.domain.contains(n))
+
+
+def extract_from_document(doc: SharedDocument, props: PropertySet) -> ObjectImage:
+    img = ObjectImage()
+    for name in _covered(doc.sections.keys(), props):
+        img.cells[name] = doc.sections[name]
+    return img
+
+
+def merge_into_document(
+    doc: SharedDocument, image: ObjectImage, props: PropertySet
+) -> None:
+    for name in image.keys():
+        doc.sections[name] = image.get(name)
+
+
+def line_merge_resolver(section: str, current: str, pushed: str) -> str:
+    """Union the lines of two divergent section texts.
+
+    Lines common to both appear once; lines unique to either side are
+    kept.  Relative order follows the current text first, then pushed
+    additions in their own order — deterministic regardless of which
+    side is "current" up to that ordering rule.
+    """
+    current_lines = [l for l in current.splitlines() if l.strip()]
+    pushed_lines = [l for l in pushed.splitlines() if l.strip()]
+    seen = set(current_lines)
+    merged = list(current_lines)
+    for line in pushed_lines:
+        if line not in seen:
+            seen.add(line)
+            merged.append(line)
+    return "\n".join(merged)

@@ -1,0 +1,27 @@
+"""Baseline coherence protocols from the paper's efficiency evaluation (§5.2).
+
+Two comparators frame Flecc's Fig 4 message counts:
+
+- **Time-sharing** (:mod:`repro.baselines.time_sharing`): travel agents
+  "execute one after another", keeping control messages minimal — the
+  floor.
+- **Multicast** (:mod:`repro.baselines.multicast`): the directory "does
+  not discriminate between cache managers and asks all of them to send
+  updates" — the application-oblivious ceiling.
+
+Both reuse the Flecc engine so all three protocols run the *identical*
+workload and are counted identically: multicast differs only in its
+conflict answer (everyone conflicts, always fetch), time-sharing only in
+its schedule (serial execution).
+"""
+
+from repro.baselines.common import ProtocolName, make_system
+from repro.baselines.multicast import MulticastDirectory
+from repro.baselines.time_sharing import TimeSharingRunner
+
+__all__ = [
+    "ProtocolName",
+    "make_system",
+    "MulticastDirectory",
+    "TimeSharingRunner",
+]

@@ -1,0 +1,34 @@
+"""The time-sharing baseline protocol.
+
+Paper §5.2: "The time-sharing protocol allows travel agents to execute
+one after another.  In this way, the number of control messages between
+the directory manager and the cache managers is kept to a minimum."
+
+Implementation: the standard Flecc engine under a *serial schedule* —
+each agent's whole lifecycle runs to completion before the next starts.
+With never more than one active view, pulls never trigger fetch rounds
+and strong-mode invalidations never fire, so the per-agent message cost
+is the flat protocol floor (register/init/push/kill).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List
+
+from repro.core.system import ViewScript, run_view_script
+from repro.net.transport import Transport
+
+
+class TimeSharingRunner:
+    """Runs view scripts strictly one after another."""
+
+    def __init__(self, transport: Transport) -> None:
+        self.transport = transport
+
+    def run_serial(self, scripts: Iterable[ViewScript], timeout: float | None = None) -> List[Any]:
+        """Execute each script to completion before starting the next."""
+        results: List[Any] = []
+        for script in scripts:
+            handle = run_view_script(self.transport, script)
+            results.append(handle.result(timeout))
+        return results

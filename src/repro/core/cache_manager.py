@@ -1,0 +1,576 @@
+"""The cache manager (paper §4.2) and its view-facing API (Fig 3).
+
+One cache manager accompanies each deployed view.  It forwards view
+requests to the directory manager, executes directory commands
+(INVALIDATE, FETCH_REQ), evaluates quality triggers against the
+transport clock and reflected view variables, and moves state in/out of
+the view through the application's extract/merge functions.
+
+The view-facing API mirrors the paper's Fig 3 listing::
+
+    cm = CacheManager(...)            # (1) create cache manager
+    cm.start().wait()                 #     register with the directory
+    cm.init_image().wait()            # (2) initialize data
+    cm.pull_image().wait()            # (3) work with data ...
+    cm.start_use_image().wait()
+    ...application method...
+    cm.end_use_image()
+    cm.push_image().wait()
+    cm.kill_image().wait()            # (4) kill cache manager
+
+Every method returns a :class:`~repro.net.transport.Completion`; sim
+code yields ``completion.sim_event()``, threaded code calls
+``completion.wait()`` (the examples show both styles).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional
+
+from repro.core import messages as M
+from repro.core.image import ObjectImage
+from repro.core.messages import TraceLog
+from repro.core.modes import Mode
+from repro.core.property_set import PropertySet
+from repro.core.reflection import reflect_variables
+from repro.core.triggers import TriggerSet
+from repro.errors import ProtocolError
+from repro.net.message import Message
+from repro.net.transport import Completion, Transport
+
+# Application-facing function signatures (paper Fig 3):
+#   extract_from_view(view, view_property_list) -> ObjectImage
+#   merge_into_view(view, image, view_property_list) -> None
+ExtractFromView = Callable[[Any, PropertySet], ObjectImage]
+MergeIntoView = Callable[[Any, ObjectImage, PropertySet], None]
+
+
+class _CompletionLock:
+    """FIFO lock built on completions — works on both transport backends.
+
+    Used for the ``startUseImage``/``endUseImage`` mutual exclusion the
+    paper requires between application use and merge/extract (Fig 2
+    steps 6-7).
+    """
+
+    def __init__(self, transport: Transport, name: str = "use-lock") -> None:
+        self._transport = transport
+        self.name = name
+        self._held = False
+        self._queue: Deque[Completion] = deque()
+        self._lock = threading.Lock()
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    def acquire(self) -> Completion:
+        comp = self._transport.completion(f"{self.name}.acquire")
+        grant_now = False
+        with self._lock:
+            if not self._held:
+                self._held = True
+                grant_now = True
+            else:
+                self._queue.append(comp)
+        if grant_now:
+            comp.resolve(None)
+        return comp
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            if self._held:
+                return False
+            self._held = True
+            return True
+
+    def release(self) -> None:
+        nxt: Optional[Completion] = None
+        with self._lock:
+            if not self._held:
+                raise ProtocolError(f"{self.name}: release while not held")
+            if self._queue:
+                nxt = self._queue.popleft()
+            else:
+                self._held = False
+        if nxt is not None:
+            nxt.resolve(None)
+
+
+class CacheManager:
+    """Per-view protocol engine + application API."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        directory_address: str,
+        view_id: str,
+        view: Any,
+        properties: PropertySet,
+        extract_from_view: ExtractFromView,
+        merge_into_view: MergeIntoView,
+        mode: Mode | str = Mode.WEAK,
+        triggers: Optional[TriggerSet] = None,
+        trigger_poll_period: float = 100.0,
+        address: Optional[str] = None,
+        trace: Optional[TraceLog] = None,
+        request_timeout: Optional[float] = None,
+        max_retries: int = 3,
+    ) -> None:
+        self.transport = transport
+        self.directory_address = directory_address
+        self.view_id = view_id
+        self.view = view
+        self.properties = properties
+        self.extract_from_view = extract_from_view
+        self.merge_into_view = merge_into_view
+        self.mode = Mode.parse(mode)
+        self.triggers = triggers or TriggerSet()
+        self.trigger_poll_period = trigger_poll_period
+        self.address = address or f"cm:{view_id}"
+        self.trace = trace
+        # At-least-once sending: when request_timeout is set, an
+        # unanswered request is retransmitted (same msg_id, so the
+        # directory's reply cache makes the retry idempotent) up to
+        # max_retries times before the waiting completion fails.
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+
+        # Protocol state.
+        # Every state-carrying message (PUSH, UNREGISTER, INVALIDATE_ACK,
+        # FETCH_REPLY) is stamped with an increasing per-view sequence
+        # number so a delayed retransmission can never re-commit a stale
+        # snapshot over newer state at the directory.
+        self._state_seq = 0
+        self.registered = False
+        self.owner = False        # strong-mode exclusive ownership
+        self.invalidated = True   # until first init, local data is invalid
+        self._base: ObjectImage = ObjectImage()  # state as of last sync
+        self._pending: Dict[int, Completion] = {}
+        self._pending_invalidate: Optional[Message] = None
+        self._use_lock = _CompletionLock(transport, f"{view_id}.use")
+        self._in_use = False
+        self._lock = threading.RLock()
+        self._trigger_timer = None
+        self._trigger_inflight = False
+        self._triggers_stopped = False
+        self._closed = False
+
+        # Instrumentation.
+        self.counters: Dict[str, int] = {
+            "pushes": 0, "pulls": 0, "acquires": 0,
+            "invalidations": 0, "fetches": 0, "trigger_fires": 0,
+            "retries": 0,
+        }
+
+        self.endpoint = transport.bind(self.address, self._on_message)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _trace(self, event: str, **detail: Any) -> None:
+        if self.trace is not None:
+            self.trace.record(self.transport.now(), self.address, event, **detail)
+
+    def _request(self, msg_type: str, payload: Dict[str, Any]) -> Completion:
+        payload = dict(payload)
+        payload["view_id"] = self.view_id
+        msg = Message(msg_type, self.address, self.directory_address, payload)
+        comp = self.transport.completion(f"{self.view_id}.{msg_type}")
+        with self._lock:
+            self._pending[msg.msg_id] = comp
+        self._trace(f"send:{msg_type}", dst=self.directory_address)
+        self.endpoint.send(msg)
+        if self.request_timeout is not None:
+            self._arm_retry(msg, comp, attempts_left=self.max_retries)
+        return comp
+
+    def _arm_retry(self, msg: Message, comp: Completion, attempts_left: int) -> None:
+        def maybe_resend() -> None:
+            with self._lock:
+                still_pending = msg.msg_id in self._pending and not comp.done
+                if not still_pending or self._closed:
+                    return
+                if attempts_left <= 0:
+                    self._pending.pop(msg.msg_id, None)
+                    comp.fail(
+                        ProtocolError(
+                            f"{self.view_id}: {msg.msg_type} unanswered after "
+                            f"{self.max_retries} retries"
+                        )
+                    )
+                    return
+                self._trace(f"retry:{msg.msg_type}", attempts_left=attempts_left)
+                self.counters["retries"] = self.counters.get("retries", 0) + 1
+            if not self.endpoint.closed:
+                self.endpoint.send(msg)  # same msg_id: dedup-safe
+            self._arm_retry(msg, comp, attempts_left - 1)
+
+        self.transport.schedule(self.request_timeout, maybe_resend)
+
+    def _on_message(self, msg: Message) -> None:
+        with self._lock:
+            self._trace(f"recv:{msg.msg_type}")
+            if msg.reply_to is not None and msg.reply_to in self._pending:
+                comp = self._pending.pop(msg.reply_to)
+                if msg.msg_type == M.ERROR:
+                    comp.fail(ProtocolError(msg.payload.get("error", "directory error")))
+                else:
+                    comp.resolve(msg)
+                return
+            if msg.msg_type == M.INVALIDATE:
+                self._h_invalidate(msg)
+            elif msg.msg_type == M.FETCH_REQ:
+                self._h_fetch(msg)
+            else:
+                self._trace("unexpected-message", type=msg.msg_type)
+
+    # -- directory-initiated commands ------------------------------------
+    def _h_invalidate(self, msg: Message) -> None:
+        self.counters["invalidations"] += 1
+        if self._in_use:
+            # The view is inside startUse/endUse — defer until it exits
+            # the critical section (mutual exclusion, Fig 2 steps 6-7).
+            if self._pending_invalidate is not None:
+                # Duplicate invalidate (e.g. injected fault): ack the
+                # older one empty, keep the newer.
+                stale = self._pending_invalidate
+                self.endpoint.send(stale.reply(M.INVALIDATE_ACK, {"view_id": self.view_id}))
+            self._pending_invalidate = msg
+            return
+        self._complete_invalidate(msg)
+
+    def _next_state_seq(self) -> int:
+        self._state_seq += 1
+        return self._state_seq
+
+    def _complete_invalidate(self, msg: Message) -> None:
+        dirty = self._extract_dirty()
+        self.owner = False
+        self.invalidated = True
+        self._trace(f"send:{M.INVALIDATE_ACK}", dst=msg.src)
+        self.endpoint.send(
+            msg.reply(
+                M.INVALIDATE_ACK,
+                {"view_id": self.view_id, "image": dirty,
+                 "state_seq": self._next_state_seq()},
+            )
+        )
+        # The dirty cells were handed to the directory; our base now
+        # reflects the view (nothing left dirty).
+        self._rebase()
+
+    def _h_fetch(self, msg: Message) -> None:
+        self.counters["fetches"] += 1
+        dirty = ObjectImage() if self._in_use else self._extract_dirty()
+        self._trace(f"send:{M.FETCH_REPLY}", dst=msg.src)
+        self.endpoint.send(
+            msg.reply(
+                M.FETCH_REPLY,
+                {"view_id": self.view_id, "image": dirty,
+                 "state_seq": self._next_state_seq()},
+            )
+        )
+        if not self._in_use:
+            self._rebase()
+
+    # -- dirty tracking ------------------------------------------------------
+    def _extract_current(self) -> ObjectImage:
+        return self.extract_from_view(self.view, self.properties)
+
+    def _extract_dirty(self) -> ObjectImage:
+        """Cells whose value changed since the last sync point."""
+        current = self._extract_current()
+        dirty = ObjectImage()
+        for key in current.keys():
+            if key not in self._base or self._base.get(key) != current.get(key):
+                dirty.cells[key] = current.get(key)
+        return dirty
+
+    def _rebase(self) -> None:
+        self._base = self._extract_current()
+
+    def has_dirty_data(self) -> bool:
+        return not self._extract_dirty().is_empty()
+
+    def _apply_image(self, image: ObjectImage) -> None:
+        self.merge_into_view(self.view, image, self.properties)
+        self._rebase()
+        self.invalidated = False
+
+    # ------------------------------------------------------------------
+    # View-facing API (Fig 3)
+    # ------------------------------------------------------------------
+    def start(self) -> Completion:
+        """Register with the directory manager; starts the trigger poller."""
+        comp = self.transport.completion(f"{self.view_id}.start")
+
+        def on_ack(reply: Completion) -> None:
+            try:
+                reply.value
+            except BaseException as exc:
+                comp.fail(exc)
+                return
+            self.registered = True
+            self._start_trigger_poller()
+            comp.resolve(self)
+
+        self._request(
+            M.REGISTER,
+            {
+                "properties": self.properties,
+                "mode": self.mode.value,
+                "triggers": self.triggers.to_jsonable(),
+            },
+        ).then(on_ack)
+        return comp
+
+    def init_image(self) -> Completion:
+        """First data acquisition (Fig 2 steps 3-5); resolves to the image."""
+        return self._sync_request(M.INIT_REQ, count_as="pulls")
+
+    def pull_image(self) -> Completion:
+        """Refresh the view from the primary copy; resolves to the image."""
+        return self._sync_request(M.PULL_REQ, count_as="pulls")
+
+    def _sync_request(self, msg_type: str, count_as: str) -> Completion:
+        self.counters[count_as] += 1
+        comp = self.transport.completion(f"{self.view_id}.{msg_type}")
+        need_fresh = self._evaluate_validity()
+
+        def on_data(reply: Completion) -> None:
+            try:
+                msg = reply.value
+            except BaseException as exc:
+                comp.fail(exc)
+                return
+            image: ObjectImage = msg.payload["image"]
+            with self._lock:
+                self._apply_image(image)
+            comp.resolve(image)
+
+        self._request(msg_type, {"need_fresh": need_fresh}).then(on_data)
+        return comp
+
+    def push_image(self) -> Completion:
+        """Commit dirty cells to the primary copy; resolves to #committed."""
+        self.counters["pushes"] += 1
+        comp = self.transport.completion(f"{self.view_id}.push")
+        dirty = self._extract_dirty()
+
+        def on_ack(reply: Completion) -> None:
+            try:
+                msg = reply.value
+            except BaseException as exc:
+                comp.fail(exc)
+                return
+            comp.resolve(msg.payload.get("committed", 0))
+
+        self._request(
+            M.PUSH, {"image": dirty, "state_seq": self._next_state_seq()}
+        ).then(on_ack)
+        self._rebase()
+        return comp
+
+    def start_use_image(self) -> Completion:
+        """Enter the critical section; in strong mode, acquire ownership.
+
+        Resolves once the view may touch the shared data.  The returned
+        value is ``self`` for chaining.
+        """
+        comp = self.transport.completion(f"{self.view_id}.start_use")
+
+        def locked(_lk: Completion) -> None:
+            if self.mode is Mode.STRONG and not self.owner:
+                self.counters["acquires"] += 1
+
+                def on_grant(reply: Completion) -> None:
+                    try:
+                        msg = reply.value
+                    except BaseException as exc:
+                        self._use_lock.release()
+                        comp.fail(exc)
+                        return
+                    with self._lock:
+                        self._apply_image(msg.payload["image"])
+                        self.owner = True
+                        self._in_use = True
+                    comp.resolve(self)
+
+                self._request(M.ACQUIRE, {}).then(on_grant)
+            elif self.invalidated:
+                def on_pull(reply: Completion) -> None:
+                    try:
+                        msg = reply.value
+                    except BaseException as exc:
+                        self._use_lock.release()
+                        comp.fail(exc)
+                        return
+                    with self._lock:
+                        self._apply_image(msg.payload["image"])
+                        self._in_use = True
+                    comp.resolve(self)
+
+                self.counters["pulls"] += 1
+                self._request(M.PULL_REQ, {"need_fresh": self._evaluate_validity()}).then(on_pull)
+            else:
+                self._in_use = True
+                comp.resolve(self)
+
+        self._use_lock.acquire().then(locked)
+        return comp
+
+    def end_use_image(self) -> None:
+        """Leave the critical section; honors a deferred invalidation."""
+        with self._lock:
+            if not self._in_use:
+                raise ProtocolError(f"{self.view_id}: end_use without start_use")
+            self._in_use = False
+            deferred = self._pending_invalidate
+            self._pending_invalidate = None
+            if deferred is not None:
+                self._complete_invalidate(deferred)
+        self._use_lock.release()
+
+    def set_mode(self, mode: Mode | str) -> Completion:
+        """Switch consistency mode at run time (paper §4, Fig 5)."""
+        new_mode = Mode.parse(mode)
+        comp = self.transport.completion(f"{self.view_id}.set_mode")
+
+        def send_set_mode(_prev: Optional[Completion] = None) -> None:
+            def on_ack(reply: Completion) -> None:
+                try:
+                    reply.value
+                except BaseException as exc:
+                    comp.fail(exc)
+                    return
+                with self._lock:
+                    self.mode = new_mode
+                    if new_mode is Mode.WEAK:
+                        self.owner = False
+                comp.resolve(new_mode)
+
+            self._request(M.SET_MODE, {"mode": new_mode.value}).then(on_ack)
+
+        if self.mode is Mode.STRONG and new_mode is Mode.WEAK and self.owner:
+            # Leaving strong mode: surrender dirty state first so the
+            # primary copy stays authoritative.
+            self.push_image().then(send_set_mode)
+        else:
+            send_set_mode()
+        return comp
+
+    def set_triggers(self, triggers: TriggerSet) -> None:
+        """Replace the quality triggers at run time (weak-level tuning)."""
+        self.triggers = triggers
+
+    def update_properties(self, properties: PropertySet) -> Completion:
+        """Change the view's data properties at run time (paper §4.1)."""
+        comp = self.transport.completion(f"{self.view_id}.prop_update")
+
+        def on_ack(reply: Completion) -> None:
+            try:
+                reply.value
+            except BaseException as exc:
+                comp.fail(exc)
+                return
+            with self._lock:
+                self.properties = properties
+                self.invalidated = True  # slice changed; re-pull before use
+            comp.resolve(properties)
+
+        self._request(M.PROP_UPDATE, {"properties": properties}).then(on_ack)
+        return comp
+
+    def kill_image(self) -> Completion:
+        """Final push + unregister + release resources (Fig 2 steps 20-21)."""
+        comp = self.transport.completion(f"{self.view_id}.kill")
+        with self._lock:
+            # Silence the trigger poller immediately: a pull racing the
+            # unregister would arrive at the directory as an
+            # unregistered view.
+            self._triggers_stopped = True
+            if self._trigger_timer is not None:
+                self._trigger_timer.cancel()
+                self._trigger_timer = None
+        dirty = self._extract_dirty()
+
+        def on_ack(reply: Completion) -> None:
+            try:
+                reply.value
+            except BaseException as exc:
+                comp.fail(exc)
+                return
+            self._shutdown()
+            comp.resolve(None)
+
+        self._request(
+            M.UNREGISTER, {"image": dirty, "state_seq": self._next_state_seq()}
+        ).then(on_ack)
+        return comp
+
+    def _shutdown(self) -> None:
+        with self._lock:
+            self._closed = True
+            self.registered = False
+            if self._trigger_timer is not None:
+                self._trigger_timer.cancel()
+                self._trigger_timer = None
+        self.endpoint.close()
+
+    # ------------------------------------------------------------------
+    # Quality-trigger machinery
+    # ------------------------------------------------------------------
+    def _trigger_env(self) -> Dict[str, Any]:
+        names = self.triggers.view_variables()
+        env = reflect_variables(self.view, names) if names else {}
+        env["t"] = self.transport.now()
+        return env
+
+    def _evaluate_validity(self) -> bool:
+        """True when the directory must fetch fresh state (validity fired)."""
+        if self.triggers.validity is None:
+            return False
+        return self.triggers.validity.evaluate(self._trigger_env())
+
+    def _start_trigger_poller(self) -> None:
+        if self.triggers.push is None and self.triggers.pull is None:
+            return
+        self._triggers_stopped = False
+        self._schedule_trigger_poll()
+
+    def _schedule_trigger_poll(self) -> None:
+        if self._closed or self._triggers_stopped:
+            return
+        self._trigger_timer = self.transport.schedule(
+            self.trigger_poll_period, self._poll_triggers
+        )
+
+    def _poll_triggers(self) -> None:
+        if self._closed or self._triggers_stopped:
+            return
+        try:
+            if not self._trigger_inflight and not self._in_use:
+                env = self._trigger_env()
+                if self.triggers.push is not None and self.triggers.push.evaluate(env):
+                    if self.has_dirty_data():
+                        self._fire_trigger(self.push_image)
+                if (
+                    not self._trigger_inflight
+                    and self.triggers.pull is not None
+                    and self.triggers.pull.evaluate(env)
+                ):
+                    self._fire_trigger(self.pull_image)
+        finally:
+            self._schedule_trigger_poll()
+
+    def _fire_trigger(self, action: Callable[[], Completion]) -> None:
+        self.counters["trigger_fires"] += 1
+        self._trigger_inflight = True
+
+        def done(_c: Completion) -> None:
+            self._trigger_inflight = False
+
+        action().then(done)

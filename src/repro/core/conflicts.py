@@ -1,0 +1,60 @@
+"""Conflict detection: static map first, dynamic property intersection second.
+
+Implements the decision procedure of paper §4.1: the static sharing map
+answers for statically-known pairs (``0``/``1``); a ``-1`` cell defers
+to the *dynamic set of data properties* — ``dynConfl`` (Definition 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.core.property_set import PropertySet
+from repro.core.static_map import Sharing, StaticSharingMap
+
+
+def dyn_confl(p: PropertySet, q: PropertySet) -> int:
+    """Definition 1: ``1`` if the property-set intersection is non-empty."""
+    return 1 if p.conflicts_with(q) else 0
+
+
+class ConflictPolicy:
+    """Answers "do these two views share data?" for the directory manager.
+
+    ``properties_of`` supplies the *current* property set of a view — the
+    directory passes its live registry so run-time property changes
+    (paper: "views ... can dynamically change the sets of shared data")
+    are honored without re-wiring.
+    """
+
+    def __init__(
+        self,
+        static_map: Optional[StaticSharingMap],
+        properties_of: Callable[[str], Optional[PropertySet]],
+    ) -> None:
+        self.static_map = static_map
+        self.properties_of = properties_of
+        # Instrumentation for the ablation benches.
+        self.static_hits = 0
+        self.dynamic_evals = 0
+
+    def conflicts(self, a: str, b: str) -> bool:
+        if a == b:
+            return False
+        if self.static_map is not None and self.static_map.has_view(a) and self.static_map.has_view(b):
+            cell = self.static_map.get(a, b)
+            if cell is not Sharing.DYNAMIC:
+                self.static_hits += 1
+                return cell is Sharing.SHARED
+        self.dynamic_evals += 1
+        p = self.properties_of(a)
+        q = self.properties_of(b)
+        if p is None or q is None:
+            # Without property information Flecc must assume the worst
+            # case (paper §4.1: "all views conflict").
+            return True
+        return dyn_confl(p, q) == 1
+
+    def conflict_set(self, view_id: str, candidates: Iterable[str]) -> List[str]:
+        """All candidates (excluding ``view_id``) that conflict with it."""
+        return [c for c in candidates if c != view_id and self.conflicts(view_id, c)]

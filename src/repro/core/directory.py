@@ -1,0 +1,514 @@
+"""The directory manager (paper §4.2).
+
+One directory manager runs with the original component (the primary
+copy).  It tracks which views are registered and *active*, decides who
+conflicts with whom (static map + ``dynConfl``), revokes/collects state
+with INVALIDATE rounds, gathers fresh state from active views with
+FETCH rounds, merges pushed updates into the original component via the
+application's merge function, and stamps every committed cell update
+with a version (the basis of the data-quality metric).
+
+Concurrency discipline: operations that require a multi-message round
+(ACQUIRE, and PULL/INIT that must first revoke or fetch) are serialized
+through a FIFO queue — the centralized primary-copy is the natural
+serialization point the paper's protocol relies on.  Single-message
+operations (REGISTER, PUSH, SET_MODE, ...) are handled immediately.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.core import messages as M
+from repro.core.conflicts import ConflictPolicy
+from repro.core.image import ObjectImage
+from repro.core.messages import TraceLog
+from repro.core.modes import Mode
+from repro.core.property_set import PropertySet
+from repro.core.static_map import StaticSharingMap
+from repro.core.versioning import VersionVector
+from repro.errors import ProtocolError
+from repro.net.message import Message
+from repro.net.transport import Transport
+
+# Application-facing function signatures (paper Fig 3):
+#   extract_from_object(component, view_property_list) -> ObjectImage
+#   merge_into_object(component, image, view_property_list) -> None
+ExtractFromObject = Callable[[Any, PropertySet], ObjectImage]
+MergeIntoObject = Callable[[Any, ObjectImage, PropertySet], None]
+
+
+@dataclass
+class ViewRecord:
+    """Directory-side registration state for one view."""
+
+    view_id: str
+    address: str
+    properties: PropertySet
+    mode: Mode
+    triggers: Dict[str, Optional[str]] = field(default_factory=dict)
+    active: bool = False
+    exclusive: bool = False
+    seen: VersionVector = field(default_factory=VersionVector)
+    # Highest state sequence number committed from this view; images
+    # stamped with an older/equal seq are stale retransmissions.
+    last_state_seq: int = 0
+
+
+@dataclass
+class _PendingOp:
+    """A queued multi-message operation."""
+
+    kind: str  # 'acquire' | 'pull' | 'init'
+    request: Message
+    view_id: str
+    awaiting: Dict[int, str] = field(default_factory=dict)  # msg_id -> view_id
+    need_fresh: bool = False
+
+
+class DirectoryManager:
+    """Primary-copy coordinator for one original component."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        address: str,
+        component: Any,
+        extract_from_object: ExtractFromObject,
+        merge_into_object: MergeIntoObject,
+        static_map: Optional[StaticSharingMap] = None,
+        conflict_resolver: Optional[Callable[[str, Any, Any], Any]] = None,
+        trace: Optional[TraceLog] = None,
+        on_commit: Optional[Callable[[str, int], None]] = None,
+        round_timeout: Optional[float] = None,
+        dedup_window: int = 256,
+    ) -> None:
+        self.transport = transport
+        # A multi-message round (invalidate/fetch) that waits longer
+        # than round_timeout on a silent view is force-finalized: the
+        # silent targets are dropped from the round (their state is
+        # treated as lost).  None disables the watchdog.
+        self.round_timeout = round_timeout
+        # At-least-once delivery tolerance: replies to the most recent
+        # requests are cached by msg_id and re-sent verbatim when a
+        # duplicate request arrives (instead of re-executing it).
+        self._dedup_window = dedup_window
+        self._reply_cache: "OrderedDict[int, Message]" = OrderedDict()
+        # Invoked as on_commit(cell_key, new_version) for every locally
+        # committed cell update (used by the two-level extension).
+        self.on_commit = on_commit
+        self.address = address
+        self.component = component
+        self.extract_from_object = extract_from_object
+        self.merge_into_object = merge_into_object
+        self.static_map = static_map
+        self.conflict_resolver = conflict_resolver
+        self.trace = trace
+        self.views: Dict[str, ViewRecord] = {}
+        self.master_versions = VersionVector()
+        self.policy = ConflictPolicy(static_map, self._properties_of)
+        self._op_queue: Deque[_PendingOp] = deque()
+        self._current_op: Optional[_PendingOp] = None
+        # Operational counters for experiments and monitoring.
+        self.counters: Dict[str, int] = {
+            "registers": 0, "unregisters": 0, "pushes": 0,
+            "commits": 0, "rounds": 0, "invalidates_sent": 0,
+            "fetches_sent": 0, "grants": 0, "round_timeouts": 0,
+        }
+        self._lock = threading.RLock()  # no-op contention in sim; needed on TCP
+        self.endpoint = transport.bind(address, self._on_message)
+
+    # ------------------------------------------------------------------
+    # Introspection used by experiments / QualityProbe
+    # ------------------------------------------------------------------
+    def _properties_of(self, view_id: str) -> Optional[PropertySet]:
+        rec = self.views.get(view_id)
+        return rec.properties if rec else None
+
+    def seen_versions_of(self, view_id: str) -> VersionVector:
+        rec = self.views.get(view_id)
+        return rec.seen if rec else VersionVector()
+
+    def slice_keys_of(self, view_id: str) -> Optional[List[str]]:
+        """Cell keys covered by a view's properties (via app extract)."""
+        rec = self.views.get(view_id)
+        if rec is None:
+            return None
+        return list(self.extract_from_object(self.component, rec.properties).keys())
+
+    def active_views(self) -> List[str]:
+        return sorted(v for v, r in self.views.items() if r.active)
+
+    def exclusive_views(self) -> List[str]:
+        return sorted(v for v, r in self.views.items() if r.exclusive)
+
+    def registered_views(self) -> List[str]:
+        return sorted(self.views)
+
+    def conflict_set_of(self, view_id: str) -> List[str]:
+        """Registered views conflicting with ``view_id`` (any activity)."""
+        return self.policy.conflict_set(view_id, self.views.keys())
+
+    def check_invariants(self) -> None:
+        """Raise ProtocolError when a protocol invariant is broken.
+
+        Strong-mode invariant: an exclusive owner has no conflicting
+        active view (one-copy serializability, paper §4).
+        """
+        for vid, rec in self.views.items():
+            if rec.exclusive and not rec.active:
+                raise ProtocolError(f"{vid} exclusive but not active")
+            if rec.exclusive:
+                for other in self.conflict_set_of(vid):
+                    orec = self.views.get(other)
+                    if orec is not None and orec.active:
+                        raise ProtocolError(
+                            f"strong-mode violation: {vid} owns exclusively "
+                            f"but conflicting {other} is active"
+                        )
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def _on_message(self, msg: Message) -> None:
+        with self._lock:
+            self._dispatch(msg)
+
+    # Requests whose duplicates are answered from the reply cache.  The
+    # round-based requests (ACQUIRE, INIT_REQ, PULL_REQ) are *not* here:
+    # replaying a cached GRANT/IMAGE would serve stale data — and, for
+    # ACQUIRE, stale *ownership* (a one-copy violation if the token
+    # moved meanwhile).  They are idempotent at the directory, so their
+    # duplicates are simply re-executed against current state.
+    _REPLAYABLE = frozenset(
+        {M.REGISTER, M.UNREGISTER, M.PUSH, M.SET_MODE, M.PROP_UPDATE}
+    )
+
+    def _dispatch(self, msg: Message) -> None:
+        self._trace(msg.msg_type, view=msg.payload.get("view_id", msg.src))
+        if msg.msg_id in self._reply_cache:
+            if msg.msg_type in self._REPLAYABLE:
+                self._trace("duplicate-request", msg_id=msg.msg_id)
+                self._send(self._reply_cache[msg.msg_id])
+                return
+            # Round-based duplicate: drop the stale cached reply and
+            # re-execute below.
+            self._trace("duplicate-reexecute", msg_id=msg.msg_id)
+            del self._reply_cache[msg.msg_id]
+        handler = {
+            M.REGISTER: self._h_register,
+            M.INIT_REQ: self._h_init,
+            M.PULL_REQ: self._h_pull,
+            M.PUSH: self._h_push,
+            M.ACQUIRE: self._h_acquire,
+            M.SET_MODE: self._h_set_mode,
+            M.PROP_UPDATE: self._h_prop_update,
+            M.UNREGISTER: self._h_unregister,
+            M.INVALIDATE_ACK: self._h_round_reply,
+            M.FETCH_REPLY: self._h_round_reply,
+        }.get(msg.msg_type)
+        if handler is None:
+            self._reply(msg, M.ERROR, {"error": f"unknown type {msg.msg_type}"})
+            return
+        try:
+            handler(msg)
+        except ProtocolError as exc:
+            # E.g. a late duplicate from a view that has already
+            # unregistered: answer instead of tearing down the loop.
+            if msg.msg_type in M.REQUESTS:
+                self._reply(msg, M.ERROR, {"error": str(exc)})
+            else:
+                self._trace("handler-error", error=str(exc))
+
+    def _send(self, msg: Message) -> None:
+        self._trace(f"send:{msg.msg_type}", dst=msg.dst)
+        self.endpoint.send(msg)
+
+    def _reply(self, request: Message, msg_type: str, payload: Optional[Dict[str, Any]] = None) -> None:
+        """Answer ``request``, caching the reply for duplicate deliveries."""
+        reply = request.reply(msg_type, payload)
+        self._reply_cache[request.msg_id] = reply
+        while len(self._reply_cache) > self._dedup_window:
+            self._reply_cache.popitem(last=False)
+        self._send(reply)
+
+    def _trace(self, event: str, **detail: Any) -> None:
+        if self.trace is not None:
+            self.trace.record(self.transport.now(), self.address, event, **detail)
+
+    def _record_for(self, msg: Message) -> ViewRecord:
+        view_id = msg.payload.get("view_id")
+        rec = self.views.get(view_id)
+        if rec is None:
+            raise ProtocolError(
+                f"message {msg.msg_type} from unregistered view {view_id!r}"
+            )
+        return rec
+
+    # -- immediate operations -------------------------------------------------
+    def _h_register(self, msg: Message) -> None:
+        p = msg.payload
+        view_id = p["view_id"]
+        if view_id in self.views:
+            self._reply(msg, M.ERROR, {"error": f"{view_id} already registered"})
+            return
+        rec = ViewRecord(
+            view_id=view_id,
+            address=msg.src,
+            properties=p.get("properties") or PropertySet(),
+            mode=Mode.parse(p.get("mode", Mode.WEAK)),
+            triggers=p.get("triggers") or {},
+        )
+        self.views[view_id] = rec
+        self.counters["registers"] += 1
+        if self.static_map is not None and not self.static_map.has_view(view_id):
+            self.static_map.add_view(view_id)
+        self._reply(msg, M.REGISTER_ACK, {"view_id": view_id})
+
+    def _h_push(self, msg: Message) -> None:
+        rec = self._record_for(msg)
+        image: ObjectImage = msg.payload.get("image") or ObjectImage()
+        self.counters["pushes"] += 1
+        committed = self._commit(rec, image, seq=msg.payload.get("state_seq"))
+        self._reply(msg, M.PUSH_ACK, {"committed": committed})
+
+    def _h_set_mode(self, msg: Message) -> None:
+        rec = self._record_for(msg)
+        new_mode = Mode.parse(msg.payload["mode"])
+        old_mode = rec.mode
+        rec.mode = new_mode
+        if new_mode is Mode.WEAK and rec.exclusive:
+            # Leaving strong mode releases exclusivity; dirty state was
+            # pushed by the cache manager before it sent SET_MODE.
+            rec.exclusive = False
+        self._reply(
+            msg,
+            M.SET_MODE_ACK,
+            {"mode": new_mode.value, "previous": old_mode.value},
+        )
+
+    def _h_prop_update(self, msg: Message) -> None:
+        rec = self._record_for(msg)
+        props = msg.payload.get("properties")
+        if not isinstance(props, PropertySet):
+            self._reply(msg, M.ERROR, {"error": "properties missing"})
+            return
+        rec.properties = props
+        self._reply(msg, M.PROP_UPDATE_ACK, {"view_id": rec.view_id})
+
+    def _h_unregister(self, msg: Message) -> None:
+        rec = self._record_for(msg)
+        image: ObjectImage = msg.payload.get("image") or ObjectImage()
+        if not image.is_empty():
+            self._commit(rec, image, seq=msg.payload.get("state_seq"))
+        view_id = rec.view_id
+        del self.views[view_id]
+        self.counters["unregisters"] += 1
+        if self.static_map is not None and self.static_map.has_view(view_id):
+            self.static_map.remove_view(view_id)
+        self._forget_in_rounds(view_id)
+        self._reply(msg, M.UNREGISTER_ACK, {"view_id": view_id})
+
+    # -- queued (round-based) operations ---------------------------------------
+    def _h_acquire(self, msg: Message) -> None:
+        rec = self._record_for(msg)
+        self._enqueue(_PendingOp("acquire", msg, rec.view_id))
+
+    def _h_init(self, msg: Message) -> None:
+        rec = self._record_for(msg)
+        self._enqueue(
+            _PendingOp(
+                "init", msg, rec.view_id,
+                need_fresh=bool(msg.payload.get("need_fresh", False)),
+            )
+        )
+
+    def _h_pull(self, msg: Message) -> None:
+        rec = self._record_for(msg)
+        self._enqueue(
+            _PendingOp(
+                "pull", msg, rec.view_id,
+                need_fresh=bool(msg.payload.get("need_fresh", False)),
+            )
+        )
+
+    def _enqueue(self, op: _PendingOp) -> None:
+        self._op_queue.append(op)
+        self._pump()
+
+    def _pump(self) -> None:
+        while self._current_op is None and self._op_queue:
+            op = self._op_queue.popleft()
+            if op.view_id not in self.views:
+                # The view unregistered while queued; drop the stale op.
+                continue
+            self._current_op = op
+            self._start_op(op)
+
+    def _start_op(self, op: _PendingOp) -> None:
+        rec = self.views[op.view_id]
+        conflicts = set(self.conflict_set_of(op.view_id))
+        if op.kind == "acquire":
+            # Revoke every conflicting view that is currently active.
+            targets = {
+                v: M.INVALIDATE
+                for v in conflicts
+                if self.views[v].active
+            }
+        else:  # pull / init
+            targets = {}
+            for v in conflicts:
+                vrec = self.views[v]
+                if vrec.exclusive:
+                    # A conflicting strong owner must always be revoked
+                    # before data is served (one-copy semantics).
+                    targets[v] = M.INVALIDATE
+                elif vrec.active and op.need_fresh:
+                    # Validity trigger fired: collect fresh state from
+                    # the other active views before serving.
+                    targets[v] = M.FETCH_REQ
+        for v, mtype in targets.items():
+            out = Message(mtype, self.address, self.views[v].address,
+                          {"view_id": v, "requested_by": op.view_id})
+            op.awaiting[out.msg_id] = v
+            if mtype == M.INVALIDATE:
+                self.counters["invalidates_sent"] += 1
+            else:
+                self.counters["fetches_sent"] += 1
+            self._send(out)
+        if op.awaiting:
+            self.counters["rounds"] += 1
+        if not op.awaiting:
+            self._finalize_op(op)
+        elif self.round_timeout is not None:
+            self.transport.schedule(
+                self.round_timeout, lambda: self._expire_round(op)
+            )
+
+    def _expire_round(self, op: _PendingOp) -> None:
+        """Watchdog: force-finalize a round stuck on silent views.
+
+        The silent views are deactivated (their unseen dirty state is
+        treated as lost) so the requester is not blocked forever by a
+        dead or wedged cache manager.
+        """
+        with self._lock:
+            if self._current_op is not op or not op.awaiting:
+                return  # the round completed in time
+            dropped = list(op.awaiting.values())
+            self.counters["round_timeouts"] += 1
+            self._trace("round-timeout", dropped=dropped)
+            for view_id in dropped:
+                rec = self.views.get(view_id)
+                if rec is not None:
+                    rec.active = False
+                    rec.exclusive = False
+            op.awaiting.clear()
+            self._finalize_op(op)
+
+    def _h_round_reply(self, msg: Message) -> None:
+        op = self._current_op
+        if op is None or msg.reply_to not in op.awaiting:
+            # Late/duplicate reply from a finished round — harmless.
+            self._trace("stale-round-reply", reply_to=msg.reply_to)
+            return
+        view_id = op.awaiting.pop(msg.reply_to)
+        rec = self.views.get(view_id)
+        image: ObjectImage = msg.payload.get("image") or ObjectImage()
+        if rec is not None:
+            if not image.is_empty():
+                self._commit(rec, image, seq=msg.payload.get("state_seq"))
+            if msg.msg_type == M.INVALIDATE_ACK:
+                rec.active = False
+                rec.exclusive = False
+        if not op.awaiting:
+            self._finalize_op(op)
+
+    def _finalize_op(self, op: _PendingOp) -> None:
+        self._current_op = None
+        rec = self.views.get(op.view_id)
+        if rec is not None:
+            image = self.extract_from_object(self.component, rec.properties)
+            # Stamp the served image with the authoritative versions and
+            # record what this view has now seen.
+            for key in image.keys():
+                v = self.master_versions.get(key)
+                image.versions.set(key, v)
+                rec.seen.set(key, v)
+            rec.active = True
+            if op.kind == "acquire":
+                rec.exclusive = True
+                self.counters["grants"] += 1
+                reply_type = M.GRANT
+            elif op.kind == "init":
+                reply_type = M.INIT_DATA
+            else:
+                reply_type = M.PULL_DATA
+            self._reply(op.request, reply_type, {"image": image})
+            self.check_invariants()
+        self._pump()
+
+    def _forget_in_rounds(self, view_id: str) -> None:
+        """Remove a vanished view from any in-flight round."""
+        op = self._current_op
+        if op is None:
+            return
+        stale = [mid for mid, v in op.awaiting.items() if v == view_id]
+        for mid in stale:
+            del op.awaiting[mid]
+        if not op.awaiting:
+            self._finalize_op(op)
+
+    # ------------------------------------------------------------------
+    # Committing updates
+    # ------------------------------------------------------------------
+    def _commit(
+        self, rec: ViewRecord, image: ObjectImage, seq: Optional[int] = None
+    ) -> int:
+        """Merge pushed/collected cells into the component, bump versions.
+
+        Returns the number of committed cells.  Every committed cell is
+        one "update" in the paper's data-quality metric; the pushing
+        view's seen-vector advances with it (it has, by definition, seen
+        its own update).
+        """
+        if image.is_empty():
+            return 0
+        if seq is not None:
+            if seq <= rec.last_state_seq:
+                # A delayed retransmission carrying a snapshot older
+                # than state this view already handed over — committing
+                # it would resurrect stale data.  Drop the image.
+                self._trace("stale-state-seq", view=rec.view_id, seq=seq)
+                return 0
+            rec.last_state_seq = seq
+        if self.conflict_resolver is not None:
+            # Write-write conflict: the pusher had not seen the latest
+            # committed update to a cell it is now writing.  Resolve with
+            # the application's function (Coda/Bayou-style, paper §4.1).
+            stale = [
+                k for k in image.keys()
+                if rec.seen.get(k) < self.master_versions.get(k)
+            ]
+            if stale:
+                current = self.extract_from_object(self.component, rec.properties)
+                for k in stale:
+                    if k in current:
+                        image.cells[k] = self.conflict_resolver(
+                            k, current.get(k), image.cells[k]
+                        )
+        self.merge_into_object(self.component, image, rec.properties)
+        self.counters["commits"] += len(image)
+        for key in image.keys():
+            newv = self.master_versions.bump(key)
+            rec.seen.set(key, newv)
+            if self.on_commit is not None:
+                self.on_commit(key, newv)
+        return len(image)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.endpoint.close()

@@ -1,0 +1,192 @@
+"""Property value domains (paper §4.1).
+
+A property's value set ``D_p`` is either an interval ``[d_min, d_max]``
+or a set of discrete values ``{d_1, ..., d_n}``.  Domains support the
+intersection operation of Definition 3 and an emptiness test; these two
+operations are all the dynamic conflict computation needs.
+
+Intersection across the two kinds is defined the natural way (an
+interval intersected with a discrete set keeps the members inside the
+interval) so applications may mix granularities — e.g. a travel agent
+declaring the flight-number *range* it serves against another declaring
+an explicit flight list.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, FrozenSet, Iterable, Union
+
+from repro.errors import PropertyError
+
+Scalar = Union[int, float, str]
+
+
+class Domain(abc.ABC):
+    """Abstract value domain: supports intersection and emptiness."""
+
+    @abc.abstractmethod
+    def is_empty(self) -> bool: ...
+
+    @abc.abstractmethod
+    def intersect(self, other: "Domain") -> "Domain": ...
+
+    @abc.abstractmethod
+    def contains(self, value: Scalar) -> bool: ...
+
+    @abc.abstractmethod
+    def to_jsonable(self) -> dict: ...
+
+    @staticmethod
+    def from_jsonable(d: dict) -> "Domain":
+        kind = d.get("kind")
+        if kind == "interval":
+            return Interval(d["lo"], d["hi"])
+        if kind == "discrete":
+            return DiscreteSet(d["values"])
+        if kind == "empty":
+            return EMPTY_DOMAIN
+        raise PropertyError(f"unknown domain kind: {kind!r}")
+
+    def __and__(self, other: "Domain") -> "Domain":
+        return self.intersect(other)
+
+
+class _EmptyDomain(Domain):
+    """The empty value set (result of disjoint intersections)."""
+
+    def is_empty(self) -> bool:
+        return True
+
+    def intersect(self, other: Domain) -> Domain:
+        return self
+
+    def contains(self, value: Scalar) -> bool:
+        return False
+
+    def to_jsonable(self) -> dict:
+        return {"kind": "empty"}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _EmptyDomain) or (
+            isinstance(other, Domain) and other.is_empty()
+        )
+
+    def __hash__(self) -> int:
+        return hash("empty-domain")
+
+    def __repr__(self) -> str:
+        return "EmptyDomain"
+
+
+EMPTY_DOMAIN = _EmptyDomain()
+
+
+class Interval(Domain):
+    """Closed numeric interval ``[lo, hi]``."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: float, hi: float) -> None:
+        if not isinstance(lo, (int, float)) or not isinstance(hi, (int, float)):
+            raise PropertyError(f"interval bounds must be numeric: [{lo!r}, {hi!r}]")
+        if lo > hi:
+            raise PropertyError(f"interval lower bound exceeds upper: [{lo}, {hi}]")
+        self.lo = lo
+        self.hi = hi
+
+    def is_empty(self) -> bool:
+        return False  # construction enforces lo <= hi
+
+    def contains(self, value: Scalar) -> bool:
+        return isinstance(value, (int, float)) and self.lo <= value <= self.hi
+
+    def intersect(self, other: Domain) -> Domain:
+        if isinstance(other, _EmptyDomain):
+            return EMPTY_DOMAIN
+        if isinstance(other, Interval):
+            lo, hi = max(self.lo, other.lo), min(self.hi, other.hi)
+            return Interval(lo, hi) if lo <= hi else EMPTY_DOMAIN
+        if isinstance(other, DiscreteSet):
+            kept = frozenset(v for v in other.values if self.contains(v))
+            return DiscreteSet(kept) if kept else EMPTY_DOMAIN
+        raise PropertyError(f"cannot intersect Interval with {type(other).__name__}")
+
+    def to_jsonable(self) -> dict:
+        return {"kind": "interval", "lo": self.lo, "hi": self.hi}
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Interval)
+            and self.lo == other.lo
+            and self.hi == other.hi
+        )
+
+    def __hash__(self) -> int:
+        return hash(("interval", self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"Interval({self.lo}, {self.hi})"
+
+
+class DiscreteSet(Domain):
+    """Finite set of scalar values ``{d_1, ..., d_n}``."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Iterable[Scalar]) -> None:
+        vals = frozenset(values)
+        if not vals:
+            raise PropertyError(
+                "DiscreteSet cannot be empty; use the EMPTY_DOMAIN sentinel"
+            )
+        for v in vals:
+            if not isinstance(v, (int, float, str)):
+                raise PropertyError(f"discrete values must be scalars, got {v!r}")
+        self.values: FrozenSet[Scalar] = vals
+
+    def is_empty(self) -> bool:
+        return False
+
+    def contains(self, value: Scalar) -> bool:
+        return value in self.values
+
+    def intersect(self, other: Domain) -> Domain:
+        if isinstance(other, _EmptyDomain):
+            return EMPTY_DOMAIN
+        if isinstance(other, DiscreteSet):
+            common = self.values & other.values
+            return DiscreteSet(common) if common else EMPTY_DOMAIN
+        if isinstance(other, Interval):
+            return other.intersect(self)
+        raise PropertyError(
+            f"cannot intersect DiscreteSet with {type(other).__name__}"
+        )
+
+    def to_jsonable(self) -> dict:
+        return {"kind": "discrete", "values": sorted(self.values, key=repr)}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DiscreteSet) and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(("discrete", self.values))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(v) for v in sorted(self.values, key=repr))
+        return f"DiscreteSet({{{inner}}})"
+
+
+def domain_from_spec(spec: Any) -> Domain:
+    """Build a domain from shorthand: ``(lo, hi)`` tuple -> Interval,
+    list/set -> DiscreteSet, Domain -> itself."""
+    if isinstance(spec, Domain):
+        return spec
+    if isinstance(spec, tuple) and len(spec) == 2:
+        return Interval(spec[0], spec[1])
+    if isinstance(spec, (list, set, frozenset)):
+        return DiscreteSet(spec)
+    raise PropertyError(f"cannot build a domain from {spec!r}")

@@ -1,0 +1,144 @@
+"""Object images — the unit of state exchanged by merge/extract methods.
+
+The paper propagates *modified data* rather than operation logs ("views
+represent different layouts of the same component and might not
+implement the same methods", §4.1).  An :class:`ObjectImage` is a
+self-describing snapshot: named data **cells** (e.g. one per flight)
+plus the per-cell versions the data corresponds to.  Application
+extract/merge functions produce and consume images; Flecc itself never
+interprets cell contents — that is what keeps it application-neutral.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional
+
+from repro.core.versioning import VersionVector
+from repro.errors import ProtocolError
+from repro.net.codec import register_codec_type
+
+
+class ObjectImage:
+    """A versioned snapshot of a subset of the shared data."""
+
+    __slots__ = ("cells", "versions")
+
+    def __init__(
+        self,
+        cells: Optional[Mapping[str, Any]] = None,
+        versions: Optional[VersionVector] = None,
+    ) -> None:
+        self.cells: Dict[str, Any] = dict(cells or {})
+        self.versions: VersionVector = versions.copy() if versions else VersionVector()
+
+    # -- content ------------------------------------------------------------
+    def keys(self) -> Iterable[str]:
+        return self.cells.keys()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.cells.get(key, default)
+
+    def put(self, key: str, value: Any, version: Optional[int] = None) -> None:
+        """Set a cell; when ``version`` is omitted the local counter bumps."""
+        self.cells[key] = value
+        if version is None:
+            self.versions.bump(key)
+        else:
+            self.versions.set(key, version)
+
+    def restrict(self, keys: Iterable[str]) -> "ObjectImage":
+        """Sub-image containing only ``keys`` (missing keys are skipped)."""
+        keep = [k for k in keys if k in self.cells]
+        img = ObjectImage({k: self.cells[k] for k in keep})
+        img.versions = VersionVector({k: self.versions.get(k) for k in keep})
+        return img
+
+    def is_empty(self) -> bool:
+        return not self.cells
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.cells
+
+    # -- merging ---------------------------------------------------------------
+    def merge_newer(self, incoming: "ObjectImage") -> int:
+        """Cell-wise merge keeping the strictly newer version of each cell.
+
+        This is Flecc's *default* conflict-resolution rule when the
+        application does not supply its own merge function: a cell from
+        ``incoming`` wins only if its version exceeds the local one
+        (ties keep local — the primary copy is authoritative).  Returns
+        the number of cells taken from ``incoming``.
+        """
+        taken = 0
+        for key, value in incoming.cells.items():
+            if incoming.versions.get(key) > self.versions.get(key):
+                self.cells[key] = value
+                self.versions.set(key, incoming.versions.get(key))
+                taken += 1
+        return taken
+
+    def merge_with(
+        self,
+        incoming: "ObjectImage",
+        resolver: Optional[Callable[[str, Any, Any], Any]] = None,
+    ) -> int:
+        """Merge with an application conflict resolver.
+
+        For every cell where *both* sides changed since a common point —
+        approximated as "incoming version equals local version but the
+        values differ" — ``resolver(key, local_value, incoming_value)``
+        picks the surviving value (Coda/Bayou-style application-level
+        resolution, paper §4.1).  Newer-version cells merge as in
+        :meth:`merge_newer`.
+        """
+        if resolver is None:
+            return self.merge_newer(incoming)
+        taken = 0
+        for key, value in incoming.cells.items():
+            local_v = self.versions.get(key)
+            incoming_v = incoming.versions.get(key)
+            if incoming_v > local_v:
+                self.cells[key] = value
+                self.versions.set(key, incoming_v)
+                taken += 1
+            elif incoming_v == local_v and key in self.cells and self.cells[key] != value:
+                resolved = resolver(key, self.cells[key], value)
+                if resolved != self.cells.get(key):
+                    self.cells[key] = resolved
+                    self.versions.bump(key)
+                    taken += 1
+        return taken
+
+    def copy(self) -> "ObjectImage":
+        return ObjectImage(self.cells, self.versions)
+
+    # -- wire --------------------------------------------------------------------
+    def to_jsonable(self) -> dict:
+        return {"cells": dict(self.cells), "versions": self.versions.to_jsonable()}
+
+    @classmethod
+    def from_jsonable(cls, d: Mapping[str, Any]) -> "ObjectImage":
+        if "cells" not in d:
+            raise ProtocolError(f"malformed image payload: {d!r}")
+        return cls(d["cells"], VersionVector(d.get("versions", {})))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ObjectImage)
+            and self.cells == other.cells
+            and self.versions == other.versions
+        )
+
+    def __repr__(self) -> str:
+        return f"ObjectImage({len(self.cells)} cells, {self.versions!r})"
+
+
+register_codec_type(
+    "flecc.object_image",
+    ObjectImage,
+    to_jsonable=ObjectImage.to_jsonable,
+    from_jsonable=ObjectImage.from_jsonable,
+)

@@ -1,0 +1,140 @@
+"""Flecc protocol message vocabulary (paper §4.2, Fig 2).
+
+The directory manager and cache managers exchange only the message
+types listed here.  Keeping them as named constants (rather than ad-hoc
+strings) lets :class:`~repro.net.stats.MessageStats` classify traffic
+and lets tests assert on exact protocol conversations.
+
+Request/response pairing:
+
+====================  ======================  =============================
+request               response                purpose
+====================  ======================  =============================
+REGISTER              REGISTER_ACK            view joins (props/mode/triggers)
+INIT_REQ              INIT_DATA               first data acquisition (Fig 2)
+PULL_REQ              PULL_DATA               refresh from primary copy
+PUSH                  PUSH_ACK                commit dirty cells to primary
+ACQUIRE               GRANT                   strong-mode exclusive ownership
+INVALIDATE            INVALIDATE_ACK          revoke an active view (collects
+                                              its dirty state)
+FETCH_REQ             FETCH_REPLY             directory pulls fresh state
+                                              from an active view (validity)
+SET_MODE              SET_MODE_ACK            run-time mode switch
+PROP_UPDATE           PROP_UPDATE_ACK         run-time property change
+UNREGISTER            UNREGISTER_ACK          view leaves (killImage)
+====================  ======================  =============================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+# -- cache manager -> directory -----------------------------------------------
+REGISTER = "REGISTER"
+INIT_REQ = "INIT_REQ"
+PULL_REQ = "PULL_REQ"
+PUSH = "PUSH"
+ACQUIRE = "ACQUIRE"
+SET_MODE = "SET_MODE"
+PROP_UPDATE = "PROP_UPDATE"
+UNREGISTER = "UNREGISTER"
+INVALIDATE_ACK = "INVALIDATE_ACK"
+FETCH_REPLY = "FETCH_REPLY"
+
+# -- directory -> cache manager ------------------------------------------------
+REGISTER_ACK = "REGISTER_ACK"
+INIT_DATA = "INIT_DATA"
+PULL_DATA = "PULL_DATA"
+PUSH_ACK = "PUSH_ACK"
+GRANT = "GRANT"
+INVALIDATE = "INVALIDATE"
+FETCH_REQ = "FETCH_REQ"
+SET_MODE_ACK = "SET_MODE_ACK"
+PROP_UPDATE_ACK = "PROP_UPDATE_ACK"
+UNREGISTER_ACK = "UNREGISTER_ACK"
+ERROR = "ERROR"
+
+REQUESTS = (
+    REGISTER, INIT_REQ, PULL_REQ, PUSH, ACQUIRE,
+    SET_MODE, PROP_UPDATE, UNREGISTER,
+)
+RESPONSES = (
+    REGISTER_ACK, INIT_DATA, PULL_DATA, PUSH_ACK, GRANT,
+    SET_MODE_ACK, PROP_UPDATE_ACK, UNREGISTER_ACK, ERROR,
+)
+DIRECTORY_INITIATED = (INVALIDATE, FETCH_REQ)
+CM_REPLIES = (INVALIDATE_ACK, FETCH_REPLY)
+
+ALL_TYPES = REQUESTS + RESPONSES + DIRECTORY_INITIATED + CM_REPLIES
+
+# Control messages counted for the paper's Fig 4 efficiency metric:
+# everything the coherence layer sends between CMs and the directory.
+CONTROL_TYPES = ALL_TYPES
+
+
+@dataclass
+class TraceEvent:
+    """One protocol step, recorded for the Fig 2 trace reproduction."""
+
+    time: float
+    actor: str
+    event: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"t={self.time:<8g} {self.actor:<14} {self.event:<16} {extras}".rstrip()
+
+
+class TraceLog:
+    """Append-only protocol trace shared by the runtime components."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record(self, time: float, actor: str, event: str, **detail: Any) -> None:
+        self.events.append(TraceEvent(time, actor, event, detail))
+
+    def filter(self, actor: Optional[str] = None, event: Optional[str] = None) -> List[TraceEvent]:
+        out = self.events
+        if actor is not None:
+            out = [e for e in out if e.actor == actor]
+        if event is not None:
+            out = [e for e in out if e.event == event]
+        return list(out)
+
+    def sequence(self) -> List[Tuple[str, str]]:
+        """Compact (actor, event) list for assertions."""
+        return [(e.actor, e.event) for e in self.events]
+
+    def format(self) -> str:
+        return "\n".join(e.format() for e in self.events)
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line (for offline trace analysis)."""
+        import json
+
+        return "\n".join(
+            json.dumps(
+                {"time": e.time, "actor": e.actor, "event": e.event, **e.detail}
+            )
+            for e in self.events
+        )
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "TraceLog":
+        import json
+
+        log = cls()
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            d = json.loads(line)
+            log.record(
+                d.pop("time"), d.pop("actor"), d.pop("event"), **d
+            )
+        return log
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,30 @@
+"""Consistency modes (paper §4).
+
+STRONG: "there is only [one] active view running in the system,
+providing essentially one-copy serializability semantics."
+
+WEAK: "allows multiple active views to simultaneously work on the
+shared data and specify more relaxed consistency levels."
+
+Views may switch between modes at run time (§4, Fig 5's experiment).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Mode(str, Enum):
+    """Per-view mode of operation."""
+
+    STRONG = "strong"
+    WEAK = "weak"
+
+    @classmethod
+    def parse(cls, value: "Mode | str") -> "Mode":
+        if isinstance(value, Mode):
+            return value
+        try:
+            return cls(value.lower())
+        except (AttributeError, ValueError):
+            raise ValueError(f"unknown mode {value!r}; use 'strong' or 'weak'") from None

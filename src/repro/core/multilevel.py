@@ -1,0 +1,196 @@
+"""Extension: the two-level protocol (paper §6, direction 2).
+
+"Flecc could be extended on two levels.  The high level protocol would
+maintain consistency between various instances in a decentralized
+fashion (e.g. no primary-copy), while the low level protocol would be
+[the] current version of Flecc and would ensure consistency between
+components and their views."
+
+This module implements that high level: each original-component
+instance keeps its own :class:`~repro.core.directory.DirectoryManager`
+(the unmodified low-level Flecc), and a :class:`ReplicaCoordinator`
+beside each directory runs decentralized **anti-entropy** rounds with
+its peers.  Updates are ordered per cell by ``(version, origin)`` —
+version counters from the low level, replica name as the deterministic
+tie-break for concurrent updates — so all replicas converge to the same
+state once updates quiesce (eventual consistency across instances;
+one-copy semantics remain available *within* an instance).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.directory import DirectoryManager
+from repro.core.image import ObjectImage
+from repro.core.property_set import PropertySet
+from repro.errors import ProtocolError
+from repro.net.message import Message
+from repro.net.transport import Completion, Transport
+
+ANTI_ENTROPY = "ANTI_ENTROPY"
+ANTI_ENTROPY_REPLY = "ANTI_ENTROPY_REPLY"
+
+
+class ReplicaCoordinator:
+    """Decentralized synchronizer for one original-component instance.
+
+    Attach one per directory; call :meth:`sync_with` for an explicit
+    round or :meth:`start` for periodic round-robin gossip.  The
+    coordinator watches local commits through the directory's
+    ``on_commit`` hook to stamp each cell with this replica's name.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        name: str,
+        directory: DirectoryManager,
+        peers: Optional[List[str]] = None,
+        sync_period: float = 50.0,
+    ) -> None:
+        if directory.on_commit is not None:
+            raise ProtocolError(
+                f"directory {directory.address} already has an on_commit hook"
+            )
+        self.transport = transport
+        self.name = name
+        self.directory = directory
+        self.peers: List[str] = list(peers or [])
+        self.sync_period = sync_period
+        self.address = f"sync:{name}"
+        # cell -> origin replica of its latest update
+        self.origins: Dict[str, str] = {}
+        self._next_peer = 0
+        self._timer = None
+        self._stopped = False
+        self._pending: Dict[int, Completion] = {}
+        self.rounds_completed = 0
+        directory.on_commit = self._on_local_commit
+        self.endpoint = transport.bind(self.address, self._on_message)
+
+    # -- local bookkeeping ---------------------------------------------------
+    def _on_local_commit(self, key: str, version: int) -> None:
+        self.origins[key] = self.name
+
+    def _snapshot(self) -> Tuple[ObjectImage, Dict[str, str]]:
+        """Full image of the component with authoritative versions."""
+        image = self.directory.extract_from_object(
+            self.directory.component, PropertySet()
+        )
+        for key in image.keys():
+            image.versions.set(key, self.directory.master_versions.get(key))
+        return image, dict(self.origins)
+
+    def _ordering_key(self, version: int, origin: str) -> Tuple[int, str]:
+        return (version, origin)
+
+    def _absorb(self, image: ObjectImage, origins: Dict[str, str]) -> int:
+        """Apply incoming cells that are newer under (version, origin)."""
+        applied = ObjectImage()
+        for key in image.keys():
+            local = self._ordering_key(
+                self.directory.master_versions.get(key),
+                self.origins.get(key, ""),
+            )
+            incoming = self._ordering_key(
+                image.versions.get(key), origins.get(key, "")
+            )
+            if incoming > local:
+                applied.cells[key] = image.get(key)
+        if applied.is_empty():
+            return 0
+        self.directory.merge_into_object(
+            self.directory.component, applied, PropertySet()
+        )
+        for key in applied.keys():
+            self.directory.master_versions.set(key, image.versions.get(key))
+            self.origins[key] = origins.get(key, "")
+        return len(applied)
+
+    # -- protocol ----------------------------------------------------------------
+    def sync_with(self, peer_name: str) -> Completion:
+        """One full anti-entropy exchange with ``peer_name``.
+
+        Resolves with the number of cells this replica absorbed.
+        """
+        image, origins = self._snapshot()
+        msg = Message(
+            ANTI_ENTROPY,
+            self.address,
+            f"sync:{peer_name}",
+            {"image": image, "origins": origins, "replica": self.name},
+        )
+        comp = self.transport.completion(f"{self.name}.sync")
+        self._pending[msg.msg_id] = comp
+        self.endpoint.send(msg)
+        return comp
+
+    def _on_message(self, msg: Message) -> None:
+        if msg.msg_type == ANTI_ENTROPY:
+            # Absorb the initiator's state, answer with ours.
+            incoming: ObjectImage = msg.payload["image"]
+            self._absorb(incoming, msg.payload.get("origins", {}))
+            image, origins = self._snapshot()
+            self.endpoint.send(
+                msg.reply(
+                    ANTI_ENTROPY_REPLY,
+                    {"image": image, "origins": origins, "replica": self.name},
+                )
+            )
+        elif msg.msg_type == ANTI_ENTROPY_REPLY:
+            comp = self._pending.pop(msg.reply_to, None)
+            absorbed = self._absorb(
+                msg.payload["image"], msg.payload.get("origins", {})
+            )
+            self.rounds_completed += 1
+            if comp is not None:
+                comp.resolve(absorbed)
+
+    # -- periodic gossip --------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic round-robin anti-entropy with the peer list."""
+        if not self.peers:
+            raise ProtocolError(f"{self.name}: no peers to gossip with")
+        self._stopped = False
+        self._schedule()
+
+    def _schedule(self) -> None:
+        if self._stopped:
+            return
+        self._timer = self.transport.schedule(self.sync_period, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        peer = self.peers[self._next_peer % len(self.peers)]
+        self._next_peer += 1
+        try:
+            self.sync_with(peer)
+        finally:
+            self._schedule()
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def close(self) -> None:
+        self.stop()
+        self.endpoint.close()
+
+
+def converged(coordinators: List[ReplicaCoordinator]) -> bool:
+    """True when all replicas hold identical state (test/monitor aid)."""
+    if len(coordinators) < 2:
+        return True
+    snapshots = []
+    for c in coordinators:
+        image, _ = c._snapshot()
+        snapshots.append((dict(image.cells), image.versions))
+    first_cells, first_versions = snapshots[0]
+    return all(
+        cells == first_cells and versions == first_versions
+        for cells, versions in snapshots[1:]
+    )

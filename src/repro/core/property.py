@@ -1,0 +1,70 @@
+"""Data properties (paper §4.1).
+
+A property ``p = (name_p, D_p)`` characterizes a slice of the shared
+data a view works on.  Intersection (Definition 3): empty unless the
+names match, otherwise the same name with the intersected domains.
+Properties are immutable and wire-encodable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.domains import Domain, domain_from_spec
+from repro.errors import PropertyError
+from repro.net.codec import register_codec_type
+
+
+class Property:
+    """An immutable ``(name, domain)`` pair."""
+
+    __slots__ = ("name", "domain")
+
+    def __init__(self, name: str, domain: Any) -> None:
+        if not name or not isinstance(name, str):
+            raise PropertyError(f"property name must be a non-empty string: {name!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "domain", domain_from_spec(domain))
+
+    def __setattr__(self, key: str, value: Any) -> None:
+        raise PropertyError("Property is immutable")
+
+    def intersect(self, other: "Property") -> Optional["Property"]:
+        """Definition 3: ``None`` when names differ or domains are disjoint."""
+        if self.name != other.name:
+            return None
+        common: Domain = self.domain.intersect(other.domain)
+        if common.is_empty():
+            return None
+        return Property(self.name, common)
+
+    def conflicts_with(self, other: "Property") -> bool:
+        return self.intersect(other) is not None
+
+    def to_jsonable(self) -> dict:
+        return {"name": self.name, "domain": self.domain.to_jsonable()}
+
+    @classmethod
+    def from_jsonable(cls, d: dict) -> "Property":
+        return cls(d["name"], Domain.from_jsonable(d["domain"]))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Property)
+            and self.name == other.name
+            and self.domain == other.domain
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.domain))
+
+    def __repr__(self) -> str:
+        return f"Property({self.name!r}, {self.domain!r})"
+
+
+register_codec_type(
+    "flecc.property",
+    Property,
+    to_jsonable=Property.to_jsonable,
+    from_jsonable=Property.from_jsonable,
+)

@@ -1,0 +1,110 @@
+"""Property sets and their intersection (paper §4.1, Definition 2).
+
+The paper assumes a set never holds two properties with the same name;
+:class:`PropertySet` enforces that at construction.  The intersection of
+two sets is the set of pairwise property intersections — non-empty
+intersection means the owning views *conflict* (share data).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.core.property import Property
+from repro.errors import PropertyError
+from repro.net.codec import register_codec_type
+
+
+class PropertySet:
+    """An immutable collection of uniquely-named properties."""
+
+    __slots__ = ("_by_name",)
+
+    def __init__(self, properties: Iterable[Property] = ()) -> None:
+        by_name: Dict[str, Property] = {}
+        for p in properties:
+            if not isinstance(p, Property):
+                raise PropertyError(f"not a Property: {p!r}")
+            if p.name in by_name:
+                raise PropertyError(
+                    f"duplicate property name in set: {p.name!r} "
+                    "(the paper assumes name_i != name_j for all i, j)"
+                )
+            by_name[p.name] = p
+        object.__setattr__(self, "_by_name", by_name)
+
+    def __setattr__(self, key, value):
+        raise PropertyError("PropertySet is immutable")
+
+    # -- collection protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __iter__(self) -> Iterator[Property]:
+        # Deterministic order: sorted by name.
+        return iter(sorted(self._by_name.values(), key=lambda p: p.name))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> Optional[Property]:
+        return self._by_name.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._by_name)
+
+    def is_empty(self) -> bool:
+        return not self._by_name
+
+    # -- algebra -----------------------------------------------------------
+    def intersect(self, other: "PropertySet") -> "PropertySet":
+        """Definition 2: all non-empty pairwise property intersections.
+
+        Since names are unique within a set, only same-named pairs can
+        intersect, so this is a linear merge rather than a cross product.
+        """
+        out: List[Property] = []
+        small, large = (
+            (self, other) if len(self) <= len(other) else (other, self)
+        )
+        for p in small:
+            q = large.get(p.name)
+            if q is None:
+                continue
+            r = p.intersect(q)
+            if r is not None:
+                out.append(r)
+        return PropertySet(out)
+
+    def conflicts_with(self, other: "PropertySet") -> bool:
+        """Definition 1 (``dynConfl``): true iff the intersection is non-empty."""
+        return not self.intersect(other).is_empty()
+
+    def union_names(self, other: "PropertySet") -> List[str]:
+        return sorted(set(self.names()) | set(other.names()))
+
+    # -- wire --------------------------------------------------------------
+    def to_jsonable(self) -> list:
+        return [p.to_jsonable() for p in self]
+
+    @classmethod
+    def from_jsonable(cls, items: list) -> "PropertySet":
+        return cls(Property.from_jsonable(d) for d in items)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PropertySet) and self._by_name == other._by_name
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._by_name.values()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(p) for p in self)
+        return f"PropertySet([{inner}])"
+
+
+register_codec_type(
+    "flecc.property_set",
+    PropertySet,
+    to_jsonable=PropertySet.to_jsonable,
+    from_jsonable=PropertySet.from_jsonable,
+)

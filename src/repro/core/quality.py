@@ -1,0 +1,79 @@
+"""Data-quality measurement (paper §5.2, Figs 5 and 6).
+
+"The quality of the data is computed as the number of remote unseen
+updates to the shared data."
+
+The directory manager is the bookkeeping point: it stamps every
+committed cell update with a version and tracks, per view, the versions
+that view has seen (set whenever data is served to or collected from
+the view).  :class:`QualityProbe` reads those records to report the
+unseen-update count for a view, restricted to the cells the view's
+properties cover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.versioning import VersionVector
+
+
+@dataclass
+class QualitySample:
+    """One quality observation for one view."""
+
+    time: float
+    view_id: str
+    unseen_updates: int
+    label: str = ""
+
+
+class QualityProbe:
+    """Omniscient observer over directory-side version bookkeeping.
+
+    The probe never sends messages — it exists so experiments can sample
+    the paper's metric without perturbing the message counts they are
+    simultaneously measuring.
+    """
+
+    def __init__(self, directory: "DirectoryManagerLike") -> None:
+        self.directory = directory
+        self.samples: List[QualitySample] = []
+
+    def unseen(self, view_id: str) -> int:
+        """Current unseen-update count for ``view_id``."""
+        master: VersionVector = self.directory.master_versions
+        seen: VersionVector = self.directory.seen_versions_of(view_id)
+        keys = self.directory.slice_keys_of(view_id)
+        return master.unseen_updates(seen, keys=keys)
+
+    def sample(self, view_id: str, time: float, label: str = "") -> QualitySample:
+        s = QualitySample(time, view_id, self.unseen(view_id), label)
+        self.samples.append(s)
+        return s
+
+    def series(self, view_id: str) -> List[Tuple[float, int]]:
+        return [
+            (s.time, s.unseen_updates) for s in self.samples if s.view_id == view_id
+        ]
+
+    def mean_unseen(self, view_id: Optional[str] = None) -> float:
+        chosen = [
+            s for s in self.samples if view_id is None or s.view_id == view_id
+        ]
+        if not chosen:
+            return 0.0
+        return sum(s.unseen_updates for s in chosen) / len(chosen)
+
+
+class DirectoryManagerLike:
+    """Protocol the probe needs (satisfied by DirectoryManager)."""
+
+    master_versions: VersionVector
+
+    def seen_versions_of(self, view_id: str) -> VersionVector:  # pragma: no cover
+        raise NotImplementedError
+
+    def slice_keys_of(self, view_id: str) -> Optional[Iterable[str]]:  # pragma: no cover
+        raise NotImplementedError

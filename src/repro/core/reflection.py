@@ -1,0 +1,82 @@
+"""Reflection-based access to view variables (paper §4.1).
+
+"There are two ways for the cache manager to evaluate the current
+values of the object variables: (i) the object provides the necessary
+methods ... (ii) the cache manager uses reflection ...  The current
+prototype of PSF is working with Java-based applications, so we use the
+latter mechanism."
+
+Python's ``getattr`` plays the role of Java reflection here: the cache
+manager reads named attributes off the view object to build trigger
+environments, and — when the application supplies no extract/merge
+functions — a :class:`ReflectionExtractor` moves attribute values
+in and out of :class:`~repro.core.image.ObjectImage` cells directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List
+
+from repro.core.image import ObjectImage
+from repro.errors import TriggerEvalError
+
+
+def reflect_variables(obj: Any, names: Iterable[str]) -> Dict[str, Any]:
+    """Read the named attributes of ``obj`` (dotted paths supported).
+
+    Missing attributes raise :class:`TriggerEvalError` so a typo in a
+    trigger expression is reported against the view object rather than
+    silently treated as false.
+    """
+    env: Dict[str, Any] = {}
+    for name in names:
+        target = obj
+        for part in name.split("."):
+            if not hasattr(target, part):
+                raise TriggerEvalError(
+                    f"view {type(obj).__name__} has no variable {name!r}"
+                )
+            target = getattr(target, part)
+        if callable(target):
+            raise TriggerEvalError(
+                f"trigger variable {name!r} resolves to a method on "
+                f"{type(obj).__name__}; triggers may only read data"
+            )
+        env[name] = target
+    return env
+
+
+class ReflectionExtractor:
+    """Default extract/merge implementation via attribute reflection.
+
+    Each listed attribute becomes one image cell keyed by its name.
+    Applications with structured state (e.g. the airline database's
+    per-flight cells) supply their own functions instead; this default
+    exists so that simple views need no extract/merge code at all
+    (paper's ease-of-use goal).
+    """
+
+    def __init__(self, attributes: Iterable[str]) -> None:
+        self.attributes: List[str] = list(attributes)
+        if not self.attributes:
+            raise ValueError("ReflectionExtractor needs at least one attribute")
+
+    def extract(self, obj: Any) -> ObjectImage:
+        """Snapshot the listed attributes into an (unversioned) image."""
+        img = ObjectImage()
+        for name in self.attributes:
+            if not hasattr(obj, name):
+                raise TriggerEvalError(
+                    f"{type(obj).__name__} has no attribute {name!r} to extract"
+                )
+            img.cells[name] = getattr(obj, name)
+        return img
+
+    def merge(self, obj: Any, image: ObjectImage) -> int:
+        """Write image cells back onto the object; returns cells applied."""
+        applied = 0
+        for name in self.attributes:
+            if name in image:
+                setattr(obj, name, image.get(name))
+                applied += 1
+        return applied

@@ -1,0 +1,224 @@
+"""System wiring: build a directory + cache managers on one transport.
+
+Also provides :func:`run_view_script`, the cross-backend driver that
+lets the *same* application code (a generator yielding completions)
+run on the simulated transport (as a kernel process) and on the TCP
+transport (as a blocking thread) — the trick that keeps the airline
+case study single-sourced across both backends.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple, Union
+
+from repro.core.cache_manager import CacheManager, ExtractFromView, MergeIntoView
+from repro.core.directory import DirectoryManager, ExtractFromObject, MergeIntoObject
+from repro.core.messages import TraceLog
+from repro.core.modes import Mode
+from repro.core.property_set import PropertySet
+from repro.core.static_map import StaticSharingMap
+from repro.core.triggers import TriggerSet
+from repro.errors import ReproError
+from repro.net.sim_transport import SimTransport
+from repro.net.transport import Completion, Transport
+
+
+class FleccSystem:
+    """Convenience builder for one original component and its views."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        component: Any,
+        extract_from_object: ExtractFromObject,
+        merge_into_object: MergeIntoObject,
+        directory_address: str = "dir",
+        static_map: Optional[StaticSharingMap] = None,
+        conflict_resolver: Optional[Callable[[str, Any, Any], Any]] = None,
+        trace: Optional[TraceLog] = None,
+        directory_cls: type = DirectoryManager,
+    ) -> None:
+        self.transport = transport
+        self.trace = trace
+        self.directory = directory_cls(
+            transport=transport,
+            address=directory_address,
+            component=component,
+            extract_from_object=extract_from_object,
+            merge_into_object=merge_into_object,
+            static_map=static_map,
+            conflict_resolver=conflict_resolver,
+            trace=trace,
+        )
+        self.cache_managers: Dict[str, CacheManager] = {}
+
+    def add_view(
+        self,
+        view_id: str,
+        view: Any,
+        properties: PropertySet,
+        extract_from_view: ExtractFromView,
+        merge_into_view: MergeIntoView,
+        mode: Union[Mode, str] = Mode.WEAK,
+        triggers: Optional[TriggerSet] = None,
+        trigger_poll_period: float = 100.0,
+    ) -> CacheManager:
+        """Create (but do not yet start) the cache manager for a view."""
+        if view_id in self.cache_managers:
+            raise ReproError(f"view id already in system: {view_id}")
+        cm = CacheManager(
+            transport=self.transport,
+            directory_address=self.directory.address,
+            view_id=view_id,
+            view=view,
+            properties=properties,
+            extract_from_view=extract_from_view,
+            merge_into_view=merge_into_view,
+            mode=mode,
+            triggers=triggers,
+            trigger_poll_period=trigger_poll_period,
+            trace=self.trace,
+        )
+        self.cache_managers[view_id] = cm
+        return cm
+
+    def close(self) -> None:
+        for cm in self.cache_managers.values():
+            if not cm._closed:
+                cm._shutdown()
+        self.directory.close()
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend script execution
+# ---------------------------------------------------------------------------
+# A *view script* is a generator that yields either a Completion (wait
+# for it; its value is sent back into the generator) or ("sleep", dt)
+# (advance time by dt).  The same script runs under both backends.
+
+SleepCmd = Tuple[str, float]
+ScriptYield = Union[Completion, SleepCmd]
+ViewScript = Generator[ScriptYield, Any, Any]
+
+
+def run_view_script(transport: Transport, script: ViewScript) -> "ScriptHandle":
+    """Run a view script appropriately for the transport backend."""
+    if isinstance(transport, SimTransport):
+        return _SimScriptHandle(transport, script)
+    return _ThreadScriptHandle(transport, script)
+
+
+class ScriptHandle:
+    """Handle to a running view script."""
+
+    def result(self, timeout: Optional[float] = None) -> Any:  # pragma: no cover
+        raise NotImplementedError
+
+    @property
+    def done(self) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+class _SimScriptHandle(ScriptHandle):
+    def __init__(self, transport: SimTransport, script: ViewScript) -> None:
+        kernel = transport.kernel
+
+        # Drive `script` manually so its return value is captured and
+        # failures of awaited completions are thrown back *into* the
+        # script (so application code can catch protocol errors).
+        def runner():
+            value_to_send: Any = None
+            exc_to_throw: Optional[BaseException] = None
+            try:
+                while True:
+                    if exc_to_throw is not None:
+                        exc, exc_to_throw = exc_to_throw, None
+                        step = script.throw(exc)
+                    else:
+                        step = script.send(value_to_send)
+                    value_to_send = None
+                    if isinstance(step, tuple) and step and step[0] == "sleep":
+                        yield kernel.timeout(step[1])
+                    elif isinstance(step, Completion):
+                        try:
+                            value_to_send = yield step.sim_event()
+                        except BaseException as e:  # forwarded to the script
+                            exc_to_throw = e
+                    else:
+                        raise ReproError(f"script yielded {step!r}")
+            except StopIteration as stop:
+                return stop.value
+
+        self._process = kernel.spawn(runner())
+        self._kernel = kernel
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self._process.done:
+            self._kernel.run_until_complete(self._process)
+        return self._process.result
+
+    @property
+    def done(self) -> bool:
+        return self._process.done
+
+
+class _ThreadScriptHandle(ScriptHandle):
+    def __init__(self, transport: Transport, script: ViewScript) -> None:
+        self._result: Any = None
+        self._exc: Optional[BaseException] = None
+        self._finished = threading.Event()
+        self._time_scale = getattr(transport, "time_scale", 1000.0)
+
+        def run() -> None:
+            import time as _time
+
+            value_to_send: Any = None
+            exc_to_throw: Optional[BaseException] = None
+            try:
+                while True:
+                    if exc_to_throw is not None:
+                        exc, exc_to_throw = exc_to_throw, None
+                        step = script.throw(exc)
+                    else:
+                        step = script.send(value_to_send)
+                    value_to_send = None
+                    if isinstance(step, tuple) and step and step[0] == "sleep":
+                        _time.sleep(step[1] / self._time_scale)
+                    elif isinstance(step, Completion):
+                        try:
+                            value_to_send = step.wait(timeout=30.0)
+                        except BaseException as e:  # forwarded to the script
+                            exc_to_throw = e
+                    else:
+                        raise ReproError(f"script yielded {step!r}")
+            except StopIteration as stop:
+                self._result = stop.value
+            except BaseException as exc:  # surfaced via result()
+                self._exc = exc
+            finally:
+                self._finished.set()
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self._finished.wait(timeout if timeout is not None else 60.0):
+            raise ReproError("script did not finish in time")
+        if self._exc is not None:
+            raise self._exc
+        return self._result
+
+    @property
+    def done(self) -> bool:
+        return self._finished.is_set()
+
+
+def run_all_scripts(
+    transport: Transport,
+    scripts: Iterable[ViewScript],
+    timeout: Optional[float] = None,
+) -> List[Any]:
+    """Start all scripts, wait for all, return their results in order."""
+    handles = [run_view_script(transport, s) for s in scripts]
+    return [h.result(timeout) for h in handles]

@@ -1,0 +1,88 @@
+"""Render a :class:`~repro.core.messages.TraceLog` as a textual
+message-sequence chart (actor lanes + labelled arrows), the form the
+paper's Figure 2 uses.
+
+Only ``send:*`` events are drawn (one arrow per message); other trace
+events can be listed underneath with :func:`render_annotations`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.messages import TraceEvent, TraceLog
+
+
+def _actors_in_order(trace: TraceLog, explicit: Optional[Sequence[str]]) -> List[str]:
+    if explicit:
+        return list(explicit)
+    seen: Dict[str, None] = {}
+    for e in trace.events:
+        if e.event.startswith("send:"):
+            seen.setdefault(e.actor)
+            dst = e.detail.get("dst")
+            if dst:
+                seen.setdefault(dst)
+    return list(seen)
+
+
+def render_sequence(
+    trace: TraceLog,
+    actors: Optional[Sequence[str]] = None,
+    lane_width: int = 18,
+    time_width: int = 10,
+) -> str:
+    """One line per sent message: lifelines with a labelled arrow.
+
+    ``actors`` fixes lane order (default: order of first appearance).
+    """
+    lanes = _actors_in_order(trace, actors)
+    if not lanes:
+        return "(no messages in trace)"
+    centers = {a: i * lane_width + lane_width // 2 for i, a in enumerate(lanes)}
+    total = lane_width * len(lanes)
+
+    def lifeline_row() -> List[str]:
+        row = [" "] * total
+        for c in centers.values():
+            row[c] = "|"
+        return row
+
+    lines: List[str] = []
+    # Header: actor names centered over their lanes.
+    header = [" "] * total
+    for a in lanes:
+        start = max(0, centers[a] - len(a) // 2)
+        for i, ch in enumerate(a[: lane_width - 1]):
+            if start + i < total:
+                header[start + i] = ch
+    lines.append(" " * time_width + "".join(header).rstrip())
+
+    for e in trace.events:
+        if not e.event.startswith("send:"):
+            continue
+        dst = e.detail.get("dst")
+        if dst is None or e.actor not in centers or dst not in centers:
+            continue
+        label = e.event[len("send:"):]
+        row = lifeline_row()
+        a, b = centers[e.actor], centers[dst]
+        lo, hi = (a, b) if a < b else (b, a)
+        for i in range(lo + 1, hi):
+            row[i] = "-"
+        row[b] = ">" if b > a else "<"
+        # Center the label on the arrow shaft.
+        shaft = hi - lo - 1
+        if shaft > len(label):
+            start = lo + 1 + (shaft - len(label)) // 2
+            for i, ch in enumerate(label):
+                row[start + i] = ch
+        prefix = f"t={e.time:<{time_width - 2}g}"
+        lines.append(prefix + "".join(row).rstrip())
+    return "\n".join(lines)
+
+
+def render_annotations(trace: TraceLog, events: Sequence[str]) -> str:
+    """List non-message trace events of the given kinds, time-ordered."""
+    rows = [e for e in trace.events if e.event in set(events)]
+    return "\n".join(e.format() for e in rows)

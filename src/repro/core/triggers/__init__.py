@@ -1,0 +1,44 @@
+"""Quality-trigger language (paper §4.1, Eq. 4).
+
+A trigger ``T_v(t, x1, x2, ...)`` is a boolean expression over discrete
+time ``t`` and view variables, e.g. ``"(t > 1500)"`` from the paper's
+Fig 3, or ``"t % 200 == 0 && pending < 5"``.  Triggers are parsed once
+into an AST and evaluated safely (no ``eval``) against an environment
+supplied by the cache manager — ``t`` from the transport clock,
+variables via reflection on the view object.
+
+Three trigger roles (paper §4.1):
+
+- **push**: when true, the cache manager pushes the view's data to the
+  directory manager.
+- **pull**: when true, the cache manager refreshes from the directory.
+- **validity**: evaluated when the view pulls — decides whether the
+  directory's copy is "good enough" or fresher state must first be
+  fetched from other active views.
+"""
+
+from repro.core.triggers.ast import (
+    BinOp,
+    BoolLit,
+    Name,
+    Node,
+    NumLit,
+    UnaryOp,
+)
+from repro.core.triggers.lexer import Token, tokenize
+from repro.core.triggers.parser import parse_trigger
+from repro.core.triggers.evaluator import Trigger, TriggerSet
+
+__all__ = [
+    "BinOp",
+    "BoolLit",
+    "Name",
+    "Node",
+    "NumLit",
+    "UnaryOp",
+    "Token",
+    "tokenize",
+    "parse_trigger",
+    "Trigger",
+    "TriggerSet",
+]

@@ -1,0 +1,106 @@
+"""AST nodes for trigger expressions.
+
+Nodes support structural equality (for parser tests), ``unparse`` back
+to canonical source (round-trip property tests), and ``variables()``
+for the cache manager to know which view attributes to reflect.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import FrozenSet, Union
+
+Value = Union[bool, int, float]
+
+
+class Node(abc.ABC):
+    """Base AST node."""
+
+    @abc.abstractmethod
+    def unparse(self) -> str:
+        """Canonical (fully parenthesized) source form."""
+
+    @abc.abstractmethod
+    def variables(self) -> FrozenSet[str]:
+        """Free variable names referenced by the subtree."""
+
+
+@dataclass(frozen=True)
+class NumLit(Node):
+    value: float
+
+    def unparse(self) -> str:
+        # Integral floats print as ints so round-tripping is stable.
+        v = self.value
+        if isinstance(v, float) and v.is_integer():
+            return str(int(v))
+        return repr(v)
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class BoolLit(Node):
+    value: bool
+
+    def unparse(self) -> str:
+        return "true" if self.value else "false"
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Name(Node):
+    ident: str
+
+    def unparse(self) -> str:
+        return self.ident
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset({self.ident})
+
+
+@dataclass(frozen=True)
+class UnaryOp(Node):
+    op: str  # '!' or '-'
+    operand: Node
+
+    def unparse(self) -> str:
+        return f"({self.op}{self.operand.unparse()})"
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+
+@dataclass(frozen=True)
+class FuncCall(Node):
+    """A call to one of the whitelisted numeric builtins."""
+
+    name: str
+    args: tuple  # of Node
+
+    def unparse(self) -> str:
+        inner = ", ".join(a.unparse() for a in self.args)
+        return f"{self.name}({inner})"
+
+    def variables(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for a in self.args:
+            out |= a.variables()
+        return out
+
+
+@dataclass(frozen=True)
+class BinOp(Node):
+    op: str  # '&&' '||' '<' '<=' '>' '>=' '==' '!=' '+' '-' '*' '/' '%'
+    left: Node
+    right: Node
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()

@@ -1,0 +1,82 @@
+"""Tokenizer for the quality-trigger expression language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import TriggerSyntaxError
+
+# Longest-match-first operator table.
+_OPERATORS = [
+    "&&", "||", "<=", ">=", "==", "!=",
+    "<", ">", "!", "+", "-", "*", "/", "%", "(", ")", ",",
+]
+
+_KEYWORDS = {"true", "false", "and", "or", "not"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: kind is 'num', 'name', 'kw', 'op', or 'end'."""
+
+    kind: str
+    text: str
+    pos: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}@{self.pos})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split a trigger expression into tokens; raises on illegal input."""
+    if not isinstance(source, str):
+        raise TriggerSyntaxError(f"trigger must be a string, got {type(source).__name__}")
+    tokens: List[Token] = []
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            num, i = _read_number(source, i)
+            tokens.append(Token("num", num, i - len(num)))
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "._"):
+                j += 1
+            word = source[i:j]
+            kind = "kw" if word in _KEYWORDS else "name"
+            tokens.append(Token(kind, word, i))
+            i = j
+            continue
+        op = _match_operator(source, i)
+        if op is not None:
+            tokens.append(Token("op", op, i))
+            i += len(op)
+            continue
+        raise TriggerSyntaxError(f"illegal character {ch!r} at position {i} in {source!r}")
+    tokens.append(Token("end", "", n))
+    return tokens
+
+
+def _read_number(source: str, i: int) -> Tuple[str, int]:
+    j = i
+    seen_dot = False
+    while j < len(source) and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+        if source[j] == ".":
+            seen_dot = True
+        j += 1
+    text = source[i:j]
+    if text.endswith("."):
+        raise TriggerSyntaxError(f"malformed number {text!r} at position {i}")
+    return text, j
+
+
+def _match_operator(source: str, i: int) -> Optional[str]:
+    for op in _OPERATORS:
+        if source.startswith(op, i):
+            return op
+    return None

@@ -1,0 +1,170 @@
+"""Recursive-descent parser for trigger expressions.
+
+Grammar (see DESIGN.md §5)::
+
+    expr  := or
+    or    := and  (('||' | 'or')  and)*
+    and   := not  (('&&' | 'and') not)*
+    not   := ('!' | 'not') not | cmp
+    cmp   := sum  (('<'|'<='|'>'|'>='|'=='|'!=') sum)?
+    sum   := prod (('+'|'-') prod)*
+    prod  := unary (('*'|'/'|'%') unary)*
+    unary := '-' unary | atom
+    atom  := NUMBER | NAME | 'true' | 'false' | '(' expr ')'
+
+Comparison is non-associative (``a < b < c`` is a syntax error), which
+keeps the semantics unsurprising for trigger authors.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.triggers.ast import (
+    BinOp,
+    BoolLit,
+    FuncCall,
+    Name,
+    Node,
+    NumLit,
+    UnaryOp,
+)
+from repro.core.triggers.lexer import Token, tokenize
+from repro.errors import TriggerSyntaxError
+
+_CMP_OPS = {"<", "<=", ">", ">=", "==", "!="}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], source: str) -> None:
+        self.tokens = tokens
+        self.source = source
+        self.i = 0
+
+    # -- token helpers --------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.i]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        self.i += 1
+        return tok
+
+    def accept(self, kind: str, *texts: str) -> Token | None:
+        if self.cur.kind == kind and (not texts or self.cur.text in texts):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, *texts: str) -> Token:
+        tok = self.accept(kind, *texts)
+        if tok is None:
+            want = "/".join(texts) if texts else kind
+            raise TriggerSyntaxError(
+                f"expected {want} at position {self.cur.pos} in {self.source!r}, "
+                f"found {self.cur.text!r}"
+            )
+        return tok
+
+    # -- grammar -----------------------------------------------------------
+    def parse(self) -> Node:
+        node = self.expr()
+        if self.cur.kind != "end":
+            raise TriggerSyntaxError(
+                f"unexpected {self.cur.text!r} at position {self.cur.pos} "
+                f"in {self.source!r}"
+            )
+        return node
+
+    def expr(self) -> Node:
+        return self.or_()
+
+    def or_(self) -> Node:
+        node = self.and_()
+        while self.accept("op", "||") or self.accept("kw", "or"):
+            node = BinOp("||", node, self.and_())
+        return node
+
+    def and_(self) -> Node:
+        node = self.not_()
+        while self.accept("op", "&&") or self.accept("kw", "and"):
+            node = BinOp("&&", node, self.not_())
+        return node
+
+    def not_(self) -> Node:
+        if self.accept("op", "!") or self.accept("kw", "not"):
+            return UnaryOp("!", self.not_())
+        return self.cmp()
+
+    def cmp(self) -> Node:
+        node = self.sum()
+        if self.cur.kind == "op" and self.cur.text in _CMP_OPS:
+            op = self.advance().text
+            node = BinOp(op, node, self.sum())
+            if self.cur.kind == "op" and self.cur.text in _CMP_OPS:
+                raise TriggerSyntaxError(
+                    f"chained comparison at position {self.cur.pos} "
+                    f"in {self.source!r}; parenthesize instead"
+                )
+        return node
+
+    def sum(self) -> Node:
+        node = self.prod()
+        while True:
+            tok = self.accept("op", "+", "-")
+            if tok is None:
+                return node
+            node = BinOp(tok.text, node, self.prod())
+
+    def prod(self) -> Node:
+        node = self.unary()
+        while True:
+            tok = self.accept("op", "*", "/", "%")
+            if tok is None:
+                return node
+            node = BinOp(tok.text, node, self.unary())
+
+    def unary(self) -> Node:
+        if self.accept("op", "-"):
+            return UnaryOp("-", self.unary())
+        return self.atom()
+
+    def atom(self) -> Node:
+        tok = self.cur
+        if tok.kind == "num":
+            self.advance()
+            return NumLit(float(tok.text))
+        if tok.kind == "kw" and tok.text in ("true", "false"):
+            self.advance()
+            return BoolLit(tok.text == "true")
+        if tok.kind == "name":
+            self.advance()
+            if self.cur.kind == "op" and self.cur.text == "(":
+                return self.call(tok.text)
+            return Name(tok.text)
+        if self.accept("op", "("):
+            node = self.expr()
+            self.expect("op", ")")
+            return node
+        raise TriggerSyntaxError(
+            f"expected a value at position {tok.pos} in {self.source!r}, "
+            f"found {tok.text!r}"
+        )
+
+    def call(self, name: str) -> Node:
+        """``name '(' expr (',' expr)* ')'`` — numeric builtin calls."""
+        self.expect("op", "(")
+        args = [self.expr()]
+        while self.cur.kind == "op" and self.cur.text == ",":
+            self.advance()
+            args.append(self.expr())
+        self.expect("op", ")")
+        return FuncCall(name, tuple(args))
+
+
+def parse_trigger(source: str) -> Node:
+    """Parse a trigger expression into an AST (raises TriggerSyntaxError)."""
+    tokens = tokenize(source)
+    if tokens[0].kind == "end":
+        raise TriggerSyntaxError("empty trigger expression")
+    return _Parser(tokens, source).parse()

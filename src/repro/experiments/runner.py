@@ -1,0 +1,94 @@
+"""Experiment execution utilities: timing, JSON persistence, registry.
+
+``python -m repro.experiments.runner`` runs every experiment at paper
+scale and writes ``results/<name>.json`` — the artifact EXPERIMENTS.md
+is compiled from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List
+
+from repro.experiments import (
+    ablations,
+    fig1_deployment,
+    fig2_trace,
+    fig4_efficiency,
+    fig5_adaptability,
+    fig6_flexibility,
+)
+
+
+def _jsonable(obj: Any) -> Any:
+    """Best-effort conversion of experiment results to JSON."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "sequence"):  # TraceLog
+        return [f"{a}:{e}" for a, e in obj.sequence()]
+    return str(obj)
+
+
+def run_and_save(
+    name: str,
+    fn: Callable[[], Any],
+    out_dir: Path,
+) -> Dict[str, Any]:
+    t0 = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - t0
+    record = {
+        "experiment": name,
+        "wall_seconds": round(elapsed, 3),
+        "result": _jsonable(result),
+    }
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / f"{name}.json").write_text(json.dumps(record, indent=2))
+    return record
+
+
+def _late_import_ext1():
+    from repro.experiments.mixed_workload import run_ext1
+
+    return run_ext1()
+
+
+EXPERIMENTS: Dict[str, Callable[[], Any]] = {
+    "fig1_deployment": fig1_deployment.run_fig1,
+    "fig2_trace": fig2_trace.run_fig2,
+    "fig4_efficiency": fig4_efficiency.run_fig4,
+    "fig5_adaptability": fig5_adaptability.run_fig5,
+    "fig6_flexibility": fig6_flexibility.run_fig6,
+    "abl1_static_vs_dynamic": ablations.run_abl1,
+    "abl2_trigger_period": ablations.run_abl2,
+    "abl3_granularity": ablations.run_abl3,
+    "abl4_centralization": ablations.run_abl4,
+    "abl5_rw_semantics": ablations.run_abl5,
+    "abl6_loss_tolerance": ablations.run_abl6,
+    "ext1_mixed_workload": _late_import_ext1,
+}
+
+
+def main(out_dir: str = "results") -> List[Dict[str, Any]]:
+    records = []
+    for name, fn in EXPERIMENTS.items():
+        print(f"running {name} ...", flush=True)
+        records.append(run_and_save(name, fn, Path(out_dir)))
+        print(f"  done in {records[-1]['wall_seconds']}s")
+    return records
+
+
+if __name__ == "__main__":
+    main()

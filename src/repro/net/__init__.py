@@ -1,0 +1,43 @@
+"""Network substrate: messages, codecs, transports, topology, statistics.
+
+The Flecc protocol engines (directory manager, cache managers) are
+transport-agnostic: they talk to a :class:`~repro.net.transport.Transport`
+which provides message delivery, a clock, timers, and completions.
+
+Two interchangeable transports are provided:
+
+- :class:`~repro.net.sim_transport.SimTransport` — deterministic
+  discrete-event delivery over a :class:`~repro.net.topology.Topology`
+  (per-link latencies), used by all benchmarks.
+- :class:`~repro.net.tcp_transport.TcpTransport` — real TCP sockets on
+  localhost with length-prefixed JSON frames, matching the paper's
+  "prototype with sockets" character.
+
+Message *counts* — the paper's efficiency metric (Fig 4) — are recorded
+identically on both by :class:`~repro.net.stats.MessageStats`.
+"""
+
+from repro.net.message import Message
+from repro.net.codec import JsonCodec, register_codec_type
+from repro.net.stats import MessageStats
+from repro.net.topology import Topology, lan_topology, wan_topology
+from repro.net.transport import Completion, Endpoint, Transport
+from repro.net.sim_transport import SimCompletion, SimTransport
+from repro.net.tcp_transport import TcpTransport, ThreadCompletion
+
+__all__ = [
+    "Message",
+    "JsonCodec",
+    "register_codec_type",
+    "MessageStats",
+    "Topology",
+    "lan_topology",
+    "wan_topology",
+    "Completion",
+    "Endpoint",
+    "Transport",
+    "SimTransport",
+    "SimCompletion",
+    "TcpTransport",
+    "ThreadCompletion",
+]

@@ -1,0 +1,120 @@
+"""Wire codec: JSON with an extensible type registry.
+
+Payloads may contain registered domain objects (property sets, object
+images, version vectors...).  Registered types are encoded as
+``{"__type__": tag, "data": <jsonable>}`` so the TCP transport can carry
+the same payloads that the in-process simulated transport passes by
+value.  The registry is the single source of truth for what may cross
+the wire — anything else raises :class:`~repro.errors.CodecError`
+instead of silently pickling arbitrary objects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Tuple, Type
+
+from repro.errors import CodecError
+from repro.net.message import Message
+
+# tag -> (cls, to_jsonable, from_jsonable)
+_REGISTRY: Dict[str, Tuple[type, Callable[[Any], Any], Callable[[Any], Any]]] = {}
+# cls -> tag (reverse index)
+_BY_CLASS: Dict[type, str] = {}
+
+
+def register_codec_type(
+    tag: str,
+    cls: Type[Any],
+    to_jsonable: Callable[[Any], Any],
+    from_jsonable: Callable[[Any], Any],
+) -> None:
+    """Register a domain type for wire transport.
+
+    Re-registering the same ``(tag, cls)`` pair is an idempotent no-op so
+    modules can register at import time; conflicting registrations raise.
+    """
+    if tag in _REGISTRY:
+        existing_cls = _REGISTRY[tag][0]
+        if existing_cls is cls:
+            return
+        raise CodecError(f"codec tag {tag!r} already bound to {existing_cls}")
+    _REGISTRY[tag] = (cls, to_jsonable, from_jsonable)
+    _BY_CLASS[cls] = tag
+
+
+def registered_tags() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+class JsonCodec:
+    """Encode/decode :class:`Message` to length-prefix-friendly bytes."""
+
+    def encode(self, msg: Message) -> bytes:
+        try:
+            return json.dumps(self._lower(msg.to_dict())).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise CodecError(f"cannot encode {msg}: {exc}") from exc
+
+    def decode(self, raw: bytes) -> Message:
+        try:
+            d = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CodecError(f"cannot decode frame: {exc}") from exc
+        if not isinstance(d, dict) or "msg_type" not in d:
+            raise CodecError(f"frame is not a message: {d!r}")
+        return Message.from_dict(self._raise_types(d))
+
+    # -- recursive lowering/raising ------------------------------------
+    # A plain user dict may itself contain the reserved "__type__" key;
+    # such dicts are escaped as a pair list so they can never be
+    # mistaken for a tagged object on decode.
+    _DICT_ESCAPE_TAG = "codec.escaped-dict"
+
+    def _lower(self, obj: Any) -> Any:
+        """Replace registered objects with tagged JSON-able dicts."""
+        tag = _BY_CLASS.get(type(obj))
+        if tag is not None:
+            _, to_jsonable, _ = _REGISTRY[tag]
+            return {"__type__": tag, "data": self._lower(to_jsonable(obj))}
+        if isinstance(obj, dict):
+            lowered = {str(k): self._lower(v) for k, v in obj.items()}
+            if "__type__" in lowered:
+                return {
+                    "__type__": self._DICT_ESCAPE_TAG,
+                    "data": [[k, v] for k, v in lowered.items()],
+                }
+            return lowered
+        if isinstance(obj, (list, tuple)):
+            return [self._lower(v) for v in obj]
+        if obj is None or isinstance(obj, (bool, int, float, str)):
+            return obj
+        raise CodecError(
+            f"type {type(obj).__name__} is not wire-encodable; "
+            f"register it with register_codec_type()"
+        )
+
+    def _raise_types(self, obj: Any) -> Any:
+        """Reconstruct registered objects from tagged dicts."""
+        if isinstance(obj, dict):
+            if "__type__" in obj:
+                tag = obj["__type__"]
+                if tag == self._DICT_ESCAPE_TAG:
+                    return {
+                        k: self._raise_types(v) for k, v in obj.get("data", [])
+                    }
+                if not isinstance(tag, str) or tag not in _REGISTRY:
+                    raise CodecError(f"unknown codec tag {tag!r} in frame")
+                _, _, from_jsonable = _REGISTRY[tag]
+                return from_jsonable(self._raise_types(obj.get("data")))
+            return {k: self._raise_types(v) for k, v in obj.items()}
+        if isinstance(obj, list):
+            return [self._raise_types(v) for v in obj]
+        return obj
+
+
+def roundtrip(msg: Message) -> Message:
+    """Encode then decode (test helper; also used by the sim transport's
+    optional *strict wire* mode to guarantee sim/TCP parity)."""
+    codec = JsonCodec()
+    return codec.decode(codec.encode(msg))

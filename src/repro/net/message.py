@@ -1,0 +1,78 @@
+"""The message envelope exchanged between protocol endpoints.
+
+Every control message in the system — Flecc protocol traffic, baseline
+protocol traffic, PSF deployment commands — travels as a
+:class:`Message`.  Keeping a single envelope lets
+:class:`~repro.net.stats.MessageStats` count the paper's efficiency
+metric uniformly across protocols and transports.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+_msg_ids = itertools.count(1)
+
+
+def next_message_id() -> int:
+    """Monotonically increasing process-wide message id."""
+    return next(_msg_ids)
+
+
+@dataclass
+class Message:
+    """A routed control message.
+
+    Attributes:
+        msg_type: Protocol-level message kind (e.g. ``"PULL_REQ"``).
+        src: Sender address (string, transport-level).
+        dst: Receiver address.
+        payload: JSON-serializable body (codec-registered objects allowed).
+        msg_id: Unique id, assigned at construction.
+        reply_to: ``msg_id`` of the request this message answers, if any.
+    """
+
+    msg_type: str
+    src: str
+    dst: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=next_message_id)
+    reply_to: Optional[int] = None
+
+    def reply(self, msg_type: str, payload: Optional[Dict[str, Any]] = None) -> "Message":
+        """Build the response message (dst/src swapped, correlated id)."""
+        return Message(
+            msg_type=msg_type,
+            src=self.dst,
+            dst=self.src,
+            payload=payload or {},
+            reply_to=self.msg_id,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form used by the wire codec."""
+        return {
+            "msg_type": self.msg_type,
+            "src": self.src,
+            "dst": self.dst,
+            "payload": self.payload,
+            "msg_id": self.msg_id,
+            "reply_to": self.reply_to,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "Message":
+        return cls(
+            msg_type=d["msg_type"],
+            src=d["src"],
+            dst=d["dst"],
+            payload=d.get("payload", {}),
+            msg_id=d.get("msg_id", 0),
+            reply_to=d.get("reply_to"),
+        )
+
+    def __str__(self) -> str:
+        corr = f" re:{self.reply_to}" if self.reply_to is not None else ""
+        return f"[{self.msg_id}{corr}] {self.src} -> {self.dst} {self.msg_type}"

@@ -1,0 +1,192 @@
+"""Deterministic simulated transport over the discrete-event kernel.
+
+Delivery latency comes from a :class:`~repro.net.topology.Topology`
+(minimum-latency path between the nodes the endpoints are placed on) or
+a uniform default.  Optional *strict wire* mode round-trips every
+message through the JSON codec so that anything that would break on the
+TCP transport also breaks (loudly) in simulation.
+
+Fault injection: a ``fault_policy(msg) -> "deliver" | "drop" |
+"duplicate"`` hook supports the failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import TransportError
+from repro.net import codec as codec_mod
+from repro.net.message import Message
+from repro.net.topology import Topology
+from repro.net.transport import Completion, TimerHandle, Transport
+from repro.sim.kernel import SimKernel
+
+
+class SimCompletion(Completion):
+    """Completion backed by a kernel event (awaitable from sim processes)."""
+
+    def __init__(self, kernel: SimKernel, name: str = "") -> None:
+        self._event = kernel.event(name=name or "completion")
+
+    def resolve(self, value: Any = None) -> None:
+        self._event.succeed(value)
+
+    def fail(self, exc: BaseException) -> None:
+        self._event.fail(exc)
+
+    def then(self, callback: Callable[[Completion], None]) -> None:
+        self._event.add_callback(lambda _ev: callback(self))
+
+    @property
+    def done(self) -> bool:
+        return self._event.triggered
+
+    @property
+    def value(self) -> Any:
+        return self._event.value
+
+    def sim_event(self):
+        """The kernel event to ``yield`` from a simulated process."""
+        return self._event
+
+
+class SimTransport(Transport):
+    """Routes messages through the event kernel with modelled latency."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        topology: Optional[Topology] = None,
+        default_latency: float = 1.0,
+        strict_wire: bool = True,
+        fault_policy: Optional[Callable[[Message], str]] = None,
+        model_bandwidth: bool = False,
+        jitter: float = 0.0,
+        jitter_seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if default_latency < 0:
+            raise TransportError("default_latency must be >= 0")
+        if not 0.0 <= jitter < 1.0:
+            raise TransportError("jitter must be in [0, 1)")
+        if model_bandwidth and not strict_wire:
+            raise TransportError(
+                "model_bandwidth needs strict_wire (message sizes come "
+                "from the encoded frame)"
+            )
+        self.kernel = kernel
+        self.topology = topology
+        self.default_latency = default_latency
+        self.strict_wire = strict_wire
+        self.fault_policy = fault_policy
+        # When enabled, delivery delay = path latency + frame_bytes /
+        # bottleneck_bandwidth along the min-latency path (bandwidth in
+        # bytes per time unit, from the topology's link attributes).
+        self.model_bandwidth = model_bandwidth
+        # Per-message latency jitter: delay is scaled by a seeded
+        # uniform factor in [1-jitter, 1+jitter].  Deterministic (own
+        # substream) so jittered runs still replay exactly.
+        self.jitter = jitter
+        from repro.sim.rng import stream_for
+
+        self._jitter_rng = stream_for(jitter_seed, "transport-jitter")
+        # logical endpoint address -> topology node it is placed on
+        self._placement: Dict[str, str] = {}
+        self._codec = codec_mod.JsonCodec()
+
+    # -- placement ---------------------------------------------------------
+    def place(self, address: str, node: str) -> None:
+        """Pin a logical endpoint address onto a topology node."""
+        if self.topology is None:
+            raise TransportError("place() requires a topology")
+        if not self.topology.has_node(node):
+            raise TransportError(f"unknown topology node: {node}")
+        self._placement[address] = node
+
+    def node_of(self, address: str) -> Optional[str]:
+        """Topology node an address resolves to (explicit placement wins,
+        then an identically-named topology node, else None)."""
+        if address in self._placement:
+            return self._placement[address]
+        if self.topology is not None and self.topology.has_node(address):
+            return address
+        return None
+
+    def latency_between(self, src: str, dst: str) -> float:
+        a, b = self.node_of(src), self.node_of(dst)
+        if self.topology is None or a is None or b is None:
+            return self.default_latency if src != dst else 0.0
+        return self.topology.latency(a, b)
+
+    def bottleneck_bandwidth(self, src: str, dst: str) -> float:
+        """Minimum link bandwidth along the min-latency path."""
+        a, b = self.node_of(src), self.node_of(dst)
+        if self.topology is None or a is None or b is None or a == b:
+            return float("inf")
+        _, nodes = self.topology.path(a, b)
+        return min(
+            (
+                self.topology.link_attrs(x, y).get("bandwidth", float("inf"))
+                for x, y in zip(nodes, nodes[1:])
+            ),
+            default=float("inf"),
+        )
+
+    def delivery_delay(self, msg: Message, frame_bytes: int) -> float:
+        delay = self.latency_between(msg.src, msg.dst)
+        if self.model_bandwidth:
+            bw = self.bottleneck_bandwidth(msg.src, msg.dst)
+            if bw != float("inf") and bw > 0:
+                delay += frame_bytes / bw
+        if self.jitter > 0.0 and delay > 0.0:
+            delay *= 1.0 + self.jitter * (2.0 * self._jitter_rng.random() - 1.0)
+        return delay
+
+    # -- Transport API --------------------------------------------------------
+    def send(self, msg: Message) -> None:
+        frame_bytes = 0
+        if self.strict_wire:
+            raw = self._codec.encode(msg)
+            frame_bytes = len(raw)
+            wire_msg = self._codec.decode(raw)
+        else:
+            wire_msg = msg
+        self.stats.record(msg, size=frame_bytes if self.strict_wire else None)
+        action = self.fault_policy(msg) if self.fault_policy else "deliver"
+        if action == "drop":
+            self.stats.record_drop(msg)
+            return
+        copies = 1
+        if action == "duplicate":
+            self.stats.record_duplicate(msg)
+            copies = 2
+        elif action != "deliver":
+            raise TransportError(f"fault policy returned {action!r}")
+        delay = self.delivery_delay(msg, frame_bytes)
+        for _ in range(copies):
+            self.kernel.call_in(delay, lambda m=wire_msg: self._deliver(m))
+
+    def _deliver(self, msg: Message) -> None:
+        ep = self._endpoints.get(msg.dst)
+        if ep is None or ep.closed:
+            # Destination vanished (e.g. view killed) — message is lost,
+            # mirroring a connection refused on the TCP backend.
+            self.stats.record_drop(msg)
+            return
+        ep.handler(msg)
+
+    def now(self) -> float:
+        return self.kernel.now
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        state = {"cancelled": False}
+
+        def run() -> None:
+            if not state["cancelled"]:
+                fn()
+
+        self.kernel.call_in(delay, run)
+        return TimerHandle(lambda: state.__setitem__("cancelled", True))
+
+    def completion(self, name: str = "") -> SimCompletion:
+        return SimCompletion(self.kernel, name)

@@ -1,0 +1,104 @@
+"""Message accounting — the paper's efficiency metric.
+
+Figure 4 of the paper compares coherence protocols by "the number of
+messages sent between the cache managers and the directory manager".
+:class:`MessageStats` records every transport send, classified by
+message type and (src, dst) pair, and supports snapshot/delta so an
+experiment can count messages for one phase of a run.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.net.message import Message
+
+
+@dataclass
+class StatsSnapshot:
+    """Immutable view of counters at a point in time."""
+
+    total: int
+    by_type: Dict[str, int]
+    by_pair: Dict[Tuple[str, str], int]
+    bytes_sent: int
+
+    def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
+        """Counters accumulated since ``earlier``."""
+        return StatsSnapshot(
+            total=self.total - earlier.total,
+            by_type={
+                k: v - earlier.by_type.get(k, 0)
+                for k, v in self.by_type.items()
+                if v - earlier.by_type.get(k, 0)
+            },
+            by_pair={
+                k: v - earlier.by_pair.get(k, 0)
+                for k, v in self.by_pair.items()
+                if v - earlier.by_pair.get(k, 0)
+            },
+            bytes_sent=self.bytes_sent - earlier.bytes_sent,
+        )
+
+
+@dataclass
+class MessageStats:
+    """Mutable counters attached to a transport."""
+
+    total: int = 0
+    bytes_sent: int = 0
+    by_type: Counter = field(default_factory=Counter)
+    by_pair: Counter = field(default_factory=Counter)
+    dropped: int = 0
+    duplicated: int = 0
+
+    def record(self, msg: Message, size: Optional[int] = None) -> None:
+        """Count one sent message (``size`` in bytes when known)."""
+        self.total += 1
+        self.by_type[msg.msg_type] += 1
+        self.by_pair[(msg.src, msg.dst)] += 1
+        if size is not None:
+            self.bytes_sent += size
+
+    def record_drop(self, msg: Message) -> None:
+        self.dropped += 1
+
+    def record_duplicate(self, msg: Message) -> None:
+        self.duplicated += 1
+
+    def count_for_types(self, *msg_types: str) -> int:
+        """Total messages across the given message types."""
+        return sum(self.by_type[t] for t in msg_types)
+
+    def count_involving(self, address: str) -> int:
+        """Messages with ``address`` as either endpoint."""
+        return sum(
+            n for (src, dst), n in self.by_pair.items() if address in (src, dst)
+        )
+
+    def snapshot(self) -> StatsSnapshot:
+        return StatsSnapshot(
+            total=self.total,
+            by_type=dict(self.by_type),
+            by_pair=dict(self.by_pair),
+            bytes_sent=self.bytes_sent,
+        )
+
+    def reset(self) -> None:
+        self.total = 0
+        self.bytes_sent = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.by_type.clear()
+        self.by_pair.clear()
+
+    def summary(self) -> str:
+        """Human-readable one-block summary (used by experiment reports)."""
+        lines = [f"total messages: {self.total}"]
+        for t, n in sorted(self.by_type.items(), key=lambda kv: (-kv[1], kv[0])):
+            lines.append(f"  {t:<18} {n}")
+        if self.dropped or self.duplicated:
+            lines.append(f"  (dropped={self.dropped} duplicated={self.duplicated})")
+        return "\n".join(lines)

@@ -1,0 +1,291 @@
+"""Real TCP socket transport (localhost), length-prefixed JSON frames.
+
+This backend keeps the reproduction faithful to the paper's networked
+prototype: each bound address gets a listening socket; ``send`` opens
+(or reuses) a connection to the destination's port and writes a
+4-byte big-endian length followed by the JSON-encoded message.  A
+per-endpoint reader thread dispatches incoming messages to the handler,
+serialized by a per-endpoint lock so handlers never run concurrently
+with themselves (matching the single-threaded sim semantics).
+
+Time: ``now()`` is wall-clock seconds since transport creation, scaled
+by ``time_scale`` so tests can use the same trigger expressions as the
+simulated runs.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.net.codec import JsonCodec
+from repro.net.message import Message
+from repro.net.transport import Completion, Endpoint, TimerHandle, Transport
+
+_LEN = struct.Struct(">I")
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+class ThreadCompletion(Completion):
+    """Completion backed by ``threading.Event`` (blockable from threads)."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name or "completion"
+        self._ev = threading.Event()
+        self._lock = threading.Lock()
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._callbacks: List[Callable[[Completion], None]] = []
+
+    def resolve(self, value: Any = None) -> None:
+        with self._lock:
+            if self._ev.is_set():
+                raise TransportError(f"{self.name} already completed")
+            self._value = value
+            callbacks = list(self._callbacks)
+            self._ev.set()
+        for cb in callbacks:
+            cb(self)
+
+    def fail(self, exc: BaseException) -> None:
+        with self._lock:
+            if self._ev.is_set():
+                raise TransportError(f"{self.name} already completed")
+            self._exc = exc
+            callbacks = list(self._callbacks)
+            self._ev.set()
+        for cb in callbacks:
+            cb(self)
+
+    def then(self, callback: Callable[[Completion], None]) -> None:
+        run_now = False
+        with self._lock:
+            if self._ev.is_set():
+                run_now = True
+            else:
+                self._callbacks.append(callback)
+        if run_now:
+            callback(self)
+
+    @property
+    def done(self) -> bool:
+        return self._ev.is_set()
+
+    @property
+    def value(self) -> Any:
+        if not self._ev.is_set():
+            raise TransportError(f"{self.name}: value read before completion")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        if not self._ev.wait(timeout):
+            raise TransportError(f"{self.name}: timed out after {timeout}s")
+        return self.value
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly n bytes or return None on clean EOF."""
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            return None
+        buf += chunk
+    return buf
+
+
+class _Listener:
+    """Listening socket + acceptor/reader threads for one endpoint."""
+
+    def __init__(self, transport: "TcpTransport", ep: Endpoint) -> None:
+        self.transport = transport
+        self.ep = ep
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(64)
+        self.port = self.sock.getsockname()[1]
+        self.running = True
+        self.handler_lock = threading.Lock()
+        self.threads: List[threading.Thread] = []
+        t = threading.Thread(
+            target=self._accept_loop, name=f"accept-{ep.address}", daemon=True
+        )
+        t.start()
+        self.threads.append(t)
+
+    def _accept_loop(self) -> None:
+        while self.running:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return  # socket closed during shutdown
+            t = threading.Thread(
+                target=self._read_loop,
+                args=(conn,),
+                name=f"read-{self.ep.address}",
+                daemon=True,
+            )
+            t.start()
+            self.threads.append(t)
+
+    def _read_loop(self, conn: socket.socket) -> None:
+        codec = self.transport.codec
+        try:
+            while self.running:
+                header = _recv_exact(conn, _LEN.size)
+                if header is None:
+                    return
+                (length,) = _LEN.unpack(header)
+                if length > _MAX_FRAME:
+                    raise TransportError(f"frame too large: {length}")
+                body = _recv_exact(conn, length)
+                if body is None:
+                    return
+                msg = codec.decode(body)
+                # Serialize handler invocations per endpoint so engine
+                # state sees the same one-at-a-time semantics as in sim.
+                with self.handler_lock:
+                    if not self.ep.closed:
+                        self.ep.handler(msg)
+        except (OSError, TransportError):
+            return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def stop(self) -> None:
+        self.running = False
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class TcpTransport(Transport):
+    """Localhost TCP backend with a process-local address book."""
+
+    def __init__(self, time_scale: float = 1000.0) -> None:
+        """``time_scale``: transport time units per wall-clock second.
+
+        The default (1000) makes one time unit ~= 1 ms, so trigger
+        expressions like ``t > 1500`` mean "after 1.5 s" on TCP while
+        being pure numbers in simulation.
+        """
+        super().__init__()
+        self.codec = JsonCodec()
+        self.time_scale = time_scale
+        self._t0 = time.monotonic()
+        self._listeners: Dict[str, _Listener] = {}
+        # (src, dst) -> (socket, port it was connected to); the port is
+        # compared against the live listener so a re-bound endpoint
+        # (new port) forces a fresh connection.
+        self._conns: Dict[Tuple[str, str], Tuple[socket.socket, int]] = {}
+        self._conn_lock = threading.Lock()
+        self._timers: List[threading.Timer] = []
+        self._closed = False
+
+    # -- Transport hooks --------------------------------------------------
+    def _on_bind(self, ep: Endpoint) -> None:
+        self._listeners[ep.address] = _Listener(self, ep)
+
+    def _on_unbind(self, ep: Endpoint) -> None:
+        listener = self._listeners.pop(ep.address, None)
+        if listener is not None:
+            listener.stop()
+
+    def port_of(self, address: str) -> int:
+        listener = self._listeners.get(address)
+        if listener is None:
+            raise TransportError(f"no listener for address {address}")
+        return listener.port
+
+    # -- Transport API --------------------------------------------------------
+    def send(self, msg: Message) -> None:
+        if self._closed:
+            raise TransportError("transport closed")
+        raw = self.codec.encode(msg)
+        self.stats.record(msg, size=len(raw))
+        listener = self._listeners.get(msg.dst)
+        if listener is None:
+            # Same semantics as sim: message to a vanished endpoint is lost.
+            self.stats.record_drop(msg)
+            return
+        frame = _LEN.pack(len(raw)) + raw
+        # A cached connection may have died (peer endpoint was closed
+        # and re-bound); reconnect once before giving up.
+        for attempt in (1, 2):
+            listener = self._listeners.get(msg.dst)
+            if listener is None:
+                self.stats.record_drop(msg)
+                return
+            sock = self._connection(msg.src, msg.dst, listener.port)
+            try:
+                with self._conn_lock:
+                    sock.sendall(frame)
+                return
+            except OSError as exc:
+                self._drop_connection(msg.src, msg.dst)
+                if attempt == 2:
+                    raise TransportError(f"send failed {msg}: {exc}") from exc
+
+    def _connection(self, src: str, dst: str, port: int) -> socket.socket:
+        key = (src, dst)
+        with self._conn_lock:
+            cached = self._conns.get(key)
+            if cached is not None:
+                sock, cached_port = cached
+                if cached_port == port:
+                    return sock
+                try:
+                    sock.close()  # listener was re-bound on a new port
+                except OSError:
+                    pass
+                del self._conns[key]
+            sock = socket.create_connection(("127.0.0.1", port), timeout=10.0)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._conns[key] = (sock, port)
+            return sock
+
+    def _drop_connection(self, src: str, dst: str) -> None:
+        with self._conn_lock:
+            cached = self._conns.pop((src, dst), None)
+        if cached is not None:
+            try:
+                cached[0].close()
+            except OSError:
+                pass
+
+    def now(self) -> float:
+        return (time.monotonic() - self._t0) * self.time_scale
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        timer = threading.Timer(delay / self.time_scale, fn)
+        timer.daemon = True
+        timer.start()
+        self._timers.append(timer)
+        return TimerHandle(timer.cancel)
+
+    def completion(self, name: str = "") -> ThreadCompletion:
+        return ThreadCompletion(name)
+
+    def close(self) -> None:
+        self._closed = True
+        for t in self._timers:
+            t.cancel()
+        super().close()  # closes endpoints -> stops listeners
+        with self._conn_lock:
+            for sock, _port in self._conns.values():
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            self._conns.clear()

@@ -1,0 +1,156 @@
+"""Transport abstraction shared by the simulated and TCP backends.
+
+Protocol engines (directory manager, cache managers, baselines) are
+written against this interface only, so the same engine code runs
+deterministically in simulation and over real sockets.  The interface
+deliberately mirrors what the paper's Java/RMI runtime offered:
+message delivery, a clock, timers (for quality triggers), and a way to
+wait for a reply.
+
+A :class:`Completion` is the cross-backend future: in simulation it
+wraps a kernel event (``yield comp.sim_event()`` from a process); in
+thread mode it wraps a ``threading.Event`` (``comp.wait()``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import TransportError
+from repro.net.message import Message
+from repro.net.stats import MessageStats
+
+MessageHandler = Callable[[Message], None]
+
+
+class Completion(abc.ABC):
+    """A one-shot future usable from sim processes or real threads."""
+
+    @abc.abstractmethod
+    def resolve(self, value: Any = None) -> None:
+        """Complete successfully with ``value``."""
+
+    @abc.abstractmethod
+    def fail(self, exc: BaseException) -> None:
+        """Complete with an error."""
+
+    @abc.abstractmethod
+    def then(self, callback: Callable[["Completion"], None]) -> None:
+        """Invoke ``callback(self)`` once done (immediately if already)."""
+
+    @property
+    @abc.abstractmethod
+    def done(self) -> bool: ...
+
+    @property
+    @abc.abstractmethod
+    def value(self) -> Any:
+        """The result; raises the failure exception if failed."""
+
+    # Backend-specific waiting -----------------------------------------
+    def sim_event(self):  # pragma: no cover - overridden in sim backend
+        raise TransportError(f"{type(self).__name__} cannot be awaited in sim")
+
+    def wait(self, timeout: Optional[float] = None) -> Any:  # pragma: no cover
+        raise TransportError(f"{type(self).__name__} cannot block a thread")
+
+
+class TimerHandle:
+    """Cancellable handle for a scheduled timer callback."""
+
+    def __init__(self, cancel_fn: Callable[[], None]) -> None:
+        self._cancel_fn = cancel_fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        if not self.cancelled:
+            self.cancelled = True
+            self._cancel_fn()
+
+
+class Endpoint:
+    """A named attachment point on a transport.
+
+    Incoming messages addressed to ``address`` are dispatched to the
+    ``handler`` callback.  ``send`` routes through the owning transport.
+    """
+
+    def __init__(self, transport: "Transport", address: str, handler: MessageHandler):
+        self.transport = transport
+        self.address = address
+        self.handler = handler
+        self.closed = False
+
+    def send(self, msg: Message) -> None:
+        if self.closed:
+            raise TransportError(f"endpoint {self.address} is closed")
+        if msg.src != self.address:
+            raise TransportError(
+                f"endpoint {self.address} cannot send as {msg.src}"
+            )
+        self.transport.send(msg)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.transport._unbind(self.address)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Endpoint {self.address} on {type(self.transport).__name__}>"
+
+
+class Transport(abc.ABC):
+    """Message routing + clock + timers + completion factory."""
+
+    def __init__(self) -> None:
+        self.stats = MessageStats()
+        self._endpoints: Dict[str, Endpoint] = {}
+
+    # -- endpoints -------------------------------------------------------
+    def bind(self, address: str, handler: MessageHandler) -> Endpoint:
+        """Attach a handler under ``address``; returns the endpoint."""
+        if address in self._endpoints:
+            raise TransportError(f"address already bound: {address}")
+        ep = Endpoint(self, address, handler)
+        self._endpoints[address] = ep
+        self._on_bind(ep)
+        return ep
+
+    def _unbind(self, address: str) -> None:
+        ep = self._endpoints.pop(address, None)
+        if ep is not None:
+            self._on_unbind(ep)
+
+    def endpoints(self) -> List[str]:
+        return list(self._endpoints)
+
+    def is_bound(self, address: str) -> bool:
+        return address in self._endpoints
+
+    # Backend hooks (optional overrides) --------------------------------
+    def _on_bind(self, ep: Endpoint) -> None: ...
+
+    def _on_unbind(self, ep: Endpoint) -> None: ...
+
+    # -- abstract services ------------------------------------------------
+    @abc.abstractmethod
+    def send(self, msg: Message) -> None:
+        """Route ``msg`` to its destination endpoint (async delivery)."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in transport time units."""
+
+    @abc.abstractmethod
+    def schedule(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        """Run ``fn()`` after ``delay`` time units; cancellable."""
+
+    @abc.abstractmethod
+    def completion(self, name: str = "") -> Completion:
+        """New unresolved completion bound to this backend."""
+
+    def close(self) -> None:
+        """Release backend resources (sockets, threads)."""
+        for addr in list(self._endpoints):
+            self._endpoints[addr].close()

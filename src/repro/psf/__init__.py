@@ -1,0 +1,56 @@
+"""Partitionable Services Framework (PSF) substrate (paper §3.1).
+
+PSF "relies on four elements: (i) a declarative specification of the
+application and the environment, (ii) a monitoring module ..., (iii) a
+planning module ..., and (iv) a deployment infrastructure."
+
+This package implements those four elements plus PSF *views* (§3.2):
+
+- :mod:`repro.psf.component` / :mod:`repro.psf.specification` — the
+  declarative component & application model (implements/requires
+  interfaces with properties).
+- :mod:`repro.psf.environment` — nodes/links with properties, backed by
+  :class:`repro.net.topology.Topology`.
+- :mod:`repro.psf.monitoring` — change tracking and adaptation triggers.
+- :mod:`repro.psf.planning` — QoS-driven placement (cache components
+  near clients, encryptor/decryptor pairs around insecure links).
+- :mod:`repro.psf.deployment` — instantiates a plan onto a transport.
+- :mod:`repro.psf.view` — proxy/customization/partial views and the
+  §3.2 view-of predicate.
+- :mod:`repro.psf.access` — credential-driven view selection (§3.2's
+  flexible access control).
+"""
+
+from repro.psf.component import ComponentType, Interface
+from repro.psf.specification import ApplicationSpec
+from repro.psf.environment import Environment
+from repro.psf.qos import Operation, QoSRequirement
+from repro.psf.view import ViewKind, derive_view, is_view_of
+from repro.psf.access import AccessPolicy, AccessRule, Credentials, select_view
+from repro.psf.planning import DeploymentPlan, Placement, Planner, diff_plans
+from repro.psf.deployment import DeployedApplication, Deployer
+from repro.psf.monitoring import ChangeEvent, Monitor
+
+__all__ = [
+    "ComponentType",
+    "Interface",
+    "ApplicationSpec",
+    "Environment",
+    "Operation",
+    "QoSRequirement",
+    "ViewKind",
+    "derive_view",
+    "is_view_of",
+    "AccessPolicy",
+    "AccessRule",
+    "Credentials",
+    "select_view",
+    "DeploymentPlan",
+    "Placement",
+    "Planner",
+    "diff_plans",
+    "DeployedApplication",
+    "Deployer",
+    "ChangeEvent",
+    "Monitor",
+]

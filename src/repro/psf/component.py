@@ -1,0 +1,96 @@
+"""The PSF component model (paper §3.1).
+
+"Similar to the CORBA Component Model, PSF models components as
+entities that *implement* and *require* interfaces, where each
+interface can be associated with properties."
+
+A :class:`ComponentType` additionally exposes its method set ``F_c``
+and variable set ``V_c`` — the ingredients of the §3.2 view-of
+predicate — and deployment attributes the planner consumes (mobility,
+sensitivity, pinning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, Optional
+
+from repro.errors import ViewError
+
+
+@dataclass(frozen=True)
+class Interface:
+    """A named interface with optional descriptive properties."""
+
+    name: str
+    properties: FrozenSet[tuple] = frozenset()
+
+    @classmethod
+    def make(cls, name: str, **properties: Any) -> "Interface":
+        return cls(name, frozenset(properties.items()))
+
+    def property_dict(self) -> Dict[str, Any]:
+        return dict(self.properties)
+
+
+@dataclass(frozen=True)
+class ComponentType:
+    """A deployable component type.
+
+    Attributes:
+        name: Unique type name.
+        implements: Interfaces the component provides.
+        requires: Interface *names* the component needs to run.
+        functions: Method names (``F_c`` in §3.2).
+        variables: Data variable names (``V_c`` in §3.2).
+        mobile: May the planner replicate/move it (e.g. travel agents)?
+        sensitive: Must it run on trusted nodes only (e.g. the database)?
+        pinned_to: Fixed node name, when the application dictates one.
+        view_of: Type name of the original component, for view types.
+    """
+
+    name: str
+    implements: FrozenSet[Interface] = frozenset()
+    requires: FrozenSet[str] = frozenset()
+    functions: FrozenSet[str] = frozenset()
+    variables: FrozenSet[str] = frozenset()
+    mobile: bool = False
+    sensitive: bool = False
+    pinned_to: Optional[str] = None
+    view_of: Optional[str] = None
+
+    @classmethod
+    def make(
+        cls,
+        name: str,
+        implements: Iterable[Interface] = (),
+        requires: Iterable[str] = (),
+        functions: Iterable[str] = (),
+        variables: Iterable[str] = (),
+        mobile: bool = False,
+        sensitive: bool = False,
+        pinned_to: Optional[str] = None,
+        view_of: Optional[str] = None,
+    ) -> "ComponentType":
+        if not name:
+            raise ViewError("component type needs a non-empty name")
+        return cls(
+            name=name,
+            implements=frozenset(implements),
+            requires=frozenset(requires),
+            functions=frozenset(functions),
+            variables=frozenset(variables),
+            mobile=mobile,
+            sensitive=sensitive,
+            pinned_to=pinned_to,
+            view_of=view_of,
+        )
+
+    def implemented_names(self) -> FrozenSet[str]:
+        return frozenset(i.name for i in self.implements)
+
+    def provides(self, interface_name: str) -> bool:
+        return interface_name in self.implemented_names()
+
+    def is_view(self) -> bool:
+        return self.view_of is not None

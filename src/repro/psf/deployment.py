@@ -1,0 +1,165 @@
+"""The PSF deployment module (paper §3.1, element iv).
+
+"Once such a composition is found, the deployment module securely
+installs and connects the components in the network."
+
+The deployer turns a :class:`~repro.psf.planning.DeploymentPlan` into
+live objects: it calls an application-provided *factory* per component
+type, binds a transport address per instance, and — on the simulated
+transport — places that address on the instance's topology node so
+message latencies reflect the plan.  Flecc wiring (directory/cache
+managers for view instances) is the application's job via the
+``on_deploy`` hook; see ``repro.apps.airline.app_spec`` for the worked
+example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import DeploymentError
+from repro.net.sim_transport import SimTransport
+from repro.net.transport import Transport
+from repro.psf.planning import DeploymentPlan, Placement
+
+# factory(placement) -> component instance (opaque to PSF)
+Factory = Callable[[Placement], Any]
+# on_deploy(instance, placement, address) -> None
+DeployHook = Callable[[Any, Placement, str], None]
+
+
+@dataclass
+class DeployedInstance:
+    placement: Placement
+    instance: Any
+    address: str
+
+
+@dataclass
+class DeployedApplication:
+    """Live result of deploying one plan."""
+
+    plan: DeploymentPlan
+    instances: Dict[str, DeployedInstance] = field(default_factory=dict)
+
+    def instance_of(self, instance_id: str) -> Any:
+        try:
+            return self.instances[instance_id].instance
+        except KeyError:
+            raise DeploymentError(f"not deployed: {instance_id!r}") from None
+
+    def serving_instance_for(self, client_node: str) -> Any:
+        iid = self.plan.client_bindings.get(client_node)
+        if iid is None:
+            raise DeploymentError(f"no binding for client at {client_node}")
+        if iid in self.instances:
+            return self.instances[iid].instance
+        # After an incremental re-plan, unchanged instances keep their
+        # original ids while the new plan names fresh ones; resolve by
+        # placement shape instead.
+        target = self.plan.placement_of(iid)
+        for deployed in self.instances.values():
+            p = deployed.placement
+            if (p.type_name, p.node, p.serves_client) == (
+                target.type_name, target.node, target.serves_client
+            ):
+                return deployed.instance
+        raise DeploymentError(f"not deployed: {iid!r}")
+
+    def by_type(self, type_name: str) -> List[DeployedInstance]:
+        return [
+            d for d in self.instances.values()
+            if d.placement.type_name == type_name
+        ]
+
+
+class Deployer:
+    """Instantiates plans onto a transport."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        factories: Dict[str, Factory],
+        on_deploy: Optional[DeployHook] = None,
+    ) -> None:
+        self.transport = transport
+        self.factories = factories
+        self.on_deploy = on_deploy
+
+    def deploy(self, plan: DeploymentPlan) -> DeployedApplication:
+        app = DeployedApplication(plan=plan)
+        for placement in plan.all_placements():
+            factory = self.factories.get(placement.type_name)
+            if factory is None:
+                raise DeploymentError(
+                    f"no factory for component type {placement.type_name!r}"
+                )
+            instance = factory(placement)
+            address = f"psf:{placement.instance_id}"
+            if isinstance(self.transport, SimTransport) and self.transport.topology:
+                if self.transport.topology.has_node(placement.node):
+                    self.transport.place(address, placement.node)
+            app.instances[placement.instance_id] = DeployedInstance(
+                placement=placement, instance=instance, address=address
+            )
+            if self.on_deploy is not None:
+                self.on_deploy(instance, placement, address)
+        return app
+
+    def undeploy(self, app: DeployedApplication, instance_id: str) -> None:
+        deployed = app.instances.pop(instance_id, None)
+        if deployed is None:
+            raise DeploymentError(f"not deployed: {instance_id!r}")
+        close = getattr(deployed.instance, "close", None)
+        if callable(close):
+            close()
+
+    def apply_diff(
+        self,
+        app: DeployedApplication,
+        diff: Dict[str, List[Placement]],
+        new_plan: Optional["DeploymentPlan"] = None,
+    ) -> DeployedApplication:
+        """Incrementally apply a :func:`~repro.psf.planning.diff_plans`
+        result: instantiate the added placements, undeploy the removed
+        ones (matched by shape), and adopt ``new_plan``'s client
+        bindings when provided.  The running instances are untouched.
+        """
+        def shape(p: Placement):
+            return (p.type_name, p.node, p.serves_client)
+
+        for removed in diff.get("remove", []):
+            victim = next(
+                (
+                    iid
+                    for iid, d in app.instances.items()
+                    if shape(d.placement) == shape(removed)
+                ),
+                None,
+            )
+            if victim is None:
+                raise DeploymentError(
+                    f"cannot remove {removed.type_name} on {removed.node}: "
+                    "no matching deployed instance"
+                )
+            self.undeploy(app, victim)
+        for placement in diff.get("add", []):
+            factory = self.factories.get(placement.type_name)
+            if factory is None:
+                raise DeploymentError(
+                    f"no factory for component type {placement.type_name!r}"
+                )
+            instance = factory(placement)
+            address = f"psf:{placement.instance_id}"
+            if isinstance(self.transport, SimTransport) and self.transport.topology:
+                if self.transport.topology.has_node(placement.node):
+                    self.transport.place(address, placement.node)
+            app.instances[placement.instance_id] = DeployedInstance(
+                placement=placement, instance=instance, address=address
+            )
+            if self.on_deploy is not None:
+                self.on_deploy(instance, placement, address)
+        if new_plan is not None:
+            app.plan = new_plan
+        return app

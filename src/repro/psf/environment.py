@@ -1,0 +1,97 @@
+"""The PSF environment: nodes and links with properties (paper §3.1).
+
+"The environment is defined as a set of nodes and links associated with
+their own properties."
+
+Wraps a :class:`~repro.net.topology.Topology` and adds the node
+properties the planner consults: ``trusted`` (may host sensitive
+components), ``capacity`` (how many component instances fit).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import PlanningError
+from repro.net.topology import Topology
+
+
+class Environment:
+    """Topology + per-node hosting properties + occupancy tracking."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._occupancy: Dict[str, int] = {}
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def single_lan(
+        cls, hosts: Iterable[str], latency: float = 0.5, capacity: int = 16
+    ) -> "Environment":
+        from repro.net.topology import lan_topology
+
+        topo = lan_topology(hosts, latency=latency)
+        env = cls(topo)
+        for h in hosts:
+            topo.graph.nodes[h]["trusted"] = True
+            topo.graph.nodes[h]["capacity"] = capacity
+        return env
+
+    # -- node queries ------------------------------------------------------
+    def hosts(self) -> List[str]:
+        """Nodes that can run components (kind == 'host')."""
+        return [
+            n for n in self.topology.nodes()
+            if self.topology.node_attrs(n).get("kind", "host") == "host"
+        ]
+
+    def is_trusted(self, node: str) -> bool:
+        return bool(self.topology.node_attrs(node).get("trusted", False))
+
+    def capacity_of(self, node: str) -> int:
+        return int(self.topology.node_attrs(node).get("capacity", 1))
+
+    def load_of(self, node: str) -> int:
+        return self._occupancy.get(node, 0)
+
+    def has_room(self, node: str) -> bool:
+        return self.load_of(node) < self.capacity_of(node)
+
+    def occupy(self, node: str) -> None:
+        if not self.has_room(node):
+            raise PlanningError(f"node {node} is at capacity")
+        self._occupancy[node] = self.load_of(node) + 1
+
+    def vacate(self, node: str) -> None:
+        current = self.load_of(node)
+        if current <= 0:
+            raise PlanningError(f"vacate on empty node {node}")
+        self._occupancy[node] = current - 1
+
+    def reset_occupancy(self) -> None:
+        self._occupancy.clear()
+
+    # -- path queries ---------------------------------------------------------
+    def latency(self, a: str, b: str) -> float:
+        return self.topology.latency(a, b)
+
+    def path(self, a: str, b: str) -> Tuple[float, List[str]]:
+        return self.topology.path(a, b)
+
+    def insecure_links_between(self, a: str, b: str) -> List[Tuple[str, str]]:
+        return self.topology.insecure_links_on_path(a, b)
+
+    def candidate_hosts(
+        self, sensitive: bool = False, near: Optional[str] = None
+    ) -> List[str]:
+        """Hosts with room, trusted when required, sorted by distance to
+        ``near`` (then by name, for determinism)."""
+        hosts = [
+            h for h in self.hosts()
+            if self.has_room(h) and (not sensitive or self.is_trusted(h))
+        ]
+        if near is not None:
+            hosts.sort(key=lambda h: (self.latency(near, h), h))
+        else:
+            hosts.sort()
+        return hosts

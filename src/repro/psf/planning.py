@@ -1,0 +1,319 @@
+"""The PSF planning module (paper §3.1, element iii).
+
+"The planning module uses the information provided by the monitoring
+module to find a valid component deployment that satisfies both the
+application conditions and the client QoS requirements."
+
+The planner implements the paper's two published adaptations:
+
+1. **Latency**: "a cache component placed close to a client can offset
+   high latency of slow links" — when the direct path to the service
+   provider exceeds the client's budget and a mobile view type exists,
+   the planner places a view instance at the client's nearest host.
+2. **Privacy**: "the security requirements ... can be satisfied by
+   placing encryption/decryption components around insecure links" —
+   for each insecure link on a served path, an encryptor goes on the
+   near side and a decryptor on the far side.
+
+Plans are deterministic: same spec + environment + QoS -> same plan.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PlanningError
+from repro.psf.component import ComponentType
+from repro.psf.environment import Environment
+from repro.psf.qos import QoSRequirement
+from repro.psf.specification import ApplicationSpec
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One component instance pinned to one node."""
+
+    instance_id: str
+    type_name: str
+    node: str
+    serves_client: Optional[str] = None  # client node, for view instances
+
+
+@dataclass(frozen=True)
+class CodecPair:
+    """Encryptor/decryptor instances guarding one insecure link."""
+
+    link: Tuple[str, str]
+    encryptor: Placement
+    decryptor: Placement
+
+
+@dataclass
+class DeploymentPlan:
+    """The planner's output: placements + codec pairs + the route map."""
+
+    app_name: str
+    placements: List[Placement] = field(default_factory=list)
+    codec_pairs: List[CodecPair] = field(default_factory=list)
+    # client node -> instance_id serving it
+    client_bindings: Dict[str, str] = field(default_factory=dict)
+    estimated_latency: Dict[str, float] = field(default_factory=dict)
+
+    def placement_of(self, instance_id: str) -> Placement:
+        for p in self.all_placements():
+            if p.instance_id == instance_id:
+                return p
+        raise PlanningError(f"no placement for instance {instance_id!r}")
+
+    def all_placements(self) -> List[Placement]:
+        out = list(self.placements)
+        for pair in self.codec_pairs:
+            out.extend([pair.encryptor, pair.decryptor])
+        return out
+
+    def instances_of_type(self, type_name: str) -> List[Placement]:
+        return [p for p in self.all_placements() if p.type_name == type_name]
+
+
+class Planner:
+    """Deterministic QoS-driven placement."""
+
+    def __init__(self, spec: ApplicationSpec, environment: Environment) -> None:
+        self.spec = spec
+        self.environment = environment
+        self._counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def plan(self, clients: List[QoSRequirement]) -> DeploymentPlan:
+        """Produce a deployment serving every client within its QoS."""
+        env = self.environment
+        env.reset_occupancy()
+        plan = DeploymentPlan(app_name=self.spec.name)
+
+        # 1. Pinned, non-view components (e.g. the flight database).
+        anchors: Dict[str, Placement] = {}
+        for ctype in sorted(self.spec.components.values(), key=lambda c: c.name):
+            if ctype.is_view():
+                continue
+            if ctype.pinned_to is None:
+                continue
+            node = ctype.pinned_to
+            self._check_hostable(ctype, node)
+            env.occupy(node)
+            placement = Placement(self._iid(ctype), ctype.name, node)
+            plan.placements.append(placement)
+            anchors[ctype.name] = placement
+
+        # 2. Unpinned non-view providers, in dependency order (a
+        #    component is placed after the providers of its required
+        #    interfaces, and prefers a node close to them).
+        for ctype in self._dependency_order():
+            if ctype.is_view() or ctype.pinned_to is not None:
+                continue
+            if ctype.name in (self.spec.encryptor, self.spec.decryptor):
+                continue  # codecs are injected on demand in step 4
+            candidates = env.candidate_hosts(sensitive=ctype.sensitive)
+            if not candidates:
+                raise PlanningError(f"no host can run {ctype.name}")
+            dep_nodes = self._dependency_nodes(ctype, anchors)
+            if dep_nodes:
+                # Closest host to the component's dependencies.
+                node = min(
+                    candidates,
+                    key=lambda h: (
+                        sum(env.latency(h, d) for d in dep_nodes), h
+                    ),
+                )
+            else:
+                node = max(
+                    candidates,
+                    key=lambda h: (env.capacity_of(h) - env.load_of(h), h),
+                )
+            env.occupy(node)
+            placement = Placement(self._iid(ctype), ctype.name, node)
+            plan.placements.append(placement)
+            anchors[ctype.name] = placement
+
+        # 3. Serve each client: direct if within budget, else a view
+        #    placed near the client.
+        providers = self.spec.service_providers()
+        if not providers:
+            raise PlanningError(f"{self.spec.name}: no service providers")
+        for qos in clients:
+            self._serve_client(plan, anchors, providers, qos)
+
+        # 4. Privacy: codec pairs around insecure links on served paths.
+        for qos in clients:
+            if qos.privacy:
+                self._secure_path(plan, qos)
+        return plan
+
+    # ------------------------------------------------------------------
+    def _serve_client(
+        self,
+        plan: DeploymentPlan,
+        anchors: Dict[str, Placement],
+        providers: List[ComponentType],
+        qos: QoSRequirement,
+    ) -> None:
+        env = self.environment
+        # Nearest already-placed provider instance.
+        placed = [
+            (env.latency(qos.client_node, p.node), p)
+            for p in plan.placements
+            if self.spec.component(p.type_name).provides(self.spec.service_interface)
+        ]
+        placed.sort(key=lambda lp: (lp[0], lp[1].instance_id))
+        if placed and placed[0][0] <= qos.max_latency:
+            latency, provider = placed[0]
+            plan.client_bindings[qos.client_node] = provider.instance_id
+            plan.estimated_latency[qos.client_node] = latency
+            return
+
+        # Too far: deploy a mobile view near the client.
+        view_types = [
+            c for c in providers
+            if c.is_view() and c.mobile
+        ] or [
+            v for p in providers for v in self.spec.views_of(p.name) if v.mobile
+        ]
+        if not view_types:
+            raise PlanningError(
+                f"client at {qos.client_node} needs latency "
+                f"<= {qos.max_latency} but no mobile view type exists"
+            )
+        view_type = sorted(view_types, key=lambda c: c.name)[0]
+        candidates = env.candidate_hosts(
+            sensitive=view_type.sensitive, near=qos.client_node
+        )
+        if not candidates:
+            raise PlanningError(f"no host near {qos.client_node} for {view_type.name}")
+        node = candidates[0]
+        latency = env.latency(qos.client_node, node)
+        if latency > qos.max_latency:
+            raise PlanningError(
+                f"client at {qos.client_node}: best achievable latency "
+                f"{latency} exceeds budget {qos.max_latency}"
+            )
+        env.occupy(node)
+        placement = Placement(
+            self._iid(view_type), view_type.name, node, serves_client=qos.client_node
+        )
+        plan.placements.append(placement)
+        plan.client_bindings[qos.client_node] = placement.instance_id
+        plan.estimated_latency[qos.client_node] = latency
+
+    def _secure_path(self, plan: DeploymentPlan, qos: QoSRequirement) -> None:
+        if self.spec.encryptor is None or self.spec.decryptor is None:
+            raise PlanningError(
+                f"{self.spec.name}: privacy requested but the spec declares "
+                "no encryptor/decryptor component types"
+            )
+        serving = plan.placement_of(plan.client_bindings[qos.client_node])
+        # Secure both segments: client <-> view, and view <-> original.
+        segments = [(qos.client_node, serving.node)]
+        view_type = self.spec.component(serving.type_name)
+        if view_type.is_view():
+            originals = plan.instances_of_type(view_type.view_of)
+            if originals:
+                segments.append((serving.node, originals[0].node))
+        enc_t = self.spec.component(self.spec.encryptor)
+        dec_t = self.spec.component(self.spec.decryptor)
+        already = {pair.link for pair in plan.codec_pairs}
+        for a, b in segments:
+            for link in self.environment.insecure_links_between(a, b):
+                norm = tuple(sorted(link))
+                if norm in already:
+                    continue
+                already.add(norm)
+                near, far = link
+                plan.codec_pairs.append(
+                    CodecPair(
+                        link=norm,
+                        encryptor=Placement(self._iid(enc_t), enc_t.name, near),
+                        decryptor=Placement(self._iid(dec_t), dec_t.name, far),
+                    )
+                )
+
+    def _dependency_order(self) -> List[ComponentType]:
+        """Component types topologically sorted by required interfaces
+        (providers first); cycles fall back to name order within the
+        strongly-connected remainder."""
+        types = sorted(self.spec.components.values(), key=lambda c: c.name)
+        provider_of: Dict[str, List[str]] = {}
+        for c in types:
+            for i in c.implements:
+                provider_of.setdefault(i.name, []).append(c.name)
+        ordered: List[ComponentType] = []
+        placed: set = set()
+        remaining = list(types)
+        while remaining:
+            progressed = False
+            for c in list(remaining):
+                needed = {
+                    p
+                    for iface in c.requires
+                    for p in provider_of.get(iface, [])
+                    if p != c.name
+                }
+                if needed <= placed:
+                    ordered.append(c)
+                    placed.add(c.name)
+                    remaining.remove(c)
+                    progressed = True
+            if not progressed:  # dependency cycle: take the rest as-is
+                ordered.extend(remaining)
+                break
+        return ordered
+
+    def _dependency_nodes(
+        self, ctype: ComponentType, anchors: Dict[str, Placement]
+    ) -> List[str]:
+        """Nodes hosting providers of this component's required interfaces."""
+        nodes = []
+        for iface in sorted(ctype.requires):
+            for provider in self.spec.providers_of(iface):
+                placement = anchors.get(provider.name)
+                if placement is not None:
+                    nodes.append(placement.node)
+        return nodes
+
+    def _check_hostable(self, ctype: ComponentType, node: str) -> None:
+        env = self.environment
+        if not env.topology.has_node(node):
+            raise PlanningError(f"{ctype.name} pinned to unknown node {node!r}")
+        if ctype.sensitive and not env.is_trusted(node):
+            raise PlanningError(
+                f"sensitive component {ctype.name} pinned to untrusted node {node}"
+            )
+        if not env.has_room(node):
+            raise PlanningError(f"node {node} is full; cannot host {ctype.name}")
+
+    def _iid(self, ctype: ComponentType) -> str:
+        return f"{ctype.name}#{next(self._counter)}"
+
+
+def diff_plans(old: DeploymentPlan, new: DeploymentPlan) -> Dict[str, List[Placement]]:
+    """What deployment must do to move from ``old`` to ``new``.
+
+    Instances are compared by (type, node, serves_client) shape rather
+    than instance id, so re-planning an unchanged world yields an empty
+    diff.
+    """
+    def shape(p: Placement) -> Tuple[str, str, Optional[str]]:
+        return (p.type_name, p.node, p.serves_client)
+
+    old_shapes = {shape(p): p for p in old.all_placements()}
+    new_shapes = {shape(p): p for p in new.all_placements()}
+    return {
+        "add": sorted(
+            (p for s, p in new_shapes.items() if s not in old_shapes),
+            key=lambda p: p.instance_id,
+        ),
+        "remove": sorted(
+            (p for s, p in old_shapes.items() if s not in new_shapes),
+            key=lambda p: p.instance_id,
+        ),
+    }

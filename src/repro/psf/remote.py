@@ -1,0 +1,162 @@
+"""Generic remote method invocation — the PROXY view runtime.
+
+A PROXY view (§3.2) gives a user "remote access to an original
+component": every method call crosses the network.  This module is the
+CORBA-flavored substrate that makes any Python component remotely
+callable over a :class:`~repro.net.transport.Transport`:
+
+- :func:`expose` publishes an object's whitelisted methods at an
+  address (the whitelist is naturally the view type's ``functions``
+  set, so access control carries over);
+- :class:`RemoteStub` is the client-side proxy: ``stub.call(name,
+  *args)`` returns a Completion with the result, or raises the remote
+  exception by type name.
+
+Arguments and results must be wire-encodable (plain JSON values or
+codec-registered types) — the same rule every Flecc payload obeys.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable
+
+from repro.errors import ReproError
+from repro.net.message import Message
+from repro.net.transport import Completion, Transport
+
+CALL = "RMI_CALL"
+RESULT = "RMI_RESULT"
+FAULT = "RMI_FAULT"
+
+
+class RemoteCallError(ReproError):
+    """The remote side raised; carries the remote type name + message."""
+
+    def __init__(self, remote_type: str, message: str) -> None:
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+        self.remote_message = message
+
+
+class ComponentServer:
+    """Serves whitelisted method calls on one object."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        address: str,
+        target: Any,
+        methods: Iterable[str],
+    ) -> None:
+        self.transport = transport
+        self.address = address
+        self.target = target
+        self.methods = frozenset(methods)
+        if not self.methods:
+            raise ReproError("expose() needs at least one method")
+        for name in self.methods:
+            if not callable(getattr(target, name, None)):
+                raise ReproError(
+                    f"{type(target).__name__} has no callable {name!r} to expose"
+                )
+        self.calls_served = 0
+        self._lock = threading.RLock()
+        self.endpoint = transport.bind(address, self._on_message)
+
+    def _on_message(self, msg: Message) -> None:
+        if msg.msg_type != CALL:
+            self.endpoint.send(
+                msg.reply(FAULT, {"type": "ProtocolError",
+                                  "message": f"unknown request {msg.msg_type}"})
+            )
+            return
+        name = msg.payload.get("method")
+        args = msg.payload.get("args", [])
+        kwargs = msg.payload.get("kwargs", {})
+        if name not in self.methods:
+            self.endpoint.send(
+                msg.reply(FAULT, {"type": "PermissionError",
+                                  "message": f"method {name!r} is not exposed"})
+            )
+            return
+        with self._lock:
+            self.calls_served += 1
+            try:
+                result = getattr(self.target, name)(*args, **kwargs)
+            except Exception as exc:  # faults cross the wire by name
+                self.endpoint.send(
+                    msg.reply(FAULT, {"type": type(exc).__name__,
+                                      "message": str(exc)})
+                )
+                return
+        self.endpoint.send(msg.reply(RESULT, {"value": result}))
+
+    def close(self) -> None:
+        self.endpoint.close()
+
+
+def expose(
+    transport: Transport, address: str, target: Any, methods: Iterable[str]
+) -> ComponentServer:
+    """Publish ``target``'s ``methods`` at ``address``."""
+    return ComponentServer(transport, address, target, methods)
+
+
+class RemoteStub:
+    """Client-side proxy for a :class:`ComponentServer`."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        client_address: str,
+        server_address: str,
+    ) -> None:
+        self.transport = transport
+        self.address = client_address
+        self.server_address = server_address
+        self._pending: Dict[int, Completion] = {}
+        self._lock = threading.RLock()
+        self.endpoint = transport.bind(client_address, self._on_message)
+
+    def _on_message(self, msg: Message) -> None:
+        with self._lock:
+            comp = self._pending.pop(msg.reply_to, None)
+        if comp is None:
+            return
+        if msg.msg_type == RESULT:
+            comp.resolve(msg.payload.get("value"))
+        elif msg.msg_type == FAULT:
+            comp.fail(
+                RemoteCallError(
+                    msg.payload.get("type", "Error"),
+                    msg.payload.get("message", ""),
+                )
+            )
+        else:
+            comp.fail(ReproError(f"unexpected reply {msg.msg_type}"))
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Completion:
+        """Invoke a remote method; resolves to its return value."""
+        msg = Message(
+            CALL, self.address, self.server_address,
+            {"method": method, "args": list(args), "kwargs": dict(kwargs)},
+        )
+        comp = self.transport.completion(f"{self.address}.{method}")
+        with self._lock:
+            self._pending[msg.msg_id] = comp
+        self.endpoint.send(msg)
+        return comp
+
+    def __getattr__(self, name: str):
+        """``stub.method(args)`` sugar for ``stub.call("method", args)``."""
+        if name.startswith("_"):
+            raise AttributeError(name)
+
+        def invoke(*args: Any, **kwargs: Any) -> Completion:
+            return self.call(name, *args, **kwargs)
+
+        return invoke
+
+    def close(self) -> None:
+        self.endpoint.close()

@@ -1,0 +1,101 @@
+"""Declarative application specification (paper §3.1, element i).
+
+An :class:`ApplicationSpec` names the component types of an
+application, which interface clients consume (the *service interface*),
+and which types are standard infrastructure codecs (encryptor/
+decryptor) the planner may inject.  The spec is pure data — planning
+and deployment interpret it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import PlanningError
+from repro.psf.component import ComponentType
+
+
+@dataclass
+class ApplicationSpec:
+    """The declarative description PSF plans and deploys from."""
+
+    name: str
+    components: Dict[str, ComponentType] = field(default_factory=dict)
+    service_interface: Optional[str] = None
+    encryptor: Optional[str] = None
+    decryptor: Optional[str] = None
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        components: Iterable[ComponentType],
+        service_interface: str,
+        encryptor: Optional[str] = None,
+        decryptor: Optional[str] = None,
+    ) -> "ApplicationSpec":
+        spec = cls(
+            name=name,
+            components={c.name: c for c in components},
+            service_interface=service_interface,
+            encryptor=encryptor,
+            decryptor=decryptor,
+        )
+        spec.validate()
+        return spec
+
+    # -- queries ---------------------------------------------------------------
+    def component(self, type_name: str) -> ComponentType:
+        try:
+            return self.components[type_name]
+        except KeyError:
+            raise PlanningError(f"unknown component type {type_name!r}") from None
+
+    def providers_of(self, interface_name: str) -> List[ComponentType]:
+        return sorted(
+            (c for c in self.components.values() if c.provides(interface_name)),
+            key=lambda c: c.name,
+        )
+
+    def views_of(self, type_name: str) -> List[ComponentType]:
+        return sorted(
+            (c for c in self.components.values() if c.view_of == type_name),
+            key=lambda c: c.name,
+        )
+
+    def service_providers(self) -> List[ComponentType]:
+        if self.service_interface is None:
+            raise PlanningError(f"{self.name}: no service interface declared")
+        return self.providers_of(self.service_interface)
+
+    # -- validation --------------------------------------------------------------
+    def validate(self) -> None:
+        """Static sanity checks on the spec (raises PlanningError)."""
+        if self.service_interface is not None and not self.providers_of(
+            self.service_interface
+        ):
+            raise PlanningError(
+                f"{self.name}: nothing implements service interface "
+                f"{self.service_interface!r}"
+            )
+        implemented = {
+            i.name for c in self.components.values() for i in c.implements
+        }
+        for c in self.components.values():
+            missing = c.requires - implemented
+            if missing:
+                raise PlanningError(
+                    f"{self.name}: component {c.name} requires unimplemented "
+                    f"interfaces {sorted(missing)}"
+                )
+            if c.view_of is not None and c.view_of not in self.components:
+                raise PlanningError(
+                    f"{self.name}: {c.name} is a view of unknown {c.view_of!r}"
+                )
+        for codec_attr in ("encryptor", "decryptor"):
+            codec = getattr(self, codec_attr)
+            if codec is not None and codec not in self.components:
+                raise PlanningError(
+                    f"{self.name}: {codec_attr} {codec!r} not a component type"
+                )

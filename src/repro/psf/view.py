@@ -1,0 +1,89 @@
+"""PSF views (paper §3.2).
+
+"A new component v is a *view* of an original component c if the view
+has at least one of the following two properties: (i) the functionality
+of the view is derived from the functionality of the component, i.e.
+F_v ∩ F_c ≠ ∅, and (ii) the data used by the view is a subset of the
+data used by the component, i.e. V_v ∩ V_c ≠ ∅."
+
+Three view shapes (informally, from §3.2):
+
+- **PROXY**: remote access to the original — all functions, no local
+  data.
+- **CUSTOMIZATION**: safely executable locally — a subset of functions
+  and of data.
+- **PARTIAL**: some parts local, others remote — arbitrary non-empty
+  subsets of both.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, Optional
+
+from repro.errors import ViewError
+from repro.psf.component import ComponentType
+
+
+class ViewKind(str, Enum):
+    PROXY = "proxy"
+    CUSTOMIZATION = "customization"
+    PARTIAL = "partial"
+
+
+def is_view_of(view: ComponentType, component: ComponentType) -> bool:
+    """The §3.2 predicate: shared functionality or shared data."""
+    return bool(view.functions & component.functions) or bool(
+        view.variables & component.variables
+    )
+
+
+def derive_view(
+    component: ComponentType,
+    kind: ViewKind,
+    name: Optional[str] = None,
+    functions: Optional[Iterable[str]] = None,
+    variables: Optional[Iterable[str]] = None,
+) -> ComponentType:
+    """Create a view type of ``component`` with the given shape.
+
+    ``functions``/``variables`` default per kind: a PROXY exposes every
+    function and holds no data; a CUSTOMIZATION defaults to everything
+    (caller usually narrows it); PARTIAL requires explicit subsets.
+    Subsets are validated against ``F_c`` / ``V_c``.
+    """
+    kind = ViewKind(kind)
+    if kind is ViewKind.PROXY:
+        fns = frozenset(component.functions) if functions is None else frozenset(functions)
+        vars_ = frozenset() if variables is None else frozenset(variables)
+    elif kind is ViewKind.CUSTOMIZATION:
+        fns = frozenset(component.functions) if functions is None else frozenset(functions)
+        vars_ = frozenset(component.variables) if variables is None else frozenset(variables)
+    else:  # PARTIAL
+        if functions is None or variables is None:
+            raise ViewError("PARTIAL views need explicit functions and variables")
+        fns, vars_ = frozenset(functions), frozenset(variables)
+
+    extra_f = fns - component.functions
+    extra_v = vars_ - component.variables
+    if extra_f:
+        raise ViewError(f"view functions not in original: {sorted(extra_f)}")
+    if extra_v:
+        raise ViewError(f"view variables not in original: {sorted(extra_v)}")
+
+    view = ComponentType.make(
+        name=name or f"{component.name}.{kind.value}",
+        implements=component.implements,
+        requires=component.requires if kind is not ViewKind.PROXY else frozenset(),
+        functions=fns,
+        variables=vars_,
+        mobile=True,  # views exist to be placed where the client needs them
+        sensitive=False if kind is ViewKind.PROXY else component.sensitive,
+        view_of=component.name,
+    )
+    if not is_view_of(view, component):
+        raise ViewError(
+            f"{view.name} shares neither functionality nor data with "
+            f"{component.name}; not a view (paper §3.2)"
+        )
+    return view

@@ -1,0 +1,35 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-based discrete-event engine in the
+spirit of SimPy, used as the substrate under the simulated network
+transport.  The paper's prototype ran on a real LAN; the simulation
+kernel lets the same protocol code run deterministically at laptop scale
+(see DESIGN.md, section 2).
+
+Public surface:
+
+- :class:`~repro.sim.kernel.SimKernel` — the event loop / clock.
+- :class:`~repro.sim.process.Process` — a running generator process.
+- :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout` —
+  awaitable occurrences (``yield`` them from process generators).
+- :class:`~repro.sim.resources.Mutex`,
+  :class:`~repro.sim.resources.Store` — synchronization primitives.
+- :func:`~repro.sim.rng.make_rng` — seeded random streams.
+"""
+
+from repro.sim.events import Event, Timeout
+from repro.sim.kernel import SimKernel
+from repro.sim.process import Process
+from repro.sim.resources import Mutex, Store
+from repro.sim.rng import make_rng, spawn_rng
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "SimKernel",
+    "Process",
+    "Mutex",
+    "Store",
+    "make_rng",
+    "spawn_rng",
+]

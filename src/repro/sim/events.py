@@ -1,0 +1,193 @@
+"""Event primitives for the simulation kernel.
+
+An :class:`Event` is a one-shot occurrence that processes can wait on by
+``yield``-ing it.  Once triggered it carries a value (or an exception)
+and wakes every waiter.  :class:`Timeout` is an event pre-scheduled to
+trigger after a fixed delay.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import SimKernel
+
+_event_ids = itertools.count()
+
+
+class Event:
+    """A one-shot occurrence that simulated processes can wait on.
+
+    Events move through three states: *pending* (created), *triggered*
+    (scheduled to fire at the current instant), and *processed* (all
+    callbacks run).  A process waits by ``yield``-ing the event from its
+    generator; the kernel resumes the process with the event's value, or
+    throws the event's exception into it.
+    """
+
+    def __init__(self, kernel: "SimKernel", name: str = "") -> None:
+        self.kernel = kernel
+        self.eid = next(_event_ids)
+        self.name = name or f"event-{self.eid}"
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        self._processed = False
+        # Callbacks receive the event itself.
+        self.callbacks: List[Callable[["Event"], None]] = []
+        # Optional hook invoked when the (sole) waiting process is
+        # killed before the event fires — lets resources like Mutex
+        # remove the dead waiter from their queues.
+        self.cancel_hook: Optional[Callable[[], None]] = None
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether :meth:`succeed` or :meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have all run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True when the event triggered with a value, not an exception."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The value the event carried; raises if it failed."""
+        if not self._triggered:
+            raise SimulationError(f"{self.name}: value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event with ``value`` at the current sim time."""
+        if self._triggered:
+            raise SimulationError(f"{self.name} already triggered")
+        self._triggered = True
+        self._value = value
+        self.kernel._enqueue_triggered(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes have ``exc`` thrown into their generator.
+        """
+        if self._triggered:
+            raise SimulationError(f"{self.name} already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"{self.name}: fail() needs an exception")
+        self._triggered = True
+        self._exception = exc
+        self.kernel._enqueue_triggered(self)
+        return self
+
+    def _process(self) -> None:
+        """Run all callbacks (kernel-internal)."""
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Run ``cb(event)`` once the event is processed.
+
+        If the event already fired, the callback runs immediately — this
+        keeps "wait on an already-done event" race-free.
+        """
+        if self._processed:
+            cb(self)
+        else:
+            self.callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self._processed
+            else "triggered" if self._triggered else "pending"
+        )
+        return f"<Event {self.name} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` time units from now."""
+
+    def __init__(self, kernel: "SimKernel", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(kernel, name=f"timeout({delay})")
+        self.delay = delay
+        self._value = value
+        self._triggered = True  # pre-triggered; fires when its time comes
+        kernel._schedule_at(kernel.now + delay, self)
+
+
+class AnyOf(Event):
+    """Fires when *any* of the given events has fired.
+
+    The value is the first event that completed.  Failures propagate.
+    """
+
+    def __init__(self, kernel: "SimKernel", events: List[Event]) -> None:
+        super().__init__(kernel, name="any_of")
+        if not events:
+            raise SimulationError("AnyOf requires at least one event")
+        self._done = False
+        for ev in events:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._done:
+            return
+        self._done = True
+        if ev.ok:
+            self.succeed(ev)
+        else:
+            assert ev.exception is not None
+            self.fail(ev.exception)
+
+
+class AllOf(Event):
+    """Fires when *all* of the given events have fired.
+
+    The value is the list of child values in construction order.  The
+    first failure fails the composite immediately.
+    """
+
+    def __init__(self, kernel: "SimKernel", events: List[Event]) -> None:
+        super().__init__(kernel, name="all_of")
+        self._children = list(events)
+        self._remaining = len(self._children)
+        self._failed = False
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._failed or self.triggered:
+            return
+        if not ev.ok:
+            self._failed = True
+            assert ev.exception is not None
+            self.fail(ev.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c.value for c in self._children])

@@ -1,0 +1,118 @@
+"""Generator-based simulated processes.
+
+A :class:`Process` wraps a generator that ``yield``s
+:class:`~repro.sim.events.Event` objects.  Each yielded event suspends
+the process until the event fires; the process is then resumed with the
+event's value (or the event's exception is thrown into the generator).
+A process is itself an event, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import ProcessKilled, SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import SimKernel
+
+_proc_ids = itertools.count()
+
+
+class Process(Event):
+    """A running simulated process; also an event that fires on completion."""
+
+    def __init__(
+        self, kernel: "SimKernel", gen: Generator[Event, Any, Any], name: str = ""
+    ) -> None:
+        pid = next(_proc_ids)
+        super().__init__(kernel, name=name or f"process-{pid}")
+        self.pid = pid
+        self._gen = gen
+        self._waiting_on: Event | None = None
+        self._killed = False
+        # Bootstrap: resume the generator at the current instant.
+        boot = Event(kernel, name=f"{self.name}-boot")
+        boot.add_callback(self._resume)
+        boot.succeed(None)
+
+    # -- state -------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Whether the process has finished (normally or with an error)."""
+        return self.triggered
+
+    @property
+    def result(self) -> Any:
+        """The generator's return value; raises its exception if it failed."""
+        return self.value
+
+    # -- control ------------------------------------------------------------
+    def kill(self, reason: str = "") -> None:
+        """Forcibly terminate the process.
+
+        A :class:`ProcessKilled` is thrown into the generator so that
+        ``finally`` blocks run.  If the generator swallows the kill and
+        keeps yielding, that is an error.
+        """
+        if self.done:
+            return
+        self._killed = True
+        exc = ProcessKilled(reason or f"{self.name} killed")
+        # Let the awaited resource forget this waiter (e.g. a Mutex
+        # removes it from its FIFO so ownership is never handed to a
+        # dead process).
+        waiting = self._waiting_on
+        if waiting is not None and waiting.cancel_hook is not None and not waiting.triggered:
+            waiting.cancel_hook()
+        # Detach from whatever it is waiting on, then resume with the error.
+        try:
+            self._gen.throw(exc)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except ProcessKilled:
+            self.fail(exc)
+            return
+        except BaseException as other:  # generator raised something else
+            self.fail(other)
+            return
+        raise SimulationError(f"{self.name} ignored kill() and kept running")
+
+    # -- kernel callbacks -----------------------------------------------------
+    def _resume(self, completed: Event) -> None:
+        """Advance the generator with the completed event's outcome."""
+        if self.done:
+            return
+        self._waiting_on = None
+        try:
+            if completed.ok:
+                target = self._gen.send(completed.value)
+            else:
+                assert completed.exception is not None
+                target = self._gen.throw(completed.exception)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            err = SimulationError(
+                f"{self.name} yielded {target!r}; processes must yield Events"
+            )
+            try:
+                self._gen.throw(err)
+            except BaseException:
+                pass
+            self.fail(err)
+            return
+        if target.kernel is not self.kernel:
+            self.fail(
+                SimulationError(f"{self.name} yielded event from another kernel")
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)

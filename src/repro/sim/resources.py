@@ -1,0 +1,130 @@
+"""Synchronization primitives for simulated processes.
+
+- :class:`Mutex` — FIFO mutual exclusion (used for the paper's
+  ``startUseImage``/``endUseImage`` critical sections, Fig 2 steps 6-7).
+- :class:`Store` — an unbounded FIFO message store (the mailbox under
+  the simulated transport endpoints).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import SimKernel
+
+
+class Mutex:
+    """FIFO mutual-exclusion lock for simulated processes.
+
+    Usage from a process generator::
+
+        yield mutex.acquire()
+        try:
+            ...critical section...
+        finally:
+            mutex.release()
+    """
+
+    def __init__(self, kernel: "SimKernel", name: str = "mutex") -> None:
+        self.kernel = kernel
+        self.name = name
+        self._locked = False
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes waiting for the lock."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that fires once the caller holds the lock."""
+        ev = self.kernel.event(name=f"{self.name}.acquire")
+        if not self._locked:
+            self._locked = True
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+            # If the waiting process dies before being granted the
+            # lock, drop it from the queue (otherwise release() would
+            # hand ownership to a corpse and the lock would leak).
+            ev.cancel_hook = lambda: self._forget_waiter(ev)
+        return ev
+
+    def _forget_waiter(self, ev: Event) -> None:
+        try:
+            self._waiters.remove(ev)
+        except ValueError:
+            pass  # already granted or already removed
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; returns True on success."""
+        if self._locked:
+            return False
+        self._locked = True
+        return True
+
+    def release(self) -> None:
+        """Release the lock, waking the next FIFO waiter if any."""
+        if not self._locked:
+            raise SimulationError(f"{self.name}: release of an unlocked mutex")
+        if self._waiters:
+            nxt = self._waiters.popleft()
+            nxt.succeed(self)  # lock stays held, ownership transfers
+        else:
+            self._locked = False
+
+
+class Store:
+    """Unbounded FIFO store: ``put`` items, processes ``get`` them in order.
+
+    Multiple getters are served FIFO; an item put while getters wait goes
+    to the oldest waiter immediately.
+    """
+
+    def __init__(self, kernel: "SimKernel", name: str = "store") -> None:
+        self.kernel = kernel
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add an item, waking the oldest waiting getter if present."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item."""
+        ev = self.kernel.event(name=f"{self.name}.get")
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+            # A killed getter must not swallow the next put item.
+            ev.cancel_hook = lambda: self._forget_getter(ev)
+        return ev
+
+    def _forget_getter(self, ev: Event) -> None:
+        try:
+            self._getters.remove(ev)
+        except ValueError:
+            pass
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; returns None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None

@@ -1,0 +1,149 @@
+"""Public test harness: a minimal keyed-cell component/view pair.
+
+Downstream users integrating their own application with Flecc can test
+against this fixture instead of building a full component first: the
+component is a plain dict of cell -> value, views hold local copies of
+their slice, and the extract/merge functions follow the paper's Fig 3
+signatures.  The library's own protocol suite (``tests/core/``) is
+built on it — a few hundred worked examples of driving the fixture.
+
+Typical use::
+
+    from repro.testing import ProtocolFixture
+
+    fx = ProtocolFixture(store_cells={"row": 0})
+    cm, agent = fx.add_agent("my-view", ["row"], mode="strong")
+
+    def script():
+        yield cm.start()
+        yield cm.init_image()
+        yield cm.start_use_image()
+        agent.local["row"] += 1
+        cm.end_use_image()
+        yield cm.kill_image()
+
+    fx.run_scripts(script())
+    assert fx.store.cells["row"] == 1
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core import (
+    DiscreteSet,
+    FleccSystem,
+    Mode,
+    ObjectImage,
+    Property,
+    PropertySet,
+)
+from repro.core.messages import TraceLog
+from repro.core.system import run_all_scripts, run_view_script
+from repro.core.triggers import TriggerSet
+from repro.net import SimTransport
+from repro.sim import SimKernel
+
+
+class Store:
+    """The original component: a dict of cells."""
+
+    def __init__(self, cells: Optional[Dict[str, int]] = None) -> None:
+        self.cells: Dict[str, int] = dict(cells or {})
+
+
+def extract_from_object(store: Store, props: PropertySet) -> ObjectImage:
+    """Slice selection: the 'cells' property's domain filters cell keys."""
+    p = props.get("cells")
+    img = ObjectImage()
+    for k, v in store.cells.items():
+        if p is None or p.domain.contains(k):
+            img.cells[k] = v
+    return img
+
+
+def merge_into_object(store: Store, image: ObjectImage, props: PropertySet) -> None:
+    for k in image.keys():
+        store.cells[k] = image.get(k)
+
+
+class Agent:
+    """A view object: local copy of its slice."""
+
+    def __init__(self) -> None:
+        self.local: Dict[str, int] = {}
+
+
+def extract_from_view(agent: Agent, props: PropertySet) -> ObjectImage:
+    img = ObjectImage()
+    img.cells.update(agent.local)
+    return img
+
+
+def merge_into_view(agent: Agent, image: ObjectImage, props: PropertySet) -> None:
+    for k in image.keys():
+        agent.local[k] = image.get(k)
+
+
+def props_for(cells: Iterable[str]) -> PropertySet:
+    return PropertySet([Property("cells", DiscreteSet(set(cells)))])
+
+
+class ProtocolFixture:
+    """One kernel + transport + system + N agents, ready to script."""
+
+    def __init__(
+        self,
+        store_cells: Optional[Dict[str, int]] = None,
+        default_latency: float = 1.0,
+        trace: bool = False,
+        **system_kw,
+    ) -> None:
+        self.kernel = SimKernel()
+        self.transport = SimTransport(self.kernel, default_latency=default_latency)
+        self.trace = TraceLog() if trace else None
+        self.store = Store(store_cells or {"a": 10, "b": 20, "c": 30})
+        self.system = FleccSystem(
+            self.transport,
+            self.store,
+            extract_from_object,
+            merge_into_object,
+            trace=self.trace,
+            **system_kw,
+        )
+        self.agents: Dict[str, Agent] = {}
+
+    def add_agent(
+        self,
+        view_id: str,
+        cells: Iterable[str],
+        mode: Mode | str = Mode.WEAK,
+        triggers: Optional[TriggerSet] = None,
+        trigger_poll_period: float = 100.0,
+    ):
+        agent = Agent()
+        self.agents[view_id] = agent
+        cm = self.system.add_view(
+            view_id,
+            agent,
+            props_for(cells),
+            extract_from_view,
+            merge_into_view,
+            mode=mode,
+            triggers=triggers,
+            trigger_poll_period=trigger_poll_period,
+        )
+        return cm, agent
+
+    def run_scripts(self, *scripts):
+        return run_all_scripts(self.transport, list(scripts))
+
+    def run_script(self, script):
+        return run_view_script(self.transport, script)
+
+    def run(self, until: Optional[float] = None):
+        return self.kernel.run(until=until)
+
+    @property
+    def stats(self):
+        return self.transport.stats

@@ -1,0 +1,177 @@
+"""Tests for clients (viewer/buyer), security codecs, and workload gens."""
+
+import pytest
+
+from repro.apps.airline import (
+    Buyer,
+    Decryptor,
+    Encryptor,
+    Flight,
+    FlightDatabase,
+    Viewer,
+    build_airline_system,
+    generate_flight_database,
+    make_agent_groups,
+)
+from repro.apps.airline.security import CipherError, make_pair
+from repro.apps.airline.workload import (
+    browse_buy_mix,
+    flights_needed,
+    reserve_operations,
+)
+from repro.core import Mode
+from repro.core.system import run_all_scripts
+
+
+def make_db():
+    return FlightDatabase([Flight("FL0001", "NYC", "SFO", 100, 100, 250.0)])
+
+
+class TestViewerBuyer:
+    def _airline_with_agent(self):
+        airline = build_airline_system(make_db())
+        agent, cm = airline.add_travel_agent("ta-1", ["FL0001"])
+
+        def setup():
+            yield cm.start()
+            yield cm.init_image()
+
+        run_all_scripts(airline.transport, [setup()])
+        return airline, agent, cm
+
+    def test_viewer_browses_in_weak_mode(self):
+        airline, agent, cm = self._airline_with_agent()
+        viewer = Viewer("c1", agent, cm)
+        [log] = run_all_scripts(
+            airline.transport, [viewer.session(["FL0001"] * 3)]
+        )
+        assert len(log.browses) == 3
+        assert cm.mode is Mode.WEAK
+        assert all(seats == 100 for _, seats in log.browses)
+
+    def test_buyer_purchases_in_strong_mode(self):
+        airline, agent, cm = self._airline_with_agent()
+        buyer = Buyer("c1", agent, cm)
+        [log] = run_all_scripts(
+            airline.transport, [buyer.session([("FL0001", 2), ("FL0001", 1)])]
+        )
+        assert log.purchases == [("FL0001", 2), ("FL0001", 1)]
+        assert cm.mode is Mode.STRONG
+        # Strong-mode sales are immediately visible at the primary once
+        # the agent is revoked or pushes; force visibility via sync.
+        assert agent.local["FL0001"].seats_available == 97
+
+    def test_viewer_becomes_buyer_keeps_log(self):
+        airline, agent, cm = self._airline_with_agent()
+        viewer = Viewer("c1", agent, cm)
+        run_all_scripts(airline.transport, [viewer.session(["FL0001"])])
+        buyer = viewer.become_buyer()
+        assert buyer.log is viewer.log
+        [log] = run_all_scripts(airline.transport, [buyer.session([("FL0001", 1)])])
+        assert len(log.browses) == 1 and len(log.purchases) == 1
+
+    def test_buyer_failure_logged_not_raised(self):
+        airline, agent, cm = self._airline_with_agent()
+        buyer = Buyer("c1", agent, cm)
+        [log] = run_all_scripts(
+            airline.transport, [buyer.session([("FL0001", 101)])]
+        )
+        assert log.purchases == []
+        assert len(log.failures) == 1 and "sold out" in log.failures[0]
+
+
+class TestSecurity:
+    def test_roundtrip(self):
+        enc, dec = make_pair("k")
+        msg = "reserve FL0001 for client-42"
+        assert dec.decrypt(enc.encrypt(msg)) == msg
+        assert enc.processed == 1 and dec.processed == 1
+
+    def test_ciphertext_differs_from_plaintext(self):
+        enc, _ = make_pair("k")
+        assert "FL0001" not in enc.encrypt("reserve FL0001")
+
+    def test_wrong_key_detected(self):
+        enc = Encryptor("key-a")
+        dec = Decryptor("key-b")
+        with pytest.raises(CipherError, match="checksum"):
+            dec.decrypt(enc.encrypt("secret"))
+
+    def test_tampering_detected(self):
+        enc, dec = make_pair()
+        ct = enc.encrypt("hello world")
+        head, hexdata = ct.split(":", 1)
+        flipped = f"{head}:{'00' if hexdata[:2] != '00' else '11'}{hexdata[2:]}"
+        with pytest.raises(CipherError):
+            dec.decrypt(flipped)
+
+    def test_malformed_ciphertext(self):
+        _, dec = make_pair()
+        with pytest.raises(CipherError, match="malformed"):
+            dec.decrypt("garbage-without-separator!")
+
+    def test_empty_string(self):
+        enc, dec = make_pair()
+        assert dec.decrypt(enc.encrypt("")) == ""
+
+    def test_unicode(self):
+        enc, dec = make_pair()
+        assert dec.decrypt(enc.encrypt("vôl à Zürich ✈")) == "vôl à Zürich ✈"
+
+
+class TestWorkload:
+    def test_generate_database_deterministic(self):
+        a = generate_flight_database(20, seed=7)
+        b = generate_flight_database(20, seed=7)
+        assert a.flights == b.flights
+        assert len(a.flights) == 20
+
+    def test_generate_database_seed_sensitive(self):
+        a = generate_flight_database(20, seed=1)
+        b = generate_flight_database(20, seed=2)
+        assert a.flights != b.flights
+
+    def test_database_invariants(self):
+        db = generate_flight_database(50, seed=3)
+        for f in db.flights.values():
+            assert 0 <= f.seats_available <= f.capacity
+            assert f.origin != f.destination
+            assert f.price > 0
+
+    def test_agent_groups_structure(self):
+        groups = make_agent_groups(10, n_conflicting=4, flights_per_agent=3)
+        assert len(groups) == 10
+        shared = set(groups[0])
+        for g in groups[1:4]:
+            assert set(g) == shared
+        disjoint = [set(g) for g in groups[4:]]
+        for i, g in enumerate(disjoint):
+            assert g.isdisjoint(shared)
+            for other in disjoint[i + 1:]:
+                assert g.isdisjoint(other)
+
+    def test_agent_groups_bounds_checked(self):
+        with pytest.raises(ValueError):
+            make_agent_groups(5, n_conflicting=6)
+
+    def test_flights_needed_covers_groups(self):
+        n_agents, n_conf, fpa = 12, 5, 4
+        groups = make_agent_groups(n_agents, n_conf, fpa)
+        db = generate_flight_database(flights_needed(n_agents, n_conf, fpa))
+        for g in groups:
+            for number in g:
+                assert number in db.flights
+
+    def test_reserve_operations_deterministic_and_scoped(self):
+        served = ["FL0001", "FL0002"]
+        a = reserve_operations(served, 10, seed=5, agent_index=2)
+        b = reserve_operations(served, 10, seed=5, agent_index=2)
+        assert a == b
+        assert all(op[0] == "reserve" and op[1] in served for op in a)
+        c = reserve_operations(served, 10, seed=5, agent_index=3)
+        assert a != c  # per-agent substreams differ
+
+    def test_browse_buy_mix_fraction(self):
+        ops = browse_buy_mix(["FL0001"], 400, buy_fraction=0.25, seed=1)
+        buys = sum(1 for op in ops if op[0] == "reserve")
+        assert 0.15 < buys / 400 < 0.35

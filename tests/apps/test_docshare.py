@@ -1,0 +1,240 @@
+"""Tests for the collaborative-document application (application-
+neutrality check: a second app on the unmodified protocol)."""
+
+import pytest
+
+from repro.apps.docshare import (
+    EditorView,
+    SharedDocument,
+    extract_from_document,
+    line_merge_resolver,
+    merge_into_document,
+    sections_property,
+)
+from repro.apps.docshare.document import DocumentError
+from repro.apps.docshare.editor import attach_editor
+from repro.core import FleccSystem, Mode
+from repro.core.system import run_all_scripts
+from repro.core.triggers import TriggerSet
+from repro.net import SimTransport
+from repro.sim import SimKernel
+
+
+def make_doc():
+    return SharedDocument(
+        {"intro": "Line A", "body": "Line B", "outro": ""}
+    )
+
+
+def make_system(resolver=line_merge_resolver):
+    kernel = SimKernel()
+    transport = SimTransport(kernel, default_latency=1.0)
+    system = FleccSystem(
+        transport, make_doc(), extract_from_document, merge_into_document,
+        conflict_resolver=resolver,
+    )
+    return kernel, transport, system
+
+
+class TestDocument:
+    def test_sections_and_counts(self):
+        doc = make_doc()
+        assert doc.text_of("intro") == "Line A"
+        assert doc.word_count() == 4
+        assert doc.line_count() == 2
+
+    def test_add_duplicate_rejected(self):
+        with pytest.raises(DocumentError):
+            make_doc().add_section("intro")
+
+    def test_missing_section_rejected(self):
+        with pytest.raises(DocumentError):
+            make_doc().text_of("ghost")
+
+    def test_extract_respects_property(self):
+        img = extract_from_document(make_doc(), sections_property(["intro"]))
+        assert sorted(img.keys()) == ["intro"]
+
+
+class TestLineMergeResolver:
+    def test_union_keeps_both_sides(self):
+        merged = line_merge_resolver("s", "a\nb", "a\nc")
+        assert merged.splitlines() == ["a", "b", "c"]
+
+    def test_identical_texts_unchanged(self):
+        assert line_merge_resolver("s", "a\nb", "a\nb") == "a\nb"
+
+    def test_empty_sides(self):
+        assert line_merge_resolver("s", "", "x") == "x"
+        assert line_merge_resolver("s", "x", "") == "x"
+
+    def test_idempotent(self):
+        once = line_merge_resolver("s", "a\nb", "c")
+        twice = line_merge_resolver("s", once, "c")
+        assert once == twice
+
+
+class TestEditorView:
+    def test_append_and_read(self):
+        e = EditorView("alice", ["intro"])
+        e.local["intro"] = ""
+        e.append_line("intro", "hello")
+        e.append_line("intro", "world")
+        assert e.lines("intro") == ["hello", "world"]
+        assert e.unsaved_edits == 2
+
+    def test_edit_without_local_copy_rejected(self):
+        with pytest.raises(DocumentError):
+            EditorView("alice", ["intro"]).append_line("intro", "x")
+
+
+class TestCollaboration:
+    def test_disjoint_editors_never_exchange_coherence_traffic(self):
+        kernel, transport, system = make_system()
+        alice = EditorView("alice", ["intro"])
+        bob = EditorView("bob", ["outro"])
+        cm_a = attach_editor(system, alice, triggers=TriggerSet(validity="true"))
+        cm_b = attach_editor(system, bob)
+
+        def edit(cm, editor, section, line):
+            yield cm.start()
+            yield cm.init_image()
+            yield cm.pull_image()
+            yield cm.start_use_image()
+            editor.append_line(section, line)
+            cm.end_use_image()
+            yield cm.push_image()
+
+        run_all_scripts(
+            transport,
+            [edit(cm_a, alice, "intro", "by alice"),
+             edit(cm_b, bob, "outro", "by bob")],
+        )
+        from repro.core import messages as M
+
+        assert M.FETCH_REQ not in transport.stats.by_type
+        doc = system.directory.component
+        assert "by alice" in doc.text_of("intro")
+        assert "by bob" in doc.text_of("outro")
+
+    def test_concurrent_edits_to_same_section_both_survive(self):
+        """The write-write race the airline app cannot absorb is exactly
+        what the docshare merge rule is built for."""
+        kernel, transport, system = make_system()
+        alice = EditorView("alice", ["body"])
+        bob = EditorView("bob", ["body"])
+        cm_a = attach_editor(system, alice)
+        cm_b = attach_editor(system, bob)
+
+        def edit(cm, editor, line, delay):
+            yield cm.start()
+            yield cm.init_image()      # both start from "Line B"
+            yield cm.start_use_image()
+            editor.append_line("body", line)
+            cm.end_use_image()
+            yield ("sleep", delay)     # stagger the pushes
+            yield cm.push_image()
+
+        run_all_scripts(
+            transport,
+            [edit(cm_a, alice, "alice was here", 5.0),
+             edit(cm_b, bob, "bob was here", 15.0)],
+        )
+        final = system.directory.component.text_of("body").splitlines()
+        assert "Line B" in final
+        assert "alice was here" in final
+        assert "bob was here" in final
+
+    def test_without_resolver_concurrent_edit_is_lost(self):
+        kernel, transport, system = make_system(resolver=None)
+        alice = EditorView("alice", ["body"])
+        bob = EditorView("bob", ["body"])
+        cm_a = attach_editor(system, alice)
+        cm_b = attach_editor(system, bob)
+
+        def edit(cm, editor, line, delay):
+            yield cm.start()
+            yield cm.init_image()
+            yield cm.start_use_image()
+            editor.append_line("body", line)
+            cm.end_use_image()
+            yield ("sleep", delay)
+            yield cm.push_image()
+
+        run_all_scripts(
+            transport,
+            [edit(cm_a, alice, "alice was here", 5.0),
+             edit(cm_b, bob, "bob was here", 15.0)],
+        )
+        final = system.directory.component.text_of("body")
+        assert "alice was here" not in final  # clobbered by bob's LWW push
+        assert "bob was here" in final
+
+    def test_autosave_push_trigger_on_view_variable(self):
+        """push="unsaved_edits >= 3" autosaves via reflection."""
+        kernel, transport, system = make_system()
+        alice = EditorView("alice", ["intro"])
+        cm = attach_editor(
+            system, alice,
+            triggers=TriggerSet(push="unsaved_edits >= 3"),
+            trigger_poll_period=10.0,
+        )
+
+        def setup():
+            yield cm.start()
+            yield cm.init_image()
+
+        run_all_scripts(transport, [setup()])
+
+        def edit_twice():
+            yield cm.start_use_image()
+            alice.append_line("intro", "one")
+            alice.append_line("intro", "two")
+            cm.end_use_image()
+
+        run_all_scripts(transport, [edit_twice()])
+        kernel.run(until=kernel.now + 100.0)
+        # Two edits: below threshold, nothing pushed.
+        assert "one" not in system.directory.component.text_of("intro")
+
+        def edit_once_more():
+            yield cm.start_use_image()
+            alice.append_line("intro", "three")
+            cm.end_use_image()
+
+        run_all_scripts(transport, [edit_once_more()])
+        kernel.run(until=kernel.now + 100.0)
+        # Threshold reached: the trigger pushed all three lines.
+        text = system.directory.component.text_of("intro")
+        assert "one" in text and "three" in text
+        alice.mark_saved()
+
+    def test_strong_mode_review_lock(self):
+        """An editor taking a strong-mode 'review lock' sees all prior
+        edits and excludes concurrent editors."""
+        kernel, transport, system = make_system()
+        writer = EditorView("writer", ["body"])
+        reviewer = EditorView("reviewer", ["body"])
+        cm_w = attach_editor(system, writer)
+        cm_r = attach_editor(system, reviewer, mode=Mode.STRONG)
+
+        def write():
+            yield cm_w.start()
+            yield cm_w.init_image()
+            yield cm_w.start_use_image()
+            writer.append_line("body", "draft paragraph")
+            cm_w.end_use_image()
+            yield cm_w.push_image()
+
+        def review():
+            yield cm_r.start()
+            yield cm_r.init_image()
+            yield ("sleep", 20.0)
+            yield cm_r.start_use_image()  # acquires: fresh data
+            seen = reviewer.lines("body")
+            cm_r.end_use_image()
+            return seen
+
+        _, seen = run_all_scripts(transport, [write(), review()])
+        assert "draft paragraph" in seen
+        system.directory.check_invariants()

@@ -1,0 +1,128 @@
+"""Unit tests for the flight database component."""
+
+import pytest
+
+from repro.apps.airline import (
+    Flight,
+    FlightDatabase,
+    extract_from_database,
+    flights_property,
+    merge_into_database,
+)
+from repro.apps.airline.flights import ReservationError, seat_conflict_resolver
+from repro.core import ObjectImage, PropertySet
+
+
+def make_db():
+    return FlightDatabase(
+        [
+            Flight("FL0001", "NYC", "SFO", 100, 100, 250.0),
+            Flight("FL0002", "NYC", "BOS", 50, 10, 99.0),
+            Flight("FL0003", "SFO", "LAX", 80, 0, 120.0),
+        ]
+    )
+
+
+class TestDatabase:
+    def test_browse_all_sorted(self):
+        db = make_db()
+        assert [f.number for f in db.browse()] == ["FL0001", "FL0002", "FL0003"]
+
+    def test_browse_filtered(self):
+        db = make_db()
+        assert [f.number for f in db.browse(origin="NYC")] == ["FL0001", "FL0002"]
+        assert [f.number for f in db.browse(origin="NYC", destination="BOS")] == ["FL0002"]
+
+    def test_reserve_and_release(self):
+        db = make_db()
+        db.reserve("FL0001", 3)
+        assert db.seats_available("FL0001") == 97
+        db.release("FL0001", 2)
+        assert db.seats_available("FL0001") == 99
+
+    def test_reserve_sold_out(self):
+        db = make_db()
+        with pytest.raises(ReservationError, match="has 0 seats"):
+            db.reserve("FL0003")
+
+    def test_reserve_more_than_available(self):
+        db = make_db()
+        with pytest.raises(ReservationError):
+            db.reserve("FL0002", 11)
+
+    def test_reserve_invalid_count(self):
+        db = make_db()
+        with pytest.raises(ReservationError, match="invalid seat count"):
+            db.reserve("FL0001", 0)
+
+    def test_release_overflow_rejected(self):
+        db = make_db()
+        with pytest.raises(ReservationError, match="overflows"):
+            db.release("FL0001", 1)
+
+    def test_unknown_flight(self):
+        db = make_db()
+        with pytest.raises(ReservationError, match="unknown flight"):
+            db.reserve("FL9999")
+
+    def test_duplicate_flight_rejected(self):
+        db = make_db()
+        with pytest.raises(ReservationError, match="duplicate"):
+            db.add_flight(Flight("FL0001", "A", "B", 1, 1, 1.0))
+
+    def test_invalid_seat_invariant_rejected(self):
+        with pytest.raises(ReservationError):
+            FlightDatabase([Flight("F", "A", "B", 10, 11, 1.0)])
+
+    def test_total_seats(self):
+        assert make_db().total_seats_available() == 110
+
+
+class TestFleccFunctions:
+    def test_extract_respects_property_slice(self):
+        db = make_db()
+        props = flights_property(["FL0001", "FL0003"])
+        img = extract_from_database(db, props)
+        assert sorted(img.keys()) == ["FL0001", "FL0003"]
+        assert img.get("FL0001")["seats_available"] == 100
+
+    def test_extract_without_property_takes_all(self):
+        img = extract_from_database(make_db(), PropertySet())
+        assert len(img) == 3
+
+    def test_merge_updates_database(self):
+        db = make_db()
+        cell = db.flights["FL0002"].to_cell()
+        cell["seats_available"] = 1
+        merge_into_database(db, ObjectImage({"FL0002": cell}), PropertySet())
+        assert db.seats_available("FL0002") == 1
+
+    def test_flight_cell_roundtrip(self):
+        f = Flight("X", "A", "B", 10, 5, 42.5)
+        assert Flight.from_cell(f.to_cell()) == f
+
+    def test_extract_merge_roundtrip_preserves_state(self):
+        db1, db2 = make_db(), FlightDatabase()
+        props = flights_property(["FL0001", "FL0002", "FL0003"])
+        merge_into_database(db2, extract_from_database(db1, props), props)
+        assert db2.flights == db1.flights
+
+
+class TestSeatConflictResolver:
+    def test_takes_minimum_seats(self):
+        current = Flight("F", "A", "B", 100, 90, 1.0).to_cell()
+        pushed = Flight("F", "A", "B", 100, 95, 1.0).to_cell()
+        merged = seat_conflict_resolver("F", current, pushed)
+        assert merged["seats_available"] == 90
+
+    def test_pushed_lower_wins(self):
+        current = Flight("F", "A", "B", 100, 95, 1.0).to_cell()
+        pushed = Flight("F", "A", "B", 100, 80, 1.0).to_cell()
+        merged = seat_conflict_resolver("F", current, pushed)
+        assert merged["seats_available"] == 80
+
+    def test_preserves_other_fields(self):
+        current = Flight("F", "A", "B", 100, 90, 1.0).to_cell()
+        pushed = Flight("F", "A", "B", 100, 95, 2.0).to_cell()
+        merged = seat_conflict_resolver("F", current, pushed)
+        assert merged["price"] == 1.0  # lower-seat side's record kept

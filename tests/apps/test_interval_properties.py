@@ -1,0 +1,107 @@
+"""Interval-domain flight properties: agents serving flight-number
+*ranges* conflict exactly when the ranges overlap (Definition 3 with
+``D_p = [d_min, d_max]`` exercised by a real application)."""
+
+import pytest
+
+from repro.apps.airline import FlightDatabase, build_airline_system, generate_flight_database
+from repro.apps.airline.flights import (
+    extract_from_database,
+    flight_index_property,
+    _flight_index,
+)
+from repro.apps.airline.travel_agent import TravelAgent, attach_cache_manager
+from repro.core import messages as M
+from repro.core.system import run_all_scripts
+from repro.core.triggers import TriggerSet
+
+
+def test_flight_index_parsing():
+    assert _flight_index("FL0042") == 42
+    assert _flight_index("UA100") is None
+    assert _flight_index("FLxx") is None
+
+
+def test_extract_respects_interval_slice():
+    db = generate_flight_database(20, seed=0)
+    img = extract_from_database(db, flight_index_property(5, 9))
+    assert sorted(img.keys()) == [f"FL{i:04d}" for i in range(5, 10)]
+
+
+def test_interval_properties_drive_conflicts():
+    p_low = flight_index_property(0, 9)
+    p_mid = flight_index_property(5, 14)
+    p_high = flight_index_property(20, 29)
+    assert p_low.conflicts_with(p_mid)       # [0,9] ∩ [5,14] ≠ ∅
+    assert not p_low.conflicts_with(p_high)  # [0,9] ∩ [20,29] = ∅
+    assert p_mid.conflicts_with(p_high) is False
+
+
+class _RangeAgent(TravelAgent):
+    """Travel agent whose property is an index interval."""
+
+    def __init__(self, agent_id, lo, hi, db):
+        served = [
+            n for n in sorted(db.flights)
+            if lo <= (_flight_index(n) or -1) <= hi
+        ]
+        super().__init__(agent_id, served)
+        self._lo, self._hi = lo, hi
+
+    def properties(self):
+        return flight_index_property(self._lo, self._hi)
+
+
+def test_range_agents_fetch_only_overlapping_ranges():
+    db = generate_flight_database(30, seed=1)
+    airline = build_airline_system(db)
+    fresh = TriggerSet(validity="true")
+
+    def add(agent_id, lo, hi, triggers=None):
+        agent = _RangeAgent(agent_id, lo, hi, db)
+        cm = attach_cache_manager(airline.system, agent, triggers=triggers)
+        airline.agents[agent_id] = agent
+        airline.cache_managers[agent_id] = cm
+        return agent, cm
+
+    a1, cm1 = add("range-0-9", 0, 9, triggers=fresh)
+    a2, cm2 = add("range-5-14", 5, 14)
+    a3, cm3 = add("range-20-29", 20, 29)
+
+    def setup(cm):
+        yield cm.start()
+        yield cm.init_image()
+
+    run_all_scripts(airline.transport, [setup(cm) for cm in (cm1, cm2, cm3)])
+    before = airline.stats.snapshot()
+
+    def puller():
+        yield cm1.pull_image()
+
+    run_all_scripts(airline.transport, [puller()])
+    delta = airline.stats.snapshot().delta(before)
+    # One fetch to the overlapping range agent, none to the disjoint one.
+    assert delta.by_type.get(M.FETCH_REQ, 0) == 1
+    assert (airline.directory.address, cm2.address) in delta.by_pair
+    assert (airline.directory.address, cm3.address) not in delta.by_pair
+
+
+def test_range_reservation_commits_to_correct_slice():
+    db = generate_flight_database(10, seed=2)
+    airline = build_airline_system(db)
+    agent = _RangeAgent("r", 3, 6, db)
+    cm = attach_cache_manager(airline.system, agent)
+    flight = "FL0004"
+    seats_before = db.seats_available(flight)
+
+    def script():
+        yield cm.start()
+        yield cm.init_image()
+        assert sorted(agent.local) == [f"FL{i:04d}" for i in range(3, 7)]
+        yield cm.start_use_image()
+        agent.confirm_tickets(2, flight)
+        cm.end_use_image()
+        yield cm.push_image()
+
+    run_all_scripts(airline.transport, [script()])
+    assert db.seats_available(flight) == seats_before - 2

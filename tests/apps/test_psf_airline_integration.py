@@ -1,0 +1,180 @@
+"""End-to-end: PSF plans and deploys the airline app, then Flecc keeps
+the deployed travel-agent views coherent over the planned topology.
+
+This is the full paper pipeline in one test module: declarative spec
+(§3.1) -> QoS-driven plan (latency + privacy adaptations) -> deployment
+onto the simulated WAN -> coherence traffic with topology latencies ->
+run-time adaptation when the environment changes.
+"""
+
+import pytest
+
+from repro.apps.airline import (
+    Decryptor,
+    Encryptor,
+    TravelAgent,
+    generate_flight_database,
+)
+from repro.apps.airline.app_spec import airline_spec
+from repro.apps.airline.flights import (
+    extract_from_database,
+    merge_into_database,
+)
+from repro.apps.airline.travel_agent import (
+    extract_from_agent,
+    lifecycle,
+    merge_into_agent,
+)
+from repro.core import FleccSystem, Mode
+from repro.core.system import run_all_scripts
+from repro.net import SimTransport
+from repro.net.topology import wan_topology
+from repro.psf import (
+    Deployer,
+    Environment,
+    Monitor,
+    Planner,
+    QoSRequirement,
+)
+from repro.psf.monitoring import AdaptationLoop
+from repro.sim import SimKernel
+
+
+@pytest.fixture()
+def world():
+    topo = wan_topology(
+        {"dc": ["db-server", "dc-spare"], "edge": ["edge-1", "edge-2"]},
+        internet_latency=25.0,
+        lan_latency=0.5,
+        insecure_backbone=True,
+    )
+    env = Environment(topo)
+    for host in env.hosts():
+        topo.graph.nodes[host]["trusted"] = True
+        topo.graph.nodes[host]["capacity"] = 8
+    spec = airline_spec(database_node="db-server")
+    return topo, env, spec
+
+
+def _plan(spec, env, clients):
+    return Planner(spec, env).plan(clients)
+
+
+def test_plan_places_database_and_edge_view(world):
+    topo, env, spec = world
+    plan = _plan(
+        spec, env,
+        [QoSRequirement(client_node="edge-1", max_latency=5.0, privacy=True)],
+    )
+    [db] = plan.instances_of_type("FlightDatabase")
+    assert db.node == "db-server"
+    [agent] = plan.instances_of_type("TravelAgent")
+    assert agent.node in ("edge-1", "edge-2")
+    assert len(plan.codec_pairs) == 2  # both insecure backbone hops
+
+
+def test_deployed_system_runs_coherently_over_planned_topology(world):
+    topo, env, spec = world
+    plan = _plan(
+        spec, env,
+        [QoSRequirement(client_node="edge-1", max_latency=5.0, privacy=True)],
+    )
+    kernel = SimKernel()
+    transport = SimTransport(kernel, topology=topo)
+    database = generate_flight_database(5, seed=11)
+    flecc = FleccSystem(
+        transport, database, extract_from_database, merge_into_database
+    )
+    transport.place(flecc.directory.address, "db-server")
+
+    deployed_agents = []
+
+    def agent_factory(placement):
+        agent = TravelAgent(placement.instance_id, sorted(database.flights))
+        cm = flecc.add_view(
+            placement.instance_id, agent, agent.properties(),
+            extract_from_agent, merge_into_agent, mode=Mode.STRONG,
+        )
+        transport.place(cm.address, placement.node)
+        deployed_agents.append((agent, cm, placement))
+        return agent
+
+    deployer = Deployer(
+        transport,
+        factories={
+            "FlightDatabase": lambda p: database,
+            "TravelAgent": agent_factory,
+            "Encryptor": lambda p: Encryptor(),
+            "Decryptor": lambda p: Decryptor(),
+        },
+    )
+    app = deployer.deploy(plan)
+    assert len(app.instances) == len(plan.all_placements())
+    assert deployed_agents, "the plan should have deployed a TravelAgent view"
+
+    # Run reservations through the deployed view; coherence traffic
+    # crosses the WAN backbone the planner routed around.
+    agent, cm, placement = deployed_agents[0]
+    flight = sorted(database.flights)[0]
+    seats_before = database.seats_available(flight)
+    [made] = run_all_scripts(
+        transport, [lifecycle(cm, agent, [("reserve", flight, 1)] * 3)]
+    )
+    assert made == 3
+    assert database.seats_available(flight) == seats_before - 3
+    # The coherence round-trips paid the backbone latency (view in the
+    # edge domain, directory in the dc domain).
+    assert transport.latency_between(cm.address, "dir") == pytest.approx(51.0)
+    assert kernel.now > 100  # several WAN round trips elapsed
+
+
+def test_codec_pair_from_plan_protects_backbone_payloads(world):
+    topo, env, spec = world
+    plan = _plan(
+        spec, env,
+        [QoSRequirement(client_node="edge-1", max_latency=5.0, privacy=True)],
+    )
+    kernel = SimKernel()
+    transport = SimTransport(kernel, topology=topo)
+    database = generate_flight_database(3, seed=2)
+    app = Deployer(
+        transport,
+        factories={
+            "FlightDatabase": lambda p: database,
+            "TravelAgent": lambda p: TravelAgent(p.instance_id, []),
+            "Encryptor": lambda p: Encryptor(),
+            "Decryptor": lambda p: Decryptor(),
+        },
+    ).deploy(plan)
+    encs = app.by_type("Encryptor")
+    decs = app.by_type("Decryptor")
+    assert len(encs) == len(decs) == 2
+    payload = "PULL_REQ view=ta-1 flight=FL0001"
+    for enc, dec in zip(encs, decs):
+        wire = enc.instance.encrypt(payload)
+        assert payload not in wire
+        assert dec.instance.decrypt(wire) == payload
+
+
+def test_environment_change_triggers_replan_and_redeploy(world):
+    topo, env, spec = world
+    monitor = Monitor(env)
+    client = QoSRequirement(client_node="edge-1", max_latency=80.0)
+    planner = Planner(spec, env)
+    loop = AdaptationLoop(monitor, planner, [client])
+    # 51-unit direct latency fits the 80-unit budget: no view yet.
+    assert loop.current_plan.instances_of_type("TravelAgent") == []
+    monitor.set_link_attr("edge-switch", "internet", "latency", 200.0)
+    assert len(loop.adaptations) == 1
+    added = loop.adaptations[0]["add"]
+    assert [p.type_name for p in added] == ["TravelAgent"]
+    # The diff is deployable incrementally.
+    kernel = SimKernel()
+    transport = SimTransport(kernel, topology=topo)
+    deployer = Deployer(
+        transport,
+        factories={"TravelAgent": lambda p: TravelAgent(p.instance_id, [])},
+    )
+    for placement in added:
+        instance = deployer.factories[placement.type_name](placement)
+        assert isinstance(instance, TravelAgent)

@@ -1,0 +1,169 @@
+"""Tests for the networked client/service layer (paper Fig 1's last hop)."""
+
+import pytest
+
+from repro.apps.airline import Flight, FlightDatabase, build_airline_system
+from repro.apps.airline.flights import ReservationError
+from repro.apps.airline.service import RemoteClient, TravelAgentService
+from repro.core import Mode
+from repro.core.system import run_all_scripts
+
+
+def make_world(mode=Mode.WEAK, seats=20):
+    airline = build_airline_system(
+        FlightDatabase([Flight("UA100", "NYC", "SFO", seats, seats, 100.0)]),
+        n_agent_hosts=1,
+    )
+    agent, cm = airline.add_travel_agent(
+        "ta-1", ["UA100"], mode=mode, node="agent-0"
+    )
+
+    def setup():
+        yield cm.start()
+        yield cm.init_image()
+
+    run_all_scripts(airline.transport, [setup()])
+    service = TravelAgentService(airline.transport, agent, cm)
+    client = RemoteClient(airline.transport, "c1", service.address)
+    return airline, agent, cm, service, client
+
+
+def test_browse_over_the_network():
+    airline, agent, cm, service, client = make_world()
+
+    def script():
+        result = yield client.browse("UA100")
+        return result
+
+    [result] = run_all_scripts(airline.transport, [script()])
+    assert result["flight"]["number"] == "UA100"
+    assert result["flight"]["seats_available"] == 20
+    assert service.requests_served == 1
+
+
+def test_buy_weak_mode_pulls_then_commits():
+    airline, agent, cm, service, client = make_world(mode=Mode.WEAK)
+
+    def script():
+        result = yield client.buy("UA100", seats=3)
+        return result
+
+    [result] = run_all_scripts(airline.transport, [script()])
+    assert result == {"flight": "UA100", "seats": 3, "seats_left": 17}
+    # The sale reached the primary copy (the BUY handler pushes).
+    assert airline.database.seats_available("UA100") == 17
+
+
+def test_buy_strong_mode_serializes_across_services():
+    """Two services on conflicting agents; concurrent strong-mode buys
+    through the network never lose a sale."""
+    airline = build_airline_system(
+        FlightDatabase([Flight("UA100", "NYC", "SFO", 50, 50, 100.0)])
+    )
+    clients = []
+    for i in range(2):
+        agent, cm = airline.add_travel_agent(f"ta-{i}", ["UA100"], mode=Mode.STRONG)
+
+        def setup(cm=cm):
+            yield cm.start()
+            yield cm.init_image()
+
+        run_all_scripts(airline.transport, [setup()])
+        service = TravelAgentService(airline.transport, agent, cm)
+        clients.append(RemoteClient(airline.transport, f"c{i}", service.address))
+
+    def buyer(client):
+        bought = 0
+        for _ in range(4):
+            result = yield client.buy("UA100", seats=1)
+            bought += result["seats"]
+        return bought
+
+    results = run_all_scripts(airline.transport, [buyer(c) for c in clients])
+    assert results == [4, 4]
+    assert airline.database.seats_available("UA100") == 42
+
+
+def test_sold_out_error_propagates_to_client():
+    airline, agent, cm, service, client = make_world(seats=2)
+
+    def script():
+        yield client.buy("UA100", seats=2)
+        try:
+            yield client.buy("UA100", seats=1)
+        except ReservationError as exc:
+            return str(exc)
+        return "no error"
+
+    [err] = run_all_scripts(airline.transport, [script()])
+    assert "sold out" in err
+
+
+def test_unknown_flight_error():
+    airline, agent, cm, service, client = make_world()
+
+    def script():
+        try:
+            yield client.browse("ZZ999")
+        except ReservationError as exc:
+            return str(exc)
+
+    [err] = run_all_scripts(airline.transport, [script()])
+    assert "does not serve" in err
+
+
+def test_switch_mode_through_service():
+    airline, agent, cm, service, client = make_world(mode=Mode.WEAK)
+
+    def script():
+        result = yield client.switch_mode("strong")
+        return result
+
+    [result] = run_all_scripts(airline.transport, [script()])
+    assert result == {"mode": "strong"}
+    assert cm.mode is Mode.STRONG
+
+
+def test_set_operation_implies_consistency_mode():
+    """The §1 story end to end: browse -> weak, buy -> strong."""
+    from repro.psf.qos import Operation
+
+    airline, agent, cm, service, client = make_world(mode=Mode.WEAK)
+
+    def script():
+        yield client.set_operation(Operation.BUY)
+        buying_mode = cm.mode
+        yield client.buy("UA100", seats=1)
+        yield client.set_operation("browse")
+        return buying_mode, cm.mode
+
+    [(buying, browsing)] = run_all_scripts(airline.transport, [script()])
+    assert buying is Mode.STRONG
+    assert browsing is Mode.WEAK
+    assert airline.database.seats_available("UA100") == 19
+
+
+def test_unknown_request_type_rejected():
+    airline, agent, cm, service, client = make_world()
+
+    def script():
+        try:
+            yield client._request("SVC_DANCE", {})
+        except ReservationError as exc:
+            return str(exc)
+
+    [err] = run_all_scripts(airline.transport, [script()])
+    assert "unknown request" in err
+
+
+def test_client_latency_includes_both_hops():
+    """Client -> service -> directory round trips accumulate LAN latency."""
+    airline, agent, cm, service, client = make_world(mode=Mode.WEAK)
+    t0 = airline.kernel.now
+
+    def script():
+        yield client.buy("UA100", seats=1)
+
+    run_all_scripts(airline.transport, [script()])
+    # buy = client->svc + pull round + push round + svc->client >= 6 hops
+    assert airline.kernel.now - t0 >= 6.0

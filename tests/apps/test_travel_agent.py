@@ -1,0 +1,143 @@
+"""Unit + integration tests for the travel agent view."""
+
+import pytest
+
+from repro.apps.airline import (
+    Flight,
+    FlightDatabase,
+    TravelAgent,
+    build_airline_system,
+)
+from repro.apps.airline.flights import ReservationError
+from repro.apps.airline.travel_agent import lifecycle
+from repro.core import Mode, ObjectImage, PropertySet
+from repro.core.system import run_all_scripts
+
+
+def make_db(seats=100):
+    return FlightDatabase(
+        [
+            Flight("FL0001", "NYC", "SFO", seats, seats, 250.0),
+            Flight("FL0002", "NYC", "BOS", seats, seats, 99.0),
+        ]
+    )
+
+
+class TestAgentLocalBehavior:
+    def test_confirm_tickets_updates_local_copy(self):
+        agent = TravelAgent("ta-1", ["FL0001"])
+        agent.local["FL0001"] = Flight("FL0001", "NYC", "SFO", 10, 10, 1.0)
+        agent.confirm_tickets(3, "FL0001")
+        assert agent.local["FL0001"].seats_available == 7
+        assert agent.reservations_made == 3
+
+    def test_sold_out_locally(self):
+        agent = TravelAgent("ta-1", ["FL0001"])
+        agent.local["FL0001"] = Flight("FL0001", "NYC", "SFO", 10, 0, 1.0)
+        with pytest.raises(ReservationError, match="sold out"):
+            agent.confirm_tickets(1, "FL0001")
+
+    def test_unserved_flight_rejected(self):
+        agent = TravelAgent("ta-1", ["FL0001"])
+        with pytest.raises(ReservationError, match="does not serve"):
+            agent.browse("FL0002")
+
+    def test_properties_cover_served_flights(self):
+        agent = TravelAgent("ta-1", ["FL0002", "FL0001"])
+        p = agent.properties().get("Flights")
+        assert p.domain.contains("FL0001") and p.domain.contains("FL0002")
+        assert not p.domain.contains("FL0003")
+
+    def test_extract_merge_roundtrip(self):
+        a1, a2 = TravelAgent("a", ["FL0001"]), TravelAgent("b", ["FL0001"])
+        a1.local["FL0001"] = Flight("FL0001", "NYC", "SFO", 10, 4, 1.0)
+        a2.merge_into_view(a1.extract_from_view(PropertySet()), PropertySet())
+        assert a2.local["FL0001"] == a1.local["FL0001"]
+
+
+class TestLifecycleIntegration:
+    def test_fig3_lifecycle_commits_reservations(self):
+        airline = build_airline_system(make_db())
+        agent, cm = airline.add_travel_agent("ta-1", ["FL0001", "FL0002"])
+        ops = [("reserve", "FL0001", 1)] * 3 + [("reserve", "FL0002", 2)]
+        [made] = run_all_scripts(airline.transport, [lifecycle(cm, agent, ops)])
+        assert made == 5
+        assert airline.database.seats_available("FL0001") == 97
+        assert airline.database.seats_available("FL0002") == 98
+
+    def test_weak_mode_stale_push_cannot_resurrect_seats(self):
+        """The seat conflict resolver keeps seats monotone: a stale
+        push (fewer sales against an old base) must not overwrite a
+        fresher, lower seat count."""
+        def run(use_resolver):
+            airline = build_airline_system(
+                make_db(), use_conflict_resolver=use_resolver
+            )
+            a1, cm1 = airline.add_travel_agent("ta-1", ["FL0001"])
+            a2, cm2 = airline.add_travel_agent("ta-2", ["FL0001"])
+
+            def eager():  # sells 3, pushes immediately
+                yield from lifecycle(cm1, a1, [("reserve", "FL0001", 3)],
+                                     think_time=0.0)
+
+            def laggard():  # pulls the same base, sells 1, pushes later
+                yield cm2.start()
+                yield cm2.init_image()          # base: 100 seats
+                yield ("sleep", 30.0)           # eager's push lands first
+                yield cm2.start_use_image()
+                a2.confirm_tickets(1, "FL0001")
+                cm2.end_use_image()
+                yield cm2.push_image()          # stale push: 99 seats
+
+            run_all_scripts(airline.transport, [eager(), laggard()])
+            return airline.database.seats_available("FL0001")
+
+        assert run(use_resolver=False) == 99  # LWW resurrects 2 sold seats
+        assert run(use_resolver=True) == 97   # resolver keeps the floor
+
+    def test_strong_mode_agents_fully_serialized(self):
+        airline = build_airline_system(make_db())
+        a1, cm1 = airline.add_travel_agent("ta-1", ["FL0001"], mode=Mode.STRONG)
+        a2, cm2 = airline.add_travel_agent("ta-2", ["FL0001"], mode=Mode.STRONG)
+        ops = [("reserve", "FL0001", 1)] * 5
+        run_all_scripts(
+            airline.transport,
+            [lifecycle(cm1, a1, ops), lifecycle(cm2, a2, ops)],
+        )
+        assert airline.database.seats_available("FL0001") == 90
+        airline.directory.check_invariants()
+
+    def test_mode_switch_mid_lifecycle(self):
+        airline = build_airline_system(make_db())
+        agent, cm = airline.add_travel_agent("ta-1", ["FL0001"])
+        ops = (
+            [("reserve", "FL0001", 1)] * 2
+            + [("set_mode", Mode.STRONG)]
+            + [("reserve", "FL0001", 1)] * 2
+            + [("set_mode", Mode.WEAK)]
+            + [("reserve", "FL0001", 1)]
+        )
+        [made] = run_all_scripts(airline.transport, [lifecycle(cm, agent, ops)])
+        assert made == 5
+        assert airline.database.seats_available("FL0001") == 95
+
+    def test_browse_ops_do_not_touch_database(self):
+        airline = build_airline_system(make_db())
+        agent, cm = airline.add_travel_agent("ta-1", ["FL0001"])
+        ops = [("browse", "FL0001")] * 4
+        run_all_scripts(airline.transport, [lifecycle(cm, agent, ops)])
+        assert agent.browse_count == 4
+        assert airline.database.seats_available("FL0001") == 100
+
+    def test_unknown_operation_rejected(self):
+        airline = build_airline_system(make_db())
+        agent, cm = airline.add_travel_agent("ta-1", ["FL0001"])
+        with pytest.raises(ValueError, match="unknown operation"):
+            run_all_scripts(
+                airline.transport, [lifecycle(cm, agent, [("dance",)])]
+            )
+
+    def test_agents_placed_on_lan_hosts_have_latency(self):
+        airline = build_airline_system(make_db(), n_agent_hosts=2, lan_latency=0.5)
+        agent, cm = airline.add_travel_agent("ta-1", ["FL0001"], node="agent-0")
+        assert airline.transport.latency_between(cm.address, "dir") == 1.0

@@ -1,0 +1,49 @@
+"""Tests for the Zipf-skewed workload generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.apps.airline.workload import zipf_reserve_operations
+
+
+FLIGHTS = [f"FL{i:04d}" for i in range(10)]
+
+
+def test_deterministic():
+    a = zipf_reserve_operations(FLIGHTS, 50, seed=3, agent_index=1)
+    b = zipf_reserve_operations(FLIGHTS, 50, seed=3, agent_index=1)
+    assert a == b
+
+
+def test_all_ops_are_reserves_on_served_flights():
+    ops = zipf_reserve_operations(FLIGHTS, 100, seed=0)
+    assert all(op[0] == "reserve" and op[1] in FLIGHTS for op in ops)
+
+
+def test_skew_concentrates_on_head():
+    ops = zipf_reserve_operations(FLIGHTS, 2000, skew=1.5, seed=0)
+    counts = Counter(op[1] for op in ops)
+    head = counts[FLIGHTS[0]]
+    tail = counts[FLIGHTS[-1]]
+    assert head > 5 * max(tail, 1)
+
+
+def test_higher_skew_more_concentrated():
+    def head_share(skew):
+        ops = zipf_reserve_operations(FLIGHTS, 2000, skew=skew, seed=0)
+        counts = Counter(op[1] for op in ops)
+        return counts[FLIGHTS[0]] / 2000
+
+    assert head_share(2.0) > head_share(0.5)
+
+
+def test_invalid_skew_rejected():
+    with pytest.raises(ValueError):
+        zipf_reserve_operations(FLIGHTS, 10, skew=0.0)
+
+
+def test_different_agents_get_different_streams():
+    a = zipf_reserve_operations(FLIGHTS, 50, seed=0, agent_index=0)
+    b = zipf_reserve_operations(FLIGHTS, 50, seed=0, agent_index=1)
+    assert a != b

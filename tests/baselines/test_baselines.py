@@ -1,0 +1,152 @@
+"""Tests for the time-sharing and multicast baseline protocols.
+
+The key relationships the paper's Fig 4 rests on:
+
+    messages(time-sharing) <= messages(flecc) <= messages(multicast)
+
+with Flecc scaling in the number of *conflicting* views while multicast
+scales in the number of *registered* views.
+"""
+
+import pytest
+
+from repro.baselines import MulticastDirectory, ProtocolName, TimeSharingRunner, make_system
+from repro.core import messages as M
+from repro.core.system import run_all_scripts
+from repro.core.triggers import TriggerSet
+from repro.net import SimTransport
+from repro.sim import SimKernel
+
+from tests.core.harness import (
+    Agent,
+    Store,
+    extract_from_object,
+    extract_from_view,
+    merge_into_object,
+    merge_into_view,
+    props_for,
+)
+
+ALWAYS_FRESH = TriggerSet(validity="true")
+
+
+def build(protocol, cells=None):
+    kernel = SimKernel()
+    transport = SimTransport(kernel, default_latency=1.0)
+    store = Store(cells or {"a": 100, "b": 100, "z": 100})
+    system = make_system(
+        protocol, transport, store, extract_from_object, merge_into_object
+    )
+    return kernel, transport, store, system
+
+
+def agent_script(cm, agent, cell):
+    """The Fig 4 per-agent workload: create, init, reserve, kill."""
+    yield cm.start()
+    yield cm.init_image()
+    yield cm.pull_image()
+    yield cm.start_use_image()
+    agent.local[cell] -= 1
+    cm.end_use_image()
+    yield cm.push_image()
+    yield cm.kill_image()
+
+
+def run_workload(protocol, n_conflicting, n_disjoint, serial=False):
+    """n_conflicting agents share cell 'a'; disjoint agents get unique cells."""
+    cells = {"a": 100}
+    cells.update({f"z{i}": 100 for i in range(n_disjoint)})
+    kernel, transport, store, system = build(protocol, cells=cells)
+    scripts = []
+    for i in range(n_conflicting + n_disjoint):
+        cell = "a" if i < n_conflicting else f"z{i - n_conflicting}"
+        agent = Agent()
+        cm = system.add_view(
+            f"v{i}", agent, props_for([cell]),
+            extract_from_view, merge_into_view,
+            triggers=ALWAYS_FRESH,
+        )
+        scripts.append(agent_script(cm, agent, cell))
+    if serial:
+        TimeSharingRunner(transport).run_serial(scripts)
+    else:
+        run_all_scripts(transport, scripts)
+    return transport.stats, store
+
+
+class TestMulticastDirectory:
+    def test_everyone_conflicts(self):
+        _, transport, store, system = build(ProtocolName.MULTICAST)
+        for i in range(3):
+            system.add_view(
+                f"v{i}", Agent(), props_for(["z" if i else "a"]),
+                extract_from_view, merge_into_view,
+            )
+
+        def setup(cm):
+            yield cm.start()
+
+        run_all_scripts(transport, [setup(cm) for cm in system.cache_managers.values()])
+        assert system.directory.conflict_set_of("v0") == ["v1", "v2"]
+
+    def test_pull_fetches_from_all_views_even_disjoint(self):
+        stats, _ = run_workload(ProtocolName.MULTICAST, n_conflicting=2, n_disjoint=3)
+        # Every pull asked every other *active* view regardless of property overlap.
+        assert stats.by_type[M.FETCH_REQ] > 0
+        flecc_stats, _ = run_workload(ProtocolName.FLECC, n_conflicting=2, n_disjoint=3)
+        assert stats.by_type[M.FETCH_REQ] > flecc_stats.by_type.get(M.FETCH_REQ, 0)
+
+
+class TestTimeSharing:
+    def test_serial_execution_produces_no_fetches_or_invalidations(self):
+        stats, _ = run_workload(
+            ProtocolName.TIME_SHARING, n_conflicting=5, n_disjoint=0, serial=True
+        )
+        assert M.FETCH_REQ not in stats.by_type
+        assert M.INVALIDATE not in stats.by_type
+
+    def test_messages_flat_in_conflict_count(self):
+        s5, _ = run_workload(ProtocolName.TIME_SHARING, 5, 0, serial=True)
+        s10, _ = run_workload(ProtocolName.TIME_SHARING, 10, 0, serial=True)
+        # Per-agent cost is constant: total scales exactly with agent count.
+        assert s10.total == 2 * s5.total
+
+
+class TestOrdering:
+    def test_message_count_ordering_matches_paper(self):
+        ts, _ = run_workload(ProtocolName.TIME_SHARING, 6, 4, serial=True)
+        fl, _ = run_workload(ProtocolName.FLECC, 6, 4)
+        mc, _ = run_workload(ProtocolName.MULTICAST, 6, 4)
+        assert ts.total <= fl.total <= mc.total
+        assert fl.total < mc.total  # properties pay off with disjoint views
+
+    def test_flecc_scales_with_conflicts_multicast_with_population(self):
+        # Same population (10), growing conflict group.
+        fl_small, _ = run_workload(ProtocolName.FLECC, 2, 8)
+        fl_large, _ = run_workload(ProtocolName.FLECC, 8, 2)
+        assert fl_small.total < fl_large.total
+        mc_small, _ = run_workload(ProtocolName.MULTICAST, 2, 8)
+        mc_large, _ = run_workload(ProtocolName.MULTICAST, 8, 2)
+        # Multicast is (nearly) insensitive to the conflict structure.
+        assert abs(mc_small.total - mc_large.total) <= 0.05 * mc_small.total
+
+    def test_all_protocols_reach_same_final_state(self):
+        _, store_ts = run_workload(ProtocolName.TIME_SHARING, 4, 2, serial=True)
+        _, store_mc = run_workload(ProtocolName.MULTICAST, 4, 2, serial=True)
+        _, store_fl = run_workload(ProtocolName.FLECC, 4, 2, serial=True)
+        assert store_ts.cells == store_mc.cells == store_fl.cells
+
+
+class TestMakeSystem:
+    def test_protocol_name_parsing(self):
+        assert ProtocolName("flecc") is ProtocolName.FLECC
+        with pytest.raises(ValueError):
+            ProtocolName("bogus")
+
+    def test_multicast_system_uses_multicast_directory(self):
+        _, _, _, system = build("multicast")
+        assert isinstance(system.directory, MulticastDirectory)
+
+    def test_flecc_system_uses_plain_directory(self):
+        _, _, _, system = build("flecc")
+        assert not isinstance(system.directory, MulticastDirectory)

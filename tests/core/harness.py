@@ -1,0 +1,17 @@
+"""Test-suite alias for the public harness in :mod:`repro.testing`.
+
+Kept so existing test imports (``from tests.core.harness import ...``)
+keep working; the implementation is library-public because downstream
+applications want the same fixture (see repro/testing.py).
+"""
+
+from repro.testing import (  # noqa: F401
+    Agent,
+    ProtocolFixture,
+    Store,
+    extract_from_object,
+    extract_from_view,
+    merge_into_object,
+    merge_into_view,
+    props_for,
+)

@@ -1,0 +1,69 @@
+"""Tests for the directory's operational counters."""
+
+from repro.core import Mode
+from repro.testing import ProtocolFixture
+
+
+def test_lifecycle_counters():
+    fx = ProtocolFixture(store_cells={"a": 1})
+    cm, agent = fx.add_agent("v1", ["a"])
+
+    def script():
+        yield cm.start()
+        yield cm.init_image()
+        yield cm.start_use_image()
+        agent.local["a"] = 2
+        cm.end_use_image()
+        yield cm.push_image()
+        yield cm.kill_image()
+
+    fx.run_scripts(script())
+    c = fx.system.directory.counters
+    assert c["registers"] == 1
+    assert c["unregisters"] == 1
+    assert c["pushes"] == 1
+    assert c["commits"] == 1
+    assert c["rounds"] == 0  # single view: no invalidate/fetch rounds
+    assert c["grants"] == 0
+
+
+def test_strong_contention_counters():
+    fx = ProtocolFixture(store_cells={"a": 0})
+    cms = [fx.add_agent(f"v{i}", ["a"], mode=Mode.STRONG) for i in range(3)]
+
+    def script(cm, agent):
+        yield cm.start()
+        yield cm.init_image()
+        yield cm.start_use_image()
+        agent.local["a"] += 1
+        cm.end_use_image()
+        yield ("sleep", 5.0)
+
+    fx.run_scripts(*(script(cm, a) for cm, a in cms))
+    c = fx.system.directory.counters
+    assert c["grants"] == 3
+    # Acquires revoke prior owners; interleaved inits may revoke too.
+    assert c["invalidates_sent"] >= 2
+    assert c["rounds"] >= 2
+    assert c["round_timeouts"] == 0
+    assert c["invalidates_sent"] == fx.stats.by_type["INVALIDATE"]
+
+
+def test_fetch_counter():
+    from repro.core.triggers import TriggerSet
+
+    fx = ProtocolFixture(store_cells={"a": 0})
+    cm1, _ = fx.add_agent("v1", ["a"], triggers=TriggerSet(validity="true"))
+    cm2, _ = fx.add_agent("v2", ["a"])
+
+    def setup(cm):
+        yield cm.start()
+        yield cm.init_image()
+
+    fx.run_scripts(setup(cm1), setup(cm2))
+
+    def puller():
+        yield cm1.pull_image()
+
+    fx.run_scripts(puller())
+    assert fx.system.directory.counters["fetches_sent"] == 1

@@ -1,0 +1,123 @@
+"""Unit tests for repro.core.domains."""
+
+import pytest
+
+from repro.core import DiscreteSet, Domain, Interval
+from repro.core.domains import EMPTY_DOMAIN, domain_from_spec
+from repro.errors import PropertyError
+
+
+class TestInterval:
+    def test_construction_and_contains(self):
+        iv = Interval(5, 10)
+        assert iv.contains(5) and iv.contains(10) and iv.contains(7.5)
+        assert not iv.contains(4.999) and not iv.contains(11)
+
+    def test_contains_rejects_non_numeric(self):
+        assert not Interval(0, 1).contains("x")
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(PropertyError):
+            Interval(10, 5)
+
+    def test_non_numeric_bounds_rejected(self):
+        with pytest.raises(PropertyError):
+            Interval("a", "b")
+
+    def test_point_interval_allowed(self):
+        assert Interval(3, 3).contains(3)
+
+    def test_intersect_overlapping(self):
+        assert Interval(0, 10).intersect(Interval(5, 20)) == Interval(5, 10)
+
+    def test_intersect_touching_endpoints(self):
+        assert Interval(0, 5).intersect(Interval(5, 10)) == Interval(5, 5)
+
+    def test_intersect_disjoint_is_empty(self):
+        out = Interval(0, 4).intersect(Interval(5, 10))
+        assert out.is_empty()
+
+    def test_intersect_with_discrete(self):
+        out = Interval(0, 10).intersect(DiscreteSet({5, 15, 7}))
+        assert out == DiscreteSet({5, 7})
+
+    def test_intersect_with_discrete_disjoint(self):
+        assert Interval(0, 1).intersect(DiscreteSet({5})).is_empty()
+
+    def test_and_operator(self):
+        assert (Interval(0, 10) & Interval(5, 6)) == Interval(5, 6)
+
+
+class TestDiscreteSet:
+    def test_construction_and_contains(self):
+        ds = DiscreteSet({"a", "b"})
+        assert ds.contains("a") and not ds.contains("c")
+        assert len(ds) == 2
+
+    def test_empty_construction_rejected(self):
+        with pytest.raises(PropertyError):
+            DiscreteSet(set())
+
+    def test_non_scalar_values_rejected(self):
+        with pytest.raises(PropertyError):
+            DiscreteSet({("tuple",)})
+
+    def test_intersect_discrete(self):
+        assert DiscreteSet({1, 2, 3}).intersect(DiscreteSet({2, 3, 4})) == DiscreteSet({2, 3})
+
+    def test_intersect_disjoint_is_empty(self):
+        assert DiscreteSet({1}).intersect(DiscreteSet({2})).is_empty()
+
+    def test_intersect_interval_commutes(self):
+        a = DiscreteSet({1, 5, 9}).intersect(Interval(2, 9))
+        b = Interval(2, 9).intersect(DiscreteSet({1, 5, 9}))
+        assert a == b == DiscreteSet({5, 9})
+
+    def test_mixed_value_types(self):
+        ds = DiscreteSet({1, "one"})
+        assert ds.contains(1) and ds.contains("one")
+
+
+class TestEmptyDomain:
+    def test_absorbs_everything(self):
+        assert EMPTY_DOMAIN.intersect(Interval(0, 1)) is EMPTY_DOMAIN
+        assert Interval(0, 1).intersect(EMPTY_DOMAIN).is_empty()
+        assert DiscreteSet({1}).intersect(EMPTY_DOMAIN).is_empty()
+
+    def test_contains_nothing(self):
+        assert not EMPTY_DOMAIN.contains(0)
+
+    def test_equality(self):
+        assert EMPTY_DOMAIN == Interval(0, 1).intersect(Interval(5, 6))
+
+
+class TestJsonable:
+    @pytest.mark.parametrize(
+        "dom",
+        [Interval(0, 10), Interval(2.5, 3.5), DiscreteSet({1, 2}), DiscreteSet({"x"}), EMPTY_DOMAIN],
+    )
+    def test_roundtrip(self, dom):
+        assert Domain.from_jsonable(dom.to_jsonable()) == dom
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PropertyError):
+            Domain.from_jsonable({"kind": "mystery"})
+
+
+class TestDomainFromSpec:
+    def test_tuple_becomes_interval(self):
+        assert domain_from_spec((1, 5)) == Interval(1, 5)
+
+    def test_list_becomes_discrete(self):
+        assert domain_from_spec([1, 2]) == DiscreteSet({1, 2})
+
+    def test_set_becomes_discrete(self):
+        assert domain_from_spec({"a"}) == DiscreteSet({"a"})
+
+    def test_domain_passthrough(self):
+        iv = Interval(0, 1)
+        assert domain_from_spec(iv) is iv
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PropertyError):
+            domain_from_spec(42)

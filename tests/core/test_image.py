@@ -1,0 +1,141 @@
+"""Unit tests for repro.core.image."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ObjectImage, VersionVector
+from repro.errors import ProtocolError
+
+
+class TestBasics:
+    def test_empty(self):
+        img = ObjectImage()
+        assert img.is_empty() and len(img) == 0
+
+    def test_put_bumps_version(self):
+        img = ObjectImage()
+        img.put("k", 1)
+        img.put("k", 2)
+        assert img.get("k") == 2 and img.versions.get("k") == 2
+
+    def test_put_with_explicit_version(self):
+        img = ObjectImage()
+        img.put("k", "v", version=7)
+        assert img.versions.get("k") == 7
+
+    def test_restrict(self):
+        img = ObjectImage({"a": 1, "b": 2, "c": 3}, VersionVector({"a": 5, "b": 6}))
+        sub = img.restrict(["a", "c", "ghost"])
+        assert sorted(sub.keys()) == ["a", "c"]
+        assert sub.versions.get("a") == 5 and sub.versions.get("c") == 0
+
+    def test_contains_and_get_default(self):
+        img = ObjectImage({"a": 1})
+        assert "a" in img and "b" not in img
+        assert img.get("b", "fallback") == "fallback"
+
+    def test_copy_independent(self):
+        img = ObjectImage({"a": 1})
+        c = img.copy()
+        c.put("a", 2)
+        assert img.get("a") == 1
+
+    def test_constructor_copies_versions(self):
+        vv = VersionVector({"a": 1})
+        img = ObjectImage({"a": "x"}, vv)
+        vv.bump("a")
+        assert img.versions.get("a") == 1
+
+
+class TestMergeNewer:
+    def test_newer_wins(self):
+        local = ObjectImage({"a": "old"}, VersionVector({"a": 1}))
+        incoming = ObjectImage({"a": "new"}, VersionVector({"a": 2}))
+        assert local.merge_newer(incoming) == 1
+        assert local.get("a") == "new" and local.versions.get("a") == 2
+
+    def test_tie_keeps_local(self):
+        local = ObjectImage({"a": "mine"}, VersionVector({"a": 2}))
+        incoming = ObjectImage({"a": "theirs"}, VersionVector({"a": 2}))
+        assert local.merge_newer(incoming) == 0
+        assert local.get("a") == "mine"
+
+    def test_older_ignored(self):
+        local = ObjectImage({"a": "mine"}, VersionVector({"a": 3}))
+        incoming = ObjectImage({"a": "theirs"}, VersionVector({"a": 1}))
+        assert local.merge_newer(incoming) == 0
+
+    def test_new_cells_added(self):
+        local = ObjectImage()
+        incoming = ObjectImage({"a": 1}, VersionVector({"a": 1}))
+        assert local.merge_newer(incoming) == 1
+        assert local.get("a") == 1
+
+
+class TestMergeWithResolver:
+    def test_resolver_called_on_same_version_divergence(self):
+        local = ObjectImage({"seats": 5}, VersionVector({"seats": 2}))
+        incoming = ObjectImage({"seats": 3}, VersionVector({"seats": 2}))
+        calls = []
+
+        def resolver(key, mine, theirs):
+            calls.append((key, mine, theirs))
+            return min(mine, theirs)
+
+        taken = local.merge_with(incoming, resolver)
+        assert calls == [("seats", 5, 3)]
+        assert local.get("seats") == 3 and taken == 1
+        assert local.versions.get("seats") == 3  # resolution is a new update
+
+    def test_resolver_keeping_local_changes_nothing(self):
+        local = ObjectImage({"a": 5}, VersionVector({"a": 2}))
+        incoming = ObjectImage({"a": 3}, VersionVector({"a": 2}))
+        assert local.merge_with(incoming, lambda k, m, t: m) == 0
+        assert local.get("a") == 5 and local.versions.get("a") == 2
+
+    def test_without_resolver_same_as_merge_newer(self):
+        l1 = ObjectImage({"a": 1}, VersionVector({"a": 1}))
+        l2 = l1.copy()
+        incoming = ObjectImage({"a": 9}, VersionVector({"a": 5}))
+        l1.merge_newer(incoming.copy())
+        l2.merge_with(incoming.copy(), None)
+        assert l1 == l2
+
+
+class TestMergeProperties:
+    images = st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.tuples(st.integers(0, 9), st.integers(0, 9)),
+        max_size=3,
+    ).map(
+        lambda d: ObjectImage(
+            {k: v for k, (v, _n) in d.items()},
+            VersionVector({k: n for k, (_v, n) in d.items()}),
+        )
+    )
+
+    @given(images, images)
+    def test_merge_newer_idempotent(self, a, b):
+        once = a.copy()
+        once.merge_newer(b)
+        twice = once.copy()
+        twice.merge_newer(b)
+        assert once == twice
+
+    @given(images, images)
+    def test_merge_result_dominates_incoming(self, a, b):
+        a.merge_newer(b)
+        for k in b.keys():
+            assert a.versions.get(k) >= b.versions.get(k)
+
+
+class TestWire:
+    def test_jsonable_roundtrip(self):
+        img = ObjectImage({"a": [1, 2], "b": {"x": 1}}, VersionVector({"a": 3}))
+        back = ObjectImage.from_jsonable(img.to_jsonable())
+        assert back == img
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ProtocolError):
+            ObjectImage.from_jsonable({"not-cells": 1})

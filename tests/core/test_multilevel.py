@@ -1,0 +1,219 @@
+"""Tests for the two-level protocol extension (paper §6, direction 2).
+
+Low level: unmodified Flecc (views <-> their instance's directory).
+High level: decentralized anti-entropy between instance coordinators.
+"""
+
+import pytest
+
+from repro.core.directory import DirectoryManager
+from repro.core.multilevel import ReplicaCoordinator, converged
+from repro.core.system import run_all_scripts
+from repro.errors import ProtocolError
+from repro.net import SimTransport
+from repro.sim import SimKernel
+
+from tests.core.harness import (
+    Agent,
+    Store,
+    extract_from_object,
+    extract_from_view,
+    merge_into_object,
+    merge_into_view,
+    props_for,
+)
+from repro.core.cache_manager import CacheManager
+
+
+class TwoLevelFixture:
+    """N component instances, each with a directory + coordinator."""
+
+    def __init__(self, n_replicas=2, cells=None):
+        self.kernel = SimKernel()
+        self.transport = SimTransport(self.kernel, default_latency=1.0)
+        self.stores = []
+        self.directories = []
+        self.coordinators = []
+        names = [f"rep{i}" for i in range(n_replicas)]
+        for i, name in enumerate(names):
+            store = Store(dict(cells or {"a": 0, "b": 0}))
+            directory = DirectoryManager(
+                transport=self.transport,
+                address=f"dir:{name}",
+                component=store,
+                extract_from_object=extract_from_object,
+                merge_into_object=merge_into_object,
+            )
+            coord = ReplicaCoordinator(
+                self.transport, name, directory,
+                peers=[p for p in names if p != name],
+            )
+            self.stores.append(store)
+            self.directories.append(directory)
+            self.coordinators.append(coord)
+
+    def add_view(self, replica_index, view_id, cells=("a",)):
+        agent = Agent()
+        cm = CacheManager(
+            transport=self.transport,
+            directory_address=self.directories[replica_index].address,
+            view_id=view_id,
+            view=agent,
+            properties=props_for(cells),
+            extract_from_view=extract_from_view,
+            merge_into_view=merge_into_view,
+        )
+        return cm, agent
+
+    def run(self, until=None):
+        return self.kernel.run(until=until)
+
+    def run_scripts(self, *scripts):
+        return run_all_scripts(self.transport, list(scripts))
+
+
+def _update_script(cm, agent, cell, value):
+    yield cm.start()
+    yield cm.init_image()
+    yield cm.start_use_image()
+    agent.local[cell] = value
+    cm.end_use_image()
+    yield cm.push_image()
+
+
+def test_single_sync_round_propagates_update():
+    fx = TwoLevelFixture()
+    cm, agent = fx.add_view(0, "v0")
+    fx.run_scripts(_update_script(cm, agent, "a", 42))
+    assert fx.stores[0].cells["a"] == 42
+    assert fx.stores[1].cells["a"] == 0
+
+    def syncer():
+        absorbed = yield fx.coordinators[1].sync_with("rep0")
+        return absorbed
+
+    [absorbed] = fx.run_scripts(syncer())
+    assert absorbed == 1
+    assert fx.stores[1].cells["a"] == 42
+    assert converged(fx.coordinators)
+
+
+def test_bidirectional_round_merges_both_sides():
+    fx = TwoLevelFixture()
+    cm0, a0 = fx.add_view(0, "v0", cells=("a",))
+    cm1, a1 = fx.add_view(1, "v1", cells=("b",))
+    fx.run_scripts(
+        _update_script(cm0, a0, "a", 10), _update_script(cm1, a1, "b", 20)
+    )
+
+    def syncer():
+        yield fx.coordinators[0].sync_with("rep1")
+
+    fx.run_scripts(syncer())
+    for store in fx.stores:
+        assert store.cells == {"a": 10, "b": 20}
+    assert converged(fx.coordinators)
+
+
+def test_concurrent_updates_converge_deterministically():
+    """Same cell updated at both replicas with equal version counts:
+    the (version, origin) order breaks the tie identically everywhere."""
+    fx = TwoLevelFixture()
+    cm0, a0 = fx.add_view(0, "v0")
+    cm1, a1 = fx.add_view(1, "v1")
+    fx.run_scripts(
+        _update_script(cm0, a0, "a", 111), _update_script(cm1, a1, "a", 222)
+    )
+
+    def sync_both():
+        yield fx.coordinators[0].sync_with("rep1")
+        yield fx.coordinators[1].sync_with("rep0")
+
+    fx.run_scripts(sync_both())
+    assert converged(fx.coordinators)
+    # rep1 > rep0 lexicographically, so rep1's concurrent write wins.
+    assert fx.stores[0].cells["a"] == 222
+    assert fx.stores[1].cells["a"] == 222
+
+
+def test_higher_version_beats_origin_tiebreak():
+    fx = TwoLevelFixture()
+    cm0, a0 = fx.add_view(0, "v0")
+    cm1, a1 = fx.add_view(1, "v1")
+
+    def double_update():
+        yield cm0.start()
+        yield cm0.init_image()
+        for value in (5, 6):  # two commits -> version 2 at rep0
+            yield cm0.start_use_image()
+            a0.local["a"] = value
+            cm0.end_use_image()
+            yield cm0.push_image()
+
+    fx.run_scripts(double_update(), _update_script(cm1, a1, "a", 999))
+
+    def sync_both():
+        yield fx.coordinators[0].sync_with("rep1")
+        yield fx.coordinators[1].sync_with("rep0")
+
+    fx.run_scripts(sync_both())
+    assert converged(fx.coordinators)
+    assert fx.stores[1].cells["a"] == 6  # version 2 beats version 1
+
+
+def test_periodic_gossip_converges_three_replicas():
+    fx = TwoLevelFixture(n_replicas=3)
+    cms = [fx.add_view(i, f"v{i}") for i in range(3)]
+    fx.run_scripts(
+        *(
+            _update_script(cm, agent, "a" if i == 0 else "b", 100 + i)
+            for i, (cm, agent) in enumerate(cms)
+        )
+    )
+    for coord in fx.coordinators:
+        coord.start()
+    fx.run(until=500.0)
+    for coord in fx.coordinators:
+        coord.stop()
+    fx.run()
+    assert converged(fx.coordinators)
+    assert fx.coordinators[0].rounds_completed >= 2
+
+
+def test_view_pull_sees_gossiped_remote_update():
+    """The two levels compose: an update enters through replica 0's
+    low-level Flecc, crosses the high level via anti-entropy, and is
+    pulled by a view attached to replica 1."""
+    fx = TwoLevelFixture()
+    cm0, a0 = fx.add_view(0, "v0")
+    cm1, a1 = fx.add_view(1, "v1")
+    fx.run_scripts(_update_script(cm0, a0, "a", 77))
+
+    def reader():
+        yield cm1.start()
+        yield cm1.init_image()
+        before = a1.local["a"]
+        yield fx.coordinators[1].sync_with("rep0")
+        img = yield cm1.pull_image()
+        return before, img.get("a")
+
+    [(before, after)] = fx.run_scripts(reader())
+    assert before == 0 and after == 77
+
+
+def test_double_hook_rejected():
+    fx = TwoLevelFixture()
+    with pytest.raises(ProtocolError, match="on_commit"):
+        ReplicaCoordinator(fx.transport, "again", fx.directories[0])
+
+
+def test_gossip_without_peers_rejected():
+    fx = TwoLevelFixture(n_replicas=1)
+    fx.coordinators[0].peers = []
+    with pytest.raises(ProtocolError, match="no peers"):
+        fx.coordinators[0].start()
+
+
+def test_converged_trivially_true_for_single_replica():
+    fx = TwoLevelFixture(n_replicas=1)
+    assert converged(fx.coordinators)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.core.property and property_set (Definitions 1-3)."""
+
+import pytest
+
+from repro.core import DiscreteSet, Interval, Property, PropertySet
+from repro.core.conflicts import dyn_confl
+from repro.errors import PropertyError
+
+
+class TestProperty:
+    def test_shorthand_domains(self):
+        assert Property("p", (0, 10)).domain == Interval(0, 10)
+        assert Property("p", [1, 2]).domain == DiscreteSet({1, 2})
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(PropertyError):
+            Property("", (0, 1))
+        with pytest.raises(PropertyError):
+            Property(None, (0, 1))  # type: ignore[arg-type]
+
+    def test_immutable(self):
+        p = Property("p", (0, 1))
+        with pytest.raises(PropertyError):
+            p.name = "q"
+
+    def test_intersect_same_name(self):
+        r = Property("p", (0, 10)).intersect(Property("p", (5, 20)))
+        assert r == Property("p", (5, 10))
+
+    def test_intersect_different_names_is_none(self):
+        assert Property("p", (0, 10)).intersect(Property("q", (0, 10))) is None
+
+    def test_intersect_disjoint_domains_is_none(self):
+        assert Property("p", (0, 1)).intersect(Property("p", (2, 3))) is None
+
+    def test_conflicts_with(self):
+        assert Property("p", [1, 2]).conflicts_with(Property("p", [2, 3]))
+        assert not Property("p", [1]).conflicts_with(Property("p", [2]))
+
+    def test_jsonable_roundtrip(self):
+        p = Property("Flights", DiscreteSet({"UA100", "UA200"}))
+        assert Property.from_jsonable(p.to_jsonable()) == p
+
+    def test_hash_and_eq(self):
+        assert Property("p", (0, 1)) == Property("p", (0, 1))
+        assert len({Property("p", (0, 1)), Property("p", (0, 1))}) == 1
+
+
+class TestPropertySet:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(PropertyError, match="duplicate property name"):
+            PropertySet([Property("p", (0, 1)), Property("p", (2, 3))])
+
+    def test_non_property_rejected(self):
+        with pytest.raises(PropertyError):
+            PropertySet(["not a property"])  # type: ignore[list-item]
+
+    def test_iteration_sorted_by_name(self):
+        ps = PropertySet([Property("z", (0, 1)), Property("a", (0, 1))])
+        assert [p.name for p in ps] == ["a", "z"]
+
+    def test_lookup(self):
+        ps = PropertySet([Property("p", (0, 1))])
+        assert "p" in ps and "q" not in ps
+        assert ps.get("p").name == "p"
+        assert ps.get("q") is None
+
+    def test_immutable(self):
+        ps = PropertySet()
+        with pytest.raises(PropertyError):
+            ps.anything = 1
+
+    def test_empty_set(self):
+        ps = PropertySet()
+        assert ps.is_empty() and len(ps) == 0
+
+    def test_intersect_definition_2(self):
+        # Paper Fig 2 example: V1={x,y}, V2={x,z} under property P.
+        v1 = PropertySet([Property("P", DiscreteSet({"x", "y"}))])
+        v2 = PropertySet([Property("P", DiscreteSet({"x", "z"}))])
+        common = v1.intersect(v2)
+        assert len(common) == 1
+        assert common.get("P").domain == DiscreteSet({"x"})
+
+    def test_intersect_multiple_names(self):
+        a = PropertySet([Property("p", (0, 10)), Property("q", [1, 2])])
+        b = PropertySet([Property("p", (5, 20)), Property("r", [1])])
+        common = a.intersect(b)
+        assert common.names() == ["p"]
+
+    def test_intersect_empty(self):
+        a = PropertySet([Property("p", (0, 1))])
+        b = PropertySet([Property("q", (0, 1))])
+        assert a.intersect(b).is_empty()
+        assert not a.conflicts_with(b)
+
+    def test_dyn_confl_definition_1(self):
+        p = PropertySet([Property("Flights", (0, 50))])
+        q = PropertySet([Property("Flights", (40, 90))])
+        r = PropertySet([Property("Flights", (60, 90))])
+        assert dyn_confl(p, q) == 1
+        assert dyn_confl(p, r) == 0
+
+    def test_jsonable_roundtrip(self):
+        ps = PropertySet([Property("p", (0, 1)), Property("q", ["a"])])
+        assert PropertySet.from_jsonable(ps.to_jsonable()) == ps
+
+    def test_union_names(self):
+        a = PropertySet([Property("p", (0, 1))])
+        b = PropertySet([Property("q", (0, 1))])
+        assert a.union_names(b) == ["p", "q"]

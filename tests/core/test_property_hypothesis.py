@@ -1,0 +1,133 @@
+"""Property-based tests for the property/domain intersection algebra.
+
+The paper's conflict computation hinges on this algebra behaving like
+set intersection; hypothesis checks the algebraic laws over random
+domains and property sets.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DiscreteSet, Interval, Property, PropertySet
+from repro.core.conflicts import dyn_confl
+from repro.core.domains import Domain
+
+# -- strategies -------------------------------------------------------------
+
+ints = st.integers(min_value=-50, max_value=50)
+
+
+@st.composite
+def intervals(draw):
+    a, b = draw(ints), draw(ints)
+    return Interval(min(a, b), max(a, b))
+
+
+discrete_sets = st.sets(ints, min_size=1, max_size=8).map(DiscreteSet)
+domains = st.one_of(intervals(), discrete_sets)
+
+names = st.sampled_from(["p", "q", "Flights", "Seats"])
+properties = st.builds(Property, names, domains)
+
+
+@st.composite
+def property_sets(draw):
+    props = draw(st.lists(properties, max_size=4))
+    seen, unique = set(), []
+    for p in props:
+        if p.name not in seen:
+            seen.add(p.name)
+            unique.append(p)
+    return PropertySet(unique)
+
+
+# -- domain laws --------------------------------------------------------------
+
+
+@given(domains, domains)
+def test_domain_intersection_commutative(a, b):
+    assert a.intersect(b) == b.intersect(a)
+
+
+@given(domains)
+def test_domain_intersection_idempotent(a):
+    assert a.intersect(a) == a
+
+
+@given(domains, domains, domains)
+@settings(max_examples=200)
+def test_domain_intersection_associative(a, b, c):
+    assert a.intersect(b).intersect(c) == a.intersect(b.intersect(c))
+
+
+@given(domains, domains, ints)
+def test_domain_intersection_is_conjunction_of_membership(a, b, x):
+    common = a.intersect(b)
+    assert common.contains(x) == (a.contains(x) and b.contains(x))
+
+
+@given(domains)
+def test_domain_jsonable_roundtrip(a):
+    assert Domain.from_jsonable(a.to_jsonable()) == a
+
+
+# -- property laws ---------------------------------------------------------------
+
+
+@given(properties, properties)
+def test_property_intersection_symmetric(p, q):
+    r1, r2 = p.intersect(q), q.intersect(p)
+    assert (r1 is None) == (r2 is None)
+    if r1 is not None:
+        assert r1 == r2
+
+
+@given(properties)
+def test_property_self_intersection(p):
+    assert p.intersect(p) == p
+
+
+@given(properties)
+def test_property_jsonable_roundtrip(p):
+    assert Property.from_jsonable(p.to_jsonable()) == p
+
+
+# -- property-set laws (Definitions 1-2) -------------------------------------------
+
+
+@given(property_sets(), property_sets())
+def test_dyn_confl_symmetric(a, b):
+    assert dyn_confl(a, b) == dyn_confl(b, a)
+
+
+@given(property_sets(), property_sets())
+def test_set_intersection_commutative(a, b):
+    assert a.intersect(b) == b.intersect(a)
+
+
+@given(property_sets())
+def test_set_self_intersection_idempotent(a):
+    assert a.intersect(a) == a
+
+
+@given(property_sets(), property_sets())
+def test_intersection_subset_of_both_name_sets(a, b):
+    common = a.intersect(b)
+    for p in common:
+        assert p.name in a and p.name in b
+
+
+@given(property_sets(), property_sets(), property_sets())
+@settings(max_examples=150)
+def test_set_intersection_associative(a, b, c):
+    assert a.intersect(b).intersect(c) == a.intersect(b.intersect(c))
+
+
+@given(property_sets())
+def test_empty_set_never_conflicts(a):
+    assert dyn_confl(a, PropertySet()) == 0
+
+
+@given(property_sets())
+def test_set_jsonable_roundtrip(a):
+    assert PropertySet.from_jsonable(a.to_jsonable()) == a

@@ -1,0 +1,213 @@
+"""Protocol tests: registration, init/pull/push/kill life cycle (weak mode)."""
+
+import pytest
+
+from repro.core import Mode
+from repro.core import messages as M
+from repro.errors import ProtocolError
+
+from tests.core.harness import ProtocolFixture
+
+
+def test_register_records_view_at_directory():
+    fx = ProtocolFixture()
+    cm, _ = fx.add_agent("v1", ["a"])
+
+    def script():
+        yield cm.start()
+
+    fx.run_scripts(script())
+    assert cm.registered
+    assert fx.system.directory.registered_views() == ["v1"]
+    rec = fx.system.directory.views["v1"]
+    assert rec.mode is Mode.WEAK and not rec.active
+
+
+def test_double_register_rejected():
+    fx = ProtocolFixture()
+    cm, _ = fx.add_agent("v1", ["a"])
+
+    def script():
+        yield cm.start()
+        try:
+            yield cm._request(M.REGISTER, {"properties": cm.properties,
+                                           "mode": "weak", "triggers": {}})
+        except ProtocolError as e:
+            return str(e)
+        return "no error"
+
+    [result] = fx.run_scripts(script())
+    assert "already registered" in result
+
+
+def test_init_image_delivers_slice_only():
+    fx = ProtocolFixture(store_cells={"a": 1, "b": 2, "c": 3})
+    cm, agent = fx.add_agent("v1", ["a", "b"])
+
+    def script():
+        yield cm.start()
+        img = yield cm.init_image()
+        return img
+
+    [img] = fx.run_scripts(script())
+    assert sorted(img.keys()) == ["a", "b"]
+    assert agent.local == {"a": 1, "b": 2}
+    assert fx.system.directory.views["v1"].active
+
+
+def test_push_commits_only_dirty_cells():
+    fx = ProtocolFixture(store_cells={"a": 1, "b": 2})
+    cm, agent = fx.add_agent("v1", ["a", "b"])
+
+    def script():
+        yield cm.start()
+        yield cm.init_image()
+        agent.local["a"] = 100  # modify one cell
+        committed = yield cm.push_image()
+        return committed
+
+    [committed] = fx.run_scripts(script())
+    assert committed == 1
+    assert fx.store.cells == {"a": 100, "b": 2}
+    assert fx.system.directory.master_versions.get("a") == 1
+    assert fx.system.directory.master_versions.get("b") == 0
+
+
+def test_push_with_no_changes_commits_nothing():
+    fx = ProtocolFixture()
+    cm, _ = fx.add_agent("v1", ["a"])
+
+    def script():
+        yield cm.start()
+        yield cm.init_image()
+        committed = yield cm.push_image()
+        return committed
+
+    [committed] = fx.run_scripts(script())
+    assert committed == 0
+    assert len(fx.system.directory.master_versions) == 0
+
+
+def test_pull_brings_remote_updates():
+    fx = ProtocolFixture(store_cells={"a": 1})
+    cm1, agent1 = fx.add_agent("v1", ["a"])
+    cm2, agent2 = fx.add_agent("v2", ["a"])
+
+    def writer():
+        yield cm1.start()
+        yield cm1.init_image()
+        agent1.local["a"] = 50
+        yield cm1.push_image()
+
+    def reader():
+        yield cm2.start()
+        yield cm2.init_image()
+        yield ("sleep", 50.0)  # let the writer commit
+        img = yield cm2.pull_image()
+        return img.get("a")
+
+    _, value = fx.run_scripts(writer(), reader())
+    assert value == 50
+    assert agent2.local["a"] == 50
+
+
+def test_kill_image_pushes_final_state_and_unregisters():
+    fx = ProtocolFixture(store_cells={"a": 1})
+    cm, agent = fx.add_agent("v1", ["a"])
+
+    def script():
+        yield cm.start()
+        yield cm.init_image()
+        agent.local["a"] = 7
+        yield cm.kill_image()
+
+    fx.run_scripts(script())
+    assert fx.store.cells["a"] == 7
+    assert fx.system.directory.registered_views() == []
+    assert not cm.registered
+    assert cm.endpoint.closed
+
+
+def test_weak_lifecycle_message_sequence():
+    fx = ProtocolFixture()
+    cm, agent = fx.add_agent("v1", ["a"])
+
+    def script():
+        yield cm.start()
+        yield cm.init_image()
+        yield cm.start_use_image()
+        agent.local["a"] += 1
+        cm.end_use_image()
+        yield cm.push_image()
+        yield cm.kill_image()
+
+    fx.run_scripts(script())
+    by_type = fx.stats.by_type
+    assert by_type[M.REGISTER] == 1 and by_type[M.REGISTER_ACK] == 1
+    assert by_type[M.INIT_REQ] == 1 and by_type[M.INIT_DATA] == 1
+    assert by_type[M.PUSH] == 1 and by_type[M.PUSH_ACK] == 1
+    assert by_type[M.UNREGISTER] == 1 and by_type[M.UNREGISTER_ACK] == 1
+    # No invalidations/fetches with a single view.
+    assert M.INVALIDATE not in by_type and M.FETCH_REQ not in by_type
+
+
+def test_start_use_requires_no_repull_when_valid():
+    fx = ProtocolFixture()
+    cm, agent = fx.add_agent("v1", ["a"])
+
+    def script():
+        yield cm.start()
+        yield cm.init_image()
+        before = fx.stats.total
+        yield cm.start_use_image()
+        cm.end_use_image()
+        return fx.stats.total - before
+
+    [delta] = fx.run_scripts(script())
+    assert delta == 0  # start/end use is purely local in weak mode
+
+
+def test_end_use_without_start_raises():
+    fx = ProtocolFixture()
+    cm, _ = fx.add_agent("v1", ["a"])
+    with pytest.raises(ProtocolError, match="end_use without start_use"):
+        cm.end_use_image()
+
+
+def test_message_from_unregistered_view_answered_with_error():
+    fx = ProtocolFixture()
+    cm, _ = fx.add_agent("v1", ["a"])
+
+    def script():
+        # PULL before REGISTER: the directory answers with an ERROR
+        # (it must survive stray/late messages, not tear down).
+        try:
+            yield cm._request(M.PULL_REQ, {"need_fresh": False})
+        except ProtocolError as exc:
+            return str(exc)
+        return "no error"
+
+    [err] = fx.run_scripts(script())
+    assert "unregistered view" in err
+    assert fx.system.directory.registered_views() == []
+
+
+def test_use_mutex_serializes_critical_sections():
+    fx = ProtocolFixture()
+    cm, agent = fx.add_agent("v1", ["a"])
+    order = []
+
+    def user(name, hold):
+        yield cm.start_use_image()
+        order.append(("enter", name))
+        yield ("sleep", hold)
+        order.append(("exit", name))
+        cm.end_use_image()
+
+    def setup():
+        yield cm.start()
+        yield cm.init_image()
+
+    fx.run_scripts(setup())
+    fx.run_scripts(user("u1", 5.0), user("u2", 1.0))
+    assert order == [("enter", "u1"), ("exit", "u1"), ("enter", "u2"), ("exit", "u2")]

@@ -1,0 +1,216 @@
+"""Edge cases: mode no-ops, stale pushes, repeated init, multiple
+components on one transport, run-time property changes during activity."""
+
+from repro.core import Mode
+from repro.core import messages as M
+from repro.core.quality import QualityProbe
+
+from tests.core.harness import (
+    ProtocolFixture,
+    props_for,
+)
+
+
+def test_set_mode_to_current_mode_is_cheap_noop():
+    fx = ProtocolFixture()
+    cm, _ = fx.add_agent("v1", ["a"], mode=Mode.WEAK)
+
+    def script():
+        yield cm.start()
+        before = fx.stats.total
+        yield cm.set_mode(Mode.WEAK)
+        return fx.stats.total - before
+
+    [delta] = fx.run_scripts(script())
+    assert delta == 2  # just SET_MODE + ACK, no pushes or invalidations
+    assert cm.mode is Mode.WEAK
+
+
+def test_stale_push_from_invalidated_view_still_commits():
+    """A weak view that was invalidated can still push its (stale)
+    changes; the directory accepts them (last-writer-wins by arrival)."""
+    fx = ProtocolFixture(store_cells={"a": 1})
+    strong_cm, strong_agent = fx.add_agent("vs", ["a"], mode=Mode.STRONG)
+    weak_cm, weak_agent = fx.add_agent("vw", ["a"], mode=Mode.WEAK)
+
+    def weak():
+        yield weak_cm.start()
+        yield weak_cm.init_image()
+        yield weak_cm.start_use_image()
+        weak_agent.local["a"] = 10
+        cmi = weak_cm.end_use_image()
+        yield ("sleep", 40.0)  # strong acquires & invalidates meanwhile
+        assert weak_cm.invalidated
+        # Invalidation already collected the dirty state; nothing left.
+        committed = yield weak_cm.push_image()
+        return committed
+
+    def strong():
+        yield strong_cm.start()
+        yield strong_cm.init_image()
+        yield ("sleep", 10.0)
+        yield strong_cm.start_use_image()
+        seen = strong_agent.local["a"]
+        strong_cm.end_use_image()
+        return seen
+
+    weak_committed, strong_saw = fx.run_scripts(weak(), strong())
+    assert strong_saw == 10       # collected by the invalidation
+    assert weak_committed == 0    # nothing dirty remained to push
+    assert fx.store.cells["a"] == 10
+
+
+def test_repeated_init_refreshes_image():
+    fx = ProtocolFixture(store_cells={"a": 1})
+    cm1, a1 = fx.add_agent("v1", ["a"])
+    cm2, a2 = fx.add_agent("v2", ["a"])
+
+    def writer():
+        yield cm2.start()
+        yield cm2.init_image()
+        yield cm2.start_use_image()
+        a2.local["a"] = 5
+        cm2.end_use_image()
+        yield cm2.push_image()
+
+    def double_init():
+        yield cm1.start()
+        first = yield cm1.init_image()
+        yield ("sleep", 30.0)
+        second = yield cm1.init_image()
+        return first.get("a"), second.get("a")
+
+    _, (first, second) = fx.run_scripts(writer(), double_init())
+    assert first == 1 and second == 5
+
+
+def test_two_components_on_one_transport_are_isolated():
+    """Two independent FleccSystems share the transport without
+    cross-talk (distinct directory addresses)."""
+    from repro.core.system import FleccSystem
+    from tests.core.harness import (
+        Agent,
+        Store,
+        extract_from_object,
+        extract_from_view,
+        merge_into_object,
+        merge_into_view,
+    )
+
+    fx = ProtocolFixture(store_cells={"a": 1})
+    other_store = Store({"a": 100})
+    other_system = FleccSystem(
+        fx.transport, other_store, extract_from_object, merge_into_object,
+        directory_address="dir2",
+    )
+    cm1, agent1 = fx.add_agent("v1", ["a"])
+    agent2 = Agent()
+    cm2 = other_system.add_view(
+        "v1-other", agent2, props_for(["a"]),
+        extract_from_view, merge_into_view,
+    )
+
+    def script(cm, agent, value):
+        yield cm.start()
+        yield cm.init_image()
+        yield cm.start_use_image()
+        agent.local["a"] = value
+        cm.end_use_image()
+        yield cm.push_image()
+
+    fx.run_scripts(script(cm1, agent1, 11), script(cm2, agent2, 222))
+    assert fx.store.cells["a"] == 11
+    assert other_store.cells["a"] == 222
+    assert fx.system.directory.registered_views() == ["v1"]
+    assert other_system.directory.registered_views() == ["v1-other"]
+
+
+def test_property_update_shrinks_quality_slice():
+    """After narrowing its properties, a view's quality metric only
+    counts cells in the new slice."""
+    fx = ProtocolFixture(store_cells={"a": 0, "b": 0})
+    cm1, _ = fx.add_agent("v1", ["a", "b"])
+    cm2, a2 = fx.add_agent("v2", ["a", "b"])
+    probe = QualityProbe(fx.system.directory)
+
+    def setup(cm):
+        yield cm.start()
+        yield cm.init_image()
+
+    fx.run_scripts(setup(cm1), setup(cm2))
+
+    def writer():
+        yield cm2.start_use_image()
+        a2.local["a"] = 1
+        a2.local["b"] = 1
+        cm2.end_use_image()
+        yield cm2.push_image()
+
+    fx.run_scripts(writer())
+    assert probe.unseen("v1") == 2
+
+    def narrow():
+        yield cm1.update_properties(props_for(["b"]))
+
+    fx.run_scripts(narrow())
+    assert probe.unseen("v1") == 1  # only the "b" update counts now
+
+
+def test_property_update_marks_view_invalid():
+    fx = ProtocolFixture(store_cells={"a": 0, "b": 0})
+    cm, _ = fx.add_agent("v1", ["a"])
+
+    def script():
+        yield cm.start()
+        yield cm.init_image()
+        assert not cm.invalidated
+        yield cm.update_properties(props_for(["a", "b"]))
+        invalid_after = cm.invalidated
+        # Next use transparently re-pulls the (larger) slice.
+        yield cm.start_use_image()
+        cm.end_use_image()
+        return invalid_after, cm.invalidated
+
+    [(invalid_after, invalid_now)] = fx.run_scripts(script())
+    assert invalid_after and not invalid_now
+    assert "b" in fx.agents["v1"].local
+
+
+def test_directory_grants_acquires_in_request_order():
+    """The op queue is FIFO: contended acquires are served in arrival
+    order (no starvation, no barging)."""
+    fx = ProtocolFixture(store_cells={"a": 0})
+    order = []
+    cms = [fx.add_agent(f"v{i}", ["a"], mode=Mode.STRONG) for i in range(4)]
+
+    def script(idx, cm, agent):
+        yield cm.start()
+        yield cm.init_image()
+        # Stagger the acquire requests by 1 time unit each.
+        yield ("sleep", float(idx))
+        yield cm.start_use_image()
+        order.append(idx)
+        yield ("sleep", 20.0)  # hold long enough that all others queue
+        cm.end_use_image()
+
+    fx.run_scripts(*(script(i, cm, a) for i, (cm, a) in enumerate(cms)))
+    assert order == [0, 1, 2, 3]
+
+
+def test_push_ack_reports_committed_count():
+    fx = ProtocolFixture(store_cells={"a": 1, "b": 2, "c": 3})
+    cm, agent = fx.add_agent("v1", ["a", "b", "c"])
+
+    def script():
+        yield cm.start()
+        yield cm.init_image()
+        yield cm.start_use_image()
+        agent.local["a"] = 10
+        agent.local["c"] = 30
+        cm.end_use_image()
+        committed = yield cm.push_image()
+        return committed
+
+    [committed] = fx.run_scripts(script())
+    assert committed == 2
+    assert fx.system.directory.master_versions.get("b") == 0

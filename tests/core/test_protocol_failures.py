@@ -1,0 +1,185 @@
+"""Protocol robustness: duplicated messages, vanished views mid-round,
+unknown message types, and trace bookkeeping."""
+
+from repro.core import Mode
+from repro.core import messages as M
+from repro.errors import ProtocolError
+from repro.net.message import Message
+
+from tests.core.harness import ProtocolFixture
+
+
+def test_unknown_message_type_answered_with_error():
+    fx = ProtocolFixture()
+    got = []
+    ep = fx.transport.bind("rogue", lambda m: got.append(m))
+    ep.send(Message("NOT_A_REAL_TYPE", "rogue", "dir", {"view_id": "x"}))
+    fx.run()
+    assert len(got) == 1 and got[0].msg_type == M.ERROR
+    assert "unknown type" in got[0].payload["error"]
+
+
+def test_duplicate_fetch_reply_ignored():
+    """A duplicated FETCH_REPLY (network fault) must not corrupt a later round."""
+    fx = ProtocolFixture(store_cells={"a": 10})
+    from repro.core.triggers import TriggerSet
+
+    cm1, _ = fx.add_agent("v1", ["a"], triggers=TriggerSet(validity="true"))
+    cm2, _ = fx.add_agent("v2", ["a"])
+
+    def setup(cm):
+        yield cm.start()
+        yield cm.init_image()
+
+    fx.run_scripts(setup(cm1), setup(cm2))
+
+    # Duplicate every FETCH_REPLY from now on.
+    fx.transport.fault_policy = (
+        lambda m: "duplicate" if m.msg_type == M.FETCH_REPLY else "deliver"
+    )
+
+    def puller():
+        img = yield cm1.pull_image()
+        return img.get("a")
+
+    [value] = fx.run_scripts(puller())
+    assert value == 10
+    # The duplicate was recorded as stale, not crashed on.
+    assert fx.stats.duplicated == 1
+
+
+def test_view_unregisters_while_targeted_by_invalidation_round():
+    """v2 acquires; the directory invalidates v1 — but v1 has just
+    killed itself.  The round must still complete via the unregister."""
+    fx = ProtocolFixture(store_cells={"a": 1})
+    cm1, a1 = fx.add_agent("v1", ["a"], mode=Mode.STRONG)
+    cm2, a2 = fx.add_agent("v2", ["a"], mode=Mode.STRONG)
+
+    def v1():
+        yield cm1.start()
+        yield cm1.init_image()
+        yield cm1.start_use_image()
+        cm1.end_use_image()
+        # Kill at the same instant v2 acquires.
+        yield ("sleep", 9.0)
+        yield cm1.kill_image()
+
+    def v2():
+        yield cm2.start()
+        yield cm2.init_image()
+        yield ("sleep", 10.0)
+        yield cm2.start_use_image()
+        got = cm2.owner
+        cm2.end_use_image()
+        return got
+
+    results = fx.run_scripts(v1(), v2())
+    assert results[1] is True
+    assert fx.system.directory.registered_views() == ["v2"]
+    fx.system.directory.check_invariants()
+
+
+def test_queued_op_from_killed_view_is_dropped():
+    fx = ProtocolFixture(store_cells={"a": 1})
+    cm1, _ = fx.add_agent("v1", ["a"], mode=Mode.STRONG)
+    cm2, _ = fx.add_agent("v2", ["a"], mode=Mode.STRONG)
+    cm3, _ = fx.add_agent("v3", ["a"], mode=Mode.STRONG)
+
+    def holder():
+        yield cm1.start()
+        yield cm1.init_image()
+        yield cm1.start_use_image()
+        yield ("sleep", 30.0)  # hold the token; others queue behind
+        cm1.end_use_image()
+
+    def acquirer_then_die(cm):
+        yield cm.start()
+        yield cm.init_image()
+        yield ("sleep", 5.0)
+        # ACQUIRE will queue behind v1's in-use defer; then unregister
+        # races with the queued op.
+        comp = cm._request(M.ACQUIRE, {})
+        yield ("sleep", 1.0)
+        yield cm._request(M.UNREGISTER, {})
+        cm._shutdown()
+
+    def bystander():
+        yield cm3.start()
+        yield cm3.init_image()
+        yield ("sleep", 40.0)
+        yield cm3.start_use_image()
+        owner = cm3.owner
+        cm3.end_use_image()
+        return owner
+
+    results = fx.run_scripts(holder(), acquirer_then_die(cm2), bystander())
+    assert results[2] is True  # the system kept making progress
+    fx.system.directory.check_invariants()
+
+
+def test_trace_records_fig2_interaction():
+    """The Fig 2 message sequence is observable in the trace log."""
+    fx = ProtocolFixture(store_cells={"x": 1, "y": 2, "z": 3}, trace=True)
+    cm1, a1 = fx.add_agent("v1", ["x", "y"], mode=Mode.STRONG)
+    cm2, a2 = fx.add_agent("v2", ["x", "z"], mode=Mode.STRONG)
+
+    def v1():
+        yield cm1.start()
+        yield cm1.init_image()
+        yield cm1.start_use_image()
+        cm1.end_use_image()
+        yield ("sleep", 30.0)
+        yield cm1.kill_image()
+
+    def v2():
+        yield cm2.start()
+        yield cm2.init_image()
+        yield ("sleep", 10.0)
+        yield cm2.start_use_image()
+        cm2.end_use_image()
+        yield cm2.kill_image()
+
+    fx.run_scripts(v1(), v2())
+    events = [e.event for e in fx.trace.events if e.actor == "dir"]
+    # Directory saw registrations, inits, the acquire, and the kill.
+    assert events.count(M.REGISTER) == 2
+    assert events.count(M.INIT_REQ) == 2
+    assert M.ACQUIRE in events
+    assert f"send:{M.INVALIDATE}" in events
+    assert M.INVALIDATE_ACK in events
+    assert events.count(M.UNREGISTER) == 2
+    # Invalidation reached v1's cache manager.
+    cm1_events = [e.event for e in fx.trace.events if e.actor == cm1.address]
+    assert f"recv:{M.INVALIDATE}" in cm1_events
+
+
+def test_error_reply_fails_the_waiting_completion():
+    fx = ProtocolFixture()
+    cm, _ = fx.add_agent("v1", ["a"])
+
+    def script():
+        # PUSH before registering -> directory raises; but send a
+        # message type the directory answers with ERROR for instead:
+        try:
+            yield cm._request("BOGUS_TYPE", {})
+        except ProtocolError as e:
+            return f"failed: {e}"
+        return "no error"
+
+    [result] = fx.run_scripts(script())
+    assert result.startswith("failed:")
+
+
+def test_stats_drop_accounting_for_closed_cm():
+    fx = ProtocolFixture(store_cells={"a": 1})
+    cm, _ = fx.add_agent("v1", ["a"])
+
+    def script():
+        yield cm.start()
+        yield cm.init_image()
+        yield cm.kill_image()
+
+    fx.run_scripts(script())
+    # Directory replies after close would be drops; none expected in a
+    # clean shutdown.
+    assert fx.stats.dropped == 0

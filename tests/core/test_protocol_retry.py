@@ -1,0 +1,205 @@
+"""Tests: cache-manager retransmission + directory dedup = lossy-network
+tolerance (effectively exactly-once request execution)."""
+
+import pytest
+
+from repro.core import Mode
+from repro.core import messages as M
+from repro.core.cache_manager import CacheManager
+from repro.core.directory import DirectoryManager
+from repro.core.system import run_all_scripts
+from repro.errors import ProtocolError
+from repro.net import SimTransport
+from repro.sim import SimKernel
+
+from tests.core.harness import (
+    Agent,
+    Store,
+    extract_from_object,
+    extract_from_view,
+    merge_into_object,
+    merge_into_view,
+    props_for,
+)
+
+
+def build(fault_policy=None, request_timeout=20.0, max_retries=3):
+    kernel = SimKernel()
+    transport = SimTransport(kernel, default_latency=1.0, fault_policy=fault_policy)
+    store = Store({"a": 1})
+    directory = DirectoryManager(
+        transport=transport, address="dir", component=store,
+        extract_from_object=extract_from_object,
+        merge_into_object=merge_into_object,
+    )
+    agent = Agent()
+    cm = CacheManager(
+        transport=transport, directory_address="dir", view_id="v1",
+        view=agent, properties=props_for(["a"]),
+        extract_from_view=extract_from_view, merge_into_view=merge_into_view,
+        request_timeout=request_timeout, max_retries=max_retries,
+    )
+    return kernel, transport, store, directory, cm, agent
+
+
+class _DropFirst:
+    """Fault policy: drop the first delivery of each matching message."""
+
+    def __init__(self, msg_types):
+        self.msg_types = msg_types
+        self.seen = set()
+
+    def __call__(self, msg):
+        if msg.msg_type in self.msg_types and msg.msg_id not in self.seen:
+            self.seen.add(msg.msg_id)
+            return "drop"
+        return "deliver"
+
+
+def test_lost_request_is_retransmitted_and_succeeds():
+    kernel, transport, store, directory, cm, agent = build(
+        fault_policy=_DropFirst({M.REGISTER, M.INIT_REQ})
+    )
+
+    def script():
+        yield cm.start()
+        img = yield cm.init_image()
+        return img.get("a")
+
+    [value] = run_all_scripts(transport, [script()])
+    assert value == 1
+    assert cm.counters["retries"] == 2  # one per dropped request
+    assert transport.stats.dropped == 2
+
+
+def test_lost_reply_is_recovered_via_dedup_cache():
+    """The request arrives but the ACK is lost: the retry hits the
+    directory's reply cache, so the operation executes exactly once."""
+
+    class DropFirstReply:
+        def __init__(self):
+            self.dropped = False
+
+        def __call__(self, msg):
+            if msg.msg_type == M.PUSH_ACK and not self.dropped:
+                self.dropped = True
+                return "drop"
+            return "deliver"
+
+    kernel, transport, store, directory, cm, agent = build(
+        fault_policy=DropFirstReply()
+    )
+
+    def script():
+        yield cm.start()
+        yield cm.init_image()
+        yield cm.start_use_image()
+        agent.local["a"] = 99
+        cm.end_use_image()
+        committed = yield cm.push_image()
+        return committed
+
+    [committed] = run_all_scripts(transport, [script()])
+    assert committed == 1
+    assert store.cells["a"] == 99
+    # Exactly one version bump: the retried PUSH was deduplicated.
+    assert directory.master_versions.get("a") == 1
+
+
+def test_retries_exhausted_fails_the_completion():
+    kernel, transport, store, directory, cm, agent = build(
+        fault_policy=lambda m: "drop" if m.msg_type == M.REGISTER else "deliver",
+        request_timeout=10.0,
+        max_retries=2,
+    )
+
+    def script():
+        try:
+            yield cm.start()
+        except ProtocolError as exc:
+            return str(exc)
+        return "unexpectedly succeeded"
+
+    [result] = run_all_scripts(transport, [script()])
+    assert "unanswered after 2 retries" in result
+    assert cm.counters["retries"] == 2
+
+
+def test_lost_grant_does_not_split_ownership():
+    """Regression: two agents whose GRANTs are both lost must not both
+    end up believing they own after retrying — the duplicate ACQUIRE is
+    re-executed against current directory state, never answered from a
+    stale cached GRANT.  (Found by the ABL6 loss sweep.)"""
+    state = {"grants_dropped": 0}
+
+    def dropper(msg):
+        if msg.msg_type == M.GRANT and state["grants_dropped"] < 2:
+            state["grants_dropped"] += 1
+            return "drop"
+        return "deliver"
+
+    kernel, transport, store, directory, cm1, agent1 = build(
+        fault_policy=dropper, request_timeout=15.0, max_retries=5
+    )
+    agent2 = Agent()
+    cm2 = CacheManager(
+        transport=transport, directory_address="dir", view_id="v2",
+        view=agent2, properties=props_for(["a"]),
+        extract_from_view=extract_from_view, merge_into_view=merge_into_view,
+        mode="strong", request_timeout=15.0, max_retries=5,
+    )
+
+    def script(cm, agent, n_ops):
+        yield cm.start()
+        yield cm.init_image()
+        for _ in range(n_ops):
+            yield cm.start_use_image()
+            agent.local["a"] = agent.local.get("a", 0) + 1
+            cm.end_use_image()
+        yield cm.kill_image()
+
+    # Make both strong (build() creates cm1 weak by default).
+    cm1.mode = cm2.mode
+    from repro.core.modes import Mode
+
+    cm1.mode = Mode.STRONG
+    run_all_scripts(transport, [script(cm1, agent1, 3), script(cm2, agent2, 3)])
+    # Every increment commits exactly once despite both first GRANTs
+    # being dropped and re-acquired.
+    assert store.cells["a"] == 1 + 6  # initial value 1 plus 6 increments
+    directory.check_invariants()
+
+
+def test_no_retries_when_network_is_healthy():
+    kernel, transport, store, directory, cm, agent = build()
+
+    def script():
+        yield cm.start()
+        yield cm.init_image()
+        yield cm.kill_image()
+
+    run_all_scripts(transport, [script()])
+    assert cm.counters.get("retries", 0) == 0
+
+
+def test_retry_disabled_by_default():
+    kernel = SimKernel()
+    transport = SimTransport(
+        kernel, default_latency=1.0,
+        fault_policy=lambda m: "drop" if m.msg_type == M.REGISTER else "deliver",
+    )
+    store = Store({"a": 1})
+    DirectoryManager(
+        transport=transport, address="dir", component=store,
+        extract_from_object=extract_from_object,
+        merge_into_object=merge_into_object,
+    )
+    agent = Agent()
+    cm = CacheManager(
+        transport=transport, directory_address="dir", view_id="v1",
+        view=agent, properties=props_for(["a"]),
+        extract_from_view=extract_from_view, merge_into_view=merge_into_view,
+    )
+    comp = cm.start()
+    kernel.run(until=1000.0)
+    assert not comp.done  # without retries the lost REGISTER just hangs

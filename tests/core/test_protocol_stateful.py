@@ -1,0 +1,149 @@
+"""Model-based protocol test (hypothesis stateful).
+
+A rule machine drives arbitrary interleavings of view lifecycle
+operations — register, strong increments, weak read-modify-write
+cycles, property changes, kills — against the real protocol, while a
+trivial sequential model tracks what the primary copy must contain.
+Because every rule runs its scripts to completion (quiescent steps),
+strong AND pull/modify/push weak cycles are both exactly sequential, so
+the store must equal the model after every rule.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import Mode
+from repro.testing import ProtocolFixture
+
+VIEWS = [f"v{i}" for i in range(5)]
+CELLS = ["a", "b"]
+
+
+class FleccMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.fx = ProtocolFixture(store_cells={c: 0 for c in CELLS})
+        self.model = {c: 0 for c in CELLS}
+        self.live = {}  # view_id -> (cm, agent)
+
+    # -- rules -------------------------------------------------------------
+    @rule(
+        view=st.sampled_from(VIEWS),
+        cells=st.sets(st.sampled_from(CELLS), min_size=1),
+        mode=st.sampled_from([Mode.WEAK, Mode.STRONG]),
+    )
+    def join(self, view, cells, mode):
+        if view in self.live or self.fx.system.directory.views.get(view):
+            return
+        # A fresh CM instance per registration (ids can be reused after
+        # a kill, like redeployed views in PSF).
+        import itertools
+
+        cm, agent = self.fx.add_agent(
+            f"{view}.{next(self._joins)}", sorted(cells), mode=mode
+        )
+        cm.view_id_alias = view
+
+        def setup():
+            yield cm.start()
+            yield cm.init_image()
+
+        self.fx.run_scripts(setup())
+        self.live[view] = (cm, agent)
+
+    _joins = __import__("itertools").count()
+
+    @rule(view=st.sampled_from(VIEWS), data=st.data())
+    def strong_increment(self, view, data):
+        entry = self.live.get(view)
+        if entry is None:
+            return
+        cm, agent = entry
+        if cm.mode is not Mode.STRONG:
+            return
+        cell = data.draw(st.sampled_from(sorted(agent.local.keys() or ["a"])))
+        if cell not in agent.local:
+            return
+
+        def script():
+            yield cm.start_use_image()
+            agent.local[cell] += 1
+            cm.end_use_image()
+
+        self.fx.run_scripts(script())
+        self.model[cell] += 1
+
+    @rule(view=st.sampled_from(VIEWS), data=st.data())
+    def weak_rmw(self, view, data):
+        entry = self.live.get(view)
+        if entry is None:
+            return
+        cm, agent = entry
+        if cm.mode is not Mode.WEAK:
+            return
+        cell = data.draw(st.sampled_from(sorted(agent.local.keys() or ["a"])))
+        if cell not in agent.local:
+            return
+
+        def script():
+            yield cm.pull_image()
+            yield cm.start_use_image()
+            agent.local[cell] += 1
+            cm.end_use_image()
+            yield cm.push_image()
+
+        self.fx.run_scripts(script())
+        self.model[cell] += 1
+
+    @rule(view=st.sampled_from(VIEWS), mode=st.sampled_from([Mode.WEAK, Mode.STRONG]))
+    def switch_mode(self, view, mode):
+        entry = self.live.get(view)
+        if entry is None:
+            return
+        cm, _ = entry
+
+        def script():
+            yield cm.set_mode(mode)
+
+        self.fx.run_scripts(script())
+
+    @rule(view=st.sampled_from(VIEWS))
+    def kill(self, view):
+        entry = self.live.pop(view, None)
+        if entry is None:
+            return
+        cm, _ = entry
+
+        def script():
+            yield cm.kill_image()
+
+        self.fx.run_scripts(script())
+
+    # -- invariants ----------------------------------------------------------
+    @invariant()
+    def store_matches_model(self):
+        # The logical (one-copy) state: the primary copy overlaid with
+        # the dirty slices of current exclusive owners — their local
+        # copies ARE the authoritative data until revoked (any reader
+        # would trigger an invalidation and observe exactly this).
+        effective = dict(self.fx.store.cells)
+        for cm, agent in self.live.values():
+            if cm.owner:
+                for cell, value in agent.local.items():
+                    effective[cell] = value
+        assert effective == self.model
+
+    @invariant()
+    def directory_invariants_hold(self):
+        self.fx.system.directory.check_invariants()
+
+    @invariant()
+    def registered_views_match_live(self):
+        assert len(self.fx.system.directory.views) == len(self.live)
+
+
+TestFleccStateMachine = FleccMachine.TestCase
+TestFleccStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=25, deadline=None
+)

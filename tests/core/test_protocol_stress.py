@@ -1,0 +1,144 @@
+"""Randomized protocol stress tests.
+
+Seeded random schedules (agent counts, op mixes, think times, property
+overlaps, mode switches) drive the protocol through interleavings no
+hand-written test would find; the assertions are the protocol's global
+invariants rather than specific outcomes:
+
+- strong-mode updates are never lost (counter adds up);
+- directory invariants hold after every run;
+- all views terminate and unregister cleanly;
+- the weak-mode primary copy converges once all agents push and stop.
+"""
+
+import pytest
+
+from repro.core import Mode
+from repro.core.system import run_all_scripts
+from repro.sim.rng import stream_for
+
+from tests.core.harness import ProtocolFixture
+
+
+def _random_schedule(seed, n_agents, strong_fraction):
+    """Deterministic random per-agent scripts from a seed."""
+    rng = stream_for(seed, "stress")
+    cells = ["a", "b", "c"]
+    plans = []
+    for i in range(n_agents):
+        mode = Mode.STRONG if rng.random() < strong_fraction else Mode.WEAK
+        my_cells = sorted(
+            set(rng.choice(cells, size=int(rng.integers(1, len(cells) + 1)),
+                           replace=False).tolist())
+        )
+        ops = []
+        for _ in range(int(rng.integers(2, 6))):
+            ops.append(
+                (
+                    str(rng.choice(my_cells)),
+                    float(rng.uniform(0.0, 5.0)),   # think before op
+                    float(rng.uniform(0.5, 3.0)),   # hold time in use
+                )
+            )
+        plans.append((f"v{i}", my_cells, mode, ops))
+    return plans
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6, 7, 8])
+def test_all_strong_counter_never_loses_updates(seed):
+    fx = ProtocolFixture(store_cells={"a": 0, "b": 0, "c": 0})
+    plans = _random_schedule(seed, n_agents=5, strong_fraction=1.0)
+    expected = {"a": 0, "b": 0, "c": 0}
+    scripts = []
+    for view_id, my_cells, mode, ops in plans:
+        cm, agent = fx.add_agent(view_id, my_cells, mode=mode)
+        for cell, _, _ in ops:
+            expected[cell] += 1
+
+        def script(cm=cm, agent=agent, ops=ops):
+            yield cm.start()
+            yield cm.init_image()
+            for cell, think, hold in ops:
+                yield ("sleep", think)
+                yield cm.start_use_image()
+                agent.local[cell] += 1
+                yield ("sleep", hold)
+                cm.end_use_image()
+            yield cm.kill_image()
+
+        scripts.append(script())
+    run_all_scripts(fx.transport, scripts)
+    assert fx.store.cells == expected
+    fx.system.directory.check_invariants()
+    assert fx.system.directory.registered_views() == []
+
+
+@pytest.mark.parametrize("seed", [11, 12, 13, 14])
+def test_mixed_modes_keep_invariants_and_terminate(seed):
+    fx = ProtocolFixture(store_cells={"a": 0, "b": 0, "c": 0})
+    plans = _random_schedule(seed, n_agents=6, strong_fraction=0.5)
+    scripts = []
+    for view_id, my_cells, mode, ops in plans:
+        cm, agent = fx.add_agent(view_id, my_cells, mode=mode)
+
+        def script(cm=cm, agent=agent, ops=ops, mode=mode):
+            yield cm.start()
+            yield cm.init_image()
+            for j, (cell, think, hold) in enumerate(ops):
+                yield ("sleep", think)
+                if j == len(ops) // 2:
+                    # Flip mode mid-run (the paper's adaptability).
+                    flipped = (
+                        Mode.WEAK if cm.mode is Mode.STRONG else Mode.STRONG
+                    )
+                    yield cm.set_mode(flipped)
+                yield cm.start_use_image()
+                agent.local[cell] += 1
+                yield ("sleep", hold)
+                cm.end_use_image()
+                if cm.mode is Mode.WEAK:
+                    yield cm.push_image()
+            yield cm.kill_image()
+
+        scripts.append(script())
+    run_all_scripts(fx.transport, scripts)
+    fx.system.directory.check_invariants()
+    assert fx.system.directory.registered_views() == []
+    # Weak-mode races may lose increments, but the totals can never
+    # exceed the attempted ops nor go negative.
+    total_ops = sum(len(ops) for _, _, _, ops in plans)
+    committed = sum(fx.store.cells.values())
+    assert 0 < committed <= total_ops
+
+
+@pytest.mark.parametrize("seed", [21, 22, 23])
+def test_weak_only_converges_after_final_pushes(seed):
+    """After all weak agents push-and-die serially, the primary equals
+    the last writer's view for every cell (sequential => no races)."""
+    fx = ProtocolFixture(store_cells={"a": 0, "b": 0, "c": 0})
+    plans = _random_schedule(seed, n_agents=4, strong_fraction=0.0)
+    from repro.baselines import TimeSharingRunner
+
+    scripts = []
+    last_value = {}
+    for idx, (view_id, my_cells, _mode, ops) in enumerate(plans):
+        cm, agent = fx.add_agent(view_id, my_cells, mode=Mode.WEAK)
+        for cell, _, _ in ops:
+            last_value[cell] = last_value.get(cell, 0) + 1
+
+        def script(cm=cm, agent=agent, ops=ops):
+            yield cm.start()
+            yield cm.init_image()
+            for cell, think, hold in ops:
+                yield cm.pull_image()
+                yield cm.start_use_image()
+                agent.local[cell] += 1
+                cm.end_use_image()
+                yield cm.push_image()
+            yield cm.kill_image()
+
+        scripts.append(script())
+    TimeSharingRunner(fx.transport).run_serial(scripts)
+    # Serial execution with pull-before-use is fully coherent.
+    assert fx.store.cells == {**{"a": 0, "b": 0, "c": 0}, **last_value}
+    fx.system.directory.check_invariants()

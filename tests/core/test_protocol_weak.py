@@ -1,0 +1,243 @@
+"""Protocol tests: weak mode — conflict-scoped fetch rounds, the
+property-driven message savings (the mechanism behind Fig 4), and the
+data-quality bookkeeping behind Figs 5/6."""
+
+from repro.core import Mode
+from repro.core import messages as M
+from repro.core.quality import QualityProbe
+from repro.core.triggers import TriggerSet
+
+from tests.core.harness import ProtocolFixture
+
+
+def _lifecycle(cm, agent, cell, sleep_before_pull=20.0):
+    yield cm.start()
+    yield cm.init_image()
+    yield ("sleep", sleep_before_pull)
+    yield cm.pull_image()
+    yield cm.start_use_image()
+    agent.local[cell] -= 1
+    cm.end_use_image()
+    yield cm.push_image()
+
+
+def test_fetch_round_targets_only_conflicting_active_views():
+    """Always-fresh pull (validity=true) fetches from conflicting views
+    only — the heart of the paper's Fig 4 message savings."""
+    fx = ProtocolFixture(store_cells={"a": 10, "b": 20, "z": 30})
+    fresh = TriggerSet(validity="true")
+    # v1 and v2 share cell "a"; v3 is disjoint ("z").
+    cm1, a1 = fx.add_agent("v1", ["a"], triggers=fresh)
+    cm2, a2 = fx.add_agent("v2", ["a", "b"], triggers=fresh)
+    cm3, a3 = fx.add_agent("v3", ["z"], triggers=fresh)
+
+    def setup(cm):
+        yield cm.start()
+        yield cm.init_image()
+
+    fx.run_scripts(setup(cm1), setup(cm2), setup(cm3))
+    before = fx.stats.snapshot()
+
+    def puller():
+        yield cm1.pull_image()
+
+    fx.run_scripts(puller())
+    delta = fx.stats.snapshot().delta(before)
+    # One FETCH_REQ to v2 (conflicting, active); none to v3 (disjoint).
+    assert delta.by_type.get(M.FETCH_REQ, 0) == 1
+    assert delta.by_pair.get(("dir", cm2.address), 0) == 1
+    assert ("dir", cm3.address) not in delta.by_pair
+
+
+def test_pull_without_validity_trigger_skips_fetch():
+    fx = ProtocolFixture(store_cells={"a": 10})
+    cm1, _ = fx.add_agent("v1", ["a"])
+    cm2, _ = fx.add_agent("v2", ["a"])
+
+    def setup(cm):
+        yield cm.start()
+        yield cm.init_image()
+
+    fx.run_scripts(setup(cm1), setup(cm2))
+    before = fx.stats.snapshot()
+
+    def puller():
+        yield cm1.pull_image()
+
+    fx.run_scripts(puller())
+    delta = fx.stats.snapshot().delta(before)
+    assert M.FETCH_REQ not in delta.by_type
+
+
+def test_fetch_collects_uncommitted_dirty_state():
+    """A fresh pull sees another weak view's *unpushed* modification."""
+    fx = ProtocolFixture(store_cells={"a": 10})
+    cm1, a1 = fx.add_agent("v1", ["a"], triggers=TriggerSet(validity="true"))
+    cm2, a2 = fx.add_agent("v2", ["a"])
+
+    def modifier():
+        yield cm2.start()
+        yield cm2.init_image()
+        yield cm2.start_use_image()
+        a2.local["a"] = 3  # modified but NOT pushed
+        cm2.end_use_image()
+        yield ("sleep", 100.0)
+
+    def reader():
+        yield cm1.start()
+        yield cm1.init_image()
+        yield ("sleep", 20.0)
+        img = yield cm1.pull_image()
+        return img.get("a")
+
+    _, seen = fx.run_scripts(modifier(), reader())
+    assert seen == 3
+    # The fetched state was committed at the directory along the way.
+    assert fx.store.cells["a"] == 3
+
+
+def test_concurrent_weak_writers_last_push_wins():
+    fx = ProtocolFixture(store_cells={"a": 100})
+    cm1, a1 = fx.add_agent("v1", ["a"])
+    cm2, a2 = fx.add_agent("v2", ["a"])
+
+    def writer(cm, agent, value, delay):
+        yield cm.start()
+        yield cm.init_image()
+        yield ("sleep", delay)
+        yield cm.start_use_image()
+        agent.local["a"] = value
+        cm.end_use_image()
+        yield cm.push_image()
+
+    fx.run_scripts(writer(cm1, a1, 111, 10.0), writer(cm2, a2, 222, 20.0))
+    assert fx.store.cells["a"] == 222
+    assert fx.system.directory.master_versions.get("a") == 2
+
+
+def test_quality_probe_counts_unseen_remote_updates():
+    fx = ProtocolFixture(store_cells={"a": 0})
+    cm1, a1 = fx.add_agent("v1", ["a"])
+    cm2, a2 = fx.add_agent("v2", ["a"])
+    probe = QualityProbe(fx.system.directory)
+
+    def observer():
+        yield cm1.start()
+        yield cm1.init_image()
+        yield ("sleep", 200.0)
+
+    def writer():
+        yield cm2.start()
+        yield cm2.init_image()
+        for i in range(5):
+            yield ("sleep", 10.0)
+            yield cm2.start_use_image()
+            a2.local["a"] = i
+            cm2.end_use_image()
+            yield cm2.push_image()
+
+    h1 = fx.run_script(observer())
+    h2 = fx.run_script(writer())
+    fx.run(until=100.0)
+    # After 5 remote pushes of different values, v1 has 5 unseen updates
+    # (value 0 equals the initial value so its push commits nothing...).
+    unseen_mid = probe.unseen("v1")
+    fx.run()
+    h1.result(), h2.result()
+    assert unseen_mid == probe.unseen("v1") == 4  # first write (0) was clean
+    # A pull clears the deficit.
+    def puller():
+        yield cm1.pull_image()
+
+    fx.run_scripts(puller())
+    assert probe.unseen("v1") == 0
+
+
+def test_quality_restricted_to_view_slice():
+    fx = ProtocolFixture(store_cells={"a": 0, "z": 0})
+    cm1, _ = fx.add_agent("v1", ["a"])
+    cm2, a2 = fx.add_agent("v2", ["z"])
+    probe = QualityProbe(fx.system.directory)
+
+    def setup(cm):
+        yield cm.start()
+        yield cm.init_image()
+
+    def writer():
+        yield cm2.start_use_image()
+        a2.local["z"] = 99
+        cm2.end_use_image()
+        yield cm2.push_image()
+
+    fx.run_scripts(setup(cm1), setup(cm2))
+    fx.run_scripts(writer())
+    # v2 updated "z"; v1 only covers "a" — no unseen updates for v1.
+    assert probe.unseen("v1") == 0
+    assert probe.unseen("v2") == 0  # v2 has seen its own update
+
+
+def test_dynamic_property_update_changes_conflicts():
+    fx = ProtocolFixture(store_cells={"a": 1, "z": 2})
+    fresh = TriggerSet(validity="true")
+    cm1, _ = fx.add_agent("v1", ["a"], triggers=fresh)
+    cm2, _ = fx.add_agent("v2", ["z"])
+
+    def setup(cm):
+        yield cm.start()
+        yield cm.init_image()
+
+    fx.run_scripts(setup(cm1), setup(cm2))
+    assert fx.system.directory.conflict_set_of("v1") == []
+
+    from tests.core.harness import props_for
+
+    def retarget():
+        yield cm2.update_properties(props_for(["a", "z"]))
+
+    fx.run_scripts(retarget())
+    # v2 now overlaps v1; the directory recomputes conflicts dynamically.
+    assert fx.system.directory.conflict_set_of("v1") == ["v2"]
+    before = fx.stats.snapshot()
+
+    def puller():
+        yield cm1.pull_image()
+
+    fx.run_scripts(puller())
+    delta = fx.stats.snapshot().delta(before)
+    assert delta.by_type.get(M.FETCH_REQ, 0) == 1
+
+
+def test_mean_quality_decays_without_pulls_and_improves_with():
+    fx = ProtocolFixture(store_cells={"a": 0})
+    cm_lazy, _ = fx.add_agent("lazy", ["a"])
+    cm_eager, _ = fx.add_agent("eager", ["a"])
+    cm_w, aw = fx.add_agent("writer", ["a"])
+    probe = QualityProbe(fx.system.directory)
+
+    def setup(cm):
+        yield cm.start()
+        yield cm.init_image()
+
+    fx.run_scripts(setup(cm_lazy), setup(cm_eager), setup(cm_w))
+
+    def writer():
+        for i in range(10):
+            yield ("sleep", 10.0)
+            yield cm_w.start_use_image()
+            aw.local["a"] = i + 100
+            cm_w.end_use_image()
+            yield cm_w.push_image()
+
+    def eager():
+        for i in range(10):
+            yield ("sleep", 10.0)
+            yield cm_eager.pull_image()
+            probe.sample("eager", fx.kernel.now)
+
+    def lazy():
+        for i in range(10):
+            yield ("sleep", 10.0)
+            probe.sample("lazy", fx.kernel.now)
+
+    fx.run_scripts(writer(), eager(), lazy())
+    assert probe.mean_unseen("eager") < probe.mean_unseen("lazy")

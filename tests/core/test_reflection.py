@@ -1,0 +1,81 @@
+"""Unit tests for repro.core.reflection."""
+
+import pytest
+
+from repro.core import ObjectImage, ReflectionExtractor, reflect_variables
+from repro.errors import TriggerEvalError
+
+
+class Inner:
+    def __init__(self):
+        self.seats = 7
+
+
+class ViewObj:
+    def __init__(self):
+        self.pending = 3
+        self.ratio = 0.5
+        self.inner = Inner()
+
+    def a_method(self):  # pragma: no cover - never called
+        return 1
+
+
+class TestReflectVariables:
+    def test_reads_simple_attributes(self):
+        env = reflect_variables(ViewObj(), ["pending", "ratio"])
+        assert env == {"pending": 3, "ratio": 0.5}
+
+    def test_dotted_paths(self):
+        env = reflect_variables(ViewObj(), ["inner.seats"])
+        assert env == {"inner.seats": 7}
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(TriggerEvalError, match="no variable 'ghost'"):
+            reflect_variables(ViewObj(), ["ghost"])
+
+    def test_missing_nested_attribute_raises(self):
+        with pytest.raises(TriggerEvalError):
+            reflect_variables(ViewObj(), ["inner.ghost"])
+
+    def test_method_rejected(self):
+        with pytest.raises(TriggerEvalError, match="may only read data"):
+            reflect_variables(ViewObj(), ["a_method"])
+
+    def test_empty_names(self):
+        assert reflect_variables(ViewObj(), []) == {}
+
+
+class TestReflectionExtractor:
+    def test_extract_builds_cells(self):
+        ex = ReflectionExtractor(["pending", "ratio"])
+        img = ex.extract(ViewObj())
+        assert img.get("pending") == 3 and img.get("ratio") == 0.5
+
+    def test_merge_writes_back(self):
+        ex = ReflectionExtractor(["pending"])
+        obj = ViewObj()
+        assert ex.merge(obj, ObjectImage({"pending": 42})) == 1
+        assert obj.pending == 42
+
+    def test_merge_skips_missing_cells(self):
+        ex = ReflectionExtractor(["pending", "ratio"])
+        obj = ViewObj()
+        assert ex.merge(obj, ObjectImage({"ratio": 1.0})) == 1
+        assert obj.pending == 3 and obj.ratio == 1.0
+
+    def test_extract_missing_attribute_raises(self):
+        ex = ReflectionExtractor(["ghost"])
+        with pytest.raises(TriggerEvalError):
+            ex.extract(ViewObj())
+
+    def test_empty_attribute_list_rejected(self):
+        with pytest.raises(ValueError):
+            ReflectionExtractor([])
+
+    def test_extract_then_merge_roundtrip(self):
+        ex = ReflectionExtractor(["pending", "ratio"])
+        a, b = ViewObj(), ViewObj()
+        a.pending, a.ratio = 99, 9.9
+        ex.merge(b, ex.extract(a))
+        assert (b.pending, b.ratio) == (99, 9.9)

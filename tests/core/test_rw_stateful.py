@@ -1,0 +1,133 @@
+"""Model-based test of the read/write-semantics extension.
+
+Random interleavings of read acquires, write acquires, and kills across
+a pool of strong-mode views over one shared cell.  Invariants after
+every rule (quiescent steps):
+
+- readers and a conflicting writer never coexist (rw invariant);
+- a write is always applied to the latest value (no lost increments);
+- the logical value equals a sequential counter model.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import Mode
+from repro.core.rw_semantics import Access, RWCacheManager, RWDirectoryManager
+from repro.core.system import run_all_scripts
+from repro.net import SimTransport
+from repro.sim import SimKernel
+from repro.testing import (
+    Agent,
+    Store,
+    extract_from_object,
+    extract_from_view,
+    merge_into_object,
+    merge_into_view,
+    props_for,
+)
+
+VIEWS = [f"v{i}" for i in range(4)]
+
+
+class RWMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.kernel = SimKernel()
+        self.transport = SimTransport(self.kernel, default_latency=1.0)
+        self.store = Store({"a": 0})
+        self.directory = RWDirectoryManager(
+            transport=self.transport, address="dir", component=self.store,
+            extract_from_object=extract_from_object,
+            merge_into_object=merge_into_object,
+        )
+        self.live = {}
+        self.counter = 0
+        self._seq = 0
+
+    def _run(self, *scripts):
+        run_all_scripts(self.transport, list(scripts))
+
+    @rule(view=st.sampled_from(VIEWS))
+    def join(self, view):
+        if view in self.live:
+            return
+        self._seq += 1
+        agent = Agent()
+        cm = RWCacheManager(
+            transport=self.transport, directory_address="dir",
+            view_id=f"{view}#{self._seq}", view=agent,
+            properties=props_for(["a"]),
+            extract_from_view=extract_from_view,
+            merge_into_view=merge_into_view, mode=Mode.STRONG,
+        )
+
+        def setup():
+            yield cm.start()
+            yield cm.init_image()
+
+        self._run(setup())
+        self.live[view] = (cm, agent)
+
+    @rule(view=st.sampled_from(VIEWS))
+    def read(self, view):
+        entry = self.live.get(view)
+        if entry is None:
+            return
+        cm, agent = entry
+
+        def script():
+            yield cm.start_use_image(access=Access.READ)
+            value = agent.local["a"]
+            cm.end_use_image()
+            return value
+
+        self._run(script())
+
+    @rule(view=st.sampled_from(VIEWS))
+    def write(self, view):
+        entry = self.live.get(view)
+        if entry is None:
+            return
+        cm, agent = entry
+
+        def script():
+            yield cm.start_use_image(access=Access.WRITE)
+            agent.local["a"] += 1
+            cm.end_use_image()
+
+        self._run(script())
+        self.counter += 1
+
+    @rule(view=st.sampled_from(VIEWS))
+    def kill(self, view):
+        entry = self.live.pop(view, None)
+        if entry is None:
+            return
+        cm, _ = entry
+
+        def script():
+            yield cm.kill_image()
+
+        self._run(script())
+
+    @invariant()
+    def rw_invariants_hold(self):
+        self.directory.check_invariants()
+
+    @invariant()
+    def no_lost_writes(self):
+        # Logical value: the primary copy overlaid with the current
+        # write owner's local value (ownership is sticky).
+        effective = self.store.cells["a"]
+        for cm, agent in self.live.values():
+            if cm.owner and "a" in agent.local:
+                effective = agent.local["a"]
+        assert effective == self.counter
+
+
+TestRWStateMachine = RWMachine.TestCase
+TestRWStateMachine.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,87 @@
+"""Unit tests for repro.core.static_map."""
+
+import numpy as np
+import pytest
+
+from repro.core import StaticSharingMap
+from repro.core.static_map import Sharing
+from repro.errors import PropertyError
+
+
+def test_empty_map():
+    m = StaticSharingMap()
+    assert len(m) == 0 and m.view_ids() == []
+
+
+def test_add_views_and_default_dynamic():
+    m = StaticSharingMap(["v1", "v2"])
+    assert m.get("v1", "v2") is Sharing.DYNAMIC
+    assert m.get("v2", "v1") is Sharing.DYNAMIC
+
+
+def test_default_none_option():
+    m = StaticSharingMap(["a", "b"], default=Sharing.NONE)
+    assert m.get("a", "b") is Sharing.NONE
+
+
+def test_set_is_symmetric():
+    m = StaticSharingMap(["a", "b", "c"])
+    m.set("a", "c", Sharing.SHARED)
+    assert m.get("c", "a") is Sharing.SHARED
+    assert m.is_symmetric()
+
+
+def test_self_cell_is_none_and_unsettable():
+    m = StaticSharingMap(["a"])
+    assert m.get("a", "a") is Sharing.NONE
+    with pytest.raises(PropertyError):
+        m.set("a", "a", Sharing.SHARED)
+
+
+def test_duplicate_add_rejected():
+    m = StaticSharingMap(["a"])
+    with pytest.raises(PropertyError):
+        m.add_view("a")
+
+
+def test_unknown_view_rejected():
+    m = StaticSharingMap(["a"])
+    with pytest.raises(PropertyError):
+        m.get("a", "ghost")
+    with pytest.raises(PropertyError):
+        m.remove_view("ghost")
+
+
+def test_grow_preserves_existing_cells():
+    m = StaticSharingMap(["a", "b"])
+    m.set("a", "b", Sharing.SHARED)
+    m.add_view("c")
+    assert m.get("a", "b") is Sharing.SHARED
+    assert m.get("a", "c") is Sharing.DYNAMIC
+    assert m.is_symmetric()
+
+
+def test_remove_view_reindexes():
+    m = StaticSharingMap(["a", "b", "c"])
+    m.set("a", "c", Sharing.SHARED)
+    m.set("b", "c", Sharing.NONE)
+    m.remove_view("b")
+    assert m.view_ids() == ["a", "c"]
+    assert m.get("a", "c") is Sharing.SHARED
+    assert m.is_symmetric()
+
+
+def test_statically_shared_with():
+    m = StaticSharingMap(["a", "b", "c", "d"])
+    m.set("a", "b", Sharing.SHARED)
+    m.set("a", "c", Sharing.NONE)
+    assert m.statically_shared_with("a") == ["b"]
+    assert m.dynamic_pairs_of("a") == ["d"]
+
+
+def test_as_array_copy():
+    m = StaticSharingMap(["a", "b"])
+    arr = m.as_array()
+    arr[0, 1] = 99
+    assert m.get("a", "b") is Sharing.DYNAMIC  # internal state untouched
+    assert arr.dtype == np.int8

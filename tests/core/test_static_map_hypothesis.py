@@ -1,0 +1,74 @@
+"""Property-based tests: the static sharing map stays well-formed under
+arbitrary add/remove/set sequences (the map grows as views register and
+shrinks as they unregister at run time)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core import StaticSharingMap
+from repro.core.static_map import Sharing
+
+VIEW_POOL = [f"v{i}" for i in range(8)]
+
+
+class StaticMapMachine(RuleBasedStateMachine):
+    """Model-based test: a dict-of-pairs model mirrors the matrix."""
+
+    def __init__(self):
+        super().__init__()
+        self.map = StaticSharingMap()
+        self.model = {}  # frozenset({a,b}) -> Sharing
+        self.present = set()
+
+    @rule(view=st.sampled_from(VIEW_POOL))
+    def add_view(self, view):
+        if view in self.present:
+            return
+        self.map.add_view(view)
+        self.present.add(view)
+        for other in self.present - {view}:
+            self.model[frozenset({view, other})] = Sharing.DYNAMIC
+
+    @rule(view=st.sampled_from(VIEW_POOL))
+    def remove_view(self, view):
+        if view not in self.present:
+            return
+        self.map.remove_view(view)
+        self.present.discard(view)
+        for key in [k for k in self.model if view in k]:
+            del self.model[key]
+
+    @rule(
+        a=st.sampled_from(VIEW_POOL),
+        b=st.sampled_from(VIEW_POOL),
+        value=st.sampled_from([Sharing.NONE, Sharing.SHARED, Sharing.DYNAMIC]),
+    )
+    def set_cell(self, a, b, value):
+        if a == b or a not in self.present or b not in self.present:
+            return
+        self.map.set(a, b, value)
+        self.model[frozenset({a, b})] = value
+
+    @invariant()
+    def matrix_matches_model(self):
+        assert set(self.map.view_ids()) == self.present
+        for key, value in self.model.items():
+            a, b = sorted(key)
+            assert self.map.get(a, b) is value
+            assert self.map.get(b, a) is value
+
+    @invariant()
+    def always_symmetric(self):
+        assert self.map.is_symmetric()
+
+    @invariant()
+    def diagonal_is_none(self):
+        for v in self.present:
+            assert self.map.get(v, v) is Sharing.NONE
+
+
+TestStaticMapStateMachine = StaticMapMachine.TestCase
+TestStaticMapStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,120 @@
+"""Unit tests for the trigger evaluator and Trigger/TriggerSet classes."""
+
+import pytest
+
+from repro.core.triggers import Trigger, TriggerSet
+from repro.errors import TriggerEvalError, TriggerSyntaxError
+
+
+class TestEvaluation:
+    def test_paper_example(self):
+        t = Trigger("(t > 1500)")
+        assert not t.evaluate({"t": 1000})
+        assert not t.evaluate({"t": 1500})
+        assert t.evaluate({"t": 1501})
+
+    def test_arithmetic(self):
+        t = Trigger("t % 200 == 0")
+        assert t.evaluate({"t": 400})
+        assert not t.evaluate({"t": 401})
+
+    def test_division(self):
+        assert Trigger("10 / 4 == 2.5").evaluate({})
+
+    def test_logical_combination(self):
+        t = Trigger("t > 10 && pending < 5 || force")
+        assert t.evaluate({"t": 20, "pending": 1, "force": False})
+        assert not t.evaluate({"t": 5, "pending": 1, "force": False})
+        assert t.evaluate({"t": 5, "pending": 9, "force": True})
+
+    def test_short_circuit_and(self):
+        # Right side would fail (unknown var) but is never evaluated.
+        t = Trigger("false && ghost > 1")
+        assert not t.evaluate({})
+
+    def test_short_circuit_or(self):
+        t = Trigger("true || ghost > 1")
+        assert t.evaluate({})
+
+    def test_not(self):
+        assert Trigger("!(t > 5)").evaluate({"t": 1})
+
+    def test_unary_minus(self):
+        assert Trigger("-t == 0 - 5").evaluate({"t": 5})
+
+    def test_equality_on_booleans(self):
+        assert Trigger("true == true").evaluate({})
+        assert Trigger("true != false").evaluate({})
+
+
+class TestEvaluationErrors:
+    def test_unknown_variable(self):
+        with pytest.raises(TriggerEvalError, match="unknown variable"):
+            Trigger("ghost > 1").evaluate({})
+
+    def test_division_by_zero(self):
+        with pytest.raises(TriggerEvalError, match="division by zero"):
+            Trigger("1 / t > 1").evaluate({"t": 0})
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(TriggerEvalError, match="modulo by zero"):
+            Trigger("t % n == 0").evaluate({"t": 5, "n": 0})
+
+    def test_boolean_in_arithmetic_rejected(self):
+        with pytest.raises(TriggerEvalError, match="expected a number"):
+            Trigger("t + flag > 1").evaluate({"t": 1, "flag": True})
+
+    def test_number_in_logical_rejected(self):
+        with pytest.raises(TriggerEvalError, match="expected a boolean"):
+            Trigger("t && true").evaluate({"t": 1})
+
+    def test_mixed_equality_rejected(self):
+        with pytest.raises(TriggerEvalError):
+            Trigger("t == true").evaluate({"t": 1})
+
+    def test_non_boolean_top_level_rejected(self):
+        with pytest.raises(TriggerEvalError, match="non-boolean"):
+            Trigger("t + 1").evaluate({"t": 1})
+
+    def test_not_on_number_rejected(self):
+        with pytest.raises(TriggerEvalError):
+            Trigger("!t").evaluate({"t": 1})
+
+
+class TestTriggerClass:
+    def test_syntax_error_at_construction(self):
+        with pytest.raises(TriggerSyntaxError):
+            Trigger("t >")
+
+    def test_variables_property(self):
+        t = Trigger("t > 100 && seats < 3")
+        assert t.variables == {"t", "seats"}
+        assert t.view_variables == {"seats"}
+
+    def test_unparse(self):
+        assert Trigger("(t > 1500)").unparse() == "(t > 1500)"
+
+
+class TestTriggerSet:
+    def test_all_optional(self):
+        ts = TriggerSet()
+        assert ts.push is None and ts.pull is None and ts.validity is None
+        assert ts.view_variables() == frozenset()
+
+    def test_paper_fig3_style(self):
+        # Fig 3 passes the same expression for push, pull, validity.
+        ts = TriggerSet(push="(t > 1500)", pull="(t > 1500)", validity="(t > 1500)")
+        env = {"t": 2000}
+        assert ts.push.evaluate(env) and ts.pull.evaluate(env)
+        assert ts.validity.evaluate(env)
+
+    def test_view_variables_unioned(self):
+        ts = TriggerSet(push="a > 1", pull="t > 2 && b < 3", validity="c == 0")
+        assert ts.view_variables() == {"a", "b", "c"}
+
+    def test_jsonable_roundtrip(self):
+        ts = TriggerSet(push="t > 1", validity="x < 2")
+        ts2 = TriggerSet.from_jsonable(ts.to_jsonable())
+        assert ts2.push.source == "t > 1"
+        assert ts2.pull is None
+        assert ts2.validity.source == "x < 2"

@@ -1,0 +1,79 @@
+"""Tests for function calls in trigger expressions (min/max/abs/floor/ceil)."""
+
+import pytest
+
+from repro.core.triggers import Trigger, parse_trigger
+from repro.core.triggers.ast import FuncCall, Name, NumLit
+from repro.errors import TriggerEvalError, TriggerSyntaxError
+
+
+class TestParsing:
+    def test_single_arg_call(self):
+        assert parse_trigger("abs(x) > 1") .left == FuncCall("abs", (Name("x"),))
+
+    def test_multi_arg_call(self):
+        ast = parse_trigger("min(a, b, 3) == 3").left
+        assert ast == FuncCall("min", (Name("a"), Name("b"), NumLit(3.0)))
+
+    def test_nested_calls(self):
+        ast = parse_trigger("max(abs(x), 1) > 0").left
+        assert ast == FuncCall("max", (FuncCall("abs", (Name("x"),)), NumLit(1.0)))
+
+    def test_call_in_arithmetic(self):
+        t = Trigger("floor(t / 100) % 2 == 0")
+        assert t.evaluate({"t": 250}) is True   # floor(2.5)=2, even
+        assert t.evaluate({"t": 150}) is False  # floor(1.5)=1, odd
+        assert t.evaluate({"t": 50}) is True    # floor(0.5)=0, even
+
+    def test_unparse_roundtrip(self):
+        for src in ["abs(x) > 1", "min(a, b) < max(a, b)", "ceil(t / 3) == 4"]:
+            ast = parse_trigger(src)
+            assert parse_trigger(ast.unparse()) == ast
+
+    def test_variables_collected_through_calls(self):
+        t = Trigger("min(pending, backlog) > threshold")
+        assert t.variables == {"pending", "backlog", "threshold"}
+
+    def test_unclosed_call_rejected(self):
+        with pytest.raises(TriggerSyntaxError):
+            parse_trigger("abs(x > 1")
+
+    def test_empty_args_rejected(self):
+        with pytest.raises(TriggerSyntaxError):
+            parse_trigger("abs() > 1")
+
+
+class TestEvaluation:
+    def test_abs(self):
+        assert Trigger("abs(x) == 5").evaluate({"x": -5})
+
+    def test_min_max(self):
+        env = {"a": 2, "b": 7}
+        assert Trigger("min(a, b) == 2").evaluate(env)
+        assert Trigger("max(a, b, 10) == 10").evaluate(env)
+
+    def test_floor_ceil(self):
+        assert Trigger("floor(2.7) == 2").evaluate({})
+        assert Trigger("ceil(2.1) == 3").evaluate({})
+
+    def test_unknown_function(self):
+        with pytest.raises(TriggerEvalError, match="unknown function"):
+            Trigger("sqrt(t) > 1").evaluate({"t": 4})
+
+    def test_arity_checked(self):
+        with pytest.raises(TriggerEvalError, match="argument"):
+            Trigger("min(t) > 1").evaluate({"t": 4})
+        with pytest.raises(TriggerEvalError, match="argument"):
+            Trigger("abs(t, 1) > 1").evaluate({"t": 4})
+
+    def test_boolean_argument_rejected(self):
+        with pytest.raises(TriggerEvalError, match="expected a number"):
+            Trigger("abs(flag) > 0").evaluate({"flag": True})
+
+    def test_realistic_staleness_trigger(self):
+        """A plausible application trigger: pull when either enough time
+        passed or the backlog of local work is drained."""
+        t = Trigger("t - last_sync > 500 || min(pending, backlog) == 0")
+        assert t.evaluate({"t": 1000, "last_sync": 400, "pending": 3, "backlog": 1})
+        assert t.evaluate({"t": 100, "last_sync": 50, "pending": 0, "backlog": 9})
+        assert not t.evaluate({"t": 100, "last_sync": 50, "pending": 2, "backlog": 9})

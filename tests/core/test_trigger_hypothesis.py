@@ -1,0 +1,187 @@
+"""Property-based tests for the trigger language.
+
+Random ASTs are generated, unparsed, and reparsed — the parser must
+recover the identical tree.  Random well-typed expressions are compared
+against a reference evaluation built with plain Python operators.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.triggers import (
+    BinOp,
+    BoolLit,
+    Name,
+    NumLit,
+    UnaryOp,
+    parse_trigger,
+)
+from repro.core.triggers.ast import FuncCall
+from repro.core.triggers.evaluator import evaluate
+from repro.errors import TriggerEvalError
+
+# -- AST strategies (type-correct by construction) ----------------------------
+
+numbers = st.one_of(
+    st.integers(min_value=0, max_value=1000).map(float),
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False, width=32).map(
+        lambda f: float(round(f, 3))
+    ),
+)
+num_names = st.sampled_from(["t", "x", "y"])
+bool_names = st.sampled_from(["flag", "done"])
+
+
+def numeric_exprs(depth):
+    leaf = st.one_of(numbers.map(NumLit), num_names.map(Name))
+    if depth <= 0:
+        return leaf
+    sub = numeric_exprs(depth - 1)
+    calls = st.one_of(
+        st.builds(lambda a: FuncCall("abs", (a,)), sub),
+        st.builds(lambda a: FuncCall("floor", (a,)), sub),
+        st.builds(lambda a, b: FuncCall("min", (a, b)), sub, sub),
+        st.builds(lambda a, b: FuncCall("max", (a, b)), sub, sub),
+    )
+    return st.one_of(
+        leaf,
+        calls,
+        st.builds(BinOp, st.sampled_from(["+", "-", "*"]), sub, sub),
+        st.builds(UnaryOp, st.just("-"), sub),
+    )
+
+
+def bool_exprs(depth):
+    leaf = st.one_of(st.booleans().map(BoolLit), bool_names.map(Name))
+    nums = numeric_exprs(max(depth - 1, 0))
+    cmp_ = st.builds(
+        BinOp, st.sampled_from(["<", "<=", ">", ">=", "==", "!="]), nums, nums
+    )
+    if depth <= 0:
+        return st.one_of(leaf, cmp_)
+    sub = bool_exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        cmp_,
+        st.builds(BinOp, st.sampled_from(["&&", "||"]), sub, sub),
+        st.builds(UnaryOp, st.just("!"), sub),
+    )
+
+
+ENV = {"t": 7.0, "x": 3.0, "y": 11.0, "flag": True, "done": False}
+
+
+def reference_eval(node, env):
+    """Independent evaluation used as the oracle."""
+    if isinstance(node, NumLit):
+        return node.value
+    if isinstance(node, BoolLit):
+        return node.value
+    if isinstance(node, Name):
+        return env[node.ident]
+    if isinstance(node, UnaryOp):
+        v = reference_eval(node.operand, env)
+        return (not v) if node.op == "!" else -v
+    if isinstance(node, FuncCall):
+        import math
+
+        args = [reference_eval(a, env) for a in node.args]
+        fns = {"abs": abs, "floor": lambda x: float(math.floor(x)),
+               "ceil": lambda x: float(math.ceil(x)), "min": min, "max": max}
+        return fns[node.name](*args)
+    ops = {
+        "&&": lambda a, b: a and b,
+        "||": lambda a, b: a or b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "==": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+    }
+    return ops[node.op](
+        reference_eval(node.left, env), reference_eval(node.right, env)
+    )
+
+
+@given(bool_exprs(3))
+@settings(max_examples=300)
+def test_unparse_parse_roundtrip(ast):
+    assert parse_trigger(ast.unparse()) == ast
+
+
+@given(numeric_exprs(3))
+@settings(max_examples=300)
+def test_numeric_unparse_parse_roundtrip(ast):
+    assert parse_trigger(ast.unparse()) == ast
+
+
+@given(bool_exprs(3))
+@settings(max_examples=300)
+def test_evaluator_matches_reference(ast):
+    assert evaluate(ast, ENV) == reference_eval(ast, ENV)
+
+
+@given(numeric_exprs(3))
+@settings(max_examples=300)
+def test_numeric_evaluator_matches_reference(ast):
+    got = evaluate(ast, ENV)
+    want = reference_eval(ast, ENV)
+    assert got == want
+
+
+def any_exprs(depth):
+    """Arbitrarily *ill-typed* expressions: mixes bools and numbers."""
+    leaf = st.one_of(
+        numbers.map(NumLit), st.booleans().map(BoolLit),
+        st.sampled_from(["t", "x", "flag"]).map(Name),
+    )
+    if depth <= 0:
+        return leaf
+    sub = any_exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(
+            BinOp,
+            st.sampled_from(["&&", "||", "<", "<=", ">", ">=", "==", "!=",
+                             "+", "-", "*", "/", "%"]),
+            sub, sub,
+        ),
+        st.builds(UnaryOp, st.sampled_from(["!", "-"]), sub),
+        st.builds(lambda a: FuncCall("abs", (a,)), sub),
+        st.builds(lambda n, a: FuncCall(n, (a,)), st.sampled_from(["min", "ghost"]), sub),
+    )
+
+
+@given(any_exprs(3))
+@settings(max_examples=400)
+def test_evaluator_total_over_illtyped_inputs(ast):
+    """Totality: any expression either evaluates to a bool/number or
+    raises TriggerEvalError — never an arbitrary Python exception
+    (division/modulo by zero, type mixes, bad arity, unknown fns)."""
+    from repro.errors import TriggerEvalError
+
+    try:
+        result = evaluate(ast, ENV)
+    except TriggerEvalError:
+        return
+    assert isinstance(result, (bool, int, float))
+
+
+@given(bool_exprs(3))
+def test_variables_are_exactly_free_names(ast):
+    src = ast.unparse()
+    reparsed = parse_trigger(src)
+    for name in reparsed.variables():
+        # Removing a variable from the env must raise.
+        env = {k: v for k, v in ENV.items() if k != name}
+        try:
+            evaluate(reparsed, env)
+        except TriggerEvalError:
+            continue  # the variable genuinely needed (or short-circuited away)
+        # Short-circuiting may skip a variable; that's fine — but then
+        # evaluation with the full env must agree.
+        assert evaluate(reparsed, ENV) == reference_eval(ast, ENV)

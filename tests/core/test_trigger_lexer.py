@@ -1,0 +1,76 @@
+"""Unit tests for the trigger lexer."""
+
+import pytest
+
+from repro.core.triggers import tokenize
+from repro.errors import TriggerSyntaxError
+
+
+def kinds_texts(src):
+    return [(t.kind, t.text) for t in tokenize(src)]
+
+
+def test_paper_example():
+    # The trigger from Fig 3 of the paper.
+    assert kinds_texts("(t > 1500)") == [
+        ("op", "("),
+        ("name", "t"),
+        ("op", ">"),
+        ("num", "1500"),
+        ("op", ")"),
+        ("end", ""),
+    ]
+
+
+def test_numbers_int_and_float():
+    assert kinds_texts("3 2.5 .5")[:-1] == [
+        ("num", "3"),
+        ("num", "2.5"),
+        ("num", ".5"),
+    ]
+
+
+def test_trailing_dot_rejected():
+    with pytest.raises(TriggerSyntaxError, match="malformed number"):
+        tokenize("3.")
+
+
+def test_two_char_operators_win_over_one_char():
+    assert kinds_texts("a<=b")[:-1] == [("name", "a"), ("op", "<="), ("name", "b")]
+    assert kinds_texts("a==b")[1] == ("op", "==")
+    assert kinds_texts("a&&b")[1] == ("op", "&&")
+
+
+def test_keywords_vs_names():
+    toks = kinds_texts("true and flights or not x")
+    assert toks[:-1] == [
+        ("kw", "true"),
+        ("kw", "and"),
+        ("name", "flights"),
+        ("kw", "or"),
+        ("kw", "not"),
+        ("name", "x"),
+    ]
+
+
+def test_dotted_and_underscore_names():
+    assert kinds_texts("db.seats _x")[:-1] == [("name", "db.seats"), ("name", "_x")]
+
+
+def test_whitespace_insensitive():
+    assert kinds_texts("t>5") == kinds_texts(" t  >  5 ")
+
+
+def test_illegal_character():
+    with pytest.raises(TriggerSyntaxError, match="illegal character"):
+        tokenize("t @ 5")
+
+
+def test_non_string_input():
+    with pytest.raises(TriggerSyntaxError):
+        tokenize(1500)  # type: ignore[arg-type]
+
+
+def test_positions_recorded():
+    toks = tokenize("ab + c")
+    assert toks[0].pos == 0 and toks[1].pos == 3 and toks[2].pos == 5

@@ -1,0 +1,111 @@
+"""Unit tests for the trigger parser."""
+
+import pytest
+
+from repro.core.triggers import (
+    BinOp,
+    BoolLit,
+    Name,
+    NumLit,
+    UnaryOp,
+    parse_trigger,
+)
+from repro.errors import TriggerSyntaxError
+
+
+def test_paper_example():
+    ast = parse_trigger("(t > 1500)")
+    assert ast == BinOp(">", Name("t"), NumLit(1500.0))
+
+
+def test_precedence_arithmetic_over_comparison():
+    ast = parse_trigger("t + 1 > 2 * 3")
+    assert ast == BinOp(
+        ">",
+        BinOp("+", Name("t"), NumLit(1.0)),
+        BinOp("*", NumLit(2.0), NumLit(3.0)),
+    )
+
+
+def test_precedence_and_over_or():
+    ast = parse_trigger("a || b && c")
+    assert ast == BinOp("||", Name("a"), BinOp("&&", Name("b"), Name("c")))
+
+
+def test_left_associativity():
+    assert parse_trigger("1 - 2 - 3") == BinOp(
+        "-", BinOp("-", NumLit(1.0), NumLit(2.0)), NumLit(3.0)
+    )
+    assert parse_trigger("8 / 4 / 2") == BinOp(
+        "/", BinOp("/", NumLit(8.0), NumLit(4.0)), NumLit(2.0)
+    )
+
+
+def test_not_and_unary_minus():
+    assert parse_trigger("!a") == UnaryOp("!", Name("a"))
+    assert parse_trigger("not not a") == UnaryOp("!", UnaryOp("!", Name("a")))
+    assert parse_trigger("-5 < t") == BinOp("<", UnaryOp("-", NumLit(5.0)), Name("t"))
+
+
+def test_keyword_operators_equivalent_to_symbols():
+    assert parse_trigger("a and b") == parse_trigger("a && b")
+    assert parse_trigger("a or b") == parse_trigger("a || b")
+    assert parse_trigger("not a") == parse_trigger("!a")
+
+
+def test_booleans():
+    assert parse_trigger("true") == BoolLit(True)
+    assert parse_trigger("false || true") == BinOp("||", BoolLit(False), BoolLit(True))
+
+
+def test_parentheses_override_precedence():
+    ast = parse_trigger("(a || b) && c")
+    assert ast == BinOp("&&", BinOp("||", Name("a"), Name("b")), Name("c"))
+
+
+def test_chained_comparison_rejected():
+    with pytest.raises(TriggerSyntaxError, match="chained comparison"):
+        parse_trigger("1 < t < 3")
+
+
+def test_empty_rejected():
+    with pytest.raises(TriggerSyntaxError, match="empty"):
+        parse_trigger("")
+    with pytest.raises(TriggerSyntaxError, match="empty"):
+        parse_trigger("   ")
+
+
+def test_unbalanced_parens_rejected():
+    with pytest.raises(TriggerSyntaxError):
+        parse_trigger("(t > 5")
+    with pytest.raises(TriggerSyntaxError):
+        parse_trigger("t > 5)")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(TriggerSyntaxError, match="unexpected"):
+        parse_trigger("t > 5 6")
+
+
+def test_missing_operand_rejected():
+    with pytest.raises(TriggerSyntaxError):
+        parse_trigger("t >")
+    with pytest.raises(TriggerSyntaxError):
+        parse_trigger("&& a")
+
+
+def test_variables_collected():
+    ast = parse_trigger("t > 100 && pending < max_pending || done")
+    assert ast.variables() == {"t", "pending", "max_pending", "done"}
+
+
+def test_unparse_reparses_to_same_ast():
+    for src in [
+        "(t > 1500)",
+        "a && b || !c",
+        "t % 200 == 0",
+        "-x + 2.5 * y <= 10",
+        "true",
+    ]:
+        ast = parse_trigger(src)
+        assert parse_trigger(ast.unparse()) == ast

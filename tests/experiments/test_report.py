@@ -1,0 +1,53 @@
+"""Unit tests for the report utilities."""
+
+import pytest
+
+from repro.experiments.report import Table, ascii_series
+
+
+class TestTable:
+    def test_basic_formatting(self):
+        t = Table(["a", "bbb"], title="T")
+        t.add_row(1, 2.5)
+        t.add_row(100, "x")
+        out = t.format()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert "2.50" in out and "100" in out
+
+    def test_wrong_arity_rejected(self):
+        t = Table(["a"])
+        with pytest.raises(ValueError):
+            t.add_row(1, 2)
+
+    def test_no_title(self):
+        t = Table(["col"])
+        t.add_row(5)
+        assert t.format().splitlines()[0].strip() == "col"
+
+    def test_str_equals_format(self):
+        t = Table(["x"])
+        t.add_row(1)
+        assert str(t) == t.format()
+
+
+class TestAsciiSeries:
+    def test_empty(self):
+        assert "(empty)" in ascii_series([])
+
+    def test_constant_series(self):
+        out = ascii_series([5, 5, 5])
+        assert "min=5" in out and "max=5" in out
+
+    def test_trend_visible(self):
+        out = ascii_series([0, 1, 2, 3], label="ramp")
+        assert out.startswith("ramp ")
+        assert "min=0" in out and "max=3" in out
+        bars = out[out.index("[") + 1 : out.index("]")]
+        assert bars[0] != bars[-1]
+
+    def test_downsampling(self):
+        out = ascii_series(range(100), width=10)
+        bars = out[out.index("[") + 1 : out.index("]")]
+        assert len(bars) == 10

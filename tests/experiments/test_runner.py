@@ -1,0 +1,54 @@
+"""Tests for the experiment runner's persistence layer."""
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.messages import TraceLog
+from repro.experiments.runner import EXPERIMENTS, _jsonable, run_and_save
+
+
+@dataclass
+class FakeResult:
+    count: int
+    series: List[float] = field(default_factory=list)
+    labels: Dict[str, str] = field(default_factory=dict)
+
+
+def test_jsonable_handles_dataclasses_and_containers():
+    out = _jsonable(FakeResult(3, [1.0, 2.5], {"a": "b"}))
+    assert out == {"count": 3, "series": [1.0, 2.5], "labels": {"a": "b"}}
+
+
+def test_jsonable_handles_trace_logs():
+    log = TraceLog()
+    log.record(1.0, "dir", "REGISTER")
+    assert _jsonable(log) == ["dir:REGISTER"]
+
+
+def test_jsonable_falls_back_to_str():
+    class Weird:
+        def __repr__(self):
+            return "<weird>"
+
+    assert _jsonable({"x": Weird()}) == {"x": "<weird>"}
+
+
+def test_run_and_save_writes_json(tmp_path):
+    record = run_and_save("fake", lambda: FakeResult(7), tmp_path)
+    assert record["experiment"] == "fake"
+    assert record["wall_seconds"] >= 0
+    on_disk = json.loads((tmp_path / "fake.json").read_text())
+    assert on_disk["result"]["count"] == 7
+
+
+def test_registry_names_are_stable():
+    expected = {
+        "fig1_deployment", "fig2_trace", "fig4_efficiency",
+        "fig5_adaptability", "fig6_flexibility",
+        "abl1_static_vs_dynamic", "abl2_trigger_period",
+        "abl3_granularity", "abl4_centralization",
+        "abl5_rw_semantics", "abl6_loss_tolerance",
+        "ext1_mixed_workload",
+    }
+    assert set(EXPERIMENTS) == expected

@@ -1,0 +1,83 @@
+"""Tests for the sim transport's optional bandwidth model."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net import Message, SimTransport, Topology
+from repro.sim import SimKernel
+
+
+def topo_with_bandwidth(bw):
+    t = Topology()
+    t.add_node("a")
+    t.add_node("b")
+    t.add_link("a", "b", latency=2.0, bandwidth=bw)
+    return t
+
+
+def deliver_one(transport, kernel, payload=None):
+    arrivals = []
+    transport.bind("a", lambda m: None)
+    transport.bind("b", lambda m: arrivals.append(kernel.now))
+    transport.send(Message("DATA", "a", "b", payload or {}))
+    kernel.run()
+    return arrivals[0]
+
+
+def test_bandwidth_adds_transmission_time():
+    k = SimKernel()
+    tr = SimTransport(k, topology=topo_with_bandwidth(bw=100.0), model_bandwidth=True)
+    arrival = deliver_one(tr, k, {"blob": "x" * 1000})
+    # latency 2.0 + >1000 bytes / 100 B-per-unit > 12 units
+    assert arrival > 12.0
+
+
+def test_infinite_bandwidth_is_pure_latency():
+    k = SimKernel()
+    tr = SimTransport(k, topology=topo_with_bandwidth(bw=float("inf")), model_bandwidth=True)
+    arrival = deliver_one(tr, k, {"blob": "x" * 1000})
+    assert arrival == 2.0
+
+
+def test_disabled_model_ignores_bandwidth():
+    k = SimKernel()
+    tr = SimTransport(k, topology=topo_with_bandwidth(bw=1.0), model_bandwidth=False)
+    arrival = deliver_one(tr, k, {"blob": "x" * 1000})
+    assert arrival == 2.0
+
+
+def test_bigger_messages_arrive_later():
+    k = SimKernel()
+    tr = SimTransport(k, topology=topo_with_bandwidth(bw=50.0), model_bandwidth=True)
+    small = deliver_one(tr, k, {"blob": "x"})
+    k2 = SimKernel()
+    tr2 = SimTransport(k2, topology=topo_with_bandwidth(bw=50.0), model_bandwidth=True)
+    large = deliver_one(tr2, k2, {"blob": "x" * 5000})
+    assert large > small
+
+
+def test_bottleneck_bandwidth_is_path_minimum():
+    t = Topology()
+    for n in "abc":
+        t.add_node(n)
+    t.add_link("a", "b", latency=1.0, bandwidth=1000.0)
+    t.add_link("b", "c", latency=1.0, bandwidth=10.0)
+    k = SimKernel()
+    tr = SimTransport(k, topology=t, model_bandwidth=True)
+    assert tr.bottleneck_bandwidth("a", "c") == 10.0
+    assert tr.bottleneck_bandwidth("a", "b") == 1000.0
+
+
+def test_model_bandwidth_requires_strict_wire():
+    k = SimKernel()
+    with pytest.raises(TransportError, match="strict_wire"):
+        SimTransport(k, strict_wire=False, model_bandwidth=True)
+
+
+def test_stats_record_frame_bytes_in_strict_mode():
+    k = SimKernel()
+    tr = SimTransport(k, default_latency=1.0, strict_wire=True)
+    tr.bind("a", lambda m: None)
+    tr.bind("b", lambda m: None)
+    tr.send(Message("DATA", "a", "b", {"blob": "y" * 64}))
+    assert tr.stats.bytes_sent > 64

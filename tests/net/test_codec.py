@@ -1,0 +1,112 @@
+"""Unit tests for repro.net.codec."""
+
+import pytest
+
+from repro.errors import CodecError
+from repro.net import JsonCodec, Message, register_codec_type
+from repro.net.codec import registered_tags, roundtrip
+
+
+class _Point:
+    def __init__(self, x, y):
+        self.x, self.y = x, y
+
+    def __eq__(self, other):
+        return isinstance(other, _Point) and (self.x, self.y) == (other.x, other.y)
+
+
+register_codec_type(
+    "test.point",
+    _Point,
+    to_jsonable=lambda p: {"x": p.x, "y": p.y},
+    from_jsonable=lambda d: _Point(d["x"], d["y"]),
+)
+
+
+def test_plain_payload_roundtrip():
+    m = Message("T", "a", "b", {"n": 1, "s": "x", "f": 2.5, "b": True, "l": [1, 2]})
+    m2 = roundtrip(m)
+    assert m2.payload == m.payload
+    assert m2.msg_type == "T" and m2.msg_id == m.msg_id
+
+
+def test_registered_type_roundtrip():
+    m = Message("T", "a", "b", {"pt": _Point(3, 4)})
+    m2 = roundtrip(m)
+    assert m2.payload["pt"] == _Point(3, 4)
+
+
+def test_nested_registered_types():
+    m = Message("T", "a", "b", {"pts": [_Point(0, 0), {"inner": _Point(1, 1)}]})
+    m2 = roundtrip(m)
+    assert m2.payload["pts"][0] == _Point(0, 0)
+    assert m2.payload["pts"][1]["inner"] == _Point(1, 1)
+
+
+def test_unregistered_type_raises():
+    class Foreign:
+        pass
+
+    m = Message("T", "a", "b", {"bad": Foreign()})
+    with pytest.raises(CodecError, match="not wire-encodable"):
+        JsonCodec().encode(m)
+
+
+def test_reregistering_same_pair_is_noop():
+    register_codec_type(
+        "test.point",
+        _Point,
+        to_jsonable=lambda p: {"x": p.x, "y": p.y},
+        from_jsonable=lambda d: _Point(d["x"], d["y"]),
+    )
+    assert "test.point" in registered_tags()
+
+
+def test_conflicting_registration_rejected():
+    class Other:
+        pass
+
+    with pytest.raises(CodecError, match="already bound"):
+        register_codec_type("test.point", Other, lambda o: {}, lambda d: Other())
+
+
+def test_decode_garbage_raises():
+    with pytest.raises(CodecError):
+        JsonCodec().decode(b"\xff\xfe not json")
+
+
+def test_decode_non_message_json_raises():
+    with pytest.raises(CodecError, match="not a message"):
+        JsonCodec().decode(b'{"hello": 1}')
+
+
+def test_reserved_key_in_user_dict_roundtrips():
+    """Regression (found by hypothesis): a plain payload dict whose key
+    is the reserved '__type__' must survive, not be misparsed as a tag."""
+    payload = {"cellmap": {"__type__": [1, 2], "normal": "x"}}
+    m2 = roundtrip(Message("T", "a", "b", payload))
+    assert m2.payload == payload
+
+
+def test_reserved_key_inside_registered_object_roundtrips():
+    from repro.core import ObjectImage
+
+    img = ObjectImage({"__type__": 42, "ok": 1})
+    m2 = roundtrip(Message("T", "a", "b", {"image": img}))
+    assert m2.payload["image"].cells == {"__type__": 42, "ok": 1}
+
+
+def test_non_string_tag_rejected_cleanly():
+    with pytest.raises(CodecError, match="unknown codec tag"):
+        JsonCodec().decode(
+            b'{"msg_type":"T","src":"a","dst":"b",'
+            b'"payload":{"x":{"__type__":[1,2],"data":{}}},"msg_id":1}'
+        )
+
+
+def test_decode_unknown_tag_raises():
+    with pytest.raises(CodecError, match="unknown codec tag"):
+        JsonCodec().decode(
+            b'{"msg_type":"T","src":"a","dst":"b",'
+            b'"payload":{"x":{"__type__":"no.such.tag","data":{}}},"msg_id":1}'
+        )

@@ -1,0 +1,92 @@
+"""Property-based tests: codec round-trips for arbitrary nested payloads
+including the registered Flecc domain objects."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DiscreteSet, Interval, ObjectImage, Property, PropertySet, VersionVector
+from repro.net import Message
+from repro.net.codec import roundtrip
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+
+domains = st.one_of(
+    st.tuples(st.integers(-100, 0), st.integers(1, 100)).map(lambda t: Interval(*t)),
+    st.sets(st.integers(-50, 50), min_size=1, max_size=5).map(DiscreteSet),
+)
+props = st.builds(Property, st.sampled_from(["p", "q", "Flights"]), domains)
+
+
+@st.composite
+def property_sets(draw):
+    ps = draw(st.lists(props, max_size=3))
+    seen, unique = set(), []
+    for p in ps:
+        if p.name not in seen:
+            seen.add(p.name)
+            unique.append(p)
+    return PropertySet(unique)
+
+
+version_vectors = st.dictionaries(
+    st.sampled_from(["a", "b", "c"]), st.integers(0, 100), max_size=3
+).map(VersionVector)
+
+
+@st.composite
+def images(draw):
+    cells = draw(st.dictionaries(st.text(min_size=1, max_size=8), scalars, max_size=4))
+    return ObjectImage(cells, draw(version_vectors))
+
+
+domain_objects = st.one_of(props, property_sets(), version_vectors, images())
+
+payload_values = st.recursive(
+    st.one_of(scalars, domain_objects),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.text(min_size=1, max_size=6), children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+payloads = st.dictionaries(st.text(min_size=1, max_size=8), payload_values, max_size=4)
+
+
+def _eq(a, b):
+    """Structural equality tolerant of list/tuple and int/float coercion."""
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_eq(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(_eq(a[k], b[k]) for k in a)
+    return a == b
+
+
+@given(payloads)
+@settings(max_examples=200, deadline=None)
+def test_payload_roundtrip(payload):
+    msg = Message("T", "src", "dst", payload)
+    back = roundtrip(msg)
+    assert back.msg_type == "T" and back.msg_id == msg.msg_id
+    assert _eq(back.payload, payload)
+
+
+@given(property_sets())
+def test_property_set_roundtrip_via_wire(ps):
+    back = roundtrip(Message("T", "a", "b", {"props": ps}))
+    assert back.payload["props"] == ps
+
+
+@given(images())
+@settings(deadline=None)
+def test_image_roundtrip_preserves_versions(img):
+    back = roundtrip(Message("T", "a", "b", {"image": img}))
+    out = back.payload["image"]
+    assert out.versions == img.versions
+    assert _eq(out.cells, img.cells)

@@ -1,0 +1,37 @@
+"""Unit tests for repro.net.message."""
+
+from repro.net import Message
+
+
+def test_message_ids_unique_and_increasing():
+    a = Message("PING", "x", "y")
+    b = Message("PING", "x", "y")
+    assert b.msg_id > a.msg_id
+
+
+def test_reply_swaps_endpoints_and_correlates():
+    req = Message("PULL_REQ", "cm-1", "dir", {"view": "v1"})
+    resp = req.reply("PULL_DATA", {"version": 3})
+    assert resp.src == "dir" and resp.dst == "cm-1"
+    assert resp.reply_to == req.msg_id
+    assert resp.payload == {"version": 3}
+
+
+def test_reply_default_payload_empty():
+    resp = Message("A", "x", "y").reply("B")
+    assert resp.payload == {}
+
+
+def test_dict_roundtrip():
+    m = Message("X", "a", "b", {"k": [1, 2]}, reply_to=7)
+    m2 = Message.from_dict(m.to_dict())
+    assert m2.msg_type == "X" and m2.src == "a" and m2.dst == "b"
+    assert m2.payload == {"k": [1, 2]}
+    assert m2.msg_id == m.msg_id and m2.reply_to == 7
+
+
+def test_str_includes_route_and_correlation():
+    m = Message("HELLO", "a", "b")
+    assert "a -> b HELLO" in str(m)
+    r = m.reply("ACK")
+    assert f"re:{m.msg_id}" in str(r)

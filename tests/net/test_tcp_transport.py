@@ -1,0 +1,162 @@
+"""Unit tests for repro.net.tcp_transport (real sockets on localhost)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net import Message, TcpTransport, ThreadCompletion
+
+
+@pytest.fixture()
+def transport():
+    tr = TcpTransport()
+    yield tr
+    tr.close()
+
+
+def test_send_and_receive_over_sockets(transport):
+    got = []
+    done = threading.Event()
+
+    def handler(m):
+        got.append(m)
+        done.set()
+
+    transport.bind("a", lambda m: None)
+    transport.bind("b", handler)
+    transport.send(Message("HELLO", "a", "b", {"x": 1}))
+    assert done.wait(5.0)
+    assert got[0].msg_type == "HELLO" and got[0].payload == {"x": 1}
+
+
+def test_request_reply_roundtrip(transport):
+    done = threading.Event()
+    answers = []
+
+    def server(m):
+        if m.msg_type == "ASK":
+            server_ep.send(m.reply("ANSWER", {"n": m.payload["n"] * 2}))
+
+    def client(m):
+        answers.append(m)
+        done.set()
+
+    server_ep = transport.bind("server", server)
+    transport.bind("client", client)
+    transport.send(Message("ASK", "client", "server", {"n": 21}))
+    assert done.wait(5.0)
+    assert answers[0].msg_type == "ANSWER" and answers[0].payload == {"n": 42}
+    assert answers[0].reply_to is not None
+
+
+def test_many_messages_arrive_in_order(transport):
+    got = []
+    done = threading.Event()
+
+    def handler(m):
+        got.append(m.payload["i"])
+        if len(got) == 50:
+            done.set()
+
+    transport.bind("a", lambda m: None)
+    transport.bind("b", handler)
+    for i in range(50):
+        transport.send(Message("SEQ", "a", "b", {"i": i}))
+    assert done.wait(5.0)
+    assert got == list(range(50))
+
+
+def test_send_to_unbound_address_is_counted_as_drop(transport):
+    transport.bind("a", lambda m: None)
+    transport.send(Message("X", "a", "nowhere"))
+    assert transport.stats.dropped == 1
+
+
+def test_stats_count_bytes(transport):
+    transport.bind("a", lambda m: None)
+    transport.bind("b", lambda m: None)
+    transport.send(Message("X", "a", "b", {"data": "y" * 100}))
+    assert transport.stats.bytes_sent > 100
+
+
+def test_now_advances_with_wall_clock(transport):
+    t1 = transport.now()
+    time.sleep(0.02)
+    t2 = transport.now()
+    # default scale: 1000 units/second => ~20 units after 20 ms
+    assert t2 - t1 >= 10
+
+
+def test_schedule_runs_and_cancel_works(transport):
+    ran = []
+    ev = threading.Event()
+    transport.schedule(10.0, lambda: (ran.append("a"), ev.set()))
+    h = transport.schedule(10.0, lambda: ran.append("b"))
+    h.cancel()
+    assert ev.wait(5.0)
+    time.sleep(0.05)
+    assert ran == ["a"]
+
+
+def test_thread_completion_wait_and_value():
+    c = ThreadCompletion("t")
+    threading.Timer(0.01, lambda: c.resolve(99)).start()
+    assert c.wait(5.0) == 99
+    assert c.done
+
+
+def test_thread_completion_timeout():
+    c = ThreadCompletion("t")
+    with pytest.raises(TransportError, match="timed out"):
+        c.wait(0.01)
+
+
+def test_thread_completion_failure_propagates():
+    c = ThreadCompletion("t")
+    c.fail(ValueError("nope"))
+    with pytest.raises(ValueError, match="nope"):
+        c.wait(1.0)
+
+
+def test_thread_completion_double_resolve_rejected():
+    c = ThreadCompletion()
+    c.resolve(1)
+    with pytest.raises(TransportError):
+        c.resolve(2)
+
+
+def test_thread_completion_then_callback_runs():
+    c = ThreadCompletion()
+    seen = []
+    c.then(lambda comp: seen.append(comp.value))
+    c.resolve("v")
+    assert seen == ["v"]
+    # late registration fires immediately
+    c.then(lambda comp: seen.append("late"))
+    assert seen == ["v", "late"]
+
+
+def test_reconnect_after_endpoint_rebound(transport):
+    """A cached connection dies when the peer endpoint is closed and
+    re-bound on a fresh port; send() reconnects transparently."""
+    got = []
+    ev = threading.Event()
+    transport.bind("a", lambda m: None)
+    ep = transport.bind("b", lambda m: None)
+    transport.send(Message("ONE", "a", "b"))
+    time.sleep(0.05)
+    ep.close()  # kills the listener; the cached conn goes stale
+    transport.bind("b", lambda m: (got.append(m.msg_type), ev.set()))
+    transport.send(Message("TWO", "a", "b"))
+    assert ev.wait(5.0)
+    assert got == ["TWO"]
+
+
+def test_send_after_close_rejected():
+    tr = TcpTransport()
+    tr.bind("a", lambda m: None)
+    tr.close()
+    with pytest.raises(TransportError, match="closed"):
+        tr.send(Message("X", "a", "a"))

@@ -1,0 +1,89 @@
+"""Unit tests for repro.net.topology."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net import Topology, lan_topology, wan_topology
+
+
+def test_latency_uses_min_latency_path():
+    t = Topology()
+    for n in "abcd":
+        t.add_node(n)
+    t.add_link("a", "b", latency=1.0)
+    t.add_link("b", "d", latency=1.0)
+    t.add_link("a", "c", latency=0.25)
+    t.add_link("c", "d", latency=0.25)
+    lat, nodes = t.path("a", "d")
+    assert lat == 0.5
+    assert nodes == ["a", "c", "d"]
+
+
+def test_self_latency_zero():
+    t = Topology()
+    t.add_node("a")
+    assert t.latency("a", "a") == 0.0
+
+
+def test_no_path_raises():
+    t = Topology()
+    t.add_node("a")
+    t.add_node("b")
+    with pytest.raises(TransportError, match="no path"):
+        t.latency("a", "b")
+
+
+def test_unknown_node_raises():
+    t = Topology()
+    t.add_node("a")
+    with pytest.raises(TransportError):
+        t.latency("a", "ghost")
+
+
+def test_negative_latency_rejected():
+    t = Topology()
+    t.add_node("a")
+    t.add_node("b")
+    with pytest.raises(TransportError):
+        t.add_link("a", "b", latency=-1)
+
+
+def test_path_cache_invalidated_by_new_link():
+    t = Topology()
+    for n in "ab":
+        t.add_node(n)
+    t.add_link("a", "b", latency=10.0)
+    assert t.latency("a", "b") == 10.0
+    t.add_node("c")
+    t.add_link("a", "c", latency=1.0)
+    t.add_link("c", "b", latency=1.0)
+    assert t.latency("a", "b") == 2.0
+
+
+def test_lan_topology_shape():
+    t = lan_topology(["h1", "h2", "h3"], latency=0.5)
+    assert t.latency("h1", "h2") == 1.0
+    assert t.latency("h1", "lan-switch") == 0.5
+    assert sorted(t.neighbors("lan-switch")) == ["h1", "h2", "h3"]
+
+
+def test_wan_topology_domains_and_insecure_backbone():
+    t = wan_topology(
+        {"d1": ["a"], "d2": ["b"]}, internet_latency=20.0, lan_latency=0.5
+    )
+    # same domain cheap, cross-domain through core
+    assert t.latency("a", "b") == 0.5 + 20.0 + 20.0 + 0.5
+    insecure = t.insecure_links_on_path("a", "b")
+    assert ("d1-switch", "internet") in insecure or ("internet", "d1-switch") in insecure
+    assert len(insecure) == 2
+
+
+def test_wan_topology_secure_backbone_option():
+    t = wan_topology({"d1": ["a"], "d2": ["b"]}, insecure_backbone=False)
+    assert t.insecure_links_on_path("a", "b") == []
+
+
+def test_node_and_link_attrs():
+    t = wan_topology({"d1": ["a"]})
+    assert t.node_attrs("a")["domain"] == "d1"
+    assert t.link_attrs("a", "d1-switch")["secure"] is True

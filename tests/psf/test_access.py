@@ -1,0 +1,139 @@
+"""Tests for credential-driven view selection (paper §3.2)."""
+
+import pytest
+
+from repro.errors import ViewError
+from repro.psf import ComponentType, Interface, ViewKind
+from repro.psf.access import (
+    AccessPolicy,
+    AccessRule,
+    Credentials,
+    select_view,
+)
+
+
+def make_db():
+    return ComponentType.make(
+        "FlightDatabase",
+        implements=[Interface.make("Svc")],
+        functions={"browse", "reserve", "confirm"},
+        variables={"flights", "seats"},
+        sensitive=True,
+    )
+
+
+class TestCredentials:
+    def test_make_and_roles(self):
+        c = Credentials.make("alice", roles=["agent", "admin"])
+        assert c.has_role("agent") and not c.has_role("auditor")
+        assert not c.trusted_host
+
+    def test_frozen(self):
+        c = Credentials.make("alice")
+        with pytest.raises(AttributeError):
+            c.user = "mallory"
+
+
+class TestAccessRules:
+    def test_unconditional_rule_matches_everyone(self):
+        rule = AccessRule(ViewKind.PROXY)
+        assert rule.matches(Credentials.make("anyone"))
+
+    def test_role_requirement(self):
+        rule = AccessRule(ViewKind.CUSTOMIZATION, required_role="agent")
+        assert rule.matches(Credentials.make("a", roles=["agent"]))
+        assert not rule.matches(Credentials.make("b"))
+
+    def test_trusted_host_requirement(self):
+        rule = AccessRule(ViewKind.PARTIAL, require_trusted_host=True)
+        assert rule.matches(Credentials.make("a", trusted_host=True))
+        assert not rule.matches(Credentials.make("a"))
+
+
+class TestAccessPolicy:
+    def test_most_capable_grant_wins(self):
+        policy = AccessPolicy(
+            [
+                AccessRule(ViewKind.PROXY),
+                AccessRule(ViewKind.CUSTOMIZATION, required_role="agent"),
+            ]
+        )
+        assert policy.allowed_kind(Credentials.make("x")) is ViewKind.PROXY
+        assert (
+            policy.allowed_kind(Credentials.make("x", roles=["agent"]))
+            is ViewKind.CUSTOMIZATION
+        )
+
+    def test_no_rule_means_denied(self):
+        policy = AccessPolicy()
+        assert policy.allowed_kind(Credentials.make("x")) is None
+
+    def test_permits_is_downward_closed(self):
+        policy = AccessPolicy([AccessRule(ViewKind.PARTIAL)])
+        c = Credentials.make("x")
+        assert policy.permits(c, ViewKind.PROXY)
+        assert policy.permits(c, ViewKind.PARTIAL)
+        assert not policy.permits(c, ViewKind.CUSTOMIZATION)
+
+    def test_default_open_policy(self):
+        policy = AccessPolicy.default_open()
+        assert policy.allowed_kind(Credentials.make("x")) is ViewKind.PROXY
+        assert (
+            policy.allowed_kind(Credentials.make("x", trusted_host=True))
+            is ViewKind.CUSTOMIZATION
+        )
+
+
+class TestSelectView:
+    def test_proxy_for_untrusted_user(self):
+        view = select_view(
+            make_db(), Credentials.make("guest"), AccessPolicy.default_open()
+        )
+        assert view.view_of == "FlightDatabase"
+        assert view.variables == frozenset()  # no local data for proxies
+        assert "guest" in view.name
+
+    def test_customization_for_trusted_host(self):
+        view = select_view(
+            make_db(),
+            Credentials.make("agent1", trusted_host=True),
+            AccessPolicy.default_open(),
+        )
+        assert view.functions == make_db().functions
+        assert view.variables == make_db().variables
+
+    def test_partial_with_explicit_shape(self):
+        policy = AccessPolicy([AccessRule(ViewKind.PARTIAL)])
+        view = select_view(
+            make_db(), Credentials.make("x"), policy,
+            partial_shape=({"browse"}, {"flights"}),
+        )
+        assert view.functions == {"browse"}
+        assert view.variables == {"flights"}
+
+    def test_partial_default_shape(self):
+        policy = AccessPolicy([AccessRule(ViewKind.PARTIAL)])
+        view = select_view(make_db(), Credentials.make("x"), policy)
+        assert view.functions == make_db().functions
+        assert len(view.variables) == 1
+
+    def test_denied_raises(self):
+        with pytest.raises(ViewError, match="access denied"):
+            select_view(make_db(), Credentials.make("x"), AccessPolicy())
+
+    def test_role_gated_escalation(self):
+        policy = AccessPolicy(
+            [
+                AccessRule(ViewKind.PROXY),
+                AccessRule(ViewKind.CUSTOMIZATION, required_role="travel-agent",
+                           require_trusted_host=True),
+            ]
+        )
+        guest = select_view(make_db(), Credentials.make("g"), policy)
+        agent = select_view(
+            make_db(),
+            Credentials.make("a", roles=["travel-agent"], trusted_host=True),
+            policy,
+        )
+        assert guest.variables == frozenset()
+        assert agent.variables == make_db().variables

@@ -1,0 +1,134 @@
+"""Integration: credentials decide the access path a user gets.
+
+§3.2's three access levels map to concrete runtime shapes in this
+reproduction:
+
+- PROXY (remote access only)  -> a networked RemoteClient against a
+  service colocated with the original component: no local data at all;
+- CUSTOMIZATION (local run)   -> a TravelAgent view with its own cache
+  manager: local working copy kept coherent by Flecc.
+
+The test drives both users through the same reservation flow and
+verifies the structural difference (who holds local state, who pays
+network round trips per call).
+"""
+
+import pytest
+
+from repro.apps.airline import (
+    Flight,
+    FlightDatabase,
+    RemoteClient,
+    TravelAgentService,
+    build_airline_system,
+)
+from repro.core import Mode
+from repro.core.system import run_all_scripts
+from repro.psf import (
+    AccessPolicy,
+    AccessRule,
+    Credentials,
+    ViewKind,
+    select_view,
+)
+from repro.psf.component import ComponentType, Interface
+
+
+def airline_component_type():
+    return ComponentType.make(
+        "FlightDatabase",
+        implements=[Interface.make("AirlineReservation")],
+        functions={"browse", "confirm_tickets"},
+        variables={"flights"},
+        sensitive=True,
+    )
+
+
+@pytest.fixture()
+def world():
+    airline = build_airline_system(
+        FlightDatabase([Flight("UA100", "NYC", "SFO", 50, 50, 99.0)])
+    )
+    policy = AccessPolicy(
+        [
+            AccessRule(ViewKind.PROXY),
+            AccessRule(
+                ViewKind.CUSTOMIZATION,
+                required_role="travel-agent",
+                require_trusted_host=True,
+            ),
+        ]
+    )
+    return airline, policy
+
+
+def test_untrusted_user_gets_proxy_path(world):
+    airline, policy = world
+    guest = Credentials.make("guest")
+    view_type = select_view(airline_component_type(), guest, policy)
+    assert view_type.variables == frozenset()  # PROXY: no local data
+
+    # Runtime shape for a proxy: a hub agent colocated with the
+    # database serves networked requests; the guest holds nothing.
+    hub_agent, hub_cm = airline.add_travel_agent("hub", ["UA100"], mode=Mode.WEAK)
+
+    def setup():
+        yield hub_cm.start()
+        yield hub_cm.init_image()
+
+    run_all_scripts(airline.transport, [setup()])
+    service = TravelAgentService(airline.transport, hub_agent, hub_cm)
+    client = RemoteClient(airline.transport, guest.user, service.address)
+
+    before = airline.stats.total
+
+    def session():
+        r1 = yield client.browse("UA100")
+        r2 = yield client.buy("UA100", seats=2)
+        return r1, r2
+
+    [(browse, buy)] = run_all_scripts(airline.transport, [session()])
+    assert browse["flight"]["seats_available"] == 50
+    assert buy["seats_left"] == 48
+    # Every proxy operation crossed the network.
+    assert airline.stats.total - before >= 4
+
+
+def test_trusted_agent_gets_customization_path(world):
+    airline, policy = world
+    agent_creds = Credentials.make(
+        "pro", roles=["travel-agent"], trusted_host=True
+    )
+    view_type = select_view(airline_component_type(), agent_creds, policy)
+    assert view_type.variables == {"flights"}  # full local working data
+
+    # Runtime shape for a customization: a local view + cache manager.
+    agent, cm = airline.add_travel_agent(
+        agent_creds.user, ["UA100"], mode=Mode.WEAK
+    )
+
+    def session():
+        yield cm.start()
+        yield cm.init_image()
+        before = airline.stats.total
+        # Local operations: browsing costs no messages at all.
+        yield cm.start_use_image()
+        for _ in range(5):
+            agent.browse("UA100")
+        cm.end_use_image()
+        return airline.stats.total - before
+
+    [delta] = run_all_scripts(airline.transport, [session()])
+    assert delta == 0
+    assert agent.local["UA100"].seats_available == 50  # data held locally
+
+
+def test_policy_denies_unknown_population(world):
+    _, _ = world
+    closed = AccessPolicy([AccessRule(ViewKind.PROXY, required_role="member")])
+    from repro.errors import ViewError
+
+    with pytest.raises(ViewError, match="access denied"):
+        select_view(
+            airline_component_type(), Credentials.make("stranger"), closed
+        )

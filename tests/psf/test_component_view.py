@@ -1,0 +1,108 @@
+"""Unit tests for the PSF component model and views (§3.1, §3.2)."""
+
+import pytest
+
+from repro.errors import ViewError
+from repro.psf import ComponentType, Interface, ViewKind, derive_view, is_view_of
+
+
+def make_db():
+    return ComponentType.make(
+        "FlightDatabase",
+        implements=[Interface.make("AirlineReservation", version=1)],
+        functions={"browse", "reserve", "confirm"},
+        variables={"flights", "seats"},
+        sensitive=True,
+        pinned_to="server",
+    )
+
+
+class TestComponentType:
+    def test_make_and_queries(self):
+        db = make_db()
+        assert db.provides("AirlineReservation")
+        assert not db.provides("Nothing")
+        assert db.implemented_names() == {"AirlineReservation"}
+        assert not db.is_view()
+
+    def test_interface_properties(self):
+        i = Interface.make("I", secure=True, version=2)
+        assert i.property_dict() == {"secure": True, "version": 2}
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ViewError):
+            ComponentType.make("")
+
+    def test_frozen(self):
+        db = make_db()
+        with pytest.raises(AttributeError):
+            db.name = "other"
+
+
+class TestViewPredicate:
+    def test_shared_functions_is_view(self):
+        db = make_db()
+        v = ComponentType.make("V", functions={"browse"}, variables=set())
+        assert is_view_of(v, db)
+
+    def test_shared_variables_is_view(self):
+        db = make_db()
+        v = ComponentType.make("V", functions=set(), variables={"seats"})
+        assert is_view_of(v, db)
+
+    def test_disjoint_is_not_view(self):
+        db = make_db()
+        v = ComponentType.make("V", functions={"other"}, variables={"other"})
+        assert not is_view_of(v, db)
+
+
+class TestDeriveView:
+    def test_proxy_defaults(self):
+        db = make_db()
+        proxy = derive_view(db, ViewKind.PROXY)
+        assert proxy.functions == db.functions
+        assert proxy.variables == frozenset()
+        assert proxy.view_of == "FlightDatabase"
+        assert proxy.mobile and not proxy.sensitive
+        assert proxy.requires == frozenset()  # proxies only forward
+
+    def test_customization_defaults_and_narrowing(self):
+        db = make_db()
+        cust = derive_view(
+            db, ViewKind.CUSTOMIZATION, name="TravelAgent",
+            functions={"browse", "reserve"}, variables={"flights"},
+        )
+        assert cust.name == "TravelAgent"
+        assert cust.functions == {"browse", "reserve"}
+        assert cust.variables == {"flights"}
+        assert cust.sensitive == db.sensitive
+
+    def test_partial_requires_explicit_subsets(self):
+        db = make_db()
+        with pytest.raises(ViewError, match="explicit"):
+            derive_view(db, ViewKind.PARTIAL)
+        partial = derive_view(
+            db, ViewKind.PARTIAL, functions={"browse"}, variables={"flights"}
+        )
+        assert is_view_of(partial, db)
+
+    def test_superset_functions_rejected(self):
+        db = make_db()
+        with pytest.raises(ViewError, match="not in original"):
+            derive_view(db, ViewKind.CUSTOMIZATION, functions={"hack"})
+
+    def test_superset_variables_rejected(self):
+        db = make_db()
+        with pytest.raises(ViewError, match="not in original"):
+            derive_view(
+                db, ViewKind.PARTIAL, functions={"browse"}, variables={"secrets"}
+            )
+
+    def test_degenerate_empty_view_rejected(self):
+        db = make_db()
+        with pytest.raises(ViewError, match="not a view"):
+            derive_view(db, ViewKind.PARTIAL, functions=set(), variables=set())
+
+    def test_default_view_name(self):
+        db = make_db()
+        assert derive_view(db, ViewKind.PROXY).name == "FlightDatabase.proxy"

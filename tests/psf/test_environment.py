@@ -1,0 +1,76 @@
+"""Unit tests for repro.psf.environment."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.net.topology import wan_topology
+from repro.psf import Environment
+
+
+def wan_env():
+    topo = wan_topology(
+        {"d1": ["a1", "a2"], "d2": ["b1"]},
+        internet_latency=20.0,
+        lan_latency=0.5,
+    )
+    env = Environment(topo)
+    for host, trusted, cap in [("a1", True, 2), ("a2", False, 1), ("b1", True, 4)]:
+        topo.graph.nodes[host]["trusted"] = trusted
+        topo.graph.nodes[host]["capacity"] = cap
+    return env
+
+
+def test_single_lan_factory():
+    env = Environment.single_lan(["h1", "h2"], capacity=3)
+    assert sorted(env.hosts()) == ["h1", "h2"]
+    assert env.is_trusted("h1")
+    assert env.capacity_of("h1") == 3
+    assert env.latency("h1", "h2") == 1.0
+
+
+def test_hosts_excludes_switches_and_core():
+    env = wan_env()
+    assert sorted(env.hosts()) == ["a1", "a2", "b1"]
+
+
+def test_occupancy_tracking():
+    env = wan_env()
+    assert env.has_room("a2")
+    env.occupy("a2")
+    assert not env.has_room("a2")
+    with pytest.raises(PlanningError, match="capacity"):
+        env.occupy("a2")
+    env.vacate("a2")
+    assert env.has_room("a2")
+
+
+def test_vacate_empty_rejected():
+    with pytest.raises(PlanningError):
+        wan_env().vacate("a1")
+
+
+def test_reset_occupancy():
+    env = wan_env()
+    env.occupy("a1")
+    env.reset_occupancy()
+    assert env.load_of("a1") == 0
+
+
+def test_candidate_hosts_filters_trust_and_room():
+    env = wan_env()
+    assert sorted(env.candidate_hosts(sensitive=True)) == ["a1", "b1"]
+    env.occupy("a2")
+    assert sorted(env.candidate_hosts()) == ["a1", "b1"]
+
+
+def test_candidate_hosts_sorted_by_distance():
+    env = wan_env()
+    assert env.candidate_hosts(near="a1") == ["a1", "a2", "b1"]
+    assert env.candidate_hosts(near="b1")[0] == "b1"
+
+
+def test_insecure_links_between():
+    env = wan_env()
+    insecure = env.insecure_links_between("a1", "b1")
+    assert len(insecure) == 2  # both backbone hops
+    assert env.insecure_links_between("a1", "a2") == []

@@ -1,0 +1,115 @@
+"""Incremental redeployment: plan diff -> apply_diff -> live adaptation."""
+
+import pytest
+
+from repro.errors import DeploymentError
+from repro.net import SimTransport
+from repro.psf import Deployer, Monitor, Planner, QoSRequirement, diff_plans
+from repro.psf.monitoring import AdaptationLoop
+from repro.sim import SimKernel
+
+from tests.psf.test_planning import make_world
+
+
+def deploy_world(clients):
+    spec, env = make_world()
+    planner = Planner(spec, env)
+    plan = planner.plan(clients)
+    kernel = SimKernel()
+    transport = SimTransport(kernel, topology=env.topology)
+    created, closed = [], []
+
+    def factory(name):
+        def make(placement):
+            class Instance:
+                type_name = name
+                node = placement.node
+
+                def close(self):
+                    closed.append(placement.instance_id)
+
+            inst = Instance()
+            created.append((name, placement.node))
+            return inst
+
+        return make
+
+    deployer = Deployer(
+        transport,
+        factories={t: factory(t) for t in ("DB", "Agent", "Enc", "Dec")},
+    )
+    app = deployer.deploy(plan)
+    return spec, env, planner, deployer, app, created, closed
+
+
+def test_apply_diff_adds_new_view():
+    near = QoSRequirement(client_node="spare", max_latency=10.0)
+    far = QoSRequirement(client_node="edge1", max_latency=5.0)
+    spec, env, planner, deployer, app, created, closed = deploy_world([near])
+    assert not app.by_type("Agent")
+    new_plan = planner.plan([near, far])
+    diff = diff_plans(app.plan, new_plan)
+    deployer.apply_diff(app, diff, new_plan)
+    assert len(app.by_type("Agent")) == 1
+    assert closed == []
+    serving = app.serving_instance_for("edge1")
+    assert serving.type_name == "Agent"
+    # The untouched DB instance still resolves through the new plan.
+    assert app.serving_instance_for("spare").type_name == "DB"
+
+
+def test_apply_diff_removes_obsolete_view():
+    near = QoSRequirement(client_node="spare", max_latency=10.0)
+    far = QoSRequirement(client_node="edge1", max_latency=5.0)
+    spec, env, planner, deployer, app, created, closed = deploy_world([near, far])
+    assert len(app.by_type("Agent")) == 1
+    new_plan = planner.plan([near])  # the edge client left
+    diff = diff_plans(app.plan, new_plan)
+    deployer.apply_diff(app, diff, new_plan)
+    assert app.by_type("Agent") == []
+    assert len(closed) == 1  # the view instance was closed
+
+
+def test_apply_diff_missing_instance_rejected():
+    near = QoSRequirement(client_node="spare", max_latency=10.0)
+    spec, env, planner, deployer, app, *_ = deploy_world([near])
+    from repro.psf.planning import Placement
+
+    ghost_diff = {"add": [], "remove": [Placement("x#9", "Agent", "edge1")]}
+    with pytest.raises(DeploymentError, match="no matching deployed"):
+        deployer.apply_diff(app, ghost_diff)
+
+
+def test_live_adaptation_end_to_end():
+    """Monitor -> re-plan -> diff -> incremental redeploy, while the
+    original instances keep running."""
+    spec, env = make_world()
+    planner = Planner(spec, env)
+    kernel = SimKernel()
+    transport = SimTransport(kernel, topology=env.topology)
+    deployer = Deployer(
+        transport,
+        factories={
+            t: (lambda name: (lambda p: {"type": name, "node": p.node}))(t)
+            for t in ("DB", "Agent", "Enc", "Dec")
+        },
+    )
+    client = QoSRequirement(client_node="edge1", max_latency=80.0)
+    monitor = Monitor(env)
+    loop = AdaptationLoop(monitor, planner, [client])
+    app = deployer.deploy(loop.current_plan)
+    db_instance = app.by_type("DB")[0].instance
+
+    applied = []
+
+    def on_adapt(diff):
+        new_plan = loop.current_plan
+        deployer.apply_diff(app, diff, new_plan)
+        applied.append(diff)
+
+    loop.on_adapt = on_adapt
+    monitor.set_link_attr("edge-switch", "internet", "latency", 300.0)
+    assert len(applied) == 1
+    assert app.serving_instance_for("edge1")["type"] == "Agent"
+    # The database instance object is the same one — never redeployed.
+    assert app.by_type("DB")[0].instance is db_instance

@@ -1,0 +1,172 @@
+"""Unit tests for PSF monitoring, adaptation, and deployment."""
+
+import pytest
+
+from repro.errors import DeploymentError
+from repro.net import SimTransport
+from repro.psf import Deployer, Monitor, QoSRequirement
+from repro.psf.monitoring import AdaptationLoop
+from repro.psf.planning import Planner
+from repro.sim import SimKernel
+
+from tests.psf.test_planning import make_world
+
+
+class TestMonitor:
+    def test_link_change_published_and_recorded(self):
+        _, env = make_world()
+        mon = Monitor(env)
+        seen = []
+        mon.subscribe(seen.append)
+        mon.set_link_attr("dc-switch", "internet", "latency", 99.0)
+        assert len(seen) == 1
+        ev = seen[0]
+        assert ev.kind == "link" and ev.attribute == "latency"
+        assert ev.old_value == 20.0 and ev.new_value == 99.0
+        assert env.latency("server", "edge1") > 100  # cache invalidated
+
+    def test_no_op_change_not_published(self):
+        _, env = make_world()
+        mon = Monitor(env)
+        seen = []
+        mon.subscribe(seen.append)
+        mon.set_link_attr("dc-switch", "internet", "latency", 20.0)  # unchanged
+        assert seen == []
+
+    def test_node_change(self):
+        _, env = make_world()
+        mon = Monitor(env)
+        mon.set_node_attr("edge1", "trusted", False)
+        assert not env.is_trusted("edge1")
+        assert mon.history[-1].kind == "node"
+
+    def test_unsubscribe(self):
+        _, env = make_world()
+        mon = Monitor(env)
+        seen = []
+        unsub = mon.subscribe(seen.append)
+        unsub()
+        mon.set_node_attr("edge1", "capacity", 9)
+        assert seen == []
+
+
+class TestAdaptationLoop:
+    def test_latency_degradation_triggers_view_deployment(self):
+        """The PSF adaptation story: the backbone slows down, so the
+        planner moves service into the client's domain."""
+        spec, env = make_world()
+        mon = Monitor(env)
+        clients = [QoSRequirement(client_node="edge1", max_latency=50.0)]
+        loop = AdaptationLoop(mon, Planner(spec, env), clients)
+        # Initially the DB (41 units away) fits the 50-unit budget.
+        serving = loop.current_plan.placement_of(
+            loop.current_plan.client_bindings["edge1"]
+        )
+        assert serving.type_name == "DB"
+        # Backbone degrades: direct access now exceeds the budget.
+        mon.set_link_attr("edge-switch", "internet", "latency", 80.0)
+        assert len(loop.adaptations) == 1
+        added = loop.adaptations[0]["add"]
+        assert [p.type_name for p in added] == ["Agent"]
+        serving = loop.current_plan.placement_of(
+            loop.current_plan.client_bindings["edge1"]
+        )
+        assert serving.type_name == "Agent"
+
+    def test_client_qos_change_triggers_replan(self):
+        spec, env = make_world()
+        mon = Monitor(env)
+        loose = [QoSRequirement(client_node="edge1", max_latency=100.0)]
+        loop = AdaptationLoop(mon, Planner(spec, env), loose)
+        tight = [QoSRequirement(client_node="edge1", max_latency=5.0)]
+        loop.update_clients(tight)
+        assert loop.adaptations  # the view had to move closer
+        assert loop.current_plan.estimated_latency["edge1"] <= 5.0
+
+    def test_irrelevant_change_produces_no_adaptation(self):
+        spec, env = make_world()
+        mon = Monitor(env)
+        clients = [QoSRequirement(client_node="spare", max_latency=10.0)]
+        loop = AdaptationLoop(mon, Planner(spec, env), clients)
+        mon.set_node_attr("edge2", "capacity", 99)
+        assert loop.adaptations == []
+
+    def test_stop_detaches_loop(self):
+        spec, env = make_world()
+        mon = Monitor(env)
+        loop = AdaptationLoop(
+            mon, Planner(spec, env),
+            [QoSRequirement(client_node="edge1", max_latency=50.0)],
+        )
+        loop.stop()
+        mon.set_link_attr("edge-switch", "internet", "latency", 500.0)
+        assert loop.adaptations == []
+
+
+class TestDeployer:
+    def _deploy(self):
+        spec, env = make_world()
+        plan = Planner(spec, env).plan(
+            [QoSRequirement(client_node="edge1", max_latency=5.0, privacy=True)]
+        )
+        kernel = SimKernel()
+        transport = SimTransport(kernel, topology=env.topology)
+        created = []
+
+        def factory(name):
+            def make(placement):
+                created.append((name, placement.node))
+                return {"type": name, "node": placement.node}
+            return make
+
+        deployer = Deployer(
+            transport,
+            factories={t: factory(t) for t in ("DB", "Agent", "Enc", "Dec")},
+        )
+        return plan, transport, deployer.deploy(plan), created
+
+    def test_every_placement_instantiated(self):
+        plan, _, app, created = self._deploy()
+        assert len(app.instances) == len(plan.all_placements())
+        assert ("DB", "server") in created
+
+    def test_addresses_placed_on_topology_nodes(self):
+        plan, transport, app, _ = self._deploy()
+        db = plan.instances_of_type("DB")[0]
+        deployed = app.instances[db.instance_id]
+        assert transport.node_of(deployed.address) == "server"
+
+    def test_serving_instance_lookup(self):
+        _, _, app, _ = self._deploy()
+        serving = app.serving_instance_for("edge1")
+        assert serving["type"] == "Agent"
+
+    def test_missing_factory_rejected(self):
+        spec, env = make_world()
+        plan = Planner(spec, env).plan([])
+        kernel = SimKernel()
+        transport = SimTransport(kernel)
+        deployer = Deployer(transport, factories={})
+        with pytest.raises(DeploymentError, match="no factory"):
+            deployer.deploy(plan)
+
+    def test_undeploy_calls_close_and_forgets(self):
+        plan, transport, app, _ = self._deploy()
+        closed = []
+
+        class Closeable:
+            def close(self):
+                closed.append(True)
+
+        db_iid = plan.instances_of_type("DB")[0].instance_id
+        app.instances[db_iid].instance = Closeable()
+        deployer = Deployer(transport, factories={})
+        deployer.undeploy(app, db_iid)
+        assert closed == [True]
+        with pytest.raises(DeploymentError):
+            app.instance_of(db_iid)
+
+    def test_unknown_client_binding_rejected(self):
+        _, _, app, _ = self._deploy()
+        with pytest.raises(DeploymentError, match="no binding"):
+            app.serving_instance_for("nowhere")

@@ -1,0 +1,203 @@
+"""Unit tests for the PSF planner (latency + privacy adaptations, §3.1)."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.net.topology import wan_topology
+from repro.psf import (
+    ApplicationSpec,
+    ComponentType,
+    Environment,
+    Interface,
+    Planner,
+    QoSRequirement,
+    ViewKind,
+    derive_view,
+    diff_plans,
+)
+
+
+def make_world(insecure_backbone=True, with_view=True, with_codecs=True):
+    topo = wan_topology(
+        {"dc": ["server", "spare"], "edge": ["edge1", "edge2"]},
+        internet_latency=20.0,
+        lan_latency=0.5,
+        insecure_backbone=insecure_backbone,
+    )
+    env = Environment(topo)
+    for host in ["server", "spare", "edge1", "edge2"]:
+        topo.graph.nodes[host]["trusted"] = True
+        topo.graph.nodes[host]["capacity"] = 4
+
+    db = ComponentType.make(
+        "DB",
+        implements=[Interface.make("Svc")],
+        functions={"browse", "reserve"},
+        variables={"flights"},
+        sensitive=True,
+        pinned_to="server",
+    )
+    components = [db]
+    if with_view:
+        components.append(
+            derive_view(db, ViewKind.CUSTOMIZATION, name="Agent")
+        )
+    if with_codecs:
+        components.append(ComponentType.make("Enc", implements=[Interface.make("Codec")]))
+        components.append(ComponentType.make("Dec", implements=[Interface.make("Codec")]))
+    spec = ApplicationSpec.build(
+        "app",
+        components,
+        service_interface="Svc",
+        encryptor="Enc" if with_codecs else None,
+        decryptor="Dec" if with_codecs else None,
+    )
+    return spec, env
+
+
+def test_pinned_component_placed_at_its_node():
+    spec, env = make_world()
+    plan = Planner(spec, env).plan([])
+    [db] = plan.instances_of_type("DB")
+    assert db.node == "server"
+
+
+def test_nearby_client_served_directly():
+    spec, env = make_world()
+    qos = QoSRequirement(client_node="spare", max_latency=10.0)
+    plan = Planner(spec, env).plan([qos])
+    serving = plan.placement_of(plan.client_bindings["spare"])
+    assert serving.type_name == "DB"
+    assert plan.estimated_latency["spare"] == 1.0
+    assert plan.instances_of_type("Agent") == []
+
+
+def test_remote_client_gets_view_near_it():
+    """The paper's latency adaptation: cache component near the client."""
+    spec, env = make_world()
+    qos = QoSRequirement(client_node="edge1", max_latency=5.0)
+    plan = Planner(spec, env).plan([qos])
+    serving = plan.placement_of(plan.client_bindings["edge1"])
+    assert serving.type_name == "Agent"
+    assert serving.node in ("edge1", "edge2")
+    assert plan.estimated_latency["edge1"] <= 5.0
+    assert serving.serves_client == "edge1"
+
+
+def test_remote_client_with_loose_budget_served_directly():
+    spec, env = make_world()
+    qos = QoSRequirement(client_node="edge1", max_latency=100.0)
+    plan = Planner(spec, env).plan([qos])
+    serving = plan.placement_of(plan.client_bindings["edge1"])
+    assert serving.type_name == "DB"
+
+
+def test_no_view_type_and_tight_budget_fails():
+    spec, env = make_world(with_view=False)
+    qos = QoSRequirement(client_node="edge1", max_latency=5.0)
+    with pytest.raises(PlanningError, match="no mobile view"):
+        Planner(spec, env).plan([qos])
+
+
+def test_impossible_budget_fails():
+    spec, env = make_world()
+    # The Agent view inherits the DB's sensitivity, so untrusting the
+    # edge hosts forces placement across the backbone — over budget.
+    for host in ("edge1", "edge2"):
+        env.topology.graph.nodes[host]["trusted"] = False
+    qos = QoSRequirement(client_node="edge1", max_latency=5.0)
+    with pytest.raises(PlanningError, match="exceeds budget"):
+        Planner(spec, env).plan([qos])
+
+
+def test_privacy_inserts_codec_pairs_on_insecure_links():
+    """The paper's security adaptation: encryptor/decryptor around
+    insecure links (here: the view<->original backbone path)."""
+    spec, env = make_world()
+    qos = QoSRequirement(client_node="edge1", max_latency=5.0, privacy=True)
+    plan = Planner(spec, env).plan([qos])
+    assert len(plan.codec_pairs) == 2  # two insecure backbone hops
+    for pair in plan.codec_pairs:
+        assert pair.encryptor.type_name == "Enc"
+        assert pair.decryptor.type_name == "Dec"
+    links = {pair.link for pair in plan.codec_pairs}
+    assert links == {("dc-switch", "internet"), ("edge-switch", "internet")}
+
+
+def test_privacy_on_secure_network_adds_nothing():
+    spec, env = make_world(insecure_backbone=False)
+    qos = QoSRequirement(client_node="edge1", max_latency=5.0, privacy=True)
+    plan = Planner(spec, env).plan([qos])
+    assert plan.codec_pairs == []
+
+
+def test_privacy_without_codec_types_fails():
+    spec, env = make_world(with_codecs=False)
+    qos = QoSRequirement(client_node="edge1", max_latency=5.0, privacy=True)
+    with pytest.raises(PlanningError, match="no encryptor/decryptor"):
+        Planner(spec, env).plan([qos])
+
+
+def test_two_clients_one_remote_one_local():
+    spec, env = make_world()
+    plan = Planner(spec, env).plan(
+        [
+            QoSRequirement(client_node="spare", max_latency=10.0),
+            QoSRequirement(client_node="edge1", max_latency=5.0),
+        ]
+    )
+    assert plan.placement_of(plan.client_bindings["spare"]).type_name == "DB"
+    assert plan.placement_of(plan.client_bindings["edge1"]).type_name == "Agent"
+
+
+def test_second_remote_client_reuses_nearby_view():
+    spec, env = make_world()
+    plan = Planner(spec, env).plan(
+        [
+            QoSRequirement(client_node="edge1", max_latency=5.0),
+            QoSRequirement(client_node="edge2", max_latency=5.0),
+        ]
+    )
+    # A single Agent instance in the edge domain serves both clients.
+    assert len(plan.instances_of_type("Agent")) == 1
+    assert (
+        plan.client_bindings["edge1"] == plan.client_bindings["edge2"]
+    )
+
+
+def test_plan_is_deterministic():
+    spec1, env1 = make_world()
+    spec2, env2 = make_world()
+    clients = [QoSRequirement(client_node="edge1", max_latency=5.0, privacy=True)]
+    p1 = Planner(spec1, env1).plan(clients)
+    p2 = Planner(spec2, env2).plan(clients)
+    shapes = lambda p: sorted(
+        (pl.type_name, pl.node) for pl in p.all_placements()
+    )
+    assert shapes(p1) == shapes(p2)
+
+
+def test_diff_plans_reports_adds_and_removes():
+    spec, env = make_world()
+    planner = Planner(spec, env)
+    base = planner.plan([QoSRequirement(client_node="spare", max_latency=10.0)])
+    grown = planner.plan(
+        [
+            QoSRequirement(client_node="spare", max_latency=10.0),
+            QoSRequirement(client_node="edge1", max_latency=5.0),
+        ]
+    )
+    diff = diff_plans(base, grown)
+    assert [p.type_name for p in diff["add"]] == ["Agent"]
+    assert diff["remove"] == []
+    # Reverse direction removes the view.
+    diff_back = diff_plans(grown, base)
+    assert [p.type_name for p in diff_back["remove"]] == ["Agent"]
+
+
+def test_diff_of_identical_plans_is_empty():
+    spec, env = make_world()
+    planner = Planner(spec, env)
+    clients = [QoSRequirement(client_node="edge1", max_latency=5.0)]
+    d = diff_plans(planner.plan(clients), planner.plan(clients))
+    assert d == {"add": [], "remove": []}

@@ -1,0 +1,85 @@
+"""Planner dependency-aware placement: components land near the
+providers of their required interfaces."""
+
+import pytest
+
+from repro.net.topology import wan_topology
+from repro.psf import (
+    ApplicationSpec,
+    ComponentType,
+    Environment,
+    Interface,
+    Planner,
+)
+
+
+def make_env():
+    topo = wan_topology(
+        {"dc": ["server", "dc-2"], "edge": ["edge-1", "edge-2"]},
+        internet_latency=30.0,
+        lan_latency=0.5,
+    )
+    env = Environment(topo)
+    for host in env.hosts():
+        topo.graph.nodes[host]["trusted"] = True
+        topo.graph.nodes[host]["capacity"] = 4
+    return env
+
+
+def chain_spec():
+    """frontend requires Middle; middleware requires Store; db pinned."""
+    db = ComponentType.make(
+        "DB", implements=[Interface.make("Store")], pinned_to="server"
+    )
+    mid = ComponentType.make(
+        "Middleware", implements=[Interface.make("Middle")], requires={"Store"}
+    )
+    front = ComponentType.make(
+        "Frontend", implements=[Interface.make("Svc")], requires={"Middle"}
+    )
+    return ApplicationSpec.build("chain", [db, mid, front], service_interface="Svc")
+
+
+def test_dependency_order_providers_first():
+    spec = chain_spec()
+    planner = Planner(spec, make_env())
+    order = [c.name for c in planner._dependency_order()]
+    assert order.index("DB") < order.index("Middleware") < order.index("Frontend")
+
+
+def test_chain_colocates_near_dependencies():
+    spec = chain_spec()
+    plan = Planner(spec, make_env()).plan([])
+    nodes = {p.type_name: p.node for p in plan.all_placements()}
+    assert nodes["DB"] == "server"
+    # Middleware lands in the dc domain (near the DB), not at the edge.
+    assert nodes["Middleware"] in ("server", "dc-2")
+    assert nodes["Frontend"] in ("server", "dc-2")
+
+
+def test_independent_component_uses_capacity_heuristic():
+    solo = ComponentType.make("Solo", implements=[Interface.make("Svc")])
+    spec = ApplicationSpec.build("solo", [solo], service_interface="Svc")
+    plan = Planner(spec, make_env()).plan([])
+    [p] = plan.instances_of_type("Solo")
+    assert p.node in ("dc-2", "edge-1", "edge-2", "server")
+
+
+def test_cycle_does_not_hang():
+    a = ComponentType.make(
+        "A", implements=[Interface.make("IA"), Interface.make("Svc")],
+        requires={"IB"},
+    )
+    b = ComponentType.make("B", implements=[Interface.make("IB")], requires={"IA"})
+    spec = ApplicationSpec.build("cyc", [a, b], service_interface="Svc")
+    plan = Planner(spec, make_env()).plan([])
+    assert len(plan.all_placements()) == 2
+
+
+def test_dependency_on_pinned_component_attracts_placement():
+    env = make_env()
+    spec = chain_spec()
+    plan = Planner(spec, env).plan([])
+    mid = plan.instances_of_type("Middleware")[0]
+    # Latency from middleware to the pinned DB is intra-domain.
+    assert env.latency(mid.node, "server") <= 1.0

@@ -1,0 +1,75 @@
+"""Unit tests for repro.psf.specification."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.psf import ApplicationSpec, ComponentType, Interface, ViewKind, derive_view
+
+
+def make_spec():
+    db = ComponentType.make(
+        "DB",
+        implements=[Interface.make("Svc")],
+        functions={"f", "g"},
+        variables={"x"},
+        pinned_to="server",
+    )
+    agent = derive_view(db, ViewKind.CUSTOMIZATION, name="Agent")
+    enc = ComponentType.make("Enc", implements=[Interface.make("Codec")])
+    dec = ComponentType.make("Dec", implements=[Interface.make("Codec")])
+    return ApplicationSpec.build(
+        "app", [db, agent, enc, dec], service_interface="Svc",
+        encryptor="Enc", decryptor="Dec",
+    )
+
+
+def test_build_validates_ok():
+    spec = make_spec()
+    assert sorted(spec.components) == ["Agent", "DB", "Dec", "Enc"]
+
+
+def test_providers_and_views():
+    spec = make_spec()
+    assert [c.name for c in spec.providers_of("Svc")] == ["Agent", "DB"]
+    assert [c.name for c in spec.views_of("DB")] == ["Agent"]
+    assert [c.name for c in spec.service_providers()] == ["Agent", "DB"]
+
+
+def test_unknown_component_lookup():
+    with pytest.raises(PlanningError, match="unknown component"):
+        make_spec().component("Ghost")
+
+
+def test_missing_service_provider_rejected():
+    c = ComponentType.make("C", implements=[Interface.make("Other")])
+    with pytest.raises(PlanningError, match="nothing implements"):
+        ApplicationSpec.build("app", [c], service_interface="Svc")
+
+
+def test_unsatisfied_requires_rejected():
+    c = ComponentType.make(
+        "C", implements=[Interface.make("Svc")], requires={"Missing"}
+    )
+    with pytest.raises(PlanningError, match="unimplemented"):
+        ApplicationSpec.build("app", [c], service_interface="Svc")
+
+
+def test_requires_satisfied_by_other_component():
+    a = ComponentType.make("A", implements=[Interface.make("Svc")], requires={"Store"})
+    b = ComponentType.make("B", implements=[Interface.make("Store")])
+    spec = ApplicationSpec.build("app", [a, b], service_interface="Svc")
+    assert spec.component("A").requires == {"Store"}
+
+
+def test_view_of_unknown_component_rejected():
+    v = ComponentType.make(
+        "V", implements=[Interface.make("Svc")], view_of="Ghost"
+    )
+    with pytest.raises(PlanningError, match="view of unknown"):
+        ApplicationSpec.build("app", [v], service_interface="Svc")
+
+
+def test_unknown_codec_rejected():
+    c = ComponentType.make("C", implements=[Interface.make("Svc")])
+    with pytest.raises(PlanningError, match="encryptor"):
+        ApplicationSpec.build("app", [c], service_interface="Svc", encryptor="Nope")

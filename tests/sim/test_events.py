@@ -1,0 +1,160 @@
+"""Unit tests for repro.sim.events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import SimKernel
+
+
+def test_event_succeed_carries_value():
+    k = SimKernel()
+    ev = k.event("e")
+    ev.succeed(42)
+    k.run()
+    assert ev.triggered and ev.processed and ev.ok
+    assert ev.value == 42
+
+
+def test_event_double_trigger_rejected():
+    k = SimKernel()
+    ev = k.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("x"))
+
+
+def test_event_value_before_trigger_raises():
+    k = SimKernel()
+    ev = k.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_event_fail_propagates_exception():
+    k = SimKernel()
+    ev = k.event()
+    ev.fail(ValueError("boom"))
+    k.run()
+    assert ev.triggered and not ev.ok
+    with pytest.raises(ValueError, match="boom"):
+        _ = ev.value
+
+
+def test_fail_requires_exception_instance():
+    k = SimKernel()
+    ev = k.event()
+    with pytest.raises(SimulationError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_callback_on_already_processed_event_runs_immediately():
+    k = SimKernel()
+    ev = k.event()
+    ev.succeed("x")
+    k.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == ["x"]
+
+
+def test_timeout_fires_at_correct_time():
+    k = SimKernel()
+    times = []
+    t = k.timeout(5.0, value="done")
+    t.add_callback(lambda e: times.append((k.now, e.value)))
+    k.run()
+    assert times == [(5.0, "done")]
+
+
+def test_negative_timeout_rejected():
+    k = SimKernel()
+    with pytest.raises(SimulationError):
+        k.timeout(-1.0)
+
+
+def test_timeouts_fire_in_time_order():
+    k = SimKernel()
+    order = []
+    for d in (3.0, 1.0, 2.0):
+        k.timeout(d).add_callback(lambda e, d=d: order.append(d))
+    k.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_same_time_ties_broken_by_insertion_order():
+    k = SimKernel()
+    order = []
+    for i in range(5):
+        k.timeout(1.0).add_callback(lambda e, i=i: order.append(i))
+    k.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_any_of_fires_on_first():
+    k = SimKernel()
+
+    def proc():
+        a = k.timeout(5.0, value="slow")
+        b = k.timeout(1.0, value="fast")
+        first = yield k.any_of([a, b])
+        return first.value
+
+    p = k.spawn(proc())
+    k.run()
+    assert p.result == "fast"
+    assert k.now == 5.0  # the slow timeout still drains
+
+
+def test_any_of_empty_rejected():
+    k = SimKernel()
+    with pytest.raises(SimulationError):
+        k.any_of([])
+
+
+def test_all_of_collects_values_in_order():
+    k = SimKernel()
+
+    def proc():
+        a = k.timeout(5.0, value="a")
+        b = k.timeout(1.0, value="b")
+        vals = yield k.all_of([a, b])
+        return vals
+
+    p = k.spawn(proc())
+    k.run()
+    assert p.result == ["a", "b"]
+
+
+def test_all_of_empty_succeeds_immediately():
+    k = SimKernel()
+
+    def proc():
+        vals = yield k.all_of([])
+        return vals
+
+    p = k.spawn(proc())
+    k.run()
+    assert p.result == []
+
+
+def test_all_of_fails_fast_on_child_failure():
+    k = SimKernel()
+    bad = k.event()
+
+    def failer():
+        yield k.timeout(1.0)
+        bad.fail(RuntimeError("child died"))
+
+    def proc():
+        try:
+            yield k.all_of([bad, k.timeout(100.0)])
+        except RuntimeError as e:
+            return ("caught", str(e), k.now)
+        return "not caught"
+
+    k.spawn(failer())
+    p = k.spawn(proc())
+    k.run()
+    assert p.result == ("caught", "child died", 1.0)

@@ -1,0 +1,161 @@
+"""Unit tests for repro.sim.process."""
+
+import pytest
+
+from repro.errors import ProcessKilled, SimulationError
+from repro.sim import SimKernel
+
+
+def test_process_runs_and_returns_value():
+    k = SimKernel()
+
+    def proc():
+        yield k.timeout(1.0)
+        yield k.timeout(2.0)
+        return k.now
+
+    p = k.spawn(proc())
+    k.run()
+    assert p.done and p.result == 3.0
+
+
+def test_process_is_waitable_event():
+    k = SimKernel()
+
+    def child():
+        yield k.timeout(5.0)
+        return "child-value"
+
+    def parent():
+        val = yield k.spawn(child())
+        return ("got", val, k.now)
+
+    p = k.spawn(parent())
+    k.run()
+    assert p.result == ("got", "child-value", 5.0)
+
+
+def test_process_exception_propagates_to_result():
+    k = SimKernel()
+
+    def proc():
+        yield k.timeout(1.0)
+        raise ValueError("inside")
+
+    p = k.spawn(proc())
+    k.run()
+    assert p.done and not p.ok
+    with pytest.raises(ValueError, match="inside"):
+        _ = p.result
+
+
+def test_waiting_on_failing_process_throws_into_waiter():
+    k = SimKernel()
+
+    def bad():
+        yield k.timeout(1.0)
+        raise RuntimeError("bad child")
+
+    def parent():
+        try:
+            yield k.spawn(bad())
+        except RuntimeError as e:
+            return f"caught {e}"
+
+    p = k.spawn(parent())
+    k.run()
+    assert p.result == "caught bad child"
+
+
+def test_yielding_non_event_fails_process():
+    k = SimKernel()
+
+    def proc():
+        yield 42  # type: ignore[misc]
+
+    p = k.spawn(proc())
+    k.run()
+    assert p.done and not p.ok
+    with pytest.raises(SimulationError, match="must yield Events"):
+        _ = p.result
+
+
+def test_yielding_foreign_kernel_event_fails_process():
+    k1, k2 = SimKernel(), SimKernel()
+
+    def proc():
+        yield k2.timeout(1.0)
+
+    p = k1.spawn(proc())
+    k1.run()
+    assert p.done and not p.ok
+
+
+def test_kill_runs_finally_blocks():
+    k = SimKernel()
+    cleaned = []
+
+    def proc():
+        try:
+            yield k.timeout(100.0)
+        finally:
+            cleaned.append(True)
+
+    p = k.spawn(proc())
+    k.run(until=1.0)
+    p.kill("test")
+    assert cleaned == [True]
+    assert p.done and not p.ok
+    with pytest.raises(ProcessKilled):
+        _ = p.result
+
+
+def test_kill_after_done_is_noop():
+    k = SimKernel()
+
+    def proc():
+        yield k.timeout(1.0)
+        return "ok"
+
+    p = k.spawn(proc())
+    k.run()
+    p.kill()
+    assert p.result == "ok"
+
+
+def test_kill_can_be_converted_to_normal_return():
+    k = SimKernel()
+
+    def proc():
+        try:
+            yield k.timeout(100.0)
+        except ProcessKilled:
+            return "graceful"
+
+    p = k.spawn(proc())
+    k.run(until=1.0)
+    p.kill()
+    assert p.result == "graceful"
+
+
+def test_processes_interleave_deterministically():
+    k = SimKernel()
+    trace = []
+
+    def worker(name, period):
+        for _ in range(3):
+            yield k.timeout(period)
+            trace.append((k.now, name))
+
+    k.spawn(worker("a", 2.0))
+    k.spawn(worker("b", 3.0))
+    k.run()
+    assert trace == [
+        (2.0, "a"),
+        (3.0, "b"),
+        (4.0, "a"),
+        # at t=6 both fire; b's timeout was scheduled earlier (t=3 vs t=4)
+        (6.0, "b"),
+        (6.0, "a"),
+        (9.0, "b"),
+    ]

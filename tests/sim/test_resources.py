@@ -1,0 +1,145 @@
+"""Unit tests for repro.sim.resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Mutex, SimKernel, Store
+
+
+def test_mutex_basic_acquire_release():
+    k = SimKernel()
+    m = Mutex(k)
+
+    def proc():
+        yield m.acquire()
+        assert m.locked
+        m.release()
+        return "done"
+
+    p = k.spawn(proc())
+    k.run()
+    assert p.result == "done"
+    assert not m.locked
+
+
+def test_mutex_mutual_exclusion_and_fifo_order():
+    k = SimKernel()
+    m = Mutex(k)
+    trace = []
+
+    def proc(name, hold):
+        yield m.acquire()
+        trace.append(("enter", name, k.now))
+        yield k.timeout(hold)
+        trace.append(("exit", name, k.now))
+        m.release()
+
+    for i, hold in enumerate([3.0, 1.0, 2.0]):
+        k.spawn(proc(f"p{i}", hold))
+    k.run()
+    # Strict FIFO: p0 then p1 then p2; no overlapping critical sections.
+    assert [t[1] for t in trace] == ["p0", "p0", "p1", "p1", "p2", "p2"]
+    enters = [t for t in trace if t[0] == "enter"]
+    exits = [t for t in trace if t[0] == "exit"]
+    for (_, _, ent), (_, _, ext) in zip(enters[1:], exits[:-1]):
+        assert ent >= ext
+
+
+def test_mutex_try_acquire():
+    k = SimKernel()
+    m = Mutex(k)
+    assert m.try_acquire()
+    assert not m.try_acquire()
+    m.release()
+    assert m.try_acquire()
+
+
+def test_mutex_release_unlocked_raises():
+    k = SimKernel()
+    m = Mutex(k)
+    with pytest.raises(SimulationError):
+        m.release()
+
+
+def test_mutex_queue_length():
+    k = SimKernel()
+    m = Mutex(k)
+
+    def holder():
+        yield m.acquire()
+        yield k.timeout(10.0)
+        m.release()
+
+    def waiter():
+        yield m.acquire()
+        m.release()
+
+    k.spawn(holder())
+    k.spawn(waiter())
+    k.spawn(waiter())
+    k.run(until=1.0)
+    assert m.queue_length == 2
+    k.run()
+    assert m.queue_length == 0
+
+
+def test_store_put_then_get():
+    k = SimKernel()
+    s = Store(k)
+    s.put("a")
+    s.put("b")
+
+    def proc():
+        x = yield s.get()
+        y = yield s.get()
+        return [x, y]
+
+    p = k.spawn(proc())
+    k.run()
+    assert p.result == ["a", "b"]
+
+
+def test_store_get_blocks_until_put():
+    k = SimKernel()
+    s = Store(k)
+
+    def getter():
+        item = yield s.get()
+        return (item, k.now)
+
+    def putter():
+        yield k.timeout(4.0)
+        s.put("late")
+
+    p = k.spawn(getter())
+    k.spawn(putter())
+    k.run()
+    assert p.result == ("late", 4.0)
+
+
+def test_store_multiple_getters_fifo():
+    k = SimKernel()
+    s = Store(k)
+    results = []
+
+    def getter(name):
+        item = yield s.get()
+        results.append((name, item))
+
+    k.spawn(getter("first"))
+    k.spawn(getter("second"))
+    k.run()
+    s.put(1)
+    s.put(2)
+    k.run()
+    assert results == [("first", 1), ("second", 2)]
+
+
+def test_store_try_get_and_len():
+    k = SimKernel()
+    s = Store(k)
+    assert s.try_get() is None
+    s.put("x")
+    assert len(s) == 1
+    assert s.try_get() == "x"
+    assert len(s) == 0

@@ -1,0 +1,42 @@
+"""Unit tests for repro.sim.rng."""
+
+import numpy as np
+import pytest
+
+from repro.sim import make_rng, spawn_rng
+from repro.sim.rng import stream_for
+
+
+def test_make_rng_reproducible():
+    a = make_rng(7).random(5)
+    b = make_rng(7).random(5)
+    assert np.array_equal(a, b)
+
+
+def test_make_rng_seed_sensitivity():
+    assert not np.array_equal(make_rng(1).random(5), make_rng(2).random(5))
+
+
+def test_spawn_rng_independent_children():
+    root = make_rng(0)
+    c1, c2 = spawn_rng(root, 2)
+    assert not np.array_equal(c1.random(8), c2.random(8))
+
+
+def test_spawn_rng_requires_positive_n():
+    with pytest.raises(ValueError):
+        spawn_rng(make_rng(0), 0)
+
+
+def test_stream_for_is_path_stable():
+    a = stream_for(42, "workload", 3).random(4)
+    b = stream_for(42, "workload", 3).random(4)
+    assert np.array_equal(a, b)
+
+
+def test_stream_for_distinguishes_paths():
+    a = stream_for(42, "workload", 3).random(4)
+    b = stream_for(42, "workload", 4).random(4)
+    c = stream_for(42, "jitter", 3).random(4)
+    assert not np.array_equal(a, b)
+    assert not np.array_equal(a, c)

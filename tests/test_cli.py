@@ -1,0 +1,37 @@
+"""Smoke tests for the ``python -m repro`` command-line entry."""
+
+import subprocess
+import sys
+
+
+def run_cli(*args, timeout=120):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+def test_no_args_lists_experiments():
+    proc = run_cli()
+    assert proc.returncode == 0
+    for name in ("fig2_trace", "fig4_efficiency", "abl6_loss_tolerance"):
+        assert name in proc.stdout
+
+
+def test_fuzzy_match_runs_experiment():
+    proc = run_cli("fig6")
+    assert proc.returncode == 0
+    assert "FIG6" in proc.stdout
+    assert "with pull trigger" in proc.stdout
+
+
+def test_unknown_name_lists_and_fails():
+    proc = run_cli("nonsense")
+    assert proc.returncode == 1
+    assert "no experiment matches" in proc.stdout
+
+
+def test_abl_prefix_matches_multiple():
+    proc = run_cli("abl4")
+    assert proc.returncode == 0
+    assert "centralized" in proc.stdout

@@ -1,0 +1,76 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline output.  Examples are the library's de-facto acceptance tests."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "final counters:" in out
+    assert "backend sees misses=1 (fresh)" in out  # strong mode saw the push
+
+
+def test_airline_reservation():
+    out = run_example("airline_reservation.py")
+    assert "tickets confirmed per agent:" in out
+    assert "UA100: 172/180" in out  # 8 sales committed, none lost
+    assert "DL300: 146/150" in out
+
+
+def test_adaptive_consistency():
+    out = run_example("adaptive_consistency.py")
+    assert "buy (strong)" in out
+    assert "purchases: 3" in out
+
+
+def test_psf_deployment():
+    out = run_example("psf_deployment.py")
+    assert "deployment plan:" in out
+    assert "codec pairs on insecure links" in out
+    assert "adaptations performed: 1" in out
+
+
+def test_tcp_sockets():
+    out = run_example("tcp_sockets.py")
+    assert "reservations per agent: [4, 4, 4]" in out
+    assert "UA100 seats remaining: 168" in out
+
+
+def test_read_write_sharing():
+    out = run_example("read_write_sharing.py")
+    assert "saved:" in out
+    # RW semantics must save messages on the read-heavy workload.
+    plain = int(out.split("every use exclusive): ")[1].split()[0])
+    rw = int(out.split("read/write semantics:")[1].split()[0])
+    assert rw < plain
+
+
+def test_collaborative_editing():
+    out = run_example("collaborative_editing.py")
+    assert "Alice: added motivation." in out
+    assert "Bob: tightened the claim." in out
+    assert "Carol: proofs go here." in out
+    assert "received 0 fetch/invalidate messages" in out
+
+
+def test_two_level_replication():
+    out = run_example("two_level_replication.py")
+    assert "replicas converged: True" in out
+    assert out.count("UA100=95 BA200=94") == 2  # both replicas converged
