@@ -6,10 +6,12 @@ merging, kernel throughput) so regressions in the substrate are caught.
 """
 
 from repro.core import DiscreteSet, Interval, Property, PropertySet
-from repro.core.conflicts import dyn_confl
+from repro.core.conflicts import ConflictPolicy, dyn_confl
 from repro.core.image import ObjectImage
 from repro.core.triggers import Trigger
 from repro.core.versioning import VersionVector
+from repro.net.codec import JsonCodec
+from repro.net.message import Message
 from repro.sim import SimKernel
 
 
@@ -40,6 +42,56 @@ def test_trigger_evaluate(benchmark):
     trig = Trigger("(t > 1500) && pending < 5 || force")
     env = {"t": 2000.0, "pending": 3, "force": False}
     assert benchmark(trig.evaluate, env) is True
+
+
+def test_trigger_evaluate_interpreted(benchmark):
+    """Reference tree-walking backend — the floor the compiled path beats."""
+    trig = Trigger("(t > 1500) && pending < 5 || force")
+    env = {"t": 2000.0, "pending": 3, "force": False}
+    assert benchmark(trig.evaluate_interpreted, env) is True
+
+
+def _conflict_views(n: int = 100):
+    """n views with staggered overlapping intervals (~20 conflicts each)."""
+    props = {
+        f"v{i:03d}": PropertySet([Property("cells", Interval(i, i + 10))])
+        for i in range(n)
+    }
+    return props, list(props)
+
+
+def test_conflict_set_cached(benchmark):
+    """100 views, repeated conflict_set — the memoized directory path."""
+    props, views = _conflict_views()
+    pol = ConflictPolicy(None, props.get)
+    result = benchmark(pol.conflict_set, "v050", views)
+    assert len(result) == 20  # intervals within +/-10 of v050, minus itself
+
+
+def test_conflict_set_uncached(benchmark):
+    """Same query with the cache defeated: the pre-memoization cost."""
+    props, views = _conflict_views()
+    pol = ConflictPolicy(None, props.get)
+
+    def run():
+        pol.invalidate()
+        return pol.conflict_set("v050", views)
+
+    assert len(benchmark(run)) == 20
+
+
+def test_codec_encode(benchmark):
+    """Single-pass wire encoding of a typical PUSH-sized payload."""
+    codec = JsonCodec()
+    props = PropertySet(
+        [Property(f"p{i}", DiscreteSet({f"k{j}" for j in range(10)})) for i in range(5)]
+    )
+    msg = Message(
+        "PUSH", "cm:v1", "dm",
+        {"view_id": "v1", "cells": {f"c{i}": i for i in range(50)}, "props": props},
+    )
+    raw = benchmark(codec.encode, msg)
+    assert len(raw) > 100
 
 
 def test_image_merge_newer(benchmark):

@@ -157,6 +157,9 @@ class CacheManager:
         self._trigger_inflight = False
         self._triggers_stopped = False
         self._closed = False
+        # Reused environment dict for trigger evaluation: one allocation
+        # per trigger-set change instead of one per poll tick.
+        self._trigger_env_dict: Dict[str, Any] = {}
 
         # Instrumentation.
         self.counters: Dict[str, int] = {
@@ -465,6 +468,7 @@ class CacheManager:
     def set_triggers(self, triggers: TriggerSet) -> None:
         """Replace the quality triggers at run time (weak-level tuning)."""
         self.triggers = triggers
+        self._trigger_env_dict = {}  # variable set may have changed
 
     def update_properties(self, properties: PropertySet) -> Completion:
         """Change the view's data properties at run time (paper §4.1)."""
@@ -524,8 +528,12 @@ class CacheManager:
     # Quality-trigger machinery
     # ------------------------------------------------------------------
     def _trigger_env(self) -> Dict[str, Any]:
+        # One env dict per tick, shared by the push/pull/validity
+        # evaluations and reused across ticks (refreshed in place).
+        env = self._trigger_env_dict
         names = self.triggers.view_variables()
-        env = reflect_variables(self.view, names) if names else {}
+        if names:
+            env.update(reflect_variables(self.view, names))
         env["t"] = self.transport.now()
         return env
 

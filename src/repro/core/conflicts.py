@@ -3,14 +3,28 @@
 Implements the decision procedure of paper §4.1: the static sharing map
 answers for statically-known pairs (``0``/``1``); a ``-1`` cell defers
 to the *dynamic set of data properties* — ``dynConfl`` (Definition 1).
+
+Hot-path note (paper §4.1, Fig. 4): the static map exists precisely to
+short-circuit repeated ``dynConfl`` computation.  :class:`ConflictPolicy`
+extends that idea with a generation-stamped memoization cache — pairwise
+answers and whole per-view conflict sets are remembered until the
+directory reports a membership or property change via
+:meth:`ConflictPolicy.invalidate`.  Registration events are rare
+compared to ACQUIRE/PULL rounds, so a whole-cache generation bump on
+each change keeps invalidation O(1) while the steady-state query cost
+drops to a dict lookup.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.property_set import PropertySet
 from repro.core.static_map import Sharing, StaticSharingMap
+
+# Above this many cached entries, an invalidation clears the dicts
+# outright instead of leaving stale-generation tombstones behind.
+_CACHE_SWEEP_LIMIT = 65536
 
 
 def dyn_confl(p: PropertySet, q: PropertySet) -> int:
@@ -25,6 +39,11 @@ class ConflictPolicy:
     directory passes its live registry so run-time property changes
     (paper: "views ... can dynamically change the sets of shared data")
     are honored without re-wiring.
+
+    Results are memoized per unordered pair and per conflict-set query.
+    The owner of the live registry (the directory) must call
+    :meth:`invalidate` whenever view membership, a view's properties, or
+    a static-map cell changes; until then cached answers are authoritative.
     """
 
     def __init__(
@@ -34,16 +53,48 @@ class ConflictPolicy:
     ) -> None:
         self.static_map = static_map
         self.properties_of = properties_of
-        # Instrumentation for the ablation benches.
+        # Instrumentation for the ablation benches.  static_hits and
+        # dynamic_evals count *cache misses only* (i.e. actual decision
+        # work); repeated answers land in cache_hits instead.
         self.static_hits = 0
         self.dynamic_evals = 0
+        self.cache_hits = 0
+        # Generation-stamped memoization: entries tagged with an older
+        # generation than the current one are treated as absent.
+        self._generation = 0
+        self._pair_cache: Dict[Tuple[str, str], Tuple[int, bool]] = {}
+        self._set_cache: Dict[Tuple[str, Tuple[str, ...]], Tuple[int, List[str]]] = {}
 
+    # -- cache control --------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop all memoized answers (membership/property/map change)."""
+        self._generation += 1
+        if len(self._pair_cache) + len(self._set_cache) > _CACHE_SWEEP_LIMIT:
+            self._pair_cache.clear()
+            self._set_cache.clear()
+
+    @property
+    def generation(self) -> int:
+        """Monotone counter of invalidations (exposed for tests/probes)."""
+        return self._generation
+
+    # -- queries --------------------------------------------------------
     def conflicts(self, a: str, b: str) -> bool:
         if a == b:
             return False
-        if self.static_map is not None and self.static_map.has_view(a) and self.static_map.has_view(b):
-            cell = self.static_map.get(a, b)
-            if cell is not Sharing.DYNAMIC:
+        key = (a, b) if a <= b else (b, a)
+        hit = self._pair_cache.get(key)
+        if hit is not None and hit[0] == self._generation:
+            self.cache_hits += 1
+            return hit[1]
+        result = self._compute(a, b)
+        self._pair_cache[key] = (self._generation, result)
+        return result
+
+    def _compute(self, a: str, b: str) -> bool:
+        if self.static_map is not None:
+            cell = self.static_map.get_if_present(a, b)
+            if cell is not None and cell is not Sharing.DYNAMIC:
                 self.static_hits += 1
                 return cell is Sharing.SHARED
         self.dynamic_evals += 1
@@ -53,8 +104,22 @@ class ConflictPolicy:
             # Without property information Flecc must assume the worst
             # case (paper §4.1: "all views conflict").
             return True
-        return dyn_confl(p, q) == 1
+        return p.conflicts_with(q)
 
     def conflict_set(self, view_id: str, candidates: Iterable[str]) -> List[str]:
-        """All candidates (excluding ``view_id``) that conflict with it."""
-        return [c for c in candidates if c != view_id and self.conflicts(view_id, c)]
+        """All candidates (excluding ``view_id``) that conflict with it.
+
+        Whole result lists are cached per ``(view_id, candidates)`` so
+        the directory's repeated per-round recomputation collapses to a
+        lookup between membership changes.
+        """
+        key = (view_id, tuple(candidates))
+        hit = self._set_cache.get(key)
+        if hit is not None and hit[0] == self._generation:
+            self.cache_hits += 1
+            return list(hit[1])
+        result = [
+            c for c in key[1] if c != view_id and self.conflicts(view_id, c)
+        ]
+        self._set_cache[key] = (self._generation, result)
+        return list(result)

@@ -266,6 +266,7 @@ class DirectoryManager:
         self.counters["registers"] += 1
         if self.static_map is not None and not self.static_map.has_view(view_id):
             self.static_map.add_view(view_id)
+        self.policy.invalidate()  # membership changed: cached answers stale
         self._reply(msg, M.REGISTER_ACK, {"view_id": view_id})
 
     def _h_push(self, msg: Message) -> None:
@@ -297,6 +298,7 @@ class DirectoryManager:
             self._reply(msg, M.ERROR, {"error": "properties missing"})
             return
         rec.properties = props
+        self.policy.invalidate()  # conflict relationships may have moved
         self._reply(msg, M.PROP_UPDATE_ACK, {"view_id": rec.view_id})
 
     def _h_unregister(self, msg: Message) -> None:
@@ -309,6 +311,7 @@ class DirectoryManager:
         self.counters["unregisters"] += 1
         if self.static_map is not None and self.static_map.has_view(view_id):
             self.static_map.remove_view(view_id)
+        self.policy.invalidate()  # membership changed: cached answers stale
         self._forget_in_rounds(view_id)
         self._reply(msg, M.UNREGISTER_ACK, {"view_id": view_id})
 

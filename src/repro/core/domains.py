@@ -34,6 +34,15 @@ class Domain(abc.ABC):
     @abc.abstractmethod
     def contains(self, value: Scalar) -> bool: ...
 
+    def overlaps(self, other: "Domain") -> bool:
+        """Boolean fast path: true iff ``intersect`` would be non-empty.
+
+        Subclasses override with an O(1)/O(min) check that skips
+        building the intersection object; this default stays correct
+        for any future Domain subclass.
+        """
+        return not self.intersect(other).is_empty()
+
     @abc.abstractmethod
     def to_jsonable(self) -> dict: ...
 
@@ -60,6 +69,9 @@ class _EmptyDomain(Domain):
 
     def intersect(self, other: Domain) -> Domain:
         return self
+
+    def overlaps(self, other: Domain) -> bool:
+        return False
 
     def contains(self, value: Scalar) -> bool:
         return False
@@ -112,6 +124,19 @@ class Interval(Domain):
             return DiscreteSet(kept) if kept else EMPTY_DOMAIN
         raise PropertyError(f"cannot intersect Interval with {type(other).__name__}")
 
+    def overlaps(self, other: Domain) -> bool:
+        if isinstance(other, Interval):
+            return max(self.lo, other.lo) <= min(self.hi, other.hi)
+        if isinstance(other, DiscreteSet):
+            lo, hi = self.lo, self.hi
+            return any(
+                isinstance(v, (int, float)) and lo <= v <= hi
+                for v in other.values
+            )
+        if isinstance(other, _EmptyDomain):
+            return False
+        raise PropertyError(f"cannot intersect Interval with {type(other).__name__}")
+
     def to_jsonable(self) -> dict:
         return {"kind": "interval", "lo": self.lo, "hi": self.hi}
 
@@ -159,6 +184,17 @@ class DiscreteSet(Domain):
             return DiscreteSet(common) if common else EMPTY_DOMAIN
         if isinstance(other, Interval):
             return other.intersect(self)
+        raise PropertyError(
+            f"cannot intersect DiscreteSet with {type(other).__name__}"
+        )
+
+    def overlaps(self, other: Domain) -> bool:
+        if isinstance(other, DiscreteSet):
+            return not self.values.isdisjoint(other.values)
+        if isinstance(other, Interval):
+            return other.overlaps(self)
+        if isinstance(other, _EmptyDomain):
+            return False
         raise PropertyError(
             f"cannot intersect DiscreteSet with {type(other).__name__}"
         )

@@ -39,7 +39,8 @@ class Property:
         return Property(self.name, common)
 
     def conflicts_with(self, other: "Property") -> bool:
-        return self.intersect(other) is not None
+        """Boolean form of Definition 3 without materializing the result."""
+        return self.name == other.name and self.domain.overlaps(other.domain)
 
     def to_jsonable(self) -> dict:
         return {"name": self.name, "domain": self.domain.to_jsonable()}

@@ -4,11 +4,16 @@ The paper assumes a set never holds two properties with the same name;
 :class:`PropertySet` enforces that at construction.  The intersection of
 two sets is the set of pairwise property intersections — non-empty
 intersection means the owning views *conflict* (share data).
+
+Hot-path note: sets are immutable, so the deterministic name-sorted
+ordering is computed once at construction and reused by ``__iter__``,
+``names()``, and the wire encoding — the conflict loop in the directory
+iterates property sets on every ACQUIRE/PULL round and must not re-sort.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.property import Property
 from repro.errors import PropertyError
@@ -18,7 +23,7 @@ from repro.net.codec import register_codec_type
 class PropertySet:
     """An immutable collection of uniquely-named properties."""
 
-    __slots__ = ("_by_name",)
+    __slots__ = ("_by_name", "_sorted", "_names", "_hash")
 
     def __init__(self, properties: Iterable[Property] = ()) -> None:
         by_name: Dict[str, Property] = {}
@@ -31,7 +36,14 @@ class PropertySet:
                     "(the paper assumes name_i != name_j for all i, j)"
                 )
             by_name[p.name] = p
+        # Intern the deterministic ordering once (sets are immutable).
+        ordered: Tuple[Property, ...] = tuple(
+            by_name[n] for n in sorted(by_name)
+        )
         object.__setattr__(self, "_by_name", by_name)
+        object.__setattr__(self, "_sorted", ordered)
+        object.__setattr__(self, "_names", tuple(p.name for p in ordered))
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, key, value):
         raise PropertyError("PropertySet is immutable")
@@ -41,8 +53,8 @@ class PropertySet:
         return len(self._by_name)
 
     def __iter__(self) -> Iterator[Property]:
-        # Deterministic order: sorted by name.
-        return iter(sorted(self._by_name.values(), key=lambda p: p.name))
+        # Deterministic order: sorted by name (precomputed).
+        return iter(self._sorted)
 
     def __contains__(self, name: str) -> bool:
         return name in self._by_name
@@ -51,7 +63,7 @@ class PropertySet:
         return self._by_name.get(name)
 
     def names(self) -> List[str]:
-        return sorted(self._by_name)
+        return list(self._names)
 
     def is_empty(self) -> bool:
         return not self._by_name
@@ -67,8 +79,9 @@ class PropertySet:
         small, large = (
             (self, other) if len(self) <= len(other) else (other, self)
         )
-        for p in small:
-            q = large.get(p.name)
+        large_by_name = large._by_name
+        for name, p in small._by_name.items():
+            q = large_by_name.get(name)
             if q is None:
                 continue
             r = p.intersect(q)
@@ -77,15 +90,28 @@ class PropertySet:
         return PropertySet(out)
 
     def conflicts_with(self, other: "PropertySet") -> bool:
-        """Definition 1 (``dynConfl``): true iff the intersection is non-empty."""
-        return not self.intersect(other).is_empty()
+        """Definition 1 (``dynConfl``): true iff the intersection is non-empty.
+
+        Boolean fast path: answers via domain overlap tests without
+        materializing the intersected set (the directory only needs the
+        yes/no answer on every conflict query).
+        """
+        small, large = (
+            (self, other) if len(self) <= len(other) else (other, self)
+        )
+        large_by_name = large._by_name
+        for name, p in small._by_name.items():
+            q = large_by_name.get(name)
+            if q is not None and p.domain.overlaps(q.domain):
+                return True
+        return False
 
     def union_names(self, other: "PropertySet") -> List[str]:
-        return sorted(set(self.names()) | set(other.names()))
+        return sorted(set(self._names).union(other._names))
 
     # -- wire --------------------------------------------------------------
     def to_jsonable(self) -> list:
-        return [p.to_jsonable() for p in self]
+        return [p.to_jsonable() for p in self._sorted]
 
     @classmethod
     def from_jsonable(cls, items: list) -> "PropertySet":
@@ -95,10 +121,14 @@ class PropertySet:
         return isinstance(other, PropertySet) and self._by_name == other._by_name
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._by_name.values()))
+        h = self._hash
+        if h is None:
+            h = hash(frozenset(self._by_name.values()))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
-        inner = ", ".join(repr(p) for p in self)
+        inner = ", ".join(repr(p) for p in self._sorted)
         return f"PropertySet([{inner}])"
 
 

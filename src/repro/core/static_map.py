@@ -82,6 +82,21 @@ class StaticSharingMap:
         i, j = self._pair(a, b)
         return Sharing(int(self._m[i, j]))
 
+    def get_if_present(self, a: str, b: str) -> "Sharing | None":
+        """Cell value, or ``None`` when either view is not in the map.
+
+        Single index resolution per view — the conflict hot path uses
+        this instead of ``has_view(a) and has_view(b)`` followed by
+        ``get(a, b)``, which looked every view up twice.
+        """
+        i = self._index.get(a)
+        if i is None:
+            return None
+        j = self._index.get(b)
+        if j is None:
+            return None
+        return Sharing(int(self._m[i, j]))
+
     def _pair(self, a: str, b: str) -> Tuple[int, int]:
         try:
             return self._index[a], self._index[b]

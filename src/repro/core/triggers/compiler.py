@@ -1,0 +1,161 @@
+"""Lower trigger ASTs to native Python code objects.
+
+The tree-walking evaluator in :mod:`repro.core.triggers.evaluator` is
+the semantic reference, but the cache manager evaluates push/pull/
+validity triggers on every poll tick — a hot path.  This module emits a
+Python expression mirroring the AST, wraps it in a ``lambda env: ...``,
+and compiles it once; evaluation then costs one native function call
+instead of a recursive tree walk.
+
+The compiled form preserves the evaluator's semantics exactly:
+
+- logical operators short-circuit and require strict booleans;
+- arithmetic/comparison operands must be numbers (``bool`` is not a
+  number);
+- ``==``/``!=`` refuse to compare a boolean with a number;
+- division/modulo by zero, unknown variables, unknown functions, and
+  arity errors raise :class:`~repro.errors.TriggerEvalError` *at
+  evaluation time*, with the same messages as the interpreter.
+
+Operand evaluation order (left before right, callee checks before
+arguments) matches the interpreter, so both backends raise the same
+first error on malformed input — the equivalence test suite sweeps this.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.core.triggers.ast import (
+    BinOp,
+    BoolLit,
+    FuncCall,
+    Name,
+    Node,
+    NumLit,
+    UnaryOp,
+)
+from repro.core.triggers.evaluator import _BUILTINS, _as_bool, _as_number
+from repro.errors import TriggerEvalError
+
+Env = Mapping[str, Any]
+CompiledTrigger = Callable[[Env], Any]
+
+
+def _name(env: Env, ident: str) -> Any:
+    if ident not in env:
+        raise TriggerEvalError(f"unknown variable {ident!r}")
+    return env[ident]
+
+
+def _eq(lv: Any, rv: Any) -> bool:
+    if isinstance(lv, bool) != isinstance(rv, bool):
+        raise TriggerEvalError("'==' between boolean and number")
+    return lv == rv
+
+
+def _ne(lv: Any, rv: Any) -> bool:
+    if isinstance(lv, bool) != isinstance(rv, bool):
+        raise TriggerEvalError("'!=' between boolean and number")
+    return lv != rv
+
+
+def _div(lv: float, rv: float) -> float:
+    if rv == 0:
+        raise TriggerEvalError("division by zero in trigger")
+    return lv / rv
+
+
+def _mod(lv: float, rv: float) -> float:
+    if rv == 0:
+        raise TriggerEvalError("modulo by zero in trigger")
+    return lv % rv
+
+
+def _fn(name: str, nargs: int) -> Callable[..., float]:
+    """Resolve a builtin; checked before arguments are evaluated (the
+    callee of a Python call expression evaluates first), matching the
+    interpreter's check-then-evaluate order."""
+    spec = _BUILTINS.get(name)
+    if spec is None:
+        raise TriggerEvalError(
+            f"unknown function {name!r}; available: "
+            f"{', '.join(sorted(_BUILTINS))}"
+        )
+    lo, hi, fn = spec
+    if nargs < lo or (hi is not None and nargs > hi):
+        want = f"{lo}" if hi == lo else f">= {lo}"
+        raise TriggerEvalError(
+            f"{name}() takes {want} argument(s), got {nargs}"
+        )
+    return fn
+
+
+# Shared globals for every compiled trigger; no builtins are exposed, so
+# a trigger expression can only ever reach these helpers and its env.
+_GLOBALS = {
+    "__builtins__": {},
+    "_n": _as_number,
+    "_b": _as_bool,
+    "_name": _name,
+    "_eq": _eq,
+    "_ne": _ne,
+    "_div": _div,
+    "_mod": _mod,
+    "_fn": _fn,
+}
+
+_CMP_ARITH = {"<", "<=", ">", ">=", "+", "-", "*"}
+
+
+def _emit(node: Node) -> str:
+    """Emit a Python expression string for ``node``."""
+    if isinstance(node, NumLit):
+        return repr(node.value)
+    if isinstance(node, BoolLit):
+        return "True" if node.value else "False"
+    if isinstance(node, Name):
+        return f"_name(env, {node.ident!r})"
+    if isinstance(node, UnaryOp):
+        if node.op == "!":
+            return f'(not _b({_emit(node.operand)}, "operand of \'!\'"))'
+        if node.op == "-":
+            return f'(-_n({_emit(node.operand)}, "operand of unary \'-\'"))'
+        raise TriggerEvalError(f"unknown unary operator {node.op!r}")
+    if isinstance(node, BinOp):
+        op, left, right = node.op, _emit(node.left), _emit(node.right)
+        if op == "&&":
+            return f'(_b({left}, "left of \'&&\'") and _b({right}, "right of \'&&\'"))'
+        if op == "||":
+            return f'(_b({left}, "left of \'||\'") or _b({right}, "right of \'||\'"))'
+        if op == "==":
+            return f"_eq({left}, {right})"
+        if op == "!=":
+            return f"_ne({left}, {right})"
+        if op in _CMP_ARITH:
+            return (
+                f'(_n({left}, "left of {op!r}") {op} '
+                f'_n({right}, "right of {op!r}"))'
+            )
+        if op == "/":
+            return f'_div(_n({left}, "left of \'/\'"), _n({right}, "right of \'/\'"))'
+        if op == "%":
+            return f'_mod(_n({left}, "left of \'%\'"), _n({right}, "right of \'%\'"))'
+        raise TriggerEvalError(f"unknown operator {op!r}")
+    if isinstance(node, FuncCall):
+        args = ", ".join(
+            f'_n({_emit(a)}, "argument of {node.name}()")' for a in node.args
+        )
+        return f"_fn({node.name!r}, {len(node.args)})({args})"
+    raise TriggerEvalError(f"unknown AST node {node!r}")
+
+
+def compile_trigger(node: Node) -> CompiledTrigger:
+    """Compile an AST into a callable ``f(env) -> bool | number``.
+
+    The result mirrors :func:`repro.core.triggers.evaluator.evaluate`
+    for the same tree under the same environment, including raised
+    :class:`TriggerEvalError` messages.
+    """
+    src = f"lambda env: {_emit(node)}"
+    return eval(compile(src, "<trigger>", "eval"), _GLOBALS)

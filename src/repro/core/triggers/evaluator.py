@@ -145,28 +145,46 @@ class Trigger:
     ``evaluate(env)`` returns a strict boolean.  The paper binds ``t`` to
     discrete time and the remaining names to view variables; this class
     is agnostic — the cache manager assembles the environment.
+
+    Construction parses the source into an AST *and* lowers the AST to a
+    native Python code object (:mod:`repro.core.triggers.compiler`);
+    ``evaluate`` runs the compiled form, ``evaluate_interpreted`` walks
+    the tree — the two are semantically identical and the equivalence is
+    property-tested.
     """
 
     def __init__(self, source: str) -> None:
         self.source = source
         self.ast: Node = parse_trigger(source)
+        # Local import: the compiler imports this module's helpers.
+        from repro.core.triggers.compiler import compile_trigger
+
+        self._compiled = compile_trigger(self.ast)
+        self._variables = self.ast.variables()
 
     @property
     def variables(self) -> FrozenSet[str]:
-        return self.ast.variables()
+        return self._variables
 
     @property
     def view_variables(self) -> FrozenSet[str]:
         """Variables other than the reserved time variable ``t``."""
-        return self.ast.variables() - {"t"}
+        return self._variables - {"t"}
 
-    def evaluate(self, env: Env) -> bool:
-        result = evaluate(self.ast, env)
+    def _check_boolean(self, result: Any) -> bool:
         if not isinstance(result, bool):
             raise TriggerEvalError(
                 f"trigger {self.source!r} evaluated to non-boolean {result!r}"
             )
         return result
+
+    def evaluate(self, env: Env) -> bool:
+        """Evaluate via the compiled fast path (the hot-tick backend)."""
+        return self._check_boolean(self._compiled(env))
+
+    def evaluate_interpreted(self, env: Env) -> bool:
+        """Evaluate via the tree-walking reference interpreter."""
+        return self._check_boolean(evaluate(self.ast, env))
 
     def unparse(self) -> str:
         return self.ast.unparse()
@@ -187,6 +205,11 @@ class TriggerSet:
         self.push = Trigger(push) if push else None
         self.pull = Trigger(pull) if pull else None
         self.validity = Trigger(validity) if validity else None
+        names: FrozenSet[str] = frozenset()
+        for trig in (self.push, self.pull, self.validity):
+            if trig is not None:
+                names |= trig.view_variables
+        self._view_variables = names
 
     def to_jsonable(self) -> Dict[str, Optional[str]]:
         return {
@@ -200,11 +223,10 @@ class TriggerSet:
         return cls(push=d.get("push"), pull=d.get("pull"), validity=d.get("validity"))
 
     def view_variables(self) -> FrozenSet[str]:
-        names: FrozenSet[str] = frozenset()
-        for trig in (self.push, self.pull, self.validity):
-            if trig is not None:
-                names |= trig.view_variables
-        return names
+        """Union of view variables across the three triggers (computed
+        once at construction; triggers are replaced wholesale via
+        ``CacheManager.set_triggers``, never mutated in place)."""
+        return self._view_variables
 
     def __repr__(self) -> str:
         return f"TriggerSet({self.to_jsonable()!r})"

@@ -71,6 +71,7 @@ def run_abl1(n_agents: int = 16, seed: int = 0) -> Abl1Result:
         if static_map is not None:
             airline.directory.static_map = static_map
             airline.directory.policy.static_map = static_map
+            airline.directory.policy.invalidate()  # conflict inputs replaced
         groups = make_agent_groups(n_agents, n_conflicting)
         scripts = []
         for i, served in enumerate(groups):

@@ -7,12 +7,19 @@ the same payloads that the in-process simulated transport passes by
 value.  The registry is the single source of truth for what may cross
 the wire — anything else raises :class:`~repro.errors.CodecError`
 instead of silently pickling arbitrary objects.
+
+Hot-path note: strict-wire simulation round-trips *every* message
+through this codec, so encoding cost is protocol-tick cost.  The
+encoder is single-pass — it streams JSON text fragments while walking
+the payload once, instead of first lowering to an intermediate jsonable
+tree and then having :func:`json.dumps` walk that tree again — and
+registry dispatch is memoized per concrete class.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Callable, Dict, Tuple, Type
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.errors import CodecError
 from repro.net.message import Message
@@ -21,6 +28,10 @@ from repro.net.message import Message
 _REGISTRY: Dict[str, Tuple[type, Callable[[Any], Any], Callable[[Any], Any]]] = {}
 # cls -> tag (reverse index)
 _BY_CLASS: Dict[type, str] = {}
+# cls -> (tag, to_jsonable) | None — memoized dispatch for the encoder.
+# Also caches negative answers for plain classes (dict, list, str, ...)
+# so the common case is a single dict hit.
+_DISPATCH: Dict[type, Optional[Tuple[str, Callable[[Any], Any]]]] = {}
 
 
 def register_codec_type(
@@ -41,10 +52,39 @@ def register_codec_type(
         raise CodecError(f"codec tag {tag!r} already bound to {existing_cls}")
     _REGISTRY[tag] = (cls, to_jsonable, from_jsonable)
     _BY_CLASS[cls] = tag
+    _DISPATCH.clear()  # drop any memoized negative answer for cls
 
 
 def registered_tags() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
+
+
+def _dispatch_for(cls: type) -> Optional[Tuple[str, Callable[[Any], Any]]]:
+    try:
+        return _DISPATCH[cls]
+    except KeyError:
+        tag = _BY_CLASS.get(cls)
+        entry = (tag, _REGISTRY[tag][1]) if tag is not None else None
+        _DISPATCH[cls] = entry
+        return entry
+
+
+# C-accelerated string escaper — the same one json.dumps uses with the
+# default ensure_ascii=True, so the fast path emits identical bytes.
+_escape_str = json.encoder.encode_basestring_ascii
+
+# Non-finite floats spelled the way json.dumps (allow_nan=True) spells them.
+_FLOAT_INF = float("inf")
+
+
+def _format_float(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == _FLOAT_INF:
+        return "Infinity"
+    if value == -_FLOAT_INF:
+        return "-Infinity"
+    return float.__repr__(value)
 
 
 class JsonCodec:
@@ -52,7 +92,11 @@ class JsonCodec:
 
     def encode(self, msg: Message) -> bytes:
         try:
-            return json.dumps(self._lower(msg.to_dict())).encode("utf-8")
+            parts: List[str] = []
+            self._encode_into(msg.to_dict(), parts)
+            return "".join(parts).encode("utf-8")
+        except CodecError:
+            raise
         except (TypeError, ValueError) as exc:
             raise CodecError(f"cannot encode {msg}: {exc}") from exc
 
@@ -65,17 +109,112 @@ class JsonCodec:
             raise CodecError(f"frame is not a message: {d!r}")
         return Message.from_dict(self._raise_types(d))
 
-    # -- recursive lowering/raising ------------------------------------
+    # -- single-pass lowering + serialization ---------------------------
     # A plain user dict may itself contain the reserved "__type__" key;
     # such dicts are escaped as a pair list so they can never be
     # mistaken for a tagged object on decode.
     _DICT_ESCAPE_TAG = "codec.escaped-dict"
 
+    def _encode_into(self, obj: Any, out: List[str]) -> None:
+        """Append the JSON text of ``obj`` to ``out`` (one traversal).
+
+        Byte-identical to ``json.dumps(self._lower(obj))`` — the test
+        suite diffs the two — but without materializing the lowered
+        intermediate tree.  Scalars use the C escaper/formatters the
+        stdlib encoder uses.
+        """
+        cls = obj.__class__
+        if cls is str:
+            out.append(_escape_str(obj))
+            return
+        if cls is int:
+            out.append(int.__repr__(obj))
+            return
+        if cls is float:
+            out.append(_format_float(obj))
+            return
+        if cls is bool:
+            out.append("true" if obj else "false")
+            return
+        if obj is None:
+            out.append("null")
+            return
+        entry = _dispatch_for(cls)
+        if entry is not None:
+            tag, to_jsonable = entry
+            out.append('{"__type__": ')
+            out.append(_escape_str(tag))
+            out.append(', "data": ')
+            self._encode_into(to_jsonable(obj), out)
+            out.append("}")
+            return
+        if isinstance(obj, dict):
+            self._encode_dict(obj, out)
+            return
+        if isinstance(obj, (list, tuple)):
+            out.append("[")
+            first = True
+            for v in obj:
+                if not first:
+                    out.append(", ")
+                first = False
+                self._encode_into(v, out)
+            out.append("]")
+            return
+        if isinstance(obj, (bool, int, float, str)):
+            # Scalar subclasses (IntEnum, str subclasses, ...) — rare;
+            # format through json.dumps like the reference pass does.
+            out.append(json.dumps(self._lower(obj)))
+            return
+        raise CodecError(
+            f"type {type(obj).__name__} is not wire-encodable; "
+            f"register it with register_codec_type()"
+        )
+
+    def _encode_dict(self, obj: dict, out: List[str]) -> None:
+        escape = "__type__" in obj
+        if not escape:
+            for k in obj:
+                if type(k) is not str and str(k) == "__type__":
+                    escape = True
+                    break
+        if escape:
+            # Rare path: the dict contains the reserved "__type__" key —
+            # emit the escaped pair-list form so decode cannot mistake
+            # it for a tagged object.
+            out.append('{"__type__": ')
+            out.append(_escape_str(self._DICT_ESCAPE_TAG))
+            out.append(', "data": [')
+            first = True
+            for k, v in obj.items():
+                if not first:
+                    out.append(", ")
+                first = False
+                out.append("[")
+                out.append(_escape_str(k if type(k) is str else str(k)))
+                out.append(", ")
+                self._encode_into(v, out)
+                out.append("]")
+            out.append("]}")
+            return
+        out.append("{")
+        first = True
+        for k, v in obj.items():
+            if not first:
+                out.append(", ")
+            first = False
+            out.append(_escape_str(k if type(k) is str else str(k)))
+            out.append(": ")
+            self._encode_into(v, out)
+        out.append("}")
+
+    # -- legacy two-pass lowering (kept as the reference implementation;
+    #    the codec equivalence tests diff it against the fast path) ------
     def _lower(self, obj: Any) -> Any:
         """Replace registered objects with tagged JSON-able dicts."""
-        tag = _BY_CLASS.get(type(obj))
-        if tag is not None:
-            _, to_jsonable, _ = _REGISTRY[tag]
+        entry = _dispatch_for(type(obj))
+        if entry is not None:
+            tag, to_jsonable = entry
             return {"__type__": tag, "data": self._lower(to_jsonable(obj))}
         if isinstance(obj, dict):
             lowered = {str(k): self._lower(v) for k, v in obj.items()}

@@ -12,6 +12,7 @@ Fault injection: a ``fault_policy(msg) -> "deliver" | "drop" |
 
 from __future__ import annotations
 
+from time import perf_counter_ns
 from typing import Any, Callable, Dict, Optional
 
 from repro.errors import TransportError
@@ -146,7 +147,9 @@ class SimTransport(Transport):
     def send(self, msg: Message) -> None:
         frame_bytes = 0
         if self.strict_wire:
+            t0 = perf_counter_ns()
             raw = self._codec.encode(msg)
+            self.stats.record_encode(len(raw), perf_counter_ns() - t0)
             frame_bytes = len(raw)
             wire_msg = self._codec.decode(raw)
         else:

@@ -53,6 +53,11 @@ class MessageStats:
     by_pair: Counter = field(default_factory=Counter)
     dropped: int = 0
     duplicated: int = 0
+    # Codec hot-path instrumentation: frames encoded, cumulative wall
+    # time spent in the encoder (ns), and the largest frame seen.
+    encodes: int = 0
+    encode_ns: int = 0
+    max_message_bytes: int = 0
 
     def record(self, msg: Message, size: Optional[int] = None) -> None:
         """Count one sent message (``size`` in bytes when known)."""
@@ -61,6 +66,20 @@ class MessageStats:
         self.by_pair[(msg.src, msg.dst)] += 1
         if size is not None:
             self.bytes_sent += size
+            if size > self.max_message_bytes:
+                self.max_message_bytes = size
+
+    def record_encode(self, size: int, duration_ns: int) -> None:
+        """Account one codec ``encode`` call (size in bytes, time in ns)."""
+        self.encodes += 1
+        self.encode_ns += duration_ns
+        if size > self.max_message_bytes:
+            self.max_message_bytes = size
+
+    @property
+    def mean_encode_us(self) -> float:
+        """Mean encoder latency in microseconds (0.0 before any encode)."""
+        return (self.encode_ns / self.encodes) / 1000.0 if self.encodes else 0.0
 
     def record_drop(self, msg: Message) -> None:
         self.dropped += 1
@@ -91,6 +110,9 @@ class MessageStats:
         self.bytes_sent = 0
         self.dropped = 0
         self.duplicated = 0
+        self.encodes = 0
+        self.encode_ns = 0
+        self.max_message_bytes = 0
         self.by_type.clear()
         self.by_pair.clear()
 

@@ -212,7 +212,9 @@ class TcpTransport(Transport):
     def send(self, msg: Message) -> None:
         if self._closed:
             raise TransportError("transport closed")
+        t0 = time.perf_counter_ns()
         raw = self.codec.encode(msg)
+        self.stats.record_encode(len(raw), time.perf_counter_ns() - t0)
         self.stats.record(msg, size=len(raw))
         listener = self._listeners.get(msg.dst)
         if listener is None:

@@ -1,0 +1,166 @@
+"""Compiled triggers must be observationally identical to the interpreter.
+
+Two backends evaluate every trigger: the tree-walking reference
+interpreter (:func:`repro.core.triggers.evaluator.evaluate`) and the
+code object emitted by :mod:`repro.core.triggers.compiler`.  This suite
+sweeps representative expressions — short-circuiting, ``%``/``/`` by
+zero, unknown variables, type errors, non-boolean top level — and a
+hypothesis-generated corpus, asserting both backends produce the same
+value or raise ``TriggerEvalError`` with the same message.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.triggers import Trigger
+from repro.core.triggers.compiler import compile_trigger
+from repro.core.triggers.evaluator import evaluate
+from repro.errors import TriggerEvalError
+
+
+def both_backends(source, env):
+    """Evaluate via both backends; return ('ok', value) or ('err', msg)."""
+    trig = Trigger(source)
+    outcomes = []
+    for backend in (trig.evaluate, trig.evaluate_interpreted):
+        try:
+            outcomes.append(("ok", backend(env)))
+        except TriggerEvalError as exc:
+            outcomes.append(("err", str(exc)))
+    compiled_outcome, interpreted_outcome = outcomes
+    assert compiled_outcome == interpreted_outcome, (
+        f"{source!r} under {env!r}: compiled={compiled_outcome} "
+        f"interpreted={interpreted_outcome}"
+    )
+    return compiled_outcome
+
+
+REPRESENTATIVE = [
+    # (source, env) — values, short-circuits, and every error class.
+    ("(t > 1500) && pending < 5 || force",
+     {"t": 2000.0, "pending": 3, "force": False}),
+    ("t % 200 == 0 && pending < 5", {"t": 400, "pending": 1}),
+    ("t % 200 == 0 && pending < 5", {"t": 401, "pending": 1}),
+    # Short-circuit: the false/true left side must hide a right-side error.
+    ("false && 1 / 0 > 0", {}),
+    ("true || 1 / 0 > 0", {}),
+    ("true && 1 / 0 > 0", {}),          # ...but a taken branch still raises
+    ("false || t / 0 > 0", {"t": 1}),
+    # Division / modulo by zero.
+    ("1 / (t - t) > 0", {"t": 5}),
+    ("t % 0 == 1", {"t": 5}),
+    ("10 / 4 == 2.5", {}),
+    # Unknown variable (and one hiding behind a short-circuit).
+    ("ghost > 0", {}),
+    ("false && ghost > 0", {}),
+    ("true && ghost", {}),
+    # Type errors: booleans are not numbers.
+    ("t + true > 0", {"t": 1}),
+    ("force + 1 > 0", {"force": True}),
+    ("t == true", {"t": 1}),
+    ("t != false", {"t": 0}),
+    ("!(t)", {"t": 1}),
+    ("-force > 0", {"force": True}),
+    ("t && force", {"t": 1, "force": True}),
+    # Non-boolean top level.
+    ("t + 1", {"t": 1}),
+    ("abs(0 - t)", {"t": 3}),
+    ("min(1, 2)", {}),
+    # Builtins: values, arity errors, unknown function.
+    ("abs(0 - t) > 2", {"t": 3}),
+    ("floor(t) == 3", {"t": 3.7}),
+    ("ceil(t) == 4", {"t": 3.2}),
+    ("min(t, 5, 2) <= max(1, t)", {"t": 4}),
+    ("abs(1, 2) > 0", {}),
+    ("min(1) > 0", {}),
+    ("sqrt(t) > 0", {"t": 4}),
+    ("abs(force) > 0", {"force": True}),
+    # Comparison chains / nesting / unary stacking.
+    ("!(!(t > 0))", {"t": 1}),
+    ("-(-t) == t", {"t": 7}),
+    ("((t + 1) * 2 - 2) / 2 == t", {"t": 21}),
+    ("(t >= 0) == (t <= 100)", {"t": 50}),
+]
+
+
+@pytest.mark.parametrize("source,env", REPRESENTATIVE)
+def test_backends_agree_on_representative_expressions(source, env):
+    both_backends(source, env)
+
+
+def test_error_messages_match_exactly():
+    cases = {
+        "ghost > 1": "unknown variable 'ghost'",
+        "1 / 0 > 0": "division by zero in trigger",
+        "1 % 0 > 0": "modulo by zero in trigger",
+        "min(1) > 0": "min() takes >= 2 argument(s), got 1",
+        "abs(1, 2) > 0": "abs() takes 1 argument(s), got 2",
+    }
+    for source, message in cases.items():
+        trig = Trigger(source)
+        for backend in (trig.evaluate, trig.evaluate_interpreted):
+            with pytest.raises(TriggerEvalError) as err:
+                backend({})
+            assert message in str(err.value)
+
+
+def test_compiled_form_is_cached_on_trigger():
+    trig = Trigger("t > 0")
+    assert trig._compiled is trig._compiled  # stable attribute
+    assert trig.evaluate({"t": 1}) is True
+    assert trig.evaluate({"t": -1}) is False
+
+
+def test_compile_trigger_matches_module_evaluate():
+    trig = Trigger("(t > 10) && t % 2 == 0")
+    fn = compile_trigger(trig.ast)
+    for t in range(8, 16):
+        env = {"t": t}
+        assert fn(env) == evaluate(trig.ast, env)
+
+
+def test_compiled_trigger_cannot_reach_builtins():
+    # The compiled namespace exposes only the helper functions; names
+    # resolve through the env, never through Python builtins.
+    trig = Trigger("len > 0")
+    with pytest.raises(TriggerEvalError, match="unknown variable 'len'"):
+        trig.evaluate({})
+
+
+# -- generated corpus ----------------------------------------------------
+
+_SOURCES = st.sampled_from(
+    [
+        "t > lo && t < hi",
+        "t % step == 0 || force",
+        "!(done) && (x + y) / 2 >= t",
+        "min(x, y) <= max(x, y) && abs(x - y) < 100",
+        "floor(t / step) * step == t",
+        "(x * y - t > 0) == force",
+        "ceil(x) >= floor(x)",
+    ]
+)
+
+_VALUES = st.one_of(
+    st.integers(min_value=-5, max_value=5),
+    st.floats(min_value=-5, max_value=5, allow_nan=False, width=32).map(float),
+    st.booleans(),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    source=_SOURCES,
+    env=st.fixed_dictionaries(
+        {},
+        optional={
+            name: _VALUES
+            for name in ("t", "lo", "hi", "step", "force", "done", "x", "y")
+        },
+    ),
+)
+def test_backends_agree_on_generated_environments(source, env):
+    """Random (often ill-typed or incomplete) environments: both backends
+    must produce identical values or identical TriggerEvalErrors."""
+    both_backends(source, env)
