@@ -8,11 +8,12 @@ merging, kernel throughput) so regressions in the substrate are caught.
 from repro.core import DiscreteSet, Interval, Property, PropertySet
 from repro.core.conflicts import ConflictPolicy, dyn_confl
 from repro.core.image import ObjectImage
-from repro.core.triggers import Trigger
+from repro.core.triggers import Trigger, TriggerSet
 from repro.core.versioning import VersionVector
 from repro.net.codec import JsonCodec
 from repro.net.message import Message
 from repro.sim import SimKernel
+from repro.testing import ProtocolFixture
 
 
 def test_property_set_intersection(benchmark):
@@ -114,6 +115,51 @@ def test_version_vector_unseen(benchmark):
     seen = VersionVector({f"c{i}": i // 2 for i in range(500)})
     total = benchmark(master.unseen_updates, seen)
     assert total > 0
+
+
+def _round_fixture(coalesce: bool, k: int = 16):
+    """Directory + k active readers + one always-fetch puller.
+
+    A pull with validity ``true`` makes the directory run a FETCH round
+    over all k conflicting active views — the O(n) fan-out the paper
+    flags for its centralized protocol.  FETCH rounds leave the readers
+    active, so the round is repeatable for the benchmark loop.
+    """
+    fx = ProtocolFixture(store_cells={"a": 1}, coalesce_rounds=coalesce)
+    readers = [fx.add_agent(f"r{i:02d}", ["a"])[0] for i in range(k)]
+    puller, _ = fx.add_agent("p", ["a"], triggers=TriggerSet(validity="true"))
+
+    def boot(cm):
+        yield cm.start()
+        yield cm.init_image()
+
+    fx.run_scripts(*[boot(c) for c in readers])
+    fx.run_scripts(boot(puller))
+    return fx, puller
+
+
+def _one_round(fx, puller):
+    def script():
+        yield puller.pull_image()
+
+    fx.run_scripts(script())
+
+
+def test_round_fanout_uncoalesced(benchmark):
+    """FETCH round over 16 views, one frame per view (the baseline)."""
+    fx, puller = _round_fixture(coalesce=False)
+    benchmark(_one_round, fx, puller)
+    assert fx.stats.batches_sent == 0
+    assert fx.stats.by_type["FETCH_REQ"] >= 16
+
+
+def test_round_fanout_coalesced(benchmark):
+    """Same round with coalescing: 16 fetches ride one BATCH frame."""
+    fx, puller = _round_fixture(coalesce=True)
+    benchmark(_one_round, fx, puller)
+    assert fx.stats.by_type.get("FETCH_REQ", 0) == 0
+    assert fx.stats.batches_sent >= 1
+    assert fx.stats.messages_coalesced >= 16
 
 
 def test_kernel_event_throughput(benchmark):

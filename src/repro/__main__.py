@@ -23,7 +23,8 @@ def main(argv: list[str]) -> int:
         return 0
     target = argv[0].lower()
     if target == "all":
-        runner.main()
+        # Forward any extra flags (--jobs/--out/--seeds) to the runner CLI.
+        runner.main(argv[1:])
         return 0
     matches = [n for n in runner.EXPERIMENTS if target in n]
     if not matches:

@@ -31,7 +31,7 @@ from repro.core.property_set import PropertySet
 from repro.core.static_map import StaticSharingMap
 from repro.core.versioning import VersionVector
 from repro.errors import ProtocolError
-from repro.net.message import Message
+from repro.net.message import Message, make_batch
 from repro.net.transport import Transport
 
 # Application-facing function signatures (paper Fig 3):
@@ -85,8 +85,15 @@ class DirectoryManager:
         on_commit: Optional[Callable[[str, int], None]] = None,
         round_timeout: Optional[float] = None,
         dedup_window: int = 256,
+        coalesce_rounds: bool = False,
     ) -> None:
         self.transport = transport
+        # When enabled, a round's fan-out (the per-conflicting-view
+        # INVALIDATE / FETCH_REQ messages of one operation) is grouped
+        # by destination node and each group ships as a single BATCH
+        # frame; the receiving transport splits it, so cache managers
+        # are oblivious.  Replies still arrive individually.
+        self.coalesce_rounds = coalesce_rounds
         # A multi-message round (invalidate/fetch) that waits longer
         # than round_timeout on a silent view is force-finalized: the
         # silent targets are dropped from the round (their state is
@@ -373,6 +380,7 @@ class DirectoryManager:
                     # Validity trigger fired: collect fresh state from
                     # the other active views before serving.
                     targets[v] = M.FETCH_REQ
+        outgoing: List[Message] = []
         for v, mtype in targets.items():
             out = Message(mtype, self.address, self.views[v].address,
                           {"view_id": v, "requested_by": op.view_id})
@@ -381,7 +389,8 @@ class DirectoryManager:
                 self.counters["invalidates_sent"] += 1
             else:
                 self.counters["fetches_sent"] += 1
-            self._send(out)
+            outgoing.append(out)
+        self._send_round(outgoing)
         if op.awaiting:
             self.counters["rounds"] += 1
         if not op.awaiting:
@@ -390,6 +399,33 @@ class DirectoryManager:
             self.transport.schedule(
                 self.round_timeout, lambda: self._expire_round(op)
             )
+
+    def _send_round(self, outgoing: List[Message]) -> None:
+        """Ship one round's fan-out, coalescing same-node messages.
+
+        Without coalescing (or with a single target) messages go out
+        individually.  With it, messages are grouped by the topology
+        node their destination endpoint is placed on; groups of two or
+        more ride one BATCH frame (addressed to the group's first
+        destination — any bound address on that node works, the
+        transport splits on arrival).  Endpoints the transport cannot
+        place on a node (no topology, or the TCP backend, where every
+        endpoint is localhost) all fall in one local group.
+        """
+        if not self.coalesce_rounds or len(outgoing) <= 1:
+            for out in outgoing:
+                self._send(out)
+            return
+        groups: "OrderedDict[Any, List[Message]]" = OrderedDict()
+        node_of = getattr(self.transport, "node_of", None)
+        for out in outgoing:
+            node = node_of(out.dst) if node_of is not None else None
+            groups.setdefault(node if node is not None else "<local>", []).append(out)
+        for subs in groups.values():
+            if len(subs) == 1:
+                self._send(subs[0])
+            else:
+                self._send(make_batch(self.address, subs[0].dst, subs))
 
     def _expire_round(self, op: _PendingOp) -> None:
         """Watchdog: force-finalize a round stuck on silent views.

@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.net.message import BATCH  # noqa: F401  (re-export: protocol vocabulary)
+
 # -- cache manager -> directory -----------------------------------------------
 REGISTER = "REGISTER"
 INIT_REQ = "INIT_REQ"
@@ -70,7 +72,9 @@ ALL_TYPES = REQUESTS + RESPONSES + DIRECTORY_INITIATED + CM_REPLIES
 
 # Control messages counted for the paper's Fig 4 efficiency metric:
 # everything the coherence layer sends between CMs and the directory.
-CONTROL_TYPES = ALL_TYPES
+# A coalesced round frame (BATCH) counts as ONE message — that is the
+# point of coalescing: k same-node invalidates/fetches cost one frame.
+CONTROL_TYPES = ALL_TYPES + (BATCH,)
 
 
 @dataclass

@@ -38,6 +38,7 @@ class FleccSystem:
         conflict_resolver: Optional[Callable[[str, Any, Any], Any]] = None,
         trace: Optional[TraceLog] = None,
         directory_cls: type = DirectoryManager,
+        coalesce_rounds: bool = False,
     ) -> None:
         self.transport = transport
         self.trace = trace
@@ -50,6 +51,7 @@ class FleccSystem:
             static_map=static_map,
             conflict_resolver=conflict_resolver,
             trace=trace,
+            coalesce_rounds=coalesce_rounds,
         )
         self.cache_managers: Dict[str, CacheManager] = {}
 

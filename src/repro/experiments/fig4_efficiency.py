@@ -119,6 +119,50 @@ def run_fig4(
     return result
 
 
+# -- sweep sharding (parallel engine) ---------------------------------------
+# Every (protocol, conflicting-count) sweep point builds its own airline
+# system and transport, so points are independent and can run in
+# separate worker processes; merge_fig4 reassembles the exact Fig4Result
+# that run_fig4 produces serially.
+
+def sweep_points(n_agents: int = 100, step: int = 10) -> List[tuple]:
+    """Picklable descriptors for fig4's independent sweep points."""
+    sweep = list(range(step, n_agents + 1, step))
+    return [(p.value, k) for p in ProtocolName for k in sweep]
+
+
+def run_fig4_point(
+    point: tuple,
+    seed: int | None = None,
+    n_agents: int = 100,
+    ops_per_agent: int = 1,
+    stagger: float = 2.0,
+) -> int:
+    """Run one sweep point; returns its message total."""
+    protocol_value, n_conflicting = point
+    return _run_point(
+        ProtocolName(protocol_value), n_agents, n_conflicting,
+        ops_per_agent, 0 if seed is None else seed, stagger,
+    )
+
+
+def merge_fig4(
+    points: List[tuple],
+    partials: List[int],
+    seed: int | None = None,
+    n_agents: int = 100,
+) -> Fig4Result:
+    """Reassemble per-point totals into the serial run's result shape."""
+    totals = dict(zip(points, partials))
+    sweep = sorted({k for _, k in points})
+    result = Fig4Result(n_agents=n_agents, conflicting_sweep=sweep)
+    for protocol in ProtocolName:
+        result.messages[protocol.value] = [
+            totals[(protocol.value, k)] for k in sweep
+        ]
+    return result
+
+
 def check_shape(result: Fig4Result) -> List[str]:
     """The paper's qualitative claims; returns a list of violations."""
     problems = []

@@ -1,0 +1,167 @@
+"""Parallel experiment engine: fan runs across worker processes.
+
+The serial runner executes every experiment back to back in one
+process.  This engine decomposes the suite into independent *tasks* —
+whole experiments, one per requested seed, and (for experiments that
+register a sweep shard spec) individual sweep points — and executes
+them on a :mod:`multiprocessing` pool.  Results are merged and written
+by the parent, ordered by (experiment name, seed), so a parallel run
+produces byte-for-byte the same ``results/*.json`` as a serial run
+except for the ``wall_seconds`` timing field.
+
+Determinism contract: every task starts from a fresh message-id space
+(:func:`~repro.net.message.reset_message_ids`), experiments derive all
+randomness from their explicit seeds, and each sweep point builds its
+own transport — so task results do not depend on which process ran
+them or in what order.
+
+Use via the runner CLI::
+
+    python -m repro.experiments.runner --jobs 4
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments import runner as runner_mod
+from repro.net.message import reset_message_ids
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """How to split one experiment's sweep across workers.
+
+    ``points()`` returns picklable point descriptors; ``run_point(point,
+    seed)`` computes one point's partial result; ``merge(points,
+    partials, seed)`` reassembles the exact object the experiment's
+    serial entry point returns.
+    """
+
+    points: Callable[[], List[Any]]
+    run_point: Callable[[Any, Optional[int]], Any]
+    merge: Callable[[List[Any], List[Any], Optional[int]], Any]
+
+
+def shard_specs() -> Dict[str, ShardSpec]:
+    """Experiments that decompose into independent sweep points."""
+    from repro.experiments import fig4_efficiency as f4
+
+    return {
+        "fig4_efficiency": ShardSpec(
+            points=f4.sweep_points,
+            run_point=f4.run_fig4_point,
+            merge=f4.merge_fig4,
+        ),
+    }
+
+
+# A task is a picklable tuple:
+#   ("whole", name, seed)         - run the experiment end to end
+#   ("shard", name, seed, index)  - run one sweep point of a sharded one
+Task = Tuple[Any, ...]
+
+
+def _run_task(task: Task) -> Tuple[Task, float, Any]:
+    """Worker entry: execute one task, return (task, elapsed, payload)."""
+    reset_message_ids()
+    t0 = time.perf_counter()
+    if task[0] == "whole":
+        _, name, seed = task
+        fn = runner_mod.EXPERIMENTS[name]
+        result = fn() if seed is None else fn(seed=seed)
+        payload = runner_mod._jsonable(result)
+    else:
+        _, name, seed, index = task
+        spec = shard_specs()[name]
+        payload = spec.run_point(spec.points()[index], seed)
+    return task, time.perf_counter() - t0, payload
+
+
+def build_tasks(
+    names: Sequence[str], seeds: Optional[Sequence[int]]
+) -> List[Task]:
+    """Decompose the requested runs into worker tasks (shards first,
+    so the long sweep points start before the short whole experiments
+    and the pool drains evenly)."""
+    sharded = shard_specs()
+    shard_tasks: List[Task] = []
+    whole_tasks: List[Task] = []
+    for name in names:
+        for seed in runner_mod.seeds_for(name, seeds):
+            if name in sharded:
+                n_points = len(sharded[name].points())
+                shard_tasks.extend(
+                    ("shard", name, seed, i) for i in range(n_points)
+                )
+            else:
+                whole_tasks.append(("whole", name, seed))
+    return shard_tasks + whole_tasks
+
+
+def _merge_records(
+    tasks: List[Task], outcomes: Dict[Task, Tuple[float, Any]]
+) -> List[Dict[str, Any]]:
+    """Fold task payloads into result records, ordered by (name, seed)."""
+    sharded = shard_specs()
+    runs: Dict[Tuple[str, Optional[int]], List[Task]] = {}
+    for task in tasks:
+        runs.setdefault((task[1], task[2]), []).append(task)
+    records = []
+    for (name, seed) in sorted(runs, key=lambda k: (k[0], k[1] is not None, k[1])):
+        group = runs[(name, seed)]
+        if group[0][0] == "whole":
+            elapsed, payload = outcomes[group[0]]
+            records.append(runner_mod.make_record(name, elapsed, payload, seed=seed))
+        else:
+            spec = sharded[name]
+            points = spec.points()
+            ordered = sorted(group, key=lambda t: t[3])
+            partials = [outcomes[t][1] for t in ordered]
+            # wall_seconds = summed point cost (the serial-equivalent time);
+            # the field is excluded from result comparisons either way.
+            elapsed = sum(outcomes[t][0] for t in ordered)
+            result = spec.merge(points, partials, seed)
+            records.append(
+                runner_mod.make_record(
+                    name, elapsed, runner_mod._jsonable(result), seed=seed
+                )
+            )
+    return records
+
+
+def run_parallel(
+    names: Optional[Sequence[str]] = None,
+    out_dir: str = "results",
+    jobs: int = 2,
+    seeds: Optional[Sequence[int]] = None,
+) -> List[Dict[str, Any]]:
+    """Run the requested experiments on ``jobs`` worker processes.
+
+    Falls back to the serial path for ``jobs <= 1``.  Returns the
+    result records sorted by (experiment name, seed), having written
+    each to ``out_dir`` exactly as the serial runner would.
+    """
+    resolved = runner_mod.resolve_names(names)
+    if jobs <= 1:
+        return runner_mod.run_serial(resolved, out_dir, seeds=seeds)
+    tasks = build_tasks(resolved, seeds)
+    outcomes: Dict[Task, Tuple[float, Any]] = {}
+    with multiprocessing.Pool(processes=jobs) as pool:
+        for task, elapsed, payload in pool.imap_unordered(_run_task, tasks):
+            outcomes[task] = (elapsed, payload)
+            if task[0] == "whole":
+                print(
+                    f"done {runner_mod.record_key(task[1], task[2])} "
+                    f"({elapsed:.3f}s)",
+                    flush=True,
+                )
+    records = _merge_records(tasks, outcomes)
+    out = Path(out_dir)
+    for record in records:
+        runner_mod.save_record(record, out)
+    return records

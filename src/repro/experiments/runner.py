@@ -1,17 +1,31 @@
-"""Experiment execution utilities: timing, JSON persistence, registry.
+"""Experiment execution utilities: timing, JSON persistence, registry, CLI.
 
 ``python -m repro.experiments.runner`` runs every experiment at paper
 scale and writes ``results/<name>.json`` — the artifact EXPERIMENTS.md
 is compiled from.
+
+CLI::
+
+    python -m repro.experiments.runner                  # everything, serial
+    python -m repro.experiments.runner --jobs 4         # parallel engine
+    python -m repro.experiments.runner --only fig2_trace --only abl1_static_vs_dynamic
+    python -m repro.experiments.runner --out /tmp/r --seeds 0 1 2
+
+``--jobs 1`` (the default) is the plain serial path; anything higher
+hands the run to :mod:`repro.experiments.parallel`, which fans whole
+experiments — and sweep shards within an experiment — across worker
+processes and merges the results deterministically.
 """
 
 from __future__ import annotations
 
+import argparse
 import dataclasses
+import inspect
 import json
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import (
     ablations,
@@ -21,6 +35,7 @@ from repro.experiments import (
     fig5_adaptability,
     fig6_flexibility,
 )
+from repro.net.message import reset_message_ids
 
 
 def _jsonable(obj: Any) -> Any:
@@ -32,6 +47,14 @@ def _jsonable(obj: Any) -> Any:
         }
     if isinstance(obj, dict):
         return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (set, frozenset)):
+        # Deterministic JSON for unordered collections: a sorted list
+        # (sets used to fall through to str(), losing the elements).
+        vals = [_jsonable(v) for v in obj]
+        try:
+            return sorted(vals)
+        except TypeError:  # mixed element types: total order via repr
+            return sorted(vals, key=repr)
     if isinstance(obj, (list, tuple)):
         return [_jsonable(v) for v in obj]
     if isinstance(obj, (str, int, float, bool)) or obj is None:
@@ -41,21 +64,48 @@ def _jsonable(obj: Any) -> Any:
     return str(obj)
 
 
+def record_key(name: str, seed: Optional[int] = None) -> str:
+    """Output-file stem for one (experiment, seed) run."""
+    return name if seed is None else f"{name}.seed{seed}"
+
+
+def make_record(
+    name: str,
+    elapsed: float,
+    result_json: Any,
+    seed: Optional[int] = None,
+) -> Dict[str, Any]:
+    """The persisted result envelope (shared by serial + parallel paths)."""
+    record: Dict[str, Any] = {
+        "experiment": name,
+        "wall_seconds": round(elapsed, 3),
+        "result": result_json,
+    }
+    if seed is not None:
+        record["seed"] = seed
+    return record
+
+
+def save_record(record: Dict[str, Any], out_dir: Path) -> None:
+    key = record_key(record["experiment"], record.get("seed"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    (out_dir / f"{key}.json").write_text(json.dumps(record, indent=2))
+
+
 def run_and_save(
     name: str,
     fn: Callable[[], Any],
     out_dir: Path,
+    seed: Optional[int] = None,
 ) -> Dict[str, Any]:
+    # Fresh message-id space per experiment: output stays independent of
+    # whatever ran earlier in this process (serial == multiprocess).
+    reset_message_ids()
     t0 = time.perf_counter()
     result = fn()
     elapsed = time.perf_counter() - t0
-    record = {
-        "experiment": name,
-        "wall_seconds": round(elapsed, 3),
-        "result": _jsonable(result),
-    }
-    out_dir.mkdir(parents=True, exist_ok=True)
-    (out_dir / f"{name}.json").write_text(json.dumps(record, indent=2))
+    record = make_record(name, elapsed, _jsonable(result), seed=seed)
+    save_record(record, Path(out_dir))
     return record
 
 
@@ -81,13 +131,82 @@ EXPERIMENTS: Dict[str, Callable[[], Any]] = {
 }
 
 
-def main(out_dir: str = "results") -> List[Dict[str, Any]]:
+def accepts_seed(name: str) -> bool:
+    """Whether the experiment function takes a ``seed`` keyword."""
+    try:
+        return "seed" in inspect.signature(EXPERIMENTS[name]).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+        return False
+
+
+def seeds_for(name: str, seeds: Optional[Sequence[int]]) -> List[Optional[int]]:
+    """The seed sweep for one experiment (``[None]`` = default run)."""
+    if seeds and accepts_seed(name):
+        return list(seeds)
+    return [None]
+
+
+def resolve_names(only: Optional[Sequence[str]]) -> List[str]:
+    """Validate ``--only`` selections against the registry (keeps registry order)."""
+    if not only:
+        return list(EXPERIMENTS)
+    unknown = [n for n in only if n not in EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"choose from: {', '.join(EXPERIMENTS)}"
+        )
+    return [n for n in EXPERIMENTS if n in set(only)]
+
+
+def run_serial(
+    names: Optional[Sequence[str]] = None,
+    out_dir: str = "results",
+    seeds: Optional[Sequence[int]] = None,
+) -> List[Dict[str, Any]]:
+    """Run experiments one after another in this process."""
     records = []
-    for name, fn in EXPERIMENTS.items():
-        print(f"running {name} ...", flush=True)
-        records.append(run_and_save(name, fn, Path(out_dir)))
-        print(f"  done in {records[-1]['wall_seconds']}s")
+    for name in resolve_names(names):
+        for seed in seeds_for(name, seeds):
+            fn = EXPERIMENTS[name]
+            call = fn if seed is None else (lambda f=fn, s=seed: f(seed=s))
+            print(f"running {record_key(name, seed)} ...", flush=True)
+            records.append(run_and_save(name, call, Path(out_dir), seed=seed))
+            print(f"  done in {records[-1]['wall_seconds']}s")
     return records
+
+
+def main(argv: Optional[Sequence[str]] = None) -> List[Dict[str, Any]]:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Run the paper's experiments and save results/<name>.json",
+    )
+    parser.add_argument(
+        "--only", action="append", metavar="NAME",
+        help="run only this experiment (repeatable)",
+    )
+    parser.add_argument(
+        "--out", default="results", metavar="DIR",
+        help="output directory (default: results)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes; 1 = serial (default)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", metavar="SEED",
+        help="seed sweep: run each seed-aware experiment once per seed",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.jobs == 1:
+        return run_serial(args.only, args.out, seeds=args.seeds)
+    from repro.experiments.parallel import run_parallel
+
+    return run_parallel(
+        names=args.only, out_dir=args.out, jobs=args.jobs, seeds=args.seeds
+    )
 
 
 if __name__ == "__main__":

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 _msg_ids = itertools.count(1)
 
@@ -19,6 +19,17 @@ _msg_ids = itertools.count(1)
 def next_message_id() -> int:
     """Monotonically increasing process-wide message id."""
     return next(_msg_ids)
+
+
+def reset_message_ids() -> None:
+    """Restart the process-wide id counter at 1.
+
+    Each experiment run resets the counter so a run's output is
+    independent of what else executed in the same process — the property
+    that makes serial and multiprocess experiment results comparable.
+    """
+    global _msg_ids
+    _msg_ids = itertools.count(1)
 
 
 @dataclass
@@ -76,3 +87,47 @@ class Message:
     def __str__(self) -> str:
         corr = f" re:{self.reply_to}" if self.reply_to is not None else ""
         return f"[{self.msg_id}{corr}] {self.src} -> {self.dst} {self.msg_type}"
+
+
+# ---------------------------------------------------------------------------
+# Coalesced frames
+# ---------------------------------------------------------------------------
+# A BATCH message is a transport-level envelope: one frame carrying
+# several independent sub-messages headed to endpoints on the same node.
+# The sender pays one send (one codec pass, one frame, one latency) for
+# the whole group; the receiving transport splits the envelope and
+# dispatches each sub-message to its own endpoint handler, so protocol
+# engines never see BATCH itself.
+
+BATCH = "BATCH"
+
+
+def make_batch(src: str, dst: str, messages: Sequence[Message]) -> Message:
+    """Wrap ``messages`` into one BATCH frame addressed to ``dst``.
+
+    ``dst`` must be a bound endpoint on the node the sub-messages target
+    (conventionally the first sub-message's destination).  An empty
+    batch is meaningless on the wire and is rejected.
+    """
+    if not messages:
+        raise ValueError("cannot build an empty BATCH")
+    return Message(
+        msg_type=BATCH,
+        src=src,
+        dst=dst,
+        payload={"messages": [m.to_dict() for m in messages]},
+    )
+
+
+def is_batch(msg: Message) -> bool:
+    return msg.msg_type == BATCH
+
+
+def split_batch(msg: Message) -> List[Message]:
+    """Unwrap a BATCH frame into its sub-messages (delivery order)."""
+    if msg.msg_type != BATCH:
+        raise ValueError(f"not a BATCH message: {msg.msg_type}")
+    subs = msg.payload.get("messages")
+    if not subs:
+        raise ValueError("empty BATCH frame")
+    return [Message.from_dict(d) for d in subs]

@@ -17,7 +17,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.errors import TransportError
 from repro.net import codec as codec_mod
-from repro.net.message import Message
+from repro.net.message import BATCH, Message, split_batch
 from repro.net.topology import Topology
 from repro.net.transport import Completion, TimerHandle, Transport
 from repro.sim.kernel import SimKernel
@@ -170,6 +170,12 @@ class SimTransport(Transport):
             self.kernel.call_in(delay, lambda m=wire_msg: self._deliver(m))
 
     def _deliver(self, msg: Message) -> None:
+        if msg.msg_type == BATCH:
+            # Coalesced frame: one delivery fans out to each sub-message's
+            # own endpoint, so protocol handlers never see BATCH itself.
+            for sub in split_batch(msg):
+                self._deliver(sub)
+            return
         ep = self._endpoints.get(msg.dst)
         if ep is None or ep.closed:
             # Destination vanished (e.g. view killed) — message is lost,

@@ -13,7 +13,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.net.message import Message
+from repro.net.message import BATCH, Message
 
 
 @dataclass
@@ -58,12 +58,20 @@ class MessageStats:
     encodes: int = 0
     encode_ns: int = 0
     max_message_bytes: int = 0
+    # Round coalescing: BATCH frames sent, and how many sub-messages
+    # rode inside them (each coalesced sub-message is one frame the
+    # sender did NOT pay for separately).
+    batches_sent: int = 0
+    messages_coalesced: int = 0
 
     def record(self, msg: Message, size: Optional[int] = None) -> None:
         """Count one sent message (``size`` in bytes when known)."""
         self.total += 1
         self.by_type[msg.msg_type] += 1
         self.by_pair[(msg.src, msg.dst)] += 1
+        if msg.msg_type == BATCH:
+            self.batches_sent += 1
+            self.messages_coalesced += len(msg.payload.get("messages", ()))
         if size is not None:
             self.bytes_sent += size
             if size > self.max_message_bytes:
@@ -113,6 +121,8 @@ class MessageStats:
         self.encodes = 0
         self.encode_ns = 0
         self.max_message_bytes = 0
+        self.batches_sent = 0
+        self.messages_coalesced = 0
         self.by_type.clear()
         self.by_pair.clear()
 
@@ -123,4 +133,9 @@ class MessageStats:
             lines.append(f"  {t:<18} {n}")
         if self.dropped or self.duplicated:
             lines.append(f"  (dropped={self.dropped} duplicated={self.duplicated})")
+        if self.batches_sent:
+            lines.append(
+                f"  (batches={self.batches_sent} "
+                f"coalesced={self.messages_coalesced})"
+            )
         return "\n".join(lines)

@@ -23,7 +23,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import TransportError
 from repro.net.codec import JsonCodec
-from repro.net.message import Message
+from repro.net.message import BATCH, Message, split_batch
 from repro.net.transport import Completion, Endpoint, TimerHandle, Transport
 
 _LEN = struct.Struct(">I")
@@ -149,6 +149,14 @@ class _Listener:
                 if body is None:
                     return
                 msg = codec.decode(body)
+                if msg.msg_type == BATCH:
+                    # Coalesced frame: split at the receiving side and
+                    # route each sub-message to its own endpoint (the
+                    # address book is process-local), so handlers never
+                    # see BATCH itself.
+                    for sub in split_batch(msg):
+                        self.transport._dispatch_local(sub)
+                    continue
                 # Serialize handler invocations per endpoint so engine
                 # state sees the same one-at-a-time semantics as in sim.
                 with self.handler_lock:
@@ -207,6 +215,21 @@ class TcpTransport(Transport):
         if listener is None:
             raise TransportError(f"no listener for address {address}")
         return listener.port
+
+    def _dispatch_local(self, msg: Message) -> None:
+        """Deliver a split-out batch sub-message to its own endpoint.
+
+        Uses the destination endpoint's handler lock so the sub-message
+        sees the same one-at-a-time handler semantics as a message that
+        arrived on its own socket.
+        """
+        listener = self._listeners.get(msg.dst)
+        if listener is None or listener.ep.closed:
+            self.stats.record_drop(msg)
+            return
+        with listener.handler_lock:
+            if not listener.ep.closed:
+                listener.ep.handler(msg)
 
     # -- Transport API --------------------------------------------------------
     def send(self, msg: Message) -> None:

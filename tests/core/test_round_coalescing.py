@@ -1,0 +1,165 @@
+"""Directory round coalescing: one BATCH frame per destination node.
+
+With ``coalesce_rounds=True`` the directory ships a round's fan-out
+(INVALIDATE / FETCH_REQ per conflicting view) as one frame per
+destination node instead of one frame per view.  Cache managers are
+oblivious — the transport splits batches on arrival — so every
+protocol outcome must match the uncoalesced runs exactly.
+"""
+
+from repro.core.triggers import TriggerSet
+from repro.net.message import BATCH
+from repro.net.sim_transport import SimTransport
+from repro.net.topology import Topology
+from repro.sim import SimKernel
+from repro.testing import (
+    Agent,
+    ProtocolFixture,
+    Store,
+    extract_from_object,
+    extract_from_view,
+    merge_into_object,
+    merge_into_view,
+    props_for,
+)
+from repro.core.system import FleccSystem
+
+
+def _boot(cm):
+    yield cm.start()
+    yield cm.init_image()
+
+
+def _strong_round(coalesce, k=5):
+    fx = ProtocolFixture(store_cells={"a": 1}, coalesce_rounds=coalesce)
+    weak = [fx.add_agent(f"w{i}", ["a"])[0] for i in range(k)]
+    strong, agent = fx.add_agent("s", ["a"], mode="strong")
+
+    def use():
+        yield strong.start()
+        yield strong.init_image()
+        yield strong.start_use_image()
+        agent.local["a"] += 1
+        strong.end_use_image()
+        yield strong.kill_image()
+
+    fx.run_scripts(*[_boot(c) for c in weak])
+    fx.run_scripts(use())
+    return fx
+
+
+def test_strong_round_sends_one_batch_instead_of_k_frames():
+    k = 5
+    off = _strong_round(False, k)
+    on = _strong_round(True, k)
+    # Uncoalesced: one INVALIDATE frame per conflicting active view.
+    assert off.stats.by_type["INVALIDATE"] == k
+    assert off.stats.batches_sent == 0
+    # Coalesced: the whole round rides one BATCH frame.
+    assert on.stats.by_type[BATCH] == 1
+    assert on.stats.by_type.get("INVALIDATE", 0) == 0
+    assert on.stats.batches_sent == 1
+    assert on.stats.messages_coalesced == k
+    # k-1 fewer frames in total, everything else pairwise identical.
+    assert off.stats.total - on.stats.total == k - 1
+
+
+def test_coalescing_does_not_change_protocol_outcome():
+    off = _strong_round(False)
+    on = _strong_round(True)
+    assert on.store.cells == off.store.cells == {"a": 2}
+    for fx in (on, off):
+        d = fx.system.directory
+        assert d.counters["invalidates_sent"] == 5  # logical ops unchanged
+        assert d.counters["rounds"] == 1
+        assert d.active_views() == []
+        assert d.registered_views() == [f"w{i}" for i in range(5)]
+    # Every weak view was revoked and acked in both runs.
+    assert on.stats.by_type["INVALIDATE_ACK"] == off.stats.by_type["INVALIDATE_ACK"] == 5
+
+
+def test_validity_fetch_round_coalesces():
+    fx = ProtocolFixture(store_cells={"a": 1}, coalesce_rounds=True)
+    readers = [fx.add_agent(f"r{i}", ["a"])[0] for i in range(3)]
+    puller, _ = fx.add_agent("p", ["a"], triggers=TriggerSet(validity="true"))
+
+    def pull():
+        yield puller.start()
+        yield puller.init_image()
+        yield puller.pull_image()
+
+    fx.run_scripts(*[_boot(c) for c in readers])
+    fx.run_scripts(pull())
+    # init + pull each fetched from the 3 active readers: 2 batched rounds.
+    assert fx.stats.batches_sent == 2
+    assert fx.stats.messages_coalesced == 6
+    assert fx.stats.by_type.get("FETCH_REQ", 0) == 0
+    assert fx.stats.by_type["FETCH_REPLY"] == 6  # replies stay individual
+
+
+def test_single_target_round_is_not_batched():
+    fx = ProtocolFixture(store_cells={"a": 1}, coalesce_rounds=True)
+    lone, _ = fx.add_agent("w0", ["a"])
+    strong, _ = fx.add_agent("s", ["a"], mode="strong")
+
+    def use():
+        yield strong.start()
+        yield strong.init_image()
+        yield strong.start_use_image()
+        strong.end_use_image()
+
+    fx.run_scripts(_boot(lone))
+    fx.run_scripts(use())
+    # One conflicting view: a batch envelope would only add overhead.
+    assert fx.stats.by_type["INVALIDATE"] == 1
+    assert fx.stats.batches_sent == 0
+
+
+def test_coalescing_groups_by_topology_node():
+    topo = Topology()
+    for n in ("hub", "n1", "n2"):
+        topo.add_node(n)
+    topo.add_link("hub", "n1", latency=1.0)
+    topo.add_link("hub", "n2", latency=1.0)
+    kernel = SimKernel()
+    transport = SimTransport(kernel, topology=topo)
+    store = Store({"a": 1})
+    system = FleccSystem(
+        transport, store, extract_from_object, merge_into_object,
+        coalesce_rounds=True,
+    )
+    transport.place("dir", "hub")
+    agents = {}
+    for vid, node in (("a1", "n1"), ("a2", "n1"), ("b1", "n2")):
+        agent = Agent()
+        agents[vid] = agent
+        system.add_view(
+            vid, agent, props_for(["a"]), extract_from_view, merge_into_view
+        )
+        transport.place(f"cm:{vid}", node)
+    strong_agent = Agent()
+    strong = system.add_view(
+        "s", strong_agent, props_for(["a"]),
+        extract_from_view, merge_into_view, mode="strong",
+    )
+    transport.place("cm:s", "hub")
+
+    def use():
+        yield strong.start()
+        yield strong.init_image()
+        yield strong.start_use_image()
+        strong.end_use_image()
+
+    from repro.core.system import run_all_scripts
+
+    boots = []
+    for vid in ("a1", "a2", "b1"):
+        boots.append(_boot(system.cache_managers[vid]))
+    run_all_scripts(transport, boots)
+    run_all_scripts(transport, [use()])
+    # n1 holds two targets (one BATCH), n2 holds one (plain INVALIDATE).
+    assert transport.stats.batches_sent == 1
+    assert transport.stats.messages_coalesced == 2
+    assert transport.stats.by_type["INVALIDATE"] == 1
+    assert system.directory.exclusive_views() == ["s"]
+    assert system.directory.active_views() == ["s"]

@@ -1,0 +1,77 @@
+"""Parallel experiment engine: task decomposition and serial parity."""
+
+import json
+from pathlib import Path
+
+from repro.baselines.common import ProtocolName
+from repro.experiments.fig4_efficiency import (
+    Fig4Result,
+    merge_fig4,
+    sweep_points,
+)
+from repro.experiments.parallel import build_tasks, run_parallel, shard_specs
+from repro.experiments.runner import run_serial
+
+
+def _load_without_timing(out_dir):
+    records = {}
+    for path in sorted(Path(out_dir).glob("*.json")):
+        d = json.loads(path.read_text())
+        d.pop("wall_seconds")
+        records[path.name] = d
+    return records
+
+
+def test_serial_and_parallel_results_identical(tmp_path):
+    names = ["fig2_trace", "abl1_static_vs_dynamic"]
+    run_serial(names, tmp_path / "serial")
+    run_parallel(names, tmp_path / "parallel", jobs=2)
+    serial = _load_without_timing(tmp_path / "serial")
+    parallel = _load_without_timing(tmp_path / "parallel")
+    assert serial.keys() == parallel.keys()
+    assert serial == parallel
+
+
+def test_parallel_seed_sweep_matches_serial(tmp_path):
+    names = ["abl1_static_vs_dynamic"]
+    run_serial(names, tmp_path / "serial", seeds=[0, 1])
+    run_parallel(names, tmp_path / "parallel", jobs=2, seeds=[0, 1])
+    serial = _load_without_timing(tmp_path / "serial")
+    parallel = _load_without_timing(tmp_path / "parallel")
+    assert set(serial) == {
+        "abl1_static_vs_dynamic.seed0.json",
+        "abl1_static_vs_dynamic.seed1.json",
+    }
+    assert serial == parallel
+
+
+def test_jobs_one_falls_back_to_serial_path(tmp_path):
+    records = run_parallel(["fig2_trace"], tmp_path, jobs=1)
+    assert [r["experiment"] for r in records] == ["fig2_trace"]
+    assert (tmp_path / "fig2_trace.json").exists()
+
+
+def test_build_tasks_shards_fig4_and_orders_shards_first():
+    tasks = build_tasks(["fig2_trace", "fig4_efficiency"], seeds=None)
+    shard_tasks = [t for t in tasks if t[0] == "shard"]
+    whole_tasks = [t for t in tasks if t[0] == "whole"]
+    assert len(shard_tasks) == len(sweep_points())  # 3 protocols x 10 points
+    assert whole_tasks == [("whole", "fig2_trace", None)]
+    # Long sweep shards are queued before the short whole experiments.
+    assert tasks[: len(shard_tasks)] == shard_tasks
+
+
+def test_shard_specs_cover_fig4():
+    assert "fig4_efficiency" in shard_specs()
+
+
+def test_merge_fig4_reassembles_serial_result_shape():
+    points = sweep_points(n_agents=30, step=10)
+    partials = list(range(len(points)))
+    result = merge_fig4(points, partials, n_agents=30)
+    assert isinstance(result, Fig4Result)
+    assert result.conflicting_sweep == [10, 20, 30]
+    assert list(result.messages) == [p.value for p in ProtocolName]
+    # Partial i belongs to point i: protocol-major, sweep-minor.
+    assert result.messages[ProtocolName.FLECC.value] == [0, 1, 2]
+    assert result.messages[ProtocolName.MULTICAST.value] == [6, 7, 8]

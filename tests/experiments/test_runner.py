@@ -1,11 +1,19 @@
-"""Tests for the experiment runner's persistence layer."""
+"""Tests for the experiment runner's persistence layer and CLI."""
 
 import json
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+import pytest
+
 from repro.core.messages import TraceLog
-from repro.experiments.runner import EXPERIMENTS, _jsonable, run_and_save
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    _jsonable,
+    main,
+    resolve_names,
+    run_and_save,
+)
 
 
 @dataclass
@@ -26,6 +34,26 @@ def test_jsonable_handles_trace_logs():
     assert _jsonable(log) == ["dir:REGISTER"]
 
 
+def test_jsonable_emits_sets_as_sorted_lists():
+    """Regression: sets used to be stringified ("{'b', 'a'}")."""
+    assert _jsonable({"x": {"b", "a", "c"}}) == {"x": ["a", "b", "c"]}
+    assert _jsonable(frozenset({3, 1, 2})) == [1, 2, 3]
+
+
+def test_jsonable_sorts_mixed_type_sets_deterministically():
+    out = _jsonable({2, "a", 1})
+    assert sorted(out, key=repr) == out
+    assert set(out) == {2, "a", 1}
+
+
+def test_jsonable_handles_nested_sets_in_dataclasses():
+    @dataclass
+    class WithSet:
+        members: frozenset
+
+    assert _jsonable(WithSet(frozenset({"y", "x"}))) == {"members": ["x", "y"]}
+
+
 def test_jsonable_falls_back_to_str():
     class Weird:
         def __repr__(self):
@@ -40,6 +68,45 @@ def test_run_and_save_writes_json(tmp_path):
     assert record["wall_seconds"] >= 0
     on_disk = json.loads((tmp_path / "fake.json").read_text())
     assert on_disk["result"]["count"] == 7
+
+
+def test_cli_runs_selected_experiment(tmp_path, capsys):
+    records = main(["--only", "fig2_trace", "--out", str(tmp_path)])
+    assert [r["experiment"] for r in records] == ["fig2_trace"]
+    assert (tmp_path / "fig2_trace.json").exists()
+    assert "running fig2_trace" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_experiment(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["--only", "no_such_experiment", "--out", str(tmp_path)])
+
+
+def test_cli_rejects_bad_jobs(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["--jobs", "0", "--out", str(tmp_path)])
+
+
+def test_cli_seed_sweep_writes_per_seed_files(tmp_path):
+    records = main(
+        ["--only", "fig2_trace", "--seeds", "0", "1", "--out", str(tmp_path)]
+    )
+    # fig2 takes no seed parameter: the sweep collapses to one default run.
+    assert len(records) == 1
+    records = main(
+        ["--only", "abl1_static_vs_dynamic", "--seeds", "0", "1",
+         "--out", str(tmp_path)]
+    )
+    assert [r.get("seed") for r in records] == [0, 1]
+    assert (tmp_path / "abl1_static_vs_dynamic.seed0.json").exists()
+    assert (tmp_path / "abl1_static_vs_dynamic.seed1.json").exists()
+
+
+def test_resolve_names_keeps_registry_order():
+    assert resolve_names(["fig2_trace", "fig1_deployment"]) == [
+        "fig1_deployment", "fig2_trace",
+    ]
+    assert resolve_names(None) == list(EXPERIMENTS)
 
 
 def test_registry_names_are_stable():
