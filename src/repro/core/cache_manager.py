@@ -118,6 +118,7 @@ class CacheManager:
         trace: Optional[TraceLog] = None,
         request_timeout: Optional[float] = None,
         max_retries: int = 3,
+        heartbeat_period: Optional[float] = None,
     ) -> None:
         self.transport = transport
         self.directory_address = directory_address
@@ -137,6 +138,11 @@ class CacheManager:
         # max_retries times before the waiting completion fails.
         self.request_timeout = request_timeout
         self.max_retries = max_retries
+        # Lease renewal: when set, the CM sends HEARTBEAT every period
+        # after registration so the directory's failure detector keeps
+        # its lease alive.  Repeated heartbeat silence degrades the CM
+        # (see below) instead of letting it operate on a dead link.
+        self.heartbeat_period = heartbeat_period
 
         # Protocol state.
         # Every state-carrying message (PUSH, UNREGISTER, INVALIDATE_ACK,
@@ -157,6 +163,15 @@ class CacheManager:
         self._trigger_inflight = False
         self._triggers_stopped = False
         self._closed = False
+        self._crashed = False
+        # Graceful degradation: set when the directory stays silent
+        # through a full retry budget (or heartbeats go unanswered).
+        # A degraded CM serves weak reads from its possibly-stale local
+        # copy and refuses strong-mode use; any answered request clears
+        # the flag.
+        self.degraded = False
+        self._heartbeat_timer = None
+        self._heartbeat_inflight = False
         # Reused environment dict for trigger evaluation: one allocation
         # per trigger-set change instead of one per poll tick.
         self._trigger_env_dict: Dict[str, Any] = {}
@@ -165,7 +180,8 @@ class CacheManager:
         self.counters: Dict[str, int] = {
             "pushes": 0, "pulls": 0, "acquires": 0,
             "invalidations": 0, "fetches": 0, "trigger_fires": 0,
-            "retries": 0,
+            "retries": 0, "heartbeats": 0, "degradations": 0,
+            "recoveries": 0, "stale_serves": 0,
         }
 
         self.endpoint = transport.bind(self.address, self._on_message)
@@ -177,7 +193,12 @@ class CacheManager:
         if self.trace is not None:
             self.trace.record(self.transport.now(), self.address, event, **detail)
 
-    def _request(self, msg_type: str, payload: Dict[str, Any]) -> Completion:
+    def _request(
+        self,
+        msg_type: str,
+        payload: Dict[str, Any],
+        timeout: Optional[float] = None,
+    ) -> Completion:
         payload = dict(payload)
         payload["view_id"] = self.view_id
         msg = Message(msg_type, self.address, self.directory_address, payload)
@@ -186,11 +207,14 @@ class CacheManager:
             self._pending[msg.msg_id] = comp
         self._trace(f"send:{msg_type}", dst=self.directory_address)
         self.endpoint.send(msg)
-        if self.request_timeout is not None:
-            self._arm_retry(msg, comp, attempts_left=self.max_retries)
+        timeout = timeout if timeout is not None else self.request_timeout
+        if timeout is not None:
+            self._arm_retry(msg, comp, timeout, attempts_left=self.max_retries)
         return comp
 
-    def _arm_retry(self, msg: Message, comp: Completion, attempts_left: int) -> None:
+    def _arm_retry(
+        self, msg: Message, comp: Completion, timeout: float, attempts_left: int
+    ) -> None:
         def maybe_resend() -> None:
             with self._lock:
                 still_pending = msg.msg_id in self._pending and not comp.done
@@ -198,6 +222,10 @@ class CacheManager:
                     return
                 if attempts_left <= 0:
                     self._pending.pop(msg.msg_id, None)
+                    # The directory stayed silent through the whole
+                    # retry budget: degrade rather than flail (weak
+                    # reads keep working from the local copy).
+                    self._mark_degraded(msg.msg_type)
                     comp.fail(
                         ProtocolError(
                             f"{self.view_id}: {msg.msg_type} unanswered after "
@@ -209,9 +237,15 @@ class CacheManager:
                 self.counters["retries"] = self.counters.get("retries", 0) + 1
             if not self.endpoint.closed:
                 self.endpoint.send(msg)  # same msg_id: dedup-safe
-            self._arm_retry(msg, comp, attempts_left - 1)
+            self._arm_retry(msg, comp, timeout, attempts_left - 1)
 
-        self.transport.schedule(self.request_timeout, maybe_resend)
+        self.transport.schedule(timeout, maybe_resend)
+
+    def _mark_degraded(self, cause: str) -> None:
+        if not self.degraded:
+            self.degraded = True
+            self.counters["degradations"] += 1
+            self._trace("degraded", cause=cause)
 
     def _on_message(self, msg: Message) -> None:
         with self._lock:
@@ -221,6 +255,10 @@ class CacheManager:
                 if msg.msg_type == M.ERROR:
                     comp.fail(ProtocolError(msg.payload.get("error", "directory error")))
                 else:
+                    if self.degraded:
+                        # The directory answered: the link is back.
+                        self.degraded = False
+                        self._trace("degradation-cleared")
                     comp.resolve(msg)
                 return
             if msg.msg_type == M.INVALIDATE:
@@ -318,6 +356,7 @@ class CacheManager:
                 return
             self.registered = True
             self._start_trigger_poller()
+            self._start_heartbeats()
             comp.resolve(self)
 
         self._request(
@@ -386,6 +425,26 @@ class CacheManager:
         comp = self.transport.completion(f"{self.view_id}.start_use")
 
         def locked(_lk: Completion) -> None:
+            if self.degraded:
+                if self.mode is Mode.STRONG:
+                    # No directory, no ownership: strong-mode semantics
+                    # cannot be honored while degraded.
+                    self._use_lock.release()
+                    comp.fail(
+                        ProtocolError(
+                            f"{self.view_id}: degraded (directory silent); "
+                            f"strong-mode use refused"
+                        )
+                    )
+                    return
+                # Weak mode: serve the possibly-stale local copy rather
+                # than block on a silent directory (reads only — pushes
+                # will be retried against the directory as usual).
+                self.counters["stale_serves"] += 1
+                self._trace("stale-serve")
+                self._in_use = True
+                comp.resolve(self)
+                return
             if self.mode is Mode.STRONG and not self.owner:
                 self.counters["acquires"] += 1
 
@@ -492,13 +551,14 @@ class CacheManager:
         """Final push + unregister + release resources (Fig 2 steps 20-21)."""
         comp = self.transport.completion(f"{self.view_id}.kill")
         with self._lock:
-            # Silence the trigger poller immediately: a pull racing the
-            # unregister would arrive at the directory as an
-            # unregistered view.
+            # Silence the trigger poller and heartbeats immediately: a
+            # pull or lease renewal racing the unregister would arrive
+            # at the directory as an unregistered view.
             self._triggers_stopped = True
             if self._trigger_timer is not None:
                 self._trigger_timer.cancel()
                 self._trigger_timer = None
+            self._stop_heartbeats()
         dirty = self._extract_dirty()
 
         def on_ack(reply: Completion) -> None:
@@ -522,7 +582,149 @@ class CacheManager:
             if self._trigger_timer is not None:
                 self._trigger_timer.cancel()
                 self._trigger_timer = None
+            self._stop_heartbeats()
         self.endpoint.close()
+
+    # ------------------------------------------------------------------
+    # Crash & recovery
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Simulate an abrupt process crash.
+
+        The endpoint vanishes (in-flight messages to it are dropped by
+        the transport), timers die, pending completions are abandoned,
+        and all volatile protocol state — sync base, ownership, dirty
+        tracking — is lost, exactly as if the hosting process died.
+        The view object itself survives only because the caller owns
+        it; :meth:`recover` re-syncs it from the primary copy.
+        """
+        with self._lock:
+            if self._crashed:
+                return
+            self._crashed = True
+            self._closed = True
+            self.registered = False
+            self.owner = False
+            self.invalidated = True
+            self._triggers_stopped = True
+            if self._trigger_timer is not None:
+                self._trigger_timer.cancel()
+                self._trigger_timer = None
+            self._stop_heartbeats()
+            self._pending.clear()  # a dead process answers nothing
+            self._pending_invalidate = None
+            self._in_use = False
+            self._base = ObjectImage()
+            self._trace("crash")
+        self.endpoint.close()
+
+    def recover(self) -> Completion:
+        """Restart after :meth:`crash`: re-REGISTER and re-sync.
+
+        The re-REGISTER is idempotent at the directory (``recover``
+        flag): whether the old registration is still live, quarantined,
+        or gone, the CM gets an ACK carrying the directory's
+        ``last_state_seq`` cursor (so post-recovery pushes are not
+        mistaken for stale retransmissions) and then pulls a full image
+        from the primary copy.  Resolves to the fresh image.
+        """
+        comp = self.transport.completion(f"{self.view_id}.recover")
+        with self._lock:
+            if not self._crashed:
+                comp.fail(ProtocolError(f"{self.view_id}: recover without crash"))
+                return comp
+            self._crashed = False
+            self._closed = False
+            self.degraded = False
+            self.counters["recoveries"] += 1
+            self.endpoint = self.transport.bind(self.address, self._on_message)
+            self._trace("recover")
+
+        def on_ack(reply: Completion) -> None:
+            try:
+                msg = reply.value
+            except BaseException as exc:
+                comp.fail(exc)
+                return
+            with self._lock:
+                self.registered = True
+                # Resume state-seq numbering above the directory's
+                # cursor: a fresh process restarting at 0 would have
+                # every push dropped as a stale retransmission.
+                self._state_seq = max(
+                    self._state_seq, msg.payload.get("last_state_seq") or 0
+                )
+            self._start_trigger_poller()
+            self._start_heartbeats()
+
+            def on_data(data_reply: Completion) -> None:
+                try:
+                    data_msg = data_reply.value
+                except BaseException as exc:
+                    comp.fail(exc)
+                    return
+                image: ObjectImage = data_msg.payload["image"]
+                with self._lock:
+                    self._apply_image(image)
+                comp.resolve(image)
+
+            # Full re-sync from the primary copy.
+            self._request(M.INIT_REQ, {"need_fresh": False}).then(on_data)
+
+        self._request(
+            M.REGISTER,
+            {
+                "properties": self.properties,
+                "mode": self.mode.value,
+                "triggers": self.triggers.to_jsonable(),
+                "recover": True,
+            },
+        ).then(on_ack)
+        return comp
+
+    # ------------------------------------------------------------------
+    # Heartbeats (lease renewal)
+    # ------------------------------------------------------------------
+    def _start_heartbeats(self) -> None:
+        if self.heartbeat_period is None:
+            return
+        self._schedule_heartbeat()
+
+    def _schedule_heartbeat(self) -> None:
+        if self._closed or self._crashed:
+            return
+        self._heartbeat_timer = self.transport.schedule(
+            self.heartbeat_period, self._send_heartbeat
+        )
+
+    def _stop_heartbeats(self) -> None:
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+
+    def _send_heartbeat(self) -> None:
+        if self._closed or self._crashed or not self.registered:
+            return
+        if self._heartbeat_inflight:  # never stack unanswered heartbeats
+            self._schedule_heartbeat()
+            return
+        self._heartbeat_inflight = True
+        self.counters["heartbeats"] += 1
+        # Per-attempt timeout: the configured request timeout, or the
+        # heartbeat period itself so silence is noticed within a lease.
+        timeout = self.request_timeout or self.heartbeat_period
+
+        def done(reply: Completion) -> None:
+            self._heartbeat_inflight = False
+            try:
+                reply.value
+            except BaseException:
+                # _arm_retry already degraded us; keep heartbeating so
+                # a healed link clears the degradation.
+                pass
+
+        self._request(M.HEARTBEAT, {}, timeout=timeout).then(done)
+        self._schedule_heartbeat()
 
     # ------------------------------------------------------------------
     # Quality-trigger machinery

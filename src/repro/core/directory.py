@@ -30,7 +30,7 @@ from repro.core.modes import Mode
 from repro.core.property_set import PropertySet
 from repro.core.static_map import StaticSharingMap
 from repro.core.versioning import VersionVector
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, TransportError
 from repro.net.message import Message, make_batch
 from repro.net.transport import Transport
 
@@ -56,6 +56,35 @@ class ViewRecord:
     # Highest state sequence number committed from this view; images
     # stamped with an older/equal seq are stale retransmissions.
     last_state_seq: int = 0
+    # Lease-based failure detection: transport time after which the
+    # view is presumed crashed (inf when leases are disabled).  Renewed
+    # by HEARTBEAT and by every message carrying the view's id.
+    lease_expires: float = float("inf")
+
+
+@dataclass
+class QuarantinedView:
+    """Reconciliation state stashed when a view is presumed dead.
+
+    Instead of silently discarding a silent/crashed view's context (the
+    old ``_expire_round`` behavior), the directory quarantines it: the
+    last committed image of the view's slice, its seen-versions and
+    state sequence cursor, and — for round timeouts — the operation it
+    was blocking.  A recovering cache manager that re-REGISTERs with
+    the same view id reconciles against this entry instead of starting
+    from a blank record (which would mis-classify its retransmissions).
+    """
+
+    view_id: str
+    address: str
+    properties: PropertySet
+    mode: Mode
+    seen: VersionVector
+    last_state_seq: int
+    image: ObjectImage
+    reason: str                      # 'round-timeout' | 'lease-expired'
+    time: float
+    op_context: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -86,6 +115,7 @@ class DirectoryManager:
         round_timeout: Optional[float] = None,
         dedup_window: int = 256,
         coalesce_rounds: bool = False,
+        lease_duration: Optional[float] = None,
     ) -> None:
         self.transport = transport
         # When enabled, a round's fan-out (the per-conflicting-view
@@ -99,6 +129,16 @@ class DirectoryManager:
         # silent targets are dropped from the round (their state is
         # treated as lost).  None disables the watchdog.
         self.round_timeout = round_timeout
+        # Lease-based failure detection: a registered view must renew
+        # its lease (HEARTBEAT, or any message carrying its view id)
+        # within lease_duration transport units, or it is evicted —
+        # deactivated, stripped of strong-mode exclusivity, removed
+        # from in-flight rounds, and quarantined for later recovery.
+        # None disables the detector.
+        self.lease_duration = lease_duration
+        self.quarantined: Dict[str, QuarantinedView] = {}
+        self._lease_timer_armed = False
+        self._lease_timer = None
         # At-least-once delivery tolerance: replies to the most recent
         # requests are cached by msg_id and re-sent verbatim when a
         # duplicate request arrives (instead of re-executing it).
@@ -124,6 +164,8 @@ class DirectoryManager:
             "registers": 0, "unregisters": 0, "pushes": 0,
             "commits": 0, "rounds": 0, "invalidates_sent": 0,
             "fetches_sent": 0, "grants": 0, "round_timeouts": 0,
+            "rounds_quarantined": 0, "leases_expired": 0,
+            "recoveries": 0, "heartbeats": 0, "send_errors": 0,
         }
         self._lock = threading.RLock()  # no-op contention in sim; needed on TCP
         self.endpoint = transport.bind(address, self._on_message)
@@ -178,6 +220,79 @@ class DirectoryManager:
                         )
 
     # ------------------------------------------------------------------
+    # Lease-based failure detection & quarantine
+    # ------------------------------------------------------------------
+    def _renew_lease(self, rec: ViewRecord) -> None:
+        if self.lease_duration is not None:
+            rec.lease_expires = self.transport.now() + self.lease_duration
+
+    def _arm_lease_checker(self) -> None:
+        """Arm the periodic expiry sweep (only while views are registered,
+        so an idle directory does not keep the sim event queue alive)."""
+        if (
+            self.lease_duration is None
+            or self._lease_timer_armed
+            or not self.views
+        ):
+            return
+        self._lease_timer_armed = True
+        self._lease_timer = self.transport.schedule(
+            self.lease_duration / 2.0, self._check_leases
+        )
+
+    def _check_leases(self) -> None:
+        with self._lock:
+            self._lease_timer_armed = False
+            now = self.transport.now()
+            expired = [
+                vid for vid, rec in self.views.items()
+                if now > rec.lease_expires
+            ]
+            for vid in expired:
+                self.counters["leases_expired"] += 1
+                self._trace("lease-expired", view=vid)
+                self._evict_view(vid, reason="lease-expired")
+            self._arm_lease_checker()
+
+    def _quarantine_view(
+        self, rec: ViewRecord, reason: str,
+        op_context: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Stash a presumed-dead view's reconciliation state."""
+        self.quarantined[rec.view_id] = QuarantinedView(
+            view_id=rec.view_id,
+            address=rec.address,
+            properties=rec.properties,
+            mode=rec.mode,
+            seen=rec.seen,
+            last_state_seq=rec.last_state_seq,
+            # Last committed image of the view's slice: what the primary
+            # copy holds for it — the recovery baseline for re-sync.
+            image=self.extract_from_object(self.component, rec.properties),
+            reason=reason,
+            time=self.transport.now(),
+            op_context=op_context,
+        )
+
+    def _evict_view(self, view_id: str, reason: str) -> None:
+        """Presume a view dead: quarantine it and release its holds.
+
+        Reclaims strong-mode exclusivity (the evicted owner's token
+        returns to the directory), invalidates the conflict index, and
+        removes the view from any in-flight round so the requester is
+        not blocked by a corpse.
+        """
+        rec = self.views.get(view_id)
+        if rec is None:
+            return
+        self._quarantine_view(rec, reason=reason)
+        del self.views[view_id]
+        if self.static_map is not None and self.static_map.has_view(view_id):
+            self.static_map.remove_view(view_id)
+        self.policy.invalidate()  # membership changed: cached answers stale
+        self._forget_in_rounds(view_id)
+
+    # ------------------------------------------------------------------
     # Message handling
     # ------------------------------------------------------------------
     def _on_message(self, msg: Message) -> None:
@@ -191,7 +306,8 @@ class DirectoryManager:
     # moved meanwhile).  They are idempotent at the directory, so their
     # duplicates are simply re-executed against current state.
     _REPLAYABLE = frozenset(
-        {M.REGISTER, M.UNREGISTER, M.PUSH, M.SET_MODE, M.PROP_UPDATE}
+        {M.REGISTER, M.UNREGISTER, M.PUSH, M.SET_MODE, M.PROP_UPDATE,
+         M.HEARTBEAT}
     )
 
     def _dispatch(self, msg: Message) -> None:
@@ -214,6 +330,7 @@ class DirectoryManager:
             M.SET_MODE: self._h_set_mode,
             M.PROP_UPDATE: self._h_prop_update,
             M.UNREGISTER: self._h_unregister,
+            M.HEARTBEAT: self._h_heartbeat,
             M.INVALIDATE_ACK: self._h_round_reply,
             M.FETCH_REPLY: self._h_round_reply,
         }.get(msg.msg_type)
@@ -232,7 +349,16 @@ class DirectoryManager:
 
     def _send(self, msg: Message) -> None:
         self._trace(f"send:{msg.msg_type}", dst=msg.dst)
-        self.endpoint.send(msg)
+        try:
+            self.endpoint.send(msg)
+        except TransportError as exc:
+            # A wire failure mid-dispatch (e.g. the TCP peer vanished
+            # between the connect and the write) must not propagate
+            # into the handler and wedge _current_op: record the loss
+            # and let the round watchdog / CM retransmission recover.
+            self.counters["send_errors"] += 1
+            self.transport.stats.record_drop(msg)
+            self._trace("send-error", dst=msg.dst, error=str(exc))
 
     def _reply(self, request: Message, msg_type: str, payload: Optional[Dict[str, Any]] = None) -> None:
         """Answer ``request``, caching the reply for duplicate deliveries."""
@@ -253,13 +379,15 @@ class DirectoryManager:
             raise ProtocolError(
                 f"message {msg.msg_type} from unregistered view {view_id!r}"
             )
+        self._renew_lease(rec)
         return rec
 
     # -- immediate operations -------------------------------------------------
     def _h_register(self, msg: Message) -> None:
         p = msg.payload
         view_id = p["view_id"]
-        if view_id in self.views:
+        recovering = bool(p.get("recover", False))
+        if view_id in self.views and not recovering:
             self._reply(msg, M.ERROR, {"error": f"{view_id} already registered"})
             return
         rec = ViewRecord(
@@ -269,12 +397,54 @@ class DirectoryManager:
             mode=Mode.parse(p.get("mode", Mode.WEAK)),
             triggers=p.get("triggers") or {},
         )
+        recovered = False
+        if recovering:
+            # Idempotent re-REGISTER after a crash: reconcile against
+            # the live record (lease not yet expired) or the quarantine
+            # entry (evicted/round-dropped), so the directory's dedup
+            # cursors survive the restart instead of mis-classifying
+            # the recovered CM's traffic as stale retransmissions.
+            prior = self.views.get(view_id)
+            stash = self.quarantined.pop(view_id, None)
+            if prior is not None:
+                rec.seen = prior.seen
+                rec.last_state_seq = prior.last_state_seq
+                recovered = True
+            elif stash is not None:
+                rec.seen = stash.seen
+                rec.last_state_seq = stash.last_state_seq
+                recovered = True
+            if recovered:
+                self.counters["recoveries"] += 1
+                self._trace("view-recovered", view=view_id)
         self.views[view_id] = rec
+        self._renew_lease(rec)
         self.counters["registers"] += 1
         if self.static_map is not None and not self.static_map.has_view(view_id):
             self.static_map.add_view(view_id)
         self.policy.invalidate()  # membership changed: cached answers stale
-        self._reply(msg, M.REGISTER_ACK, {"view_id": view_id})
+        self._arm_lease_checker()
+        self._reply(
+            msg,
+            M.REGISTER_ACK,
+            {
+                "view_id": view_id,
+                "recovered": recovered,
+                # The CM resumes its state-seq numbering above this so
+                # post-recovery pushes are not dropped as stale.
+                "last_state_seq": rec.last_state_seq,
+                "lease": self.lease_duration,
+            },
+        )
+
+    def _h_heartbeat(self, msg: Message) -> None:
+        rec = self._record_for(msg)  # renews the lease
+        self.counters["heartbeats"] += 1
+        self._reply(
+            msg,
+            M.HEARTBEAT_ACK,
+            {"view_id": rec.view_id, "lease": self.lease_duration},
+        )
 
     def _h_push(self, msg: Message) -> None:
         rec = self._record_for(msg)
@@ -430,9 +600,11 @@ class DirectoryManager:
     def _expire_round(self, op: _PendingOp) -> None:
         """Watchdog: force-finalize a round stuck on silent views.
 
-        The silent views are deactivated (their unseen dirty state is
-        treated as lost) so the requester is not blocked forever by a
-        dead or wedged cache manager.
+        The silent views are deactivated so the requester is not
+        blocked forever by a dead or wedged cache manager — but their
+        context (last committed image, dedup cursors, the operation
+        they were blocking) is quarantined first, so a recovering CM
+        can reconcile instead of silently losing its dirty state.
         """
         with self._lock:
             if self._current_op is not op or not op.awaiting:
@@ -443,6 +615,15 @@ class DirectoryManager:
             for view_id in dropped:
                 rec = self.views.get(view_id)
                 if rec is not None:
+                    self.counters["rounds_quarantined"] += 1
+                    self._quarantine_view(
+                        rec,
+                        reason="round-timeout",
+                        op_context={
+                            "op_kind": op.kind,
+                            "requested_by": op.view_id,
+                        },
+                    )
                     rec.active = False
                     rec.exclusive = False
             op.awaiting.clear()
@@ -458,6 +639,7 @@ class DirectoryManager:
         rec = self.views.get(view_id)
         image: ObjectImage = msg.payload.get("image") or ObjectImage()
         if rec is not None:
+            self._renew_lease(rec)  # the view answered: it is alive
             if not image.is_empty():
                 self._commit(rec, image, seq=msg.payload.get("state_seq"))
             if msg.msg_type == M.INVALIDATE_ACK:
@@ -550,4 +732,7 @@ class DirectoryManager:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        if self._lease_timer is not None:
+            self._lease_timer.cancel()
+            self._lease_timer = None
         self.endpoint.close()

@@ -22,6 +22,8 @@ FETCH_REQ             FETCH_REPLY             directory pulls fresh state
 SET_MODE              SET_MODE_ACK            run-time mode switch
 PROP_UPDATE           PROP_UPDATE_ACK         run-time property change
 UNREGISTER            UNREGISTER_ACK          view leaves (killImage)
+HEARTBEAT             HEARTBEAT_ACK           lease renewal (failure
+                                              detection, beyond the paper)
 ====================  ======================  =============================
 """
 
@@ -43,6 +45,9 @@ PROP_UPDATE = "PROP_UPDATE"
 UNREGISTER = "UNREGISTER"
 INVALIDATE_ACK = "INVALIDATE_ACK"
 FETCH_REPLY = "FETCH_REPLY"
+# Lease renewal (failure detection): a CM heartbeats periodically; a
+# view whose lease expires is presumed crashed and evicted by the DM.
+HEARTBEAT = "HEARTBEAT"
 
 # -- directory -> cache manager ------------------------------------------------
 REGISTER_ACK = "REGISTER_ACK"
@@ -55,15 +60,16 @@ FETCH_REQ = "FETCH_REQ"
 SET_MODE_ACK = "SET_MODE_ACK"
 PROP_UPDATE_ACK = "PROP_UPDATE_ACK"
 UNREGISTER_ACK = "UNREGISTER_ACK"
+HEARTBEAT_ACK = "HEARTBEAT_ACK"
 ERROR = "ERROR"
 
 REQUESTS = (
     REGISTER, INIT_REQ, PULL_REQ, PUSH, ACQUIRE,
-    SET_MODE, PROP_UPDATE, UNREGISTER,
+    SET_MODE, PROP_UPDATE, UNREGISTER, HEARTBEAT,
 )
 RESPONSES = (
     REGISTER_ACK, INIT_DATA, PULL_DATA, PUSH_ACK, GRANT,
-    SET_MODE_ACK, PROP_UPDATE_ACK, UNREGISTER_ACK, ERROR,
+    SET_MODE_ACK, PROP_UPDATE_ACK, UNREGISTER_ACK, HEARTBEAT_ACK, ERROR,
 )
 DIRECTORY_INITIATED = (INVALIDATE, FETCH_REQ)
 CM_REPLIES = (INVALIDATE_ACK, FETCH_REPLY)

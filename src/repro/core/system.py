@@ -39,9 +39,18 @@ class FleccSystem:
         trace: Optional[TraceLog] = None,
         directory_cls: type = DirectoryManager,
         coalesce_rounds: bool = False,
+        round_timeout: Optional[float] = None,
+        lease_duration: Optional[float] = None,
     ) -> None:
         self.transport = transport
         self.trace = trace
+        directory_kwargs: Dict[str, Any] = {}
+        # Passed only when set: baseline directory classes predate the
+        # fault-tolerance options and need not accept them.
+        if round_timeout is not None:
+            directory_kwargs["round_timeout"] = round_timeout
+        if lease_duration is not None:
+            directory_kwargs["lease_duration"] = lease_duration
         self.directory = directory_cls(
             transport=transport,
             address=directory_address,
@@ -52,6 +61,7 @@ class FleccSystem:
             conflict_resolver=conflict_resolver,
             trace=trace,
             coalesce_rounds=coalesce_rounds,
+            **directory_kwargs,
         )
         self.cache_managers: Dict[str, CacheManager] = {}
 
@@ -65,6 +75,9 @@ class FleccSystem:
         mode: Union[Mode, str] = Mode.WEAK,
         triggers: Optional[TriggerSet] = None,
         trigger_poll_period: float = 100.0,
+        request_timeout: Optional[float] = None,
+        max_retries: int = 3,
+        heartbeat_period: Optional[float] = None,
     ) -> CacheManager:
         """Create (but do not yet start) the cache manager for a view."""
         if view_id in self.cache_managers:
@@ -81,6 +94,9 @@ class FleccSystem:
             triggers=triggers,
             trigger_poll_period=trigger_poll_period,
             trace=self.trace,
+            request_timeout=request_timeout,
+            max_retries=max_retries,
+            heartbeat_period=heartbeat_period,
         )
         self.cache_managers[view_id] = cm
         return cm
@@ -104,10 +120,28 @@ ScriptYield = Union[Completion, SleepCmd]
 ViewScript = Generator[ScriptYield, Any, Any]
 
 
+def _sim_backend(transport: Transport) -> Optional[SimTransport]:
+    """The SimTransport at the bottom of a (possibly wrapped) stack.
+
+    Wrappers such as :class:`~repro.net.reliability.ReliableTransport`
+    expose their wrapped backend as ``.inner``; scripts must run as
+    kernel processes whenever a sim kernel is anywhere underneath.
+    """
+    seen = set()
+    t: Any = transport
+    while t is not None and id(t) not in seen:
+        if isinstance(t, SimTransport):
+            return t
+        seen.add(id(t))
+        t = getattr(t, "inner", None)
+    return None
+
+
 def run_view_script(transport: Transport, script: ViewScript) -> "ScriptHandle":
     """Run a view script appropriately for the transport backend."""
-    if isinstance(transport, SimTransport):
-        return _SimScriptHandle(transport, script)
+    sim = _sim_backend(transport)
+    if sim is not None:
+        return _SimScriptHandle(sim, script)
     return _ThreadScriptHandle(transport, script)
 
 

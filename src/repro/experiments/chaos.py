@@ -1,0 +1,290 @@
+"""Chaos experiment: protocol correctness and overhead under faults.
+
+Sweeps the wire-level fault rate (frame drops plus a fixed duplicate
+rate) while a strong-mode counter workload and a weak-mode reader run
+over the reliable-delivery sublayer (:mod:`repro.net.reliability`).
+Faults are injected *below* the sublayer by a compiled
+:class:`~repro.sim.faults.FaultScenario`, so what the experiment
+measures is the cost of repairing the wire:
+
+- **correctness** — every committed write must survive every loss rate
+  (``lost_writes == 0``);
+- **message overhead** — wire frames (envelopes + ACKs + retransmits)
+  vs the logical protocol messages, which stay comparable to the
+  paper's Fig 4 metric because the sublayer accounts them separately;
+- **staleness** — the weak reader's lag behind the primary copy,
+  sampled at each of its uses.
+
+The 0-loss point doubles as a parity check: with no faults injected,
+the logical message profile over the reliable transport must be
+*identical*, type for type, to the same workload on the raw transport
+(``parity_ok``), with the sublayer's ACK traffic reported separately.
+
+``python -m repro.experiments.chaos`` writes ``BENCH_chaos.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cache_manager import CacheManager
+from repro.core.directory import DirectoryManager
+from repro.core.system import run_all_scripts
+from repro.core.triggers import TriggerSet
+from repro.experiments.report import Table
+from repro.net.reliability import ReliableTransport
+from repro.net.sim_transport import SimTransport
+from repro.sim.faults import FaultScenario
+from repro.sim.kernel import SimKernel
+from repro.testing import (
+    Agent,
+    Store,
+    extract_from_object,
+    extract_from_view,
+    merge_into_object,
+    merge_into_view,
+    props_for,
+)
+
+
+@dataclass
+class ChaosPoint:
+    """One sweep point: a full workload run at one fault configuration."""
+
+    drop_rate: float
+    duplicate_rate: float
+    committed: int               # final value of the shared counter
+    expected: int                # writers * ops
+    lost_writes: int             # expected - committed (must be 0)
+    logical_messages: int        # protocol messages (Fig-4 comparable)
+    wire_frames: int             # envelopes + ACKs + retransmissions
+    overhead_ratio: float        # wire_frames / logical_messages
+    retransmits: int
+    duplicates_suppressed: int
+    acks_sent: int
+    injected_drops: int
+    injected_duplicates: int
+    staleness_mean: float        # reader lag behind primary, per sample
+    staleness_max: int
+    reader_samples: int
+
+
+@dataclass
+class ChaosResult:
+    points: List[ChaosPoint] = field(default_factory=list)
+    # 0-loss logical profile over ReliableTransport == raw SimTransport?
+    parity_ok: bool = False
+    faultless_acks: int = 0      # sublayer ACK traffic at 0 loss (wire only)
+
+    def table(self) -> Table:
+        t = Table(
+            [
+                "drop", "dup", "lost writes", "logical msgs", "wire frames",
+                "overhead", "retransmits", "dups suppressed", "staleness mean",
+            ],
+            title="CHAOS — correctness and overhead vs injected wire faults",
+        )
+        for p in self.points:
+            t.add_row(
+                p.drop_rate, p.duplicate_rate, p.lost_writes,
+                p.logical_messages, p.wire_frames,
+                f"{p.overhead_ratio:.2f}x", p.retransmits,
+                p.duplicates_suppressed, f"{p.staleness_mean:.2f}",
+            )
+        return t
+
+
+def _workload(
+    transport,
+    store: Store,
+    n_writers: int,
+    n_ops: int,
+    reader_samples: int,
+    sample_gap: float,
+) -> Tuple[List[int], List[CacheManager]]:
+    """Run the chaos workload on ``transport``; return (lags, cms).
+
+    ``n_writers`` strong-mode agents each increment the shared cell
+    ``a`` ``n_ops`` times while a weak-mode reader with a pull trigger
+    samples its lag behind the primary copy.
+    """
+    DirectoryManager(
+        transport=transport, address="dir", component=store,
+        extract_from_object=extract_from_object,
+        merge_into_object=merge_into_object,
+    )
+    cms: List[CacheManager] = []
+    writers = []
+    for i in range(n_writers):
+        agent = Agent()
+        cm = CacheManager(
+            transport=transport, directory_address="dir",
+            view_id=f"w{i}", view=agent, properties=props_for(["a"]),
+            extract_from_view=extract_from_view,
+            merge_into_view=merge_into_view, mode="strong",
+            request_timeout=400.0, max_retries=8,
+        )
+        writers.append((cm, agent))
+        cms.append(cm)
+    reader_agent = Agent()
+    reader = CacheManager(
+        transport=transport, directory_address="dir",
+        view_id="reader", view=reader_agent, properties=props_for(["a"]),
+        extract_from_view=extract_from_view,
+        merge_into_view=merge_into_view, mode="weak",
+        triggers=TriggerSet(pull="t > 0"),
+        trigger_poll_period=sample_gap / 2.0,
+        request_timeout=400.0, max_retries=8,
+    )
+    cms.append(reader)
+
+    lags: List[int] = []
+
+    def writer_script(cm, agent):
+        yield cm.start()
+        yield cm.init_image()
+        for _ in range(n_ops):
+            yield cm.start_use_image()
+            agent.local["a"] += 1
+            cm.end_use_image()
+        yield cm.kill_image()
+
+    def reader_script():
+        yield reader.start()
+        yield reader.init_image()
+        for _ in range(reader_samples):
+            yield reader.start_use_image()
+            lags.append(store.cells["a"] - reader_agent.local["a"])
+            reader.end_use_image()
+            yield ("sleep", sample_gap)
+        yield reader.kill_image()
+
+    run_all_scripts(
+        transport,
+        [reader_script()] + [writer_script(cm, a) for cm, a in writers],
+    )
+    return lags, cms
+
+
+def run_chaos(
+    loss_rates: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.2),
+    duplicate_rate: float = 0.05,
+    n_writers: int = 3,
+    n_ops: int = 4,
+    reader_samples: int = 8,
+    sample_gap: float = 40.0,
+    seed: int = 0,
+) -> ChaosResult:
+    """The chaos sweep.  Faults apply to wire frames (R_DATA/R_ACK),
+    so every repair the sublayer performs is visible in its counters
+    while the logical message stream stays Fig-4 comparable."""
+    result = ChaosResult()
+    expected = n_writers * n_ops
+
+    # Reference profile: same workload, raw transport, no faults.
+    kernel = SimKernel()
+    raw = SimTransport(kernel, default_latency=1.0, strict_wire=False)
+    _workload(raw, Store({"a": 0}), n_writers, n_ops, reader_samples, sample_gap)
+    raw_profile = dict(raw.stats.by_type)
+
+    for loss in loss_rates:
+        dup = duplicate_rate if loss > 0 else 0.0
+        kernel = SimKernel()
+        inner = SimTransport(kernel, default_latency=1.0, strict_wire=False)
+        injector = FaultScenario(
+            drop_rate=loss, duplicate_rate=dup, seed=seed
+        ).compile().install(inner)
+        transport = ReliableTransport(inner, ack_timeout=8.0, seed=seed)
+        store = Store({"a": 0})
+        lags, _cms = _workload(
+            transport, store, n_writers, n_ops, reader_samples, sample_gap
+        )
+        if loss == 0:
+            result.parity_ok = dict(transport.stats.by_type) == raw_profile
+            result.faultless_acks = transport.stats.acks_sent
+        logical = transport.stats.total
+        wire = inner.stats.total
+        result.points.append(
+            ChaosPoint(
+                drop_rate=loss,
+                duplicate_rate=dup,
+                committed=store.cells["a"],
+                expected=expected,
+                lost_writes=expected - store.cells["a"],
+                logical_messages=logical,
+                wire_frames=wire,
+                overhead_ratio=wire / logical if logical else 0.0,
+                retransmits=transport.stats.retransmits,
+                duplicates_suppressed=transport.stats.duplicates_suppressed,
+                acks_sent=transport.stats.acks_sent,
+                injected_drops=injector.counters["drops"],
+                injected_duplicates=injector.counters["duplicates"],
+                staleness_mean=sum(lags) / len(lags) if lags else 0.0,
+                staleness_max=max(lags) if lags else 0,
+                reader_samples=len(lags),
+            )
+        )
+        transport.close()
+    return result
+
+
+def bench_payload(result: ChaosResult) -> Dict[str, object]:
+    """The ``BENCH_chaos.json`` document for one chaos run."""
+    return {
+        "description": (
+            "Chaos sweep: strong-mode counter workload + weak reader over "
+            "the reliable-delivery sublayer with wire-level fault injection"
+        ),
+        "command": "python -m repro.experiments.chaos",
+        "parity_with_raw_transport_at_zero_loss": result.parity_ok,
+        "faultless_ack_overhead_frames": result.faultless_acks,
+        "points": [
+            {
+                "drop_rate": p.drop_rate,
+                "duplicate_rate": p.duplicate_rate,
+                "committed": p.committed,
+                "expected": p.expected,
+                "lost_writes": p.lost_writes,
+                "logical_messages": p.logical_messages,
+                "wire_frames": p.wire_frames,
+                "overhead_ratio": round(p.overhead_ratio, 3),
+                "retransmits": p.retransmits,
+                "duplicates_suppressed": p.duplicates_suppressed,
+                "acks_sent": p.acks_sent,
+                "injected_drops": p.injected_drops,
+                "injected_duplicates": p.injected_duplicates,
+                "staleness_mean": round(p.staleness_mean, 3),
+                "staleness_max": p.staleness_max,
+                "reader_samples": p.reader_samples,
+            }
+            for p in result.points
+        ],
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> ChaosResult:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.chaos",
+        description="Run the chaos sweep and write BENCH_chaos.json",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_chaos.json", metavar="FILE",
+        help="output JSON path (default: BENCH_chaos.json)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    result = run_chaos(seed=args.seed)
+    print(result.table())
+    print(f"parity at 0 loss: {result.parity_ok} "
+          f"(ACK-only overhead: {result.faultless_acks} frames)")
+    Path(args.out).write_text(json.dumps(bench_payload(result), indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

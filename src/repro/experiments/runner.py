@@ -29,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import (
     ablations,
+    chaos,
     fig1_deployment,
     fig2_trace,
     fig4_efficiency,
@@ -128,6 +129,7 @@ EXPERIMENTS: Dict[str, Callable[[], Any]] = {
     "abl5_rw_semantics": ablations.run_abl5,
     "abl6_loss_tolerance": ablations.run_abl6,
     "ext1_mixed_workload": _late_import_ext1,
+    "chaos": chaos.run_chaos,
 }
 
 

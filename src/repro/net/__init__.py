@@ -24,6 +24,7 @@ from repro.net.topology import Topology, lan_topology, wan_topology
 from repro.net.transport import Completion, Endpoint, Transport
 from repro.net.sim_transport import SimCompletion, SimTransport
 from repro.net.tcp_transport import TcpTransport, ThreadCompletion
+from repro.net.reliability import ReliableTransport
 
 __all__ = [
     "Message",
@@ -40,4 +41,5 @@ __all__ = [
     "SimCompletion",
     "TcpTransport",
     "ThreadCompletion",
+    "ReliableTransport",
 ]

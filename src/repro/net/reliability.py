@@ -1,0 +1,281 @@
+"""Reliable-delivery sublayer: ACK + retransmit over any transport.
+
+The Flecc FSMs (paper §4.2) assume reliable, ordered delivery between
+the directory manager and the cache managers.  The raw transports do
+not guarantee that — :class:`~repro.net.sim_transport.SimTransport`
+supports injected drops/duplicates/delays and the TCP backend can lose
+frames to a vanished endpoint.  :class:`ReliableTransport` wraps any
+inner :class:`~repro.net.transport.Transport` and restores the FSMs'
+assumptions:
+
+- **At-least-once**: every protocol message rides an ``R_DATA``
+  envelope carrying a per-link sequence number.  The receiver answers
+  with ``R_ACK``; an unacknowledged envelope is retransmitted with
+  exponential backoff (plus seeded jitter, so synchronized retry storms
+  de-correlate deterministically) up to ``max_attempts`` times.
+- **At-most-once**: the receiver keeps a per-link cursor of the last
+  in-order sequence delivered plus a bounded window of seen envelope
+  msg_ids; duplicate frames (retransmissions whose ACK was lost, or
+  duplicates injected below the sublayer) are suppressed and re-ACKed.
+- **In-order handoff**: out-of-order arrivals are buffered and handed
+  to the destination endpoint in send order, so delayed/reordered
+  frames cannot interleave a round's replies.
+
+Accounting: ``self.stats`` records the *logical* messages the protocol
+sent — exactly what a raw transport would record for the same run, so
+the paper's Fig 4 efficiency metric is unchanged by the sublayer.  The
+wire overhead (envelopes, ACKs, retransmissions) is visible separately
+in ``inner.stats`` and in this layer's ``retransmits`` /
+``duplicates_suppressed`` / ``acks_sent`` counters.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.net.message import BATCH, Message, split_batch
+from repro.net.transport import Completion, Endpoint, TimerHandle, Transport
+
+# Envelope vocabulary of the sublayer.  Protocol engines never see
+# either type: R_DATA is unwrapped before handoff, R_ACK terminates at
+# the sublayer.
+R_DATA = "R_DATA"
+R_ACK = "R_ACK"
+
+Link = Tuple[str, str]  # (sender address, receiver address)
+
+
+class _Outgoing:
+    """Sender-side state for one unacknowledged envelope."""
+
+    __slots__ = ("envelope", "attempts", "timer")
+
+    def __init__(self, envelope: Message) -> None:
+        self.envelope = envelope
+        self.attempts = 0
+        self.timer: Optional[TimerHandle] = None
+
+
+class _LinkReceiver:
+    """Receiver-side state for one directed link."""
+
+    __slots__ = ("delivered_upto", "pending", "seen_ids")
+
+    def __init__(self) -> None:
+        self.delivered_upto = 0            # highest contiguously delivered seq
+        self.pending: Dict[int, Message] = {}  # out-of-order buffer
+        self.seen_ids: "OrderedDict[int, None]" = OrderedDict()
+
+
+class ReliableTransport(Transport):
+    """ACK/retransmit + dedup + in-order handoff over an inner transport.
+
+    Endpoints bind on this transport exactly as on a raw one; each bind
+    is mirrored onto the inner transport, where the sublayer's frames
+    actually travel.  ``now``/``schedule``/``completion`` delegate to
+    the inner backend, so the same engine code runs on both.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        ack_timeout: float = 10.0,
+        max_attempts: int = 12,
+        backoff: float = 1.5,
+        jitter: float = 0.1,
+        seed: int = 0,
+        dedup_window: int = 1024,
+        max_backoff: float = 200.0,
+    ) -> None:
+        super().__init__()
+        if ack_timeout <= 0:
+            raise TransportError("ack_timeout must be > 0")
+        if max_attempts < 1:
+            raise TransportError("max_attempts must be >= 1")
+        if backoff < 1.0:
+            raise TransportError("backoff must be >= 1.0")
+        if not 0.0 <= jitter < 1.0:
+            raise TransportError("jitter must be in [0, 1)")
+        self.inner = inner
+        self.ack_timeout = ack_timeout
+        self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.jitter = jitter
+        self.max_backoff = max_backoff
+        self._dedup_window = dedup_window
+        from repro.sim.rng import stream_for
+
+        self._jitter_rng = stream_for(seed, "reliability-jitter")
+        self._inner_eps: Dict[str, Endpoint] = {}
+        self._next_seq: Dict[Link, int] = {}
+        self._in_flight: Dict[Link, Dict[int, _Outgoing]] = {}
+        self._receivers: Dict[Link, _LinkReceiver] = {}
+        self._closed = False
+
+    # -- binding ---------------------------------------------------------
+    def _on_bind(self, ep: Endpoint) -> None:
+        self._inner_eps[ep.address] = self.inner.bind(ep.address, self._on_frame)
+
+    def _on_unbind(self, ep: Endpoint) -> None:
+        inner_ep = self._inner_eps.pop(ep.address, None)
+        if inner_ep is not None:
+            inner_ep.close()
+        # Abandon retransmissions originating from the closed address.
+        for link in [l for l in self._in_flight if l[0] == ep.address]:
+            for out in self._in_flight.pop(link).values():
+                if out.timer is not None:
+                    out.timer.cancel()
+
+    # -- sending ---------------------------------------------------------
+    def send(self, msg: Message) -> None:
+        if self._closed:
+            raise TransportError("reliable transport closed")
+        # Logical accounting: what the protocol sent, envelope-free.
+        self.stats.record(msg)
+        link = (msg.src, msg.dst)
+        seq = self._next_seq.get(link, 0) + 1
+        self._next_seq[link] = seq
+        envelope = Message(
+            R_DATA, msg.src, msg.dst, {"seq": seq, "inner": msg.to_dict()}
+        )
+        out = _Outgoing(envelope)
+        self._in_flight.setdefault(link, {})[seq] = out
+        self._transmit(link, out)
+
+    def _transmit(self, link: Link, out: _Outgoing) -> None:
+        out.attempts += 1
+        if out.attempts > 1:
+            self.stats.record_retransmit(out.envelope)
+        try:
+            self.inner.send(out.envelope)
+        except TransportError:
+            # The wire refused the frame (e.g. TCP peer vanished mid
+            # send); the retransmit timer below is the recovery path.
+            self.inner.stats.record_drop(out.envelope)
+        if out.attempts >= self.max_attempts:
+            # Out of attempts: behave like a raw transport losing the
+            # message (the protocol's own watchdogs take over).
+            out.timer = self.inner.schedule(
+                self._retry_delay(out.attempts), lambda: self._give_up(link, out)
+            )
+            return
+        out.timer = self.inner.schedule(
+            self._retry_delay(out.attempts), lambda: self._maybe_retransmit(link, out)
+        )
+
+    def _retry_delay(self, attempts: int) -> float:
+        delay = min(
+            self.ack_timeout * (self.backoff ** (attempts - 1)), self.max_backoff
+        )
+        if self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * (2.0 * self._jitter_rng.random() - 1.0)
+        return delay
+
+    def _maybe_retransmit(self, link: Link, out: _Outgoing) -> None:
+        if self._closed:
+            return
+        seq = out.envelope.payload["seq"]
+        if self._in_flight.get(link, {}).get(seq) is not out:
+            return  # acknowledged meanwhile
+        self._transmit(link, out)
+
+    def _give_up(self, link: Link, out: _Outgoing) -> None:
+        seq = out.envelope.payload["seq"]
+        if self._in_flight.get(link, {}).get(seq) is not out:
+            return
+        del self._in_flight[link][seq]
+        self.stats.record_drop(out.envelope)
+
+    # -- receiving -------------------------------------------------------
+    def _on_frame(self, frame: Message) -> None:
+        if frame.msg_type == R_ACK:
+            self._on_ack(frame)
+        elif frame.msg_type == R_DATA:
+            self._on_data(frame)
+        else:  # a raw message that bypassed the sublayer — hand off as-is
+            self._handoff(frame)
+
+    def _on_ack(self, frame: Message) -> None:
+        # The ACK travels dst -> src, so the data link is the reverse.
+        link = (frame.dst, frame.src)
+        out = self._in_flight.get(link, {}).pop(frame.payload.get("seq"), None)
+        if out is not None and out.timer is not None:
+            out.timer.cancel()
+
+    def _on_data(self, frame: Message) -> None:
+        link = (frame.src, frame.dst)
+        seq = frame.payload["seq"]
+        # Always (re-)ACK — the previous ACK may have been the lost frame.
+        ack = Message(R_ACK, frame.dst, frame.src, {"seq": seq})
+        self.stats.record_ack(ack)
+        try:
+            self.inner.send(ack)
+        except TransportError:
+            self.inner.stats.record_drop(ack)
+        recv = self._receivers.setdefault(link, _LinkReceiver())
+        if (
+            seq <= recv.delivered_upto
+            or seq in recv.pending
+            or frame.msg_id in recv.seen_ids
+        ):
+            self.stats.record_duplicate_suppressed(frame)
+            return
+        recv.seen_ids[frame.msg_id] = None
+        while len(recv.seen_ids) > self._dedup_window:
+            recv.seen_ids.popitem(last=False)
+        recv.pending[seq] = Message.from_dict(frame.payload["inner"])
+        # In-order handoff: flush the contiguous prefix.
+        while recv.delivered_upto + 1 in recv.pending:
+            recv.delivered_upto += 1
+            self._handoff(recv.pending.pop(recv.delivered_upto))
+
+    def _handoff(self, msg: Message) -> None:
+        if msg.msg_type == BATCH:
+            # Coalesced frame: fan out locally so protocol handlers
+            # never see BATCH itself (same contract as the raw backends).
+            for sub in split_batch(msg):
+                self._handoff(sub)
+            return
+        ep = self._endpoints.get(msg.dst)
+        if ep is None or ep.closed:
+            self.stats.record_drop(msg)
+            return
+        ep.handler(msg)
+
+    # -- introspection ---------------------------------------------------
+    def in_flight_count(self) -> int:
+        """Envelopes awaiting acknowledgement (for tests/monitoring)."""
+        return sum(len(m) for m in self._in_flight.values())
+
+    def node_of(self, address: str) -> Optional[str]:
+        """Topology placement passthrough (round coalescing support)."""
+        fn = getattr(self.inner, "node_of", None)
+        return fn(address) if fn is not None else None
+
+    def place(self, address: str, node: str) -> None:
+        fn = getattr(self.inner, "place", None)
+        if fn is None:
+            raise TransportError(f"{type(self.inner).__name__} has no placement")
+        fn(address, node)
+
+    # -- delegated backend services --------------------------------------
+    def now(self) -> float:
+        return self.inner.now()
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        return self.inner.schedule(delay, fn)
+
+    def completion(self, name: str = "") -> Completion:
+        return self.inner.completion(name)
+
+    def close(self) -> None:
+        self._closed = True
+        for pending in self._in_flight.values():
+            for out in pending.values():
+                if out.timer is not None:
+                    out.timer.cancel()
+        self._in_flight.clear()
+        super().close()  # closes reliable endpoints -> unbinds inner ones
+        self.inner.close()

@@ -7,7 +7,10 @@ message through the JSON codec so that anything that would break on the
 TCP transport also breaks (loudly) in simulation.
 
 Fault injection: a ``fault_policy(msg) -> "deliver" | "drop" |
-"duplicate"`` hook supports the failure-injection tests.
+"duplicate" | ("delay", extra)`` hook supports the failure-injection
+tests and the declarative scenarios in :mod:`repro.sim.faults` — the
+tuple form adds ``extra`` time units to the modelled delivery delay,
+which is how scenarios express delay/reorder windows.
 """
 
 from __future__ import annotations
@@ -156,6 +159,15 @@ class SimTransport(Transport):
             wire_msg = msg
         self.stats.record(msg, size=frame_bytes if self.strict_wire else None)
         action = self.fault_policy(msg) if self.fault_policy else "deliver"
+        extra_delay = 0.0
+        if isinstance(action, tuple):
+            # ("delay", extra): hold the frame for extra time units on
+            # top of the modelled latency (reordering it behind later
+            # sends on the same link).
+            if len(action) != 2 or action[0] != "delay" or action[1] < 0:
+                raise TransportError(f"fault policy returned {action!r}")
+            extra_delay = float(action[1])
+            action = "deliver"
         if action == "drop":
             self.stats.record_drop(msg)
             return
@@ -165,7 +177,7 @@ class SimTransport(Transport):
             copies = 2
         elif action != "deliver":
             raise TransportError(f"fault policy returned {action!r}")
-        delay = self.delivery_delay(msg, frame_bytes)
+        delay = self.delivery_delay(msg, frame_bytes) + extra_delay
         for _ in range(copies):
             self.kernel.call_in(delay, lambda m=wire_msg: self._deliver(m))
 

@@ -63,6 +63,14 @@ class MessageStats:
     # sender did NOT pay for separately).
     batches_sent: int = 0
     messages_coalesced: int = 0
+    # Reliable-delivery sublayer (net/reliability.py): data frames
+    # retransmitted after an ACK timeout, incoming frames suppressed as
+    # duplicates by the receiver's dedup window, and ACK frames sent.
+    # These live on the *reliable* transport's stats, so the logical
+    # message counters above stay comparable to a raw-transport run.
+    retransmits: int = 0
+    duplicates_suppressed: int = 0
+    acks_sent: int = 0
 
     def record(self, msg: Message, size: Optional[int] = None) -> None:
         """Count one sent message (``size`` in bytes when known)."""
@@ -95,6 +103,15 @@ class MessageStats:
     def record_duplicate(self, msg: Message) -> None:
         self.duplicated += 1
 
+    def record_retransmit(self, msg: Message) -> None:
+        self.retransmits += 1
+
+    def record_duplicate_suppressed(self, msg: Message) -> None:
+        self.duplicates_suppressed += 1
+
+    def record_ack(self, msg: Message) -> None:
+        self.acks_sent += 1
+
     def count_for_types(self, *msg_types: str) -> int:
         """Total messages across the given message types."""
         return sum(self.by_type[t] for t in msg_types)
@@ -123,6 +140,9 @@ class MessageStats:
         self.max_message_bytes = 0
         self.batches_sent = 0
         self.messages_coalesced = 0
+        self.retransmits = 0
+        self.duplicates_suppressed = 0
+        self.acks_sent = 0
         self.by_type.clear()
         self.by_pair.clear()
 
@@ -137,5 +157,11 @@ class MessageStats:
             lines.append(
                 f"  (batches={self.batches_sent} "
                 f"coalesced={self.messages_coalesced})"
+            )
+        if self.retransmits or self.duplicates_suppressed or self.acks_sent:
+            lines.append(
+                f"  (retransmits={self.retransmits} "
+                f"dup_suppressed={self.duplicates_suppressed} "
+                f"acks={self.acks_sent})"
             )
         return "\n".join(lines)

@@ -29,6 +29,11 @@ from repro.net.transport import Completion, Endpoint, TimerHandle, Transport
 _LEN = struct.Struct(">I")
 _MAX_FRAME = 64 * 1024 * 1024
 
+# Default for ThreadCompletion.wait: long enough for any test or demo
+# round-trip, finite so a lost reply surfaces as a clear TransportError
+# instead of blocking the calling thread forever.
+DEFAULT_WAIT_TIMEOUT = 30.0
+
 
 class ThreadCompletion(Completion):
     """Completion backed by ``threading.Event`` (blockable from threads)."""
@@ -84,8 +89,19 @@ class ThreadCompletion(Completion):
         return self._value
 
     def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block until completion; ``timeout`` in wall-clock seconds.
+
+        ``None`` means the finite :data:`DEFAULT_WAIT_TIMEOUT`, never
+        indefinite blocking: a lost reply must surface as an error
+        naming what was being waited on, not as a hung thread.
+        """
+        if timeout is None:
+            timeout = DEFAULT_WAIT_TIMEOUT
         if not self._ev.wait(timeout):
-            raise TransportError(f"{self.name}: timed out after {timeout}s")
+            raise TransportError(
+                f"timed out after {timeout}s waiting on {self.name!r} "
+                f"(the reply for this pending message type never arrived)"
+            )
         return self.value
 
 

@@ -15,9 +15,13 @@ Public surface:
 - :class:`~repro.sim.resources.Mutex`,
   :class:`~repro.sim.resources.Store` — synchronization primitives.
 - :func:`~repro.sim.rng.make_rng` — seeded random streams.
+- :class:`~repro.sim.faults.FaultScenario`,
+  :class:`~repro.sim.faults.FaultInjector` — declarative, seedable
+  fault injection compiled into transport fault policies + sim events.
 """
 
 from repro.sim.events import Event, Timeout
+from repro.sim.faults import CrashPlan, FaultInjector, FaultScenario, Partition
 from repro.sim.kernel import SimKernel
 from repro.sim.process import Process
 from repro.sim.resources import Mutex, Store
@@ -32,4 +36,8 @@ __all__ = [
     "Store",
     "make_rng",
     "spawn_rng",
+    "CrashPlan",
+    "FaultInjector",
+    "FaultScenario",
+    "Partition",
 ]

@@ -1,0 +1,208 @@
+"""Deterministic, seedable fault-injection scenarios.
+
+A :class:`FaultScenario` is a *declarative* description of what goes
+wrong on the network and when: probabilistic frame drops/duplicates,
+delay (and hence reorder) windows, link partitions over sim-time
+intervals, and scheduled cache-manager crashes/restarts.  Compiling a
+scenario produces a :class:`FaultInjector` whose ``policy`` plugs into
+``SimTransport(fault_policy=...)`` and whose ``schedule_crashes``
+turns the crash plan into kernel events.
+
+Determinism: all randomness comes from a named substream of the
+scenario seed (:func:`repro.sim.rng.stream_for`), so the same scenario
+over the same workload replays fault-for-fault identically — the
+property that makes chaos experiments and regression tests of failure
+handling reproducible.
+
+Example::
+
+    scenario = FaultScenario(
+        drop_rate=0.1,
+        duplicate_rate=0.05,
+        partitions=[Partition(start=100.0, end=200.0,
+                              group_a={"dir"}, group_b={"cm:v1"})],
+        crashes=[CrashPlan(at=150.0, view_id="v1", restart_at=400.0)],
+        seed=0,
+    )
+    injector = scenario.compile()
+    transport = SimTransport(kernel, fault_policy=injector.policy)
+    injector.schedule_crashes(kernel, {"v1": cm1})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.net.message import Message
+from repro.sim.kernel import SimKernel
+from repro.sim.rng import stream_for
+
+# The fault action vocabulary understood by SimTransport.
+FaultAction = object  # "deliver" | "drop" | "duplicate" | ("delay", dt)
+FaultPolicy = Callable[[Message], FaultAction]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A link partition over a sim-time interval.
+
+    While ``start <= now < end``, every frame between an address in
+    ``group_a`` and one in ``group_b`` (either direction) is dropped.
+    Addresses appearing in neither group are unaffected.
+    """
+
+    start: float
+    end: float
+    group_a: FrozenSet[str]
+    group_b: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group_a", frozenset(self.group_a))
+        object.__setattr__(self, "group_b", frozenset(self.group_b))
+        if self.end <= self.start:
+            raise SimulationError(
+                f"partition interval empty: [{self.start}, {self.end})"
+            )
+
+    def severs(self, src: str, dst: str, now: float) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        return (src in self.group_a and dst in self.group_b) or (
+            src in self.group_b and dst in self.group_a
+        )
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """A scheduled cache-manager crash (and optional restart)."""
+
+    at: float
+    view_id: str
+    restart_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.restart_at is not None and self.restart_at <= self.at:
+            raise SimulationError(
+                f"{self.view_id}: restart_at {self.restart_at} must be "
+                f"after crash at {self.at}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """Declarative description of injected network faults.
+
+    Rates are per-frame probabilities, evaluated in order drop →
+    duplicate → delay (at most one fault per frame).  ``delay_range``
+    is the uniform window of extra delivery delay (reordering frames
+    behind later sends).  ``exempt_types`` lets a scenario protect
+    e.g. transport-internal frame types from injection.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_range: Tuple[float, float] = (0.0, 0.0)
+    partitions: Sequence[Partition] = field(default_factory=tuple)
+    crashes: Sequence[CrashPlan] = field(default_factory=tuple)
+    exempt_types: FrozenSet[str] = frozenset()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "exempt_types", frozenset(self.exempt_types))
+        for name in ("drop_rate", "duplicate_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise SimulationError(f"{name} must be in [0, 1], got {rate}")
+        lo, hi = self.delay_range
+        if lo < 0 or hi < lo:
+            raise SimulationError(f"bad delay_range: {self.delay_range}")
+
+    def compile(self) -> "FaultInjector":
+        """Build the deterministic injector for this scenario."""
+        return FaultInjector(self)
+
+
+class FaultInjector:
+    """A compiled scenario: the ``fault_policy`` callable + sim events.
+
+    The injector needs a clock to evaluate partitions; it reads it from
+    the transport the policy is installed on (``install``) or from the
+    kernel passed to ``schedule_crashes`` — whichever it learns first.
+    Counters record every injected fault by kind.
+    """
+
+    def __init__(self, scenario: FaultScenario) -> None:
+        self.scenario = scenario
+        self._rng = stream_for(scenario.seed, "fault-injection")
+        self._now: Callable[[], float] = lambda: 0.0
+        self.counters: Dict[str, int] = {
+            "drops": 0, "duplicates": 0, "delays": 0,
+            "partition_drops": 0, "crashes": 0, "restarts": 0,
+        }
+
+    # -- wiring ----------------------------------------------------------
+    def install(self, transport) -> "FaultInjector":
+        """Set this injector as ``transport.fault_policy``; returns self."""
+        transport.fault_policy = self.policy
+        self._now = transport.now
+        return self
+
+    def schedule_crashes(self, kernel: SimKernel, cache_managers: Dict[str, object]) -> None:
+        """Turn the scenario's crash plan into kernel events.
+
+        ``cache_managers`` maps view_id -> CacheManager (anything with
+        ``crash()`` and ``recover()``).  Unknown view ids are an error —
+        a silently ignored crash would make a chaos run vacuously green.
+        """
+        self._now = lambda: kernel.now
+        for plan in self.scenario.crashes:
+            cm = cache_managers.get(plan.view_id)
+            if cm is None:
+                raise SimulationError(
+                    f"crash plan names unknown view {plan.view_id!r}"
+                )
+            kernel.call_at(plan.at, lambda c=cm: self._crash(c))
+            if plan.restart_at is not None:
+                kernel.call_at(plan.restart_at, lambda c=cm: self._restart(c))
+
+    def _crash(self, cm) -> None:
+        self.counters["crashes"] += 1
+        cm.crash()
+
+    def _restart(self, cm) -> None:
+        self.counters["restarts"] += 1
+        cm.recover()
+
+    # -- the policy ------------------------------------------------------
+    def policy(self, msg: Message) -> FaultAction:
+        s = self.scenario
+        if msg.msg_type in s.exempt_types:
+            return "deliver"
+        now = self._now()
+        for part in s.partitions:
+            if part.severs(msg.src, msg.dst, now):
+                self.counters["partition_drops"] += 1
+                return "drop"
+        # One rng draw per probabilistic fault class keeps the stream
+        # layout stable: adding a partition (no draws) never shifts the
+        # drop/duplicate/delay decisions of an existing scenario.
+        if s.drop_rate and self._rng.random() < s.drop_rate:
+            self.counters["drops"] += 1
+            return "drop"
+        if s.duplicate_rate and self._rng.random() < s.duplicate_rate:
+            self.counters["duplicates"] += 1
+            return "duplicate"
+        if s.delay_rate and self._rng.random() < s.delay_rate:
+            lo, hi = s.delay_range
+            self.counters["delays"] += 1
+            return ("delay", float(lo + (hi - lo) * self._rng.random()))
+        return "deliver"
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.counters.values())

@@ -1,0 +1,38 @@
+"""The chaos experiment's acceptance properties."""
+
+from repro.experiments.chaos import bench_payload, run_chaos
+
+
+def test_chaos_acceptance_at_ten_percent_drop_seed_zero():
+    """10% drop + 5% duplicate at seed 0: the run completes with zero
+    lost committed writes and the sublayer visibly did repair work."""
+    result = run_chaos(loss_rates=(0.0, 0.1), seed=0)
+    clean, lossy = result.points
+    assert clean.lost_writes == 0 and lossy.lost_writes == 0
+    assert lossy.drop_rate == 0.1 and lossy.duplicate_rate == 0.05
+    assert lossy.retransmits > 0
+    assert lossy.duplicates_suppressed > 0
+    assert lossy.injected_drops > 0
+
+
+def test_chaos_zero_loss_parity_with_raw_transport():
+    """Faults off: the reliable run's logical message profile matches
+    the raw transport message for message; ACK overhead is wire-only."""
+    result = run_chaos(loss_rates=(0.0,), seed=0)
+    assert result.parity_ok
+    assert result.faultless_acks > 0  # overhead exists, reported separately
+    [clean] = result.points
+    assert clean.retransmits == 0 and clean.duplicates_suppressed == 0
+    assert clean.wire_frames > clean.logical_messages
+
+
+def test_chaos_deterministic_per_seed():
+    a = run_chaos(loss_rates=(0.1,), seed=3)
+    b = run_chaos(loss_rates=(0.1,), seed=3)
+    assert bench_payload(a) == bench_payload(b)
+
+
+def test_chaos_overhead_grows_with_loss():
+    result = run_chaos(loss_rates=(0.0, 0.2), seed=0)
+    clean, lossy = result.points
+    assert lossy.overhead_ratio > clean.overhead_ratio

@@ -1,0 +1,202 @@
+"""Unit tests for the declarative fault-injection framework."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net import Message, SimTransport
+from repro.sim import CrashPlan, FaultScenario, Partition, SimKernel
+
+
+def msg(t="DATA", src="a", dst="b"):
+    return Message(t, src, dst, {})
+
+
+def actions(injector, n, **kw):
+    return [injector.policy(msg(**kw)) for _ in range(n)]
+
+
+def test_zero_rates_always_deliver():
+    inj = FaultScenario().compile()
+    assert actions(inj, 50) == ["deliver"] * 50
+    assert inj.total_injected == 0
+
+
+def test_same_seed_replays_identically():
+    scenario = FaultScenario(
+        drop_rate=0.2, duplicate_rate=0.1, delay_rate=0.3,
+        delay_range=(1.0, 4.0), seed=7,
+    )
+    a = actions(scenario.compile(), 500)
+    b = actions(scenario.compile(), 500)
+    assert a == b
+    assert any(x == "drop" for x in a)
+    assert any(x == "duplicate" for x in a)
+    assert any(isinstance(x, tuple) for x in a)
+
+
+def test_different_seeds_differ():
+    mk = lambda s: FaultScenario(drop_rate=0.3, seed=s).compile()
+    assert actions(mk(0), 200) != actions(mk(1), 200)
+
+
+def test_delay_action_within_range():
+    inj = FaultScenario(delay_rate=1.0, delay_range=(2.0, 5.0)).compile()
+    for action in actions(inj, 100):
+        kind, extra = action
+        assert kind == "delay" and 2.0 <= extra <= 5.0
+    assert inj.counters["delays"] == 100
+
+
+def test_exempt_types_bypass_injection():
+    inj = FaultScenario(drop_rate=1.0, exempt_types={"R_ACK"}).compile()
+    assert inj.policy(msg("R_ACK")) == "deliver"
+    assert inj.policy(msg("R_DATA")) == "drop"
+
+
+def test_counters_track_each_fault_kind():
+    inj = FaultScenario(drop_rate=1.0).compile()
+    actions(inj, 5)
+    assert inj.counters["drops"] == 5 and inj.total_injected == 5
+
+
+# ---------------------------------------------------------------------------
+# Partitions
+# ---------------------------------------------------------------------------
+
+def test_partition_severs_both_directions_inside_window_only():
+    part = Partition(start=10.0, end=20.0, group_a={"dir"}, group_b={"v1"})
+    inj = FaultScenario(partitions=[part]).compile()
+
+    clock = {"now": 0.0}
+    inj._now = lambda: clock["now"]
+
+    assert inj.policy(msg(src="dir", dst="v1")) == "deliver"  # before
+    clock["now"] = 15.0
+    assert inj.policy(msg(src="dir", dst="v1")) == "drop"
+    assert inj.policy(msg(src="v1", dst="dir")) == "drop"     # symmetric
+    assert inj.policy(msg(src="v2", dst="dir")) == "deliver"  # unaffected
+    clock["now"] = 20.0
+    assert inj.policy(msg(src="dir", dst="v1")) == "deliver"  # after
+    assert inj.counters["partition_drops"] == 2
+
+
+def test_partition_does_not_consume_rng_draws():
+    """A partition drop must not shift the probabilistic stream: the
+    same scenario with and without a partition makes identical
+    drop/duplicate decisions for unpartitioned traffic."""
+    base = FaultScenario(drop_rate=0.3, seed=5).compile()
+    part = FaultScenario(
+        drop_rate=0.3, seed=5,
+        partitions=[Partition(0.0, 1e9, {"x"}, {"y"})],
+    ).compile()
+    part._now = lambda: 0.0
+    for _ in range(100):
+        assert base.policy(msg()) == part.policy(msg())
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+def test_rate_and_range_validation():
+    with pytest.raises(SimulationError):
+        FaultScenario(drop_rate=1.5)
+    with pytest.raises(SimulationError):
+        FaultScenario(duplicate_rate=-0.1)
+    with pytest.raises(SimulationError):
+        FaultScenario(delay_range=(5.0, 2.0))
+    with pytest.raises(SimulationError):
+        FaultScenario(delay_range=(-1.0, 2.0))
+    with pytest.raises(SimulationError):
+        Partition(start=5.0, end=5.0, group_a={"a"}, group_b={"b"})
+    with pytest.raises(SimulationError):
+        CrashPlan(at=10.0, view_id="v1", restart_at=10.0)
+
+
+# ---------------------------------------------------------------------------
+# Crash scheduling
+# ---------------------------------------------------------------------------
+
+class _StubCM:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.events = []
+
+    def crash(self):
+        self.events.append(("crash", self.kernel.now))
+
+    def recover(self):
+        self.events.append(("recover", self.kernel.now))
+
+
+def test_schedule_crashes_fires_at_planned_times():
+    kernel = SimKernel()
+    cm = _StubCM(kernel)
+    inj = FaultScenario(
+        crashes=[CrashPlan(at=30.0, view_id="v1", restart_at=80.0)]
+    ).compile()
+    inj.schedule_crashes(kernel, {"v1": cm})
+    kernel.run()
+    assert cm.events == [("crash", 30.0), ("recover", 80.0)]
+    assert inj.counters["crashes"] == 1 and inj.counters["restarts"] == 1
+
+
+def test_schedule_crashes_rejects_unknown_view():
+    kernel = SimKernel()
+    inj = FaultScenario(
+        crashes=[CrashPlan(at=1.0, view_id="ghost")]
+    ).compile()
+    with pytest.raises(SimulationError, match="ghost"):
+        inj.schedule_crashes(kernel, {})
+
+
+# ---------------------------------------------------------------------------
+# Transport integration
+# ---------------------------------------------------------------------------
+
+def test_install_wires_policy_and_clock():
+    kernel = SimKernel()
+    transport = SimTransport(kernel, default_latency=1.0, strict_wire=False)
+    inj = FaultScenario(
+        partitions=[Partition(0.0, 100.0, {"a"}, {"b"})]
+    ).compile().install(transport)
+    assert transport.fault_policy == inj.policy  # same bound method
+    got = []
+    transport.bind("a", lambda m: None)
+    transport.bind("b", lambda m: got.append(m))
+    transport.send(msg())
+    kernel.run()
+    assert got == [] and transport.stats.dropped == 1
+
+
+def test_injected_delay_reorders_frames_on_transport():
+    kernel = SimKernel()
+    transport = SimTransport(kernel, default_latency=1.0, strict_wire=False)
+    state = {"first": True}
+
+    def delay_first(m):
+        if state["first"]:
+            state["first"] = False
+            return ("delay", 10.0)
+        return "deliver"
+
+    transport.fault_policy = delay_first
+    got = []
+    transport.bind("a", lambda m: None)
+    transport.bind("b", lambda m: got.append((kernel.now, m.payload["n"])))
+    transport.send(Message("DATA", "a", "b", {"n": 1}))
+    transport.send(Message("DATA", "a", "b", {"n": 2}))
+    kernel.run()
+    assert got == [(1.0, 2), (11.0, 1)]  # frame 1 held 10 extra units
+
+
+def test_malformed_delay_action_rejected():
+    from repro.errors import TransportError
+
+    kernel = SimKernel()
+    transport = SimTransport(kernel, strict_wire=False)
+    transport.fault_policy = lambda m: ("delay", -1.0)
+    transport.bind("a", lambda m: None)
+    transport.bind("b", lambda m: None)
+    with pytest.raises(TransportError, match="fault policy"):
+        transport.send(msg())
