@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.apps.airline.flights import (
+    extract_cells_from_database,
     FlightDatabase,
     extract_from_database,
     merge_into_database,
@@ -123,6 +124,7 @@ def build_airline_system(
     use_conflict_resolver: bool = True,
     trace: Optional[TraceLog] = None,
     strict_wire: bool = True,
+    delta: Optional[bool] = None,
 ) -> AirlineSystem:
     """The paper's LAN testbed as a simulated system.
 
@@ -141,6 +143,8 @@ def build_airline_system(
         merge_into_database,
         conflict_resolver=seat_conflict_resolver if use_conflict_resolver else None,
         trace=trace,
+        delta=delta,
+        extract_cells=extract_cells_from_database,
     )
     transport.place(system.directory.address, "db-server")
     return AirlineSystem(kernel, transport, system, database)

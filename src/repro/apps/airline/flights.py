@@ -166,6 +166,18 @@ def extract_from_database(db: FlightDatabase, props: PropertySet) -> ObjectImage
     return img
 
 
+def extract_cells_from_database(
+    db: FlightDatabase, props: PropertySet, keys: Iterable[str]
+) -> ObjectImage:
+    """Partial extract for delta serves: only ``keys``, no full scan."""
+    img = ObjectImage()
+    for number in _served_numbers(
+        (k for k in keys if k in db.flights), props
+    ):
+        img.cells[number] = db.flights[number].to_cell()
+    return img
+
+
 def merge_into_database(
     db: FlightDatabase, image: ObjectImage, props: PropertySet
 ) -> None:

@@ -11,7 +11,12 @@ from enum import Enum
 from typing import Any, Callable, Optional
 
 from repro.baselines.multicast import MulticastDirectory
-from repro.core.directory import DirectoryManager, ExtractFromObject, MergeIntoObject
+from repro.core.directory import (
+    DirectoryManager,
+    ExtractCells,
+    ExtractFromObject,
+    MergeIntoObject,
+)
 from repro.core.messages import TraceLog
 from repro.core.static_map import StaticSharingMap
 from repro.core.system import FleccSystem
@@ -45,6 +50,8 @@ def make_system(
     static_map: Optional[StaticSharingMap] = None,
     conflict_resolver: Optional[Callable[[str, Any, Any], Any]] = None,
     trace: Optional[TraceLog] = None,
+    delta: Optional[bool] = None,
+    extract_cells: Optional[ExtractCells] = None,
 ) -> FleccSystem:
     """Build a FleccSystem running the requested protocol's directory."""
     protocol = ProtocolName(protocol)
@@ -58,4 +65,6 @@ def make_system(
         conflict_resolver=conflict_resolver,
         trace=trace,
         directory_cls=_DIRECTORY_CLASSES[protocol],
+        delta=delta,
+        extract_cells=extract_cells,
     )

@@ -30,7 +30,7 @@ from collections import deque
 from typing import Any, Callable, Deque, Dict, Optional
 
 from repro.core import messages as M
-from repro.core.image import ObjectImage
+from repro.core.image import DeltaImage, ObjectImage
 from repro.core.messages import TraceLog
 from repro.core.modes import Mode
 from repro.core.property_set import PropertySet
@@ -119,6 +119,7 @@ class CacheManager:
         request_timeout: Optional[float] = None,
         max_retries: int = 3,
         heartbeat_period: Optional[float] = None,
+        delta: bool = True,
     ) -> None:
         self.transport = transport
         self.directory_address = directory_address
@@ -143,6 +144,11 @@ class CacheManager:
         # its lease alive.  Repeated heartbeat silence degrades the CM
         # (see below) instead of letting it operate on a dead link.
         self.heartbeat_period = heartbeat_period
+        # Delta synchronization: attach a ``since`` cursor to every data
+        # request so the directory can serve only the cells that changed
+        # since our last sync.  Off → requests carry no cursor and every
+        # serve ships the full slice (the paper's baseline wire format).
+        self.delta = delta
 
         # Protocol state.
         # Every state-carrying message (PUSH, UNREGISTER, INVALIDATE_ACK,
@@ -154,6 +160,12 @@ class CacheManager:
         self.owner = False        # strong-mode exclusive ownership
         self.invalidated = True   # until first init, local data is invalid
         self._base: ObjectImage = ObjectImage()  # state as of last sync
+        # Delta-sync base: the accumulated slice image (last complete
+        # serve ⊕ every delta since), and the directory commit cursor it
+        # corresponds to.  ``-1`` means "no base" — the next serve must
+        # be complete.
+        self._synced: Optional[ObjectImage] = None
+        self._since: int = -1
         self._pending: Dict[int, Completion] = {}
         self._pending_invalidate: Optional[Message] = None
         self._use_lock = _CompletionLock(transport, f"{view_id}.use")
@@ -182,6 +194,7 @@ class CacheManager:
             "invalidations": 0, "fetches": 0, "trigger_fires": 0,
             "retries": 0, "heartbeats": 0, "degradations": 0,
             "recoveries": 0, "stale_serves": 0,
+            "delta_pulls": 0, "full_pulls": 0, "delta_fallbacks": 0,
         }
 
         self.endpoint = transport.bind(self.address, self._on_message)
@@ -289,6 +302,7 @@ class CacheManager:
 
     def _complete_invalidate(self, msg: Message) -> None:
         dirty = self._extract_dirty()
+        self._absorb_dirty(dirty)
         self.owner = False
         self.invalidated = True
         self._trace(f"send:{M.INVALIDATE_ACK}", dst=msg.src)
@@ -306,6 +320,7 @@ class CacheManager:
     def _h_fetch(self, msg: Message) -> None:
         self.counters["fetches"] += 1
         dirty = ObjectImage() if self._in_use else self._extract_dirty()
+        self._absorb_dirty(dirty)
         self._trace(f"send:{M.FETCH_REPLY}", dst=msg.src)
         self.endpoint.send(
             msg.reply(
@@ -340,6 +355,101 @@ class CacheManager:
         self.merge_into_view(self.view, image, self.properties)
         self._rebase()
         self.invalidated = False
+
+    # -- delta synchronization -----------------------------------------------
+    def _apply_served(self, served: Any) -> Optional[ObjectImage]:
+        """Apply a served image payload; returns the effective full image.
+
+        The directory may answer a cursor-carrying request with either a
+        plain :class:`ObjectImage` (delta disabled there) or a
+        :class:`DeltaImage` — complete, or a version-filtered delta
+        against our accumulated base.  A delta merges into ``_synced``
+        and the *whole* accumulated image is applied to the view, so
+        local semantics are exactly those of a full pull while only the
+        changed cells crossed the wire.  Returns ``None`` when the delta
+        references a base this CM no longer holds (the caller must
+        re-request with ``full=True``).  Call with ``self._lock`` held.
+        """
+        if not isinstance(served, DeltaImage):
+            self._synced = None
+            self._since = -1
+            self._apply_image(served)
+            return served
+        if served.complete:
+            self._synced = served.image.copy()
+            self._since = served.as_of
+            self.counters["full_pulls"] += 1
+            self._apply_image(served.image)
+            return served.image
+        if self._synced is None or served.base_seq > self._since:
+            return None
+        self.counters["delta_pulls"] += 1
+        self._synced.merge_newer(served.image)
+        self._since = max(self._since, served.as_of)
+        self._apply_image(self._synced)
+        return self._synced.copy()
+
+    def _absorb_dirty(self, dirty: ObjectImage) -> None:
+        """Fold cells we hand to the directory into the sync base.
+
+        The directory advances our seen-cursor when it commits them, so
+        later deltas will not echo them back; without this a later
+        full-apply of ``_synced`` would revert the view's own writes.
+        Versions stay as last served — safe, since a newer committed
+        value for these keys always carries a strictly higher version.
+        """
+        if self._synced is not None and not dirty.is_empty():
+            self._synced.cells.update(dirty.cells)
+
+    def _request_data(
+        self,
+        msg_type: str,
+        payload: Dict[str, Any],
+        on_fail: Callable[[BaseException], None],
+        on_done: Callable[[ObjectImage], None],
+        on_state: Optional[Callable[[], None]] = None,
+        full: bool = False,
+    ) -> None:
+        """Issue a data-carrying request and apply the served image.
+
+        ``on_state`` runs under the CM lock right after a successful
+        apply (for ownership/critical-section flags); ``on_done``
+        receives the effective full image.  A delta reply whose base we
+        no longer hold triggers exactly one re-request with ``full=True``
+        (counted in ``delta_fallbacks``).
+        """
+        req = dict(payload)
+        if self.delta:
+            req["since"] = self._since
+            if full:
+                req["full"] = True
+
+        def on_reply(reply: Completion) -> None:
+            try:
+                msg = reply.value
+            except BaseException as exc:
+                on_fail(exc)
+                return
+            with self._lock:
+                image = self._apply_served(msg.payload["image"])
+                if image is not None and on_state is not None:
+                    on_state()
+            if image is not None:
+                on_done(image)
+                return
+            if full:
+                on_fail(ProtocolError(
+                    f"{self.view_id}: delta served against unknown base "
+                    f"even after a full re-request"
+                ))
+                return
+            self.counters["delta_fallbacks"] += 1
+            self._trace("delta-fallback", msg_type=msg_type)
+            self._request_data(
+                msg_type, payload, on_fail, on_done, on_state, full=True
+            )
+
+        self._request(msg_type, req).then(on_reply)
 
     # ------------------------------------------------------------------
     # View-facing API (Fig 3)
@@ -380,20 +490,12 @@ class CacheManager:
     def _sync_request(self, msg_type: str, count_as: str) -> Completion:
         self.counters[count_as] += 1
         comp = self.transport.completion(f"{self.view_id}.{msg_type}")
-        need_fresh = self._evaluate_validity()
-
-        def on_data(reply: Completion) -> None:
-            try:
-                msg = reply.value
-            except BaseException as exc:
-                comp.fail(exc)
-                return
-            image: ObjectImage = msg.payload["image"]
-            with self._lock:
-                self._apply_image(image)
-            comp.resolve(image)
-
-        self._request(msg_type, {"need_fresh": need_fresh}).then(on_data)
+        self._request_data(
+            msg_type,
+            {"need_fresh": self._evaluate_validity()},
+            on_fail=comp.fail,
+            on_done=comp.resolve,
+        )
         return comp
 
     def push_image(self) -> Completion:
@@ -401,6 +503,7 @@ class CacheManager:
         self.counters["pushes"] += 1
         comp = self.transport.completion(f"{self.view_id}.push")
         dirty = self._extract_dirty()
+        self._absorb_dirty(dirty)
 
         def on_ack(reply: Completion) -> None:
             try:
@@ -448,35 +551,36 @@ class CacheManager:
             if self.mode is Mode.STRONG and not self.owner:
                 self.counters["acquires"] += 1
 
-                def on_grant(reply: Completion) -> None:
-                    try:
-                        msg = reply.value
-                    except BaseException as exc:
-                        self._use_lock.release()
-                        comp.fail(exc)
-                        return
-                    with self._lock:
-                        self._apply_image(msg.payload["image"])
-                        self.owner = True
-                        self._in_use = True
-                    comp.resolve(self)
+                def fail_locked(exc: BaseException) -> None:
+                    self._use_lock.release()
+                    comp.fail(exc)
 
-                self._request(M.ACQUIRE, {}).then(on_grant)
+                def granted() -> None:
+                    self.owner = True
+                    self._in_use = True
+
+                self._request_data(
+                    M.ACQUIRE, {},
+                    on_fail=fail_locked,
+                    on_done=lambda _img: comp.resolve(self),
+                    on_state=granted,
+                )
             elif self.invalidated:
-                def on_pull(reply: Completion) -> None:
-                    try:
-                        msg = reply.value
-                    except BaseException as exc:
-                        self._use_lock.release()
-                        comp.fail(exc)
-                        return
-                    with self._lock:
-                        self._apply_image(msg.payload["image"])
-                        self._in_use = True
-                    comp.resolve(self)
+                def fail_locked(exc: BaseException) -> None:
+                    self._use_lock.release()
+                    comp.fail(exc)
+
+                def entered() -> None:
+                    self._in_use = True
 
                 self.counters["pulls"] += 1
-                self._request(M.PULL_REQ, {"need_fresh": self._evaluate_validity()}).then(on_pull)
+                self._request_data(
+                    M.PULL_REQ,
+                    {"need_fresh": self._evaluate_validity()},
+                    on_fail=fail_locked,
+                    on_done=lambda _img: comp.resolve(self),
+                    on_state=entered,
+                )
             else:
                 self._in_use = True
                 comp.resolve(self)
@@ -542,6 +646,8 @@ class CacheManager:
             with self._lock:
                 self.properties = properties
                 self.invalidated = True  # slice changed; re-pull before use
+                self._synced = None      # old slice's delta base is void
+                self._since = -1
             comp.resolve(properties)
 
         self._request(M.PROP_UPDATE, {"properties": properties}).then(on_ack)
@@ -615,6 +721,8 @@ class CacheManager:
             self._pending_invalidate = None
             self._in_use = False
             self._base = ObjectImage()
+            self._synced = None  # delta base is volatile state too
+            self._since = -1
             self._trace("crash")
         self.endpoint.close()
 
@@ -657,19 +765,14 @@ class CacheManager:
             self._start_trigger_poller()
             self._start_heartbeats()
 
-            def on_data(data_reply: Completion) -> None:
-                try:
-                    data_msg = data_reply.value
-                except BaseException as exc:
-                    comp.fail(exc)
-                    return
-                image: ObjectImage = data_msg.payload["image"]
-                with self._lock:
-                    self._apply_image(image)
-                comp.resolve(image)
-
-            # Full re-sync from the primary copy.
-            self._request(M.INIT_REQ, {"need_fresh": False}).then(on_data)
+            # Full re-sync from the primary copy (the crash dropped our
+            # delta base, so the cursor is -1 and the serve is complete).
+            self._request_data(
+                M.INIT_REQ,
+                {"need_fresh": False},
+                on_fail=comp.fail,
+                on_done=comp.resolve,
+            )
 
         self._request(
             M.REGISTER,

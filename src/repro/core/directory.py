@@ -24,7 +24,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.core import messages as M
 from repro.core.conflicts import ConflictPolicy
-from repro.core.image import ObjectImage
+from repro.core.image import DeltaImage, ObjectImage
 from repro.core.messages import TraceLog
 from repro.core.modes import Mode
 from repro.core.property_set import PropertySet
@@ -39,6 +39,11 @@ from repro.net.transport import Transport
 #   merge_into_object(component, image, view_property_list) -> None
 ExtractFromObject = Callable[[Any, PropertySet], ObjectImage]
 MergeIntoObject = Callable[[Any, ObjectImage, PropertySet], None]
+# Optional partial-materialization hook for delta serves:
+#   extract_cells(component, view_property_list, keys) -> ObjectImage
+# When absent, delta serves fall back to a full extract restricted to
+# the changed keys (correct, but pays the full materialization cost).
+ExtractCells = Callable[[Any, PropertySet, List[str]], ObjectImage]
 
 
 @dataclass
@@ -60,6 +65,14 @@ class ViewRecord:
     # view is presumed crashed (inf when leases are disabled).  Renewed
     # by HEARTBEAT and by every message carrying the view's id.
     lease_expires: float = float("inf")
+    # Delta synchronization cursors: ``synced`` flips true once this
+    # view has received a complete slice image (first contact and
+    # recovery re-sync always serve full); ``last_served_seq`` is the
+    # directory commit cursor echoed to the view on its last serve — a
+    # request whose ``since`` cursor does not match is served a full
+    # image (the requester's base can no longer be trusted).
+    synced: bool = False
+    last_served_seq: int = -1
 
 
 @dataclass
@@ -116,8 +129,17 @@ class DirectoryManager:
         dedup_window: int = 256,
         coalesce_rounds: bool = False,
         lease_duration: Optional[float] = None,
+        delta: bool = True,
+        extract_cells: Optional[ExtractCells] = None,
     ) -> None:
         self.transport = transport
+        # Delta synchronization: serve version-filtered delta images to
+        # requesters that attach a ``since`` cursor, instead of the full
+        # property slice.  Off → every serve ships the full image (the
+        # paper's baseline behavior); logical message counts are
+        # identical either way, only payload contents change.
+        self.delta = delta
+        self.extract_cells = extract_cells
         # When enabled, a round's fan-out (the per-conflicting-view
         # INVALIDATE / FETCH_REQ messages of one operation) is grouped
         # by destination node and each group ships as a single BATCH
@@ -156,6 +178,19 @@ class DirectoryManager:
         self.trace = trace
         self.views: Dict[str, ViewRecord] = {}
         self.master_versions = VersionVector()
+        # Monotone commit cursor: advances with every committed cell.
+        # Serves echo it (DeltaImage.as_of) and requesters send it back
+        # (``since``) so base identity is one integer on the wire, not
+        # a full version vector.
+        self.commit_seq = 0
+        # Slice key index: view_id -> tuple of live cell keys in that
+        # view's property slice.  Built lazily from one full extract,
+        # then consulted by delta serves, live_keys/slice_keys_of and
+        # register replies; invalidated per view on (re)register /
+        # PROP_UPDATE / unregister / evict, and globally when a commit
+        # introduces a cell key the index has never seen.
+        self._slice_index: Dict[str, tuple] = {}
+        self._known_keys: set = set()
         self.policy = ConflictPolicy(static_map, self._properties_of)
         self._op_queue: Deque[_PendingOp] = deque()
         self._current_op: Optional[_PendingOp] = None
@@ -166,6 +201,9 @@ class DirectoryManager:
             "fetches_sent": 0, "grants": 0, "round_timeouts": 0,
             "rounds_quarantined": 0, "leases_expired": 0,
             "recoveries": 0, "heartbeats": 0, "send_errors": 0,
+            "delta_serves": 0, "full_serves": 0,
+            "slice_index_hits": 0, "slice_index_builds": 0,
+            "partial_extracts": 0,
         }
         self._lock = threading.RLock()  # no-op contention in sim; needed on TCP
         self.endpoint = transport.bind(address, self._on_message)
@@ -182,11 +220,48 @@ class DirectoryManager:
         return rec.seen if rec else VersionVector()
 
     def slice_keys_of(self, view_id: str) -> Optional[List[str]]:
-        """Cell keys covered by a view's properties (via app extract)."""
+        """Cell keys covered by a view's properties (slice key index)."""
         rec = self.views.get(view_id)
         if rec is None:
             return None
-        return list(self.extract_from_object(self.component, rec.properties).keys())
+        return list(self._slice_keys(view_id))
+
+    def live_keys(self, view_id: str) -> Optional[List[str]]:
+        """Live cell keys of a view's slice, served from the index."""
+        return self.slice_keys_of(view_id)
+
+    # ------------------------------------------------------------------
+    # Slice key index
+    # ------------------------------------------------------------------
+    def _slice_keys(self, view_id: str) -> tuple:
+        """Live keys of a view's slice; one full extract per (view,
+        membership) epoch, index hits afterwards."""
+        keys = self._slice_index.get(view_id)
+        if keys is not None:
+            self.counters["slice_index_hits"] += 1
+            return keys
+        rec = self.views.get(view_id)
+        if rec is None:
+            return ()
+        keys = tuple(
+            self.extract_from_object(self.component, rec.properties).keys()
+        )
+        self._slice_index[view_id] = keys
+        self._known_keys.update(keys)
+        self.counters["slice_index_builds"] += 1
+        return keys
+
+    def invalidate_slice_index(self, view_id: Optional[str] = None) -> None:
+        """Drop cached slice keys (one view's entry, or all of them).
+
+        External writers that commit outside :meth:`_commit` — e.g. the
+        multilevel replica coordinator's anti-entropy absorb — must call
+        this after introducing cells, or the index can serve stale keys.
+        """
+        if view_id is None:
+            self._slice_index.clear()
+        else:
+            self._slice_index.pop(view_id, None)
 
     def active_views(self) -> List[str]:
         return sorted(v for v, r in self.views.items() if r.active)
@@ -290,6 +365,7 @@ class DirectoryManager:
         if self.static_map is not None and self.static_map.has_view(view_id):
             self.static_map.remove_view(view_id)
         self.policy.invalidate()  # membership changed: cached answers stale
+        self.invalidate_slice_index(view_id)
         self._forget_in_rounds(view_id)
 
     # ------------------------------------------------------------------
@@ -423,6 +499,7 @@ class DirectoryManager:
         if self.static_map is not None and not self.static_map.has_view(view_id):
             self.static_map.add_view(view_id)
         self.policy.invalidate()  # membership changed: cached answers stale
+        self.invalidate_slice_index(view_id)  # properties may differ
         self._arm_lease_checker()
         self._reply(
             msg,
@@ -434,6 +511,9 @@ class DirectoryManager:
                 # post-recovery pushes are not dropped as stale.
                 "last_state_seq": rec.last_state_seq,
                 "lease": self.lease_duration,
+                # Live cells the view's properties cover right now (from
+                # the slice key index) — lets the CM size its caches.
+                "slice_size": len(self._slice_keys(view_id)),
             },
         )
 
@@ -476,6 +556,10 @@ class DirectoryManager:
             return
         rec.properties = props
         self.policy.invalidate()  # conflict relationships may have moved
+        self.invalidate_slice_index(rec.view_id)
+        # The slice changed shape under the view: its next serve must
+        # be a complete image of the new slice, not a delta of the old.
+        rec.synced = False
         self._reply(msg, M.PROP_UPDATE_ACK, {"view_id": rec.view_id})
 
     def _h_unregister(self, msg: Message) -> None:
@@ -489,6 +573,7 @@ class DirectoryManager:
         if self.static_map is not None and self.static_map.has_view(view_id):
             self.static_map.remove_view(view_id)
         self.policy.invalidate()  # membership changed: cached answers stale
+        self.invalidate_slice_index(view_id)
         self._forget_in_rounds(view_id)
         self._reply(msg, M.UNREGISTER_ACK, {"view_id": view_id})
 
@@ -652,13 +737,7 @@ class DirectoryManager:
         self._current_op = None
         rec = self.views.get(op.view_id)
         if rec is not None:
-            image = self.extract_from_object(self.component, rec.properties)
-            # Stamp the served image with the authoritative versions and
-            # record what this view has now seen.
-            for key in image.keys():
-                v = self.master_versions.get(key)
-                image.versions.set(key, v)
-                rec.seen.set(key, v)
+            payload = self._serve_payload(op, rec)
             rec.active = True
             if op.kind == "acquire":
                 rec.exclusive = True
@@ -668,9 +747,78 @@ class DirectoryManager:
                 reply_type = M.INIT_DATA
             else:
                 reply_type = M.PULL_DATA
-            self._reply(op.request, reply_type, {"image": image})
+            self._reply(op.request, reply_type, payload)
             self.check_invariants()
         self._pump()
+
+    def _serve_payload(self, op: _PendingOp, rec: ViewRecord) -> Dict[str, Any]:
+        """Build the image payload for a GRANT/INIT_DATA/PULL_DATA reply.
+
+        A requester that attached a ``since`` cursor matching what the
+        directory last served it gets a **delta image**: only the cells
+        whose authoritative version exceeds what the view has seen.
+        Everything else — first contact, recovery/quarantine re-sync,
+        property change, cursor mismatch, an explicit ``full`` request,
+        or delta disabled — gets a complete slice image.  Either way the
+        reply is one message: the paper's Fig-4 logical message counts
+        are unchanged, only payload contents shrink.
+        """
+        since = op.request.payload.get("since")
+        delta_capable = self.delta and since is not None
+        serve_delta = (
+            delta_capable
+            and rec.synced
+            and since == rec.last_served_seq
+            and not op.request.payload.get("full", False)
+        )
+        if serve_delta:
+            keys = self._slice_keys(rec.view_id)
+            slice_size = len(keys)
+            changed = [
+                k for k in keys
+                if self.master_versions.get(k) > rec.seen.get(k)
+            ]
+            image = self._extract_slice(rec, changed)
+            stamp = changed
+            self.counters["delta_serves"] += 1
+        else:
+            image = self.extract_from_object(self.component, rec.properties)
+            slice_size = len(image)
+            stamp = list(image.keys())
+            self.counters["full_serves"] += 1
+        # Stamp the served cells with the authoritative versions and
+        # record what this view has now seen.
+        for key in stamp:
+            v = self.master_versions.get(key)
+            image.versions.set(key, v)
+            rec.seen.set(key, v)
+        rec.synced = True
+        rec.last_served_seq = self.commit_seq
+        if not delta_capable:
+            # Legacy requester (or delta off): plain image, byte-for-byte
+            # the pre-delta wire format.
+            return {"image": image}
+        return {
+            "image": DeltaImage(
+                image,
+                base_seq=since if serve_delta else -1,
+                as_of=self.commit_seq,
+                complete=not serve_delta,
+                slice_size=slice_size,
+            )
+        }
+
+    def _extract_slice(self, rec: ViewRecord, keys: List[str]) -> ObjectImage:
+        """Materialize just ``keys`` of a view's slice.
+
+        Uses the application's partial ``extract_cells`` hook when one
+        was supplied; otherwise falls back to a full extract restricted
+        to ``keys`` (correct, but no materialization savings).
+        """
+        if self.extract_cells is not None:
+            self.counters["partial_extracts"] += 1
+            return self.extract_cells(self.component, rec.properties, keys)
+        return self.extract_from_object(self.component, rec.properties).restrict(keys)
 
     def _forget_in_rounds(self, view_id: str) -> None:
         """Remove a vanished view from any in-flight round."""
@@ -715,7 +863,7 @@ class DirectoryManager:
                 if rec.seen.get(k) < self.master_versions.get(k)
             ]
             if stale:
-                current = self.extract_from_object(self.component, rec.properties)
+                current = self._extract_slice(rec, stale)
                 for k in stale:
                     if k in current:
                         image.cells[k] = self.conflict_resolver(
@@ -726,8 +874,14 @@ class DirectoryManager:
         for key in image.keys():
             newv = self.master_versions.bump(key)
             rec.seen.set(key, newv)
+            if key not in self._known_keys:
+                # A brand-new cell: any registered slice might cover it,
+                # so every cached key list is suspect.
+                self._known_keys.add(key)
+                self.invalidate_slice_index()
             if self.on_commit is not None:
                 self.on_commit(key, newv)
+        self.commit_seq += len(image)
         return len(image)
 
     # ------------------------------------------------------------------

@@ -53,6 +53,17 @@ class ObjectImage:
         img.versions = VersionVector({k: self.versions.get(k) for k in keep})
         return img
 
+    def restrict_newer(self, base: VersionVector) -> "ObjectImage":
+        """Sub-image of cells whose version strictly exceeds ``base``.
+
+        The serve side of delta synchronization: the full image is the
+        base image plus this delta (``base ⊕ delta ≡ full`` under
+        :meth:`merge_newer`), so only the delta needs to cross the wire.
+        """
+        return self.restrict(
+            k for k in self.cells if self.versions.get(k) > base.get(k)
+        )
+
     def is_empty(self) -> bool:
         return not self.cells
 
@@ -141,4 +152,93 @@ register_codec_type(
     ObjectImage,
     to_jsonable=ObjectImage.to_jsonable,
     from_jsonable=ObjectImage.from_jsonable,
+)
+
+
+class DeltaImage:
+    """A version-filtered slice update served instead of a full image.
+
+    ``image`` holds only the cells whose authoritative version exceeds
+    the requester's synchronization base; unchanged cells stay off the
+    wire.  The base is identified by a compact commit-sequence cursor
+    rather than a full version vector so request and reply overhead
+    stay O(1):
+
+    - ``base_seq`` — the requester's cursor this delta was computed
+      against (echoed back so a receiver that no longer holds that base
+      can detect it must re-pull a full image); ``-1`` for a complete
+      snapshot.
+    - ``as_of`` — the directory's commit cursor after this serve; the
+      receiver adopts it as its new base.
+    - ``complete`` — ``True`` when ``image`` is a full snapshot of the
+      slice (first contact, or fallback after quarantine/eviction,
+      property change, or a cursor mismatch).
+    - ``slice_size`` — live cells in the whole slice, so transports can
+      account how many cells the delta skipped.
+    """
+
+    __slots__ = ("image", "base_seq", "as_of", "complete", "slice_size")
+
+    def __init__(
+        self,
+        image: ObjectImage,
+        base_seq: int = -1,
+        as_of: int = 0,
+        complete: bool = False,
+        slice_size: Optional[int] = None,
+    ) -> None:
+        self.image = image
+        self.base_seq = base_seq
+        self.as_of = as_of
+        self.complete = complete
+        self.slice_size = len(image) if slice_size is None else slice_size
+
+    def __len__(self) -> int:
+        return len(self.image)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "image": self.image,
+            "base_seq": self.base_seq,
+            "as_of": self.as_of,
+            "complete": self.complete,
+            "slice_size": self.slice_size,
+        }
+
+    @classmethod
+    def from_jsonable(cls, d: Mapping[str, Any]) -> "DeltaImage":
+        image = d.get("image")
+        if not isinstance(image, ObjectImage):
+            raise ProtocolError(f"malformed delta payload: {d!r}")
+        return cls(
+            image,
+            base_seq=d.get("base_seq", -1),
+            as_of=d.get("as_of", 0),
+            complete=bool(d.get("complete", False)),
+            slice_size=d.get("slice_size"),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DeltaImage)
+            and self.image == other.image
+            and self.base_seq == other.base_seq
+            and self.as_of == other.as_of
+            and self.complete == other.complete
+            and self.slice_size == other.slice_size
+        )
+
+    def __repr__(self) -> str:
+        kind = "complete" if self.complete else f"delta base_seq={self.base_seq}"
+        return (
+            f"DeltaImage({len(self.image)}/{self.slice_size} cells, "
+            f"{kind}, as_of={self.as_of})"
+        )
+
+
+register_codec_type(
+    "flecc.delta_image",
+    DeltaImage,
+    to_jsonable=DeltaImage.to_jsonable,
+    from_jsonable=DeltaImage.from_jsonable,
 )

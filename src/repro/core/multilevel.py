@@ -106,6 +106,9 @@ class ReplicaCoordinator:
         for key in applied.keys():
             self.directory.master_versions.set(key, image.versions.get(key))
             self.origins[key] = origins.get(key, "")
+        # Anti-entropy writes bypass _commit: cached slice key lists may
+        # now miss absorbed cells, so drop them all.
+        self.directory.invalidate_slice_index()
         return len(applied)
 
     # -- protocol ----------------------------------------------------------------

@@ -175,20 +175,20 @@ class RWCacheManager(CacheManager):
                 return
             self.counters["acquires"] += 1
 
-            def on_grant(reply: Completion) -> None:
-                try:
-                    msg = reply.value
-                except BaseException as exc:
-                    self._use_lock.release()
-                    comp.fail(exc)
-                    return
-                with self._lock:
-                    self._apply_image(msg.payload["image"])
-                    self.read_shared = True
-                    self._in_use = True
-                comp.resolve(self)
+            def fail_locked(exc: BaseException) -> None:
+                self._use_lock.release()
+                comp.fail(exc)
 
-            self._request(M.ACQUIRE, {"access": access.value}).then(on_grant)
+            def shared() -> None:
+                self.read_shared = True
+                self._in_use = True
+
+            self._request_data(
+                M.ACQUIRE, {"access": access.value},
+                on_fail=fail_locked,
+                on_done=lambda _img: comp.resolve(self),
+                on_state=shared,
+            )
 
         self._use_lock.acquire().then(locked)
         return comp

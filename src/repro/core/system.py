@@ -13,7 +13,12 @@ import threading
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Tuple, Union
 
 from repro.core.cache_manager import CacheManager, ExtractFromView, MergeIntoView
-from repro.core.directory import DirectoryManager, ExtractFromObject, MergeIntoObject
+from repro.core.directory import (
+    DirectoryManager,
+    ExtractCells,
+    ExtractFromObject,
+    MergeIntoObject,
+)
 from repro.core.messages import TraceLog
 from repro.core.modes import Mode
 from repro.core.property_set import PropertySet
@@ -41,9 +46,15 @@ class FleccSystem:
         coalesce_rounds: bool = False,
         round_timeout: Optional[float] = None,
         lease_duration: Optional[float] = None,
+        delta: Optional[bool] = None,
+        extract_cells: Optional[ExtractCells] = None,
     ) -> None:
         self.transport = transport
         self.trace = trace
+        # Delta synchronization A/B switch: None keeps the directory's
+        # and cache managers' own defaults (delta on); True/False forces
+        # it for the whole system — the experiments' baseline toggle.
+        self.delta = delta
         directory_kwargs: Dict[str, Any] = {}
         # Passed only when set: baseline directory classes predate the
         # fault-tolerance options and need not accept them.
@@ -51,6 +62,10 @@ class FleccSystem:
             directory_kwargs["round_timeout"] = round_timeout
         if lease_duration is not None:
             directory_kwargs["lease_duration"] = lease_duration
+        if delta is not None:
+            directory_kwargs["delta"] = delta
+        if extract_cells is not None:
+            directory_kwargs["extract_cells"] = extract_cells
         self.directory = directory_cls(
             transport=transport,
             address=directory_address,
@@ -82,6 +97,9 @@ class FleccSystem:
         """Create (but do not yet start) the cache manager for a view."""
         if view_id in self.cache_managers:
             raise ReproError(f"view id already in system: {view_id}")
+        cm_kwargs: Dict[str, Any] = {}
+        if self.delta is not None:
+            cm_kwargs["delta"] = self.delta
         cm = CacheManager(
             transport=self.transport,
             directory_address=self.directory.address,
@@ -97,6 +115,7 @@ class FleccSystem:
             request_timeout=request_timeout,
             max_retries=max_retries,
             heartbeat_period=heartbeat_period,
+            **cm_kwargs,
         )
         self.cache_managers[view_id] = cm
         return cm

@@ -73,6 +73,17 @@ class VersionVector:
         """True when this vector has seen everything ``other`` has."""
         return all(self.get(k) >= n for k, n in other._v.items())
 
+    def diff(self, base: "VersionVector") -> "VersionVector":
+        """Entries strictly ahead of ``base``, at this vector's versions.
+
+        The delta-synchronization primitive: ``base.merge_max(a.diff(base))
+        == base.merge_max(a)``, and ``a.diff(base)`` is empty exactly when
+        ``base.dominates(a)``.
+        """
+        return VersionVector(
+            {k: n for k, n in self._v.items() if n > base.get(k)}
+        )
+
     def unseen_updates(self, seen: "VersionVector", keys: Iterable[str] | None = None) -> int:
         """Paper's quality metric: updates in ``self`` not yet in ``seen``.
 

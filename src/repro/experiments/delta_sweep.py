@@ -1,0 +1,298 @@
+"""Delta-synchronization sweep: wire bytes and latency vs the full-image path.
+
+Sweeps view size × write locality over a two-view workload (one writer
+committing ``dirty_per_round`` cells per round, one reader pulling once
+per round) and runs every point twice on strict-wire simulated
+transports: once with delta synchronization enabled (version-filtered
+pulls) and once with ``delta=False`` (every serve ships the complete
+property slice — the paper's baseline wire format).
+
+What the A/B comparison must show:
+
+- **wire win** — at low write locality (large view, few dirty cells)
+  the per-pull PULL_DATA payload shrinks by the view/dirty ratio;
+- **parity** — when every cell is dirty each delta necessarily carries
+  the whole slice, so per-pull bytes match the full-image path to
+  within the DeltaImage framing overhead;
+- **identity** — the paper's Fig-4 logical message counts and the final
+  component/view state are *identical* between the two runs: delta
+  synchronization changes payload contents, never the protocol.
+
+``python -m repro.experiments.delta_sweep`` writes ``BENCH_delta.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core import messages as M
+from repro.core.system import FleccSystem, run_all_scripts
+from repro.experiments.report import Table
+from repro.net.sim_transport import SimTransport
+from repro.sim.kernel import SimKernel
+from repro.testing import (
+    Agent,
+    Store,
+    extract_cells,
+    extract_from_object,
+    extract_from_view,
+    merge_into_object,
+    merge_into_view,
+    props_for,
+)
+
+
+@dataclass
+class DeltaPoint:
+    """One sweep point: the same workload with delta on vs off."""
+
+    n_cells: int
+    dirty_per_round: int
+    rounds: int
+    pulls: int
+    # Per-pull PULL_DATA payload bytes (encoded frame, strict wire).
+    full_bytes_per_pull: float
+    delta_bytes_per_pull: float
+    bytes_reduction: float          # full / delta
+    # Mean wall-clock per pull (request to applied), milliseconds.
+    full_latency_ms: float
+    delta_latency_ms: float
+    # Image accounting from the delta run.
+    images_full: int
+    images_delta: int
+    cells_sent: int
+    cells_skipped: int
+    delta_serves: int
+    slice_index_hits: int
+    # Invariants: both runs end in the same place via the same messages.
+    state_identical: bool
+    messages_identical: bool
+
+
+@dataclass
+class DeltaSweepResult:
+    points: List[DeltaPoint] = field(default_factory=list)
+
+    def table(self) -> Table:
+        t = Table(
+            [
+                "cells", "dirty/round", "bytes/pull full", "bytes/pull delta",
+                "reduction", "lat full ms", "lat delta ms", "identical",
+            ],
+            title="DELTA — pull payload bytes and latency, delta vs full images",
+        )
+        for p in self.points:
+            t.add_row(
+                p.n_cells, p.dirty_per_round,
+                f"{p.full_bytes_per_pull:.0f}", f"{p.delta_bytes_per_pull:.0f}",
+                f"{p.bytes_reduction:.1f}x",
+                f"{p.full_latency_ms:.3f}", f"{p.delta_latency_ms:.3f}",
+                p.state_identical and p.messages_identical,
+            )
+        return t
+
+
+def _run_workload(
+    n_cells: int, dirty_per_round: int, rounds: int, delta: bool,
+) -> Tuple[Store, Agent, Dict[str, int], Dict[str, int], List[float], Dict[str, int], Dict[str, int]]:
+    """One serial run; returns final state and wire/latency measurements.
+
+    The writer commits ``dirty_per_round`` rotating cells per round and
+    the reader pulls once per round, offset into the writer's quiet
+    period so the wall time around each ``pull_image`` measures the
+    serve path (extract, encode, decode, apply) and nothing else.
+    """
+    kernel = SimKernel()
+    transport = SimTransport(kernel, default_latency=1.0, strict_wire=True)
+    store = Store({f"c{i:04d}": i for i in range(n_cells)})
+    system = FleccSystem(
+        transport,
+        store,
+        extract_from_object,
+        merge_into_object,
+        delta=delta,
+        extract_cells=extract_cells,
+    )
+    keys = sorted(store.cells)
+    writer_agent = Agent()
+    writer = system.add_view(
+        "writer", writer_agent, props_for(keys),
+        extract_from_view, merge_into_view,
+    )
+    reader_agent = Agent()
+    reader = system.add_view(
+        "reader", reader_agent, props_for(keys),
+        extract_from_view, merge_into_view,
+    )
+    pull_wall: List[float] = []
+    period = 10.0
+
+    def writer_script():
+        yield writer.start()
+        yield writer.init_image()
+        for r in range(rounds):
+            yield writer.start_use_image()
+            for j in range(dirty_per_round):
+                key = keys[(r * dirty_per_round + j) % n_cells]
+                writer_agent.local[key] = (r + 1) * 1_000_000 + j
+            writer.end_use_image()
+            yield writer.push_image()
+            yield ("sleep", period)
+        yield writer.kill_image()
+
+    def reader_script():
+        yield reader.start()
+        yield reader.init_image()
+        yield ("sleep", period / 2.0)  # land in the writer's quiet window
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            yield reader.pull_image()
+            pull_wall.append(time.perf_counter() - t0)
+            yield ("sleep", period)
+        yield reader.kill_image()
+
+    run_all_scripts(transport, [writer_script(), reader_script()])
+    stats = transport.stats
+    image_stats = {
+        "images_full": stats.images_full,
+        "images_delta": stats.images_delta,
+        "cells_sent": stats.cells_sent,
+        "cells_skipped": stats.cells_skipped,
+        "delta_serves": system.directory.counters["delta_serves"],
+        "slice_index_hits": system.directory.counters["slice_index_hits"],
+    }
+    return (
+        store,
+        reader_agent,
+        dict(stats.by_type),
+        dict(stats.bytes_by_type),
+        pull_wall,
+        image_stats,
+        {"pulls": stats.by_type.get(M.PULL_DATA, 0)},
+    )
+
+
+def _mean_ms(samples: List[float]) -> float:
+    return (sum(samples) / len(samples)) * 1000.0 if samples else 0.0
+
+
+def run_delta_sweep(
+    sweep: Sequence[Tuple[int, int]] = ((64, 64), (256, 8), (512, 4), (512, 512)),
+    rounds: int = 5,
+) -> DeltaSweepResult:
+    """A/B every sweep point: ``(n_cells, dirty_per_round)`` pairs."""
+    result = DeltaSweepResult()
+    for n_cells, dirty in sweep:
+        full = _run_workload(n_cells, dirty, rounds, delta=False)
+        dlt = _run_workload(n_cells, dirty, rounds, delta=True)
+        f_store, f_reader, f_types, f_bytes, f_wall, _f_img, f_pulls = full
+        d_store, d_reader, d_types, d_bytes, d_wall, d_img, d_pulls = dlt
+        pulls = d_pulls["pulls"]
+        full_per_pull = f_bytes.get(M.PULL_DATA, 0) / pulls if pulls else 0.0
+        delta_per_pull = d_bytes.get(M.PULL_DATA, 0) / pulls if pulls else 0.0
+        result.points.append(
+            DeltaPoint(
+                n_cells=n_cells,
+                dirty_per_round=dirty,
+                rounds=rounds,
+                pulls=pulls,
+                full_bytes_per_pull=full_per_pull,
+                delta_bytes_per_pull=delta_per_pull,
+                bytes_reduction=(
+                    full_per_pull / delta_per_pull if delta_per_pull else 0.0
+                ),
+                full_latency_ms=_mean_ms(f_wall),
+                delta_latency_ms=_mean_ms(d_wall),
+                images_full=d_img["images_full"],
+                images_delta=d_img["images_delta"],
+                cells_sent=d_img["cells_sent"],
+                cells_skipped=d_img["cells_skipped"],
+                delta_serves=d_img["delta_serves"],
+                slice_index_hits=d_img["slice_index_hits"],
+                state_identical=(
+                    f_store.cells == d_store.cells
+                    and f_reader.local == d_reader.local
+                ),
+                messages_identical=f_types == d_types,
+            )
+        )
+    return result
+
+
+def bench_payload(result: DeltaSweepResult) -> Dict[str, object]:
+    """The ``BENCH_delta.json`` document for one sweep."""
+    low_locality = max(
+        result.points, key=lambda p: p.n_cells / max(1, p.dirty_per_round)
+    )
+    all_dirty = [p for p in result.points if p.dirty_per_round >= p.n_cells]
+    parity = all_dirty[-1] if all_dirty else None
+    return {
+        "description": (
+            "Delta synchronization sweep: per-pull PULL_DATA payload bytes "
+            "and latency, version-filtered delta images vs full slice images"
+        ),
+        "command": "python -m repro.experiments.delta_sweep",
+        "low_locality_bytes_reduction": round(low_locality.bytes_reduction, 2),
+        "all_dirty_bytes_ratio": (
+            round(parity.delta_bytes_per_pull / parity.full_bytes_per_pull, 4)
+            if parity and parity.full_bytes_per_pull else None
+        ),
+        "all_points_state_identical": all(p.state_identical for p in result.points),
+        "all_points_messages_identical": all(
+            p.messages_identical for p in result.points
+        ),
+        "points": [
+            {
+                "n_cells": p.n_cells,
+                "dirty_per_round": p.dirty_per_round,
+                "rounds": p.rounds,
+                "pulls": p.pulls,
+                "full_bytes_per_pull": round(p.full_bytes_per_pull, 1),
+                "delta_bytes_per_pull": round(p.delta_bytes_per_pull, 1),
+                "bytes_reduction": round(p.bytes_reduction, 2),
+                "full_latency_ms": round(p.full_latency_ms, 4),
+                "delta_latency_ms": round(p.delta_latency_ms, 4),
+                "images_full": p.images_full,
+                "images_delta": p.images_delta,
+                "cells_sent": p.cells_sent,
+                "cells_skipped": p.cells_skipped,
+                "delta_serves": p.delta_serves,
+                "slice_index_hits": p.slice_index_hits,
+                "state_identical": p.state_identical,
+                "messages_identical": p.messages_identical,
+            }
+            for p in result.points
+        ],
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> DeltaSweepResult:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.delta_sweep",
+        description="Run the delta-synchronization sweep and write BENCH_delta.json",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_delta.json", metavar="FILE",
+        help="output JSON path (default: BENCH_delta.json)",
+    )
+    parser.add_argument("--rounds", type=int, default=5)
+    args = parser.parse_args(argv)
+    result = run_delta_sweep(rounds=args.rounds)
+    print(result.table())
+    payload = bench_payload(result)
+    print(
+        f"low-locality reduction: {payload['low_locality_bytes_reduction']}x, "
+        f"all-dirty ratio: {payload['all_dirty_bytes_ratio']}"
+    )
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.experiments import (
     ablations,
     chaos,
+    delta_sweep,
     fig1_deployment,
     fig2_trace,
     fig4_efficiency,
@@ -130,6 +131,7 @@ EXPERIMENTS: Dict[str, Callable[[], Any]] = {
     "abl6_loss_tolerance": ablations.run_abl6,
     "ext1_mixed_workload": _late_import_ext1,
     "chaos": chaos.run_chaos,
+    "delta_sweep": delta_sweep.run_delta_sweep,
 }
 
 

@@ -90,11 +90,17 @@ def _format_float(value: float) -> str:
 class JsonCodec:
     """Encode/decode :class:`Message` to length-prefix-friendly bytes."""
 
+    # Byte length of the most recent successful :meth:`encode` — lets
+    # transports account wire sizes without re-encoding or re-measuring.
+    last_encoded_size: int = 0
+
     def encode(self, msg: Message) -> bytes:
         try:
             parts: List[str] = []
             self._encode_into(msg.to_dict(), parts)
-            return "".join(parts).encode("utf-8")
+            raw = "".join(parts).encode("utf-8")
+            self.last_encoded_size = len(raw)
+            return raw
         except CodecError:
             raise
         except (TypeError, ValueError) as exc:

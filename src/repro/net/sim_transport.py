@@ -152,8 +152,8 @@ class SimTransport(Transport):
         if self.strict_wire:
             t0 = perf_counter_ns()
             raw = self._codec.encode(msg)
-            self.stats.record_encode(len(raw), perf_counter_ns() - t0)
-            frame_bytes = len(raw)
+            frame_bytes = self._codec.last_encoded_size
+            self.stats.record_encode(frame_bytes, perf_counter_ns() - t0)
             wire_msg = self._codec.decode(raw)
         else:
             wire_msg = msg

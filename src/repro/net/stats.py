@@ -15,6 +15,11 @@ from typing import Dict, Optional, Tuple
 
 from repro.net.message import BATCH, Message
 
+# Reply types whose payload carries an object image (GRANT doubles as
+# the acquire reply in the RW-semantics layer).  Spelled as literals to
+# keep net/ independent of core/ message constants.
+_IMAGE_REPLIES = frozenset({"INIT_DATA", "PULL_DATA", "GRANT"})
+
 
 @dataclass
 class StatsSnapshot:
@@ -24,6 +29,11 @@ class StatsSnapshot:
     by_type: Dict[str, int]
     by_pair: Dict[Tuple[str, str], int]
     bytes_sent: int
+    bytes_by_type: Dict[str, int] = field(default_factory=dict)
+    images_full: int = 0
+    images_delta: int = 0
+    cells_sent: int = 0
+    cells_skipped: int = 0
 
     def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
         """Counters accumulated since ``earlier``."""
@@ -40,6 +50,15 @@ class StatsSnapshot:
                 if v - earlier.by_pair.get(k, 0)
             },
             bytes_sent=self.bytes_sent - earlier.bytes_sent,
+            bytes_by_type={
+                k: v - earlier.bytes_by_type.get(k, 0)
+                for k, v in self.bytes_by_type.items()
+                if v - earlier.bytes_by_type.get(k, 0)
+            },
+            images_full=self.images_full - earlier.images_full,
+            images_delta=self.images_delta - earlier.images_delta,
+            cells_sent=self.cells_sent - earlier.cells_sent,
+            cells_skipped=self.cells_skipped - earlier.cells_skipped,
         )
 
 
@@ -71,6 +90,14 @@ class MessageStats:
     retransmits: int = 0
     duplicates_suppressed: int = 0
     acks_sent: int = 0
+    # Wire-bytes accounting (delta synchronization): encoded bytes per
+    # message type, image replies split into full snapshots vs deltas,
+    # and the cells each image carried vs left off the wire.
+    bytes_by_type: Counter = field(default_factory=Counter)
+    images_full: int = 0
+    images_delta: int = 0
+    cells_sent: int = 0
+    cells_skipped: int = 0
 
     def record(self, msg: Message, size: Optional[int] = None) -> None:
         """Count one sent message (``size`` in bytes when known)."""
@@ -80,10 +107,30 @@ class MessageStats:
         if msg.msg_type == BATCH:
             self.batches_sent += 1
             self.messages_coalesced += len(msg.payload.get("messages", ()))
+        elif msg.msg_type in _IMAGE_REPLIES:
+            self._record_image(msg.payload.get("image"))
         if size is not None:
             self.bytes_sent += size
+            self.bytes_by_type[msg.msg_type] += size
             if size > self.max_message_bytes:
                 self.max_message_bytes = size
+
+    def _record_image(self, img) -> None:
+        """Classify one served image payload (duck-typed: a DeltaImage
+        exposes ``complete``/``slice_size``, a plain ObjectImage does
+        not and counts as a full snapshot)."""
+        if img is None:
+            return
+        complete = getattr(img, "complete", None)
+        carried = len(img)
+        self.cells_sent += carried
+        if complete is False:
+            self.images_delta += 1
+            self.cells_skipped += max(
+                0, getattr(img, "slice_size", carried) - carried
+            )
+        else:
+            self.images_full += 1
 
     def record_encode(self, size: int, duration_ns: int) -> None:
         """Account one codec ``encode`` call (size in bytes, time in ns)."""
@@ -128,6 +175,11 @@ class MessageStats:
             by_type=dict(self.by_type),
             by_pair=dict(self.by_pair),
             bytes_sent=self.bytes_sent,
+            bytes_by_type=dict(self.bytes_by_type),
+            images_full=self.images_full,
+            images_delta=self.images_delta,
+            cells_sent=self.cells_sent,
+            cells_skipped=self.cells_skipped,
         )
 
     def reset(self) -> None:
@@ -143,8 +195,13 @@ class MessageStats:
         self.retransmits = 0
         self.duplicates_suppressed = 0
         self.acks_sent = 0
+        self.images_full = 0
+        self.images_delta = 0
+        self.cells_sent = 0
+        self.cells_skipped = 0
         self.by_type.clear()
         self.by_pair.clear()
+        self.bytes_by_type.clear()
 
     def summary(self) -> str:
         """Human-readable one-block summary (used by experiment reports)."""
@@ -163,5 +220,11 @@ class MessageStats:
                 f"  (retransmits={self.retransmits} "
                 f"dup_suppressed={self.duplicates_suppressed} "
                 f"acks={self.acks_sent})"
+            )
+        if self.images_full or self.images_delta:
+            lines.append(
+                f"  (images: full={self.images_full} "
+                f"delta={self.images_delta} cells_sent={self.cells_sent} "
+                f"cells_skipped={self.cells_skipped})"
             )
         return "\n".join(lines)

@@ -253,14 +253,15 @@ class TcpTransport(Transport):
             raise TransportError("transport closed")
         t0 = time.perf_counter_ns()
         raw = self.codec.encode(msg)
-        self.stats.record_encode(len(raw), time.perf_counter_ns() - t0)
-        self.stats.record(msg, size=len(raw))
+        size = self.codec.last_encoded_size
+        self.stats.record_encode(size, time.perf_counter_ns() - t0)
+        self.stats.record(msg, size=size)
         listener = self._listeners.get(msg.dst)
         if listener is None:
             # Same semantics as sim: message to a vanished endpoint is lost.
             self.stats.record_drop(msg)
             return
-        frame = _LEN.pack(len(raw)) + raw
+        frame = _LEN.pack(size) + raw
         # A cached connection may have died (peer endpoint was closed
         # and re-bound); reconnect once before giving up.
         for attempt in (1, 2):

@@ -67,6 +67,16 @@ def merge_into_object(store: Store, image: ObjectImage, props: PropertySet) -> N
         store.cells[k] = image.get(k)
 
 
+def extract_cells(store: Store, props: PropertySet, keys: Iterable[str]) -> ObjectImage:
+    """Partial extract for delta serves: only ``keys``, no full scan."""
+    p = props.get("cells")
+    img = ObjectImage()
+    for k in keys:
+        if k in store.cells and (p is None or p.domain.contains(k)):
+            img.cells[k] = store.cells[k]
+    return img
+
+
 class Agent:
     """A view object: local copy of its slice."""
 
@@ -103,6 +113,7 @@ class ProtocolFixture:
         self.transport = SimTransport(self.kernel, default_latency=default_latency)
         self.trace = TraceLog() if trace else None
         self.store = Store(store_cells or {"a": 10, "b": 20, "c": 30})
+        system_kw.setdefault("extract_cells", extract_cells)
         self.system = FleccSystem(
             self.transport,
             self.store,

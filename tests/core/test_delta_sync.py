@@ -1,0 +1,240 @@
+"""Delta synchronization: version algebra, image equivalence, protocol A/B.
+
+The load-bearing invariant everywhere: a full pull and a base-plus-delta
+pull must land the receiver in the *same* state — delta synchronization
+changes what crosses the wire, never what the protocol computes.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import VersionVector
+from repro.core import messages as M
+from repro.core.image import DeltaImage, ObjectImage
+from repro.net import Message
+from repro.net.codec import roundtrip
+
+from tests.core.harness import ProtocolFixture, props_for
+
+
+# -- version-vector delta algebra --------------------------------------------
+
+vectors = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.integers(min_value=0, max_value=20),
+    max_size=4,
+).map(VersionVector)
+
+
+@given(vectors, vectors)
+def test_diff_merge_roundtrip(a, base):
+    """diff carries exactly what base is missing from a."""
+    assert base.merge_max(a.diff(base)) == base.merge_max(a)
+
+
+@given(vectors, vectors)
+def test_diff_empty_iff_base_dominates(a, base):
+    assert (len(a.diff(base)) == 0) == base.dominates(a)
+
+
+@given(vectors, vectors)
+def test_diff_entries_strictly_newer(a, base):
+    d = a.diff(base)
+    for key, n in d.items():
+        assert n == a.get(key) > base.get(key)
+    for key, n in a.items():
+        if n > base.get(key):
+            assert d.get(key) == n
+
+
+# -- image delta equivalence --------------------------------------------------
+
+def _image(d):
+    img = ObjectImage()
+    for k, (value, version) in d.items():
+        img.put(k, value, version=version)
+    return img
+
+
+images = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]),
+    st.tuples(st.integers(0, 99), st.integers(1, 10)),
+    max_size=4,
+).map(_image)
+
+
+@given(images, images)
+def test_full_pull_equals_base_plus_delta(base, full):
+    """base ⊕ restrict_newer-delta ≡ base ⊕ full, under merge_newer."""
+    delta = full.restrict_newer(base.versions)
+    via_delta = base.copy()
+    via_delta.merge_newer(delta)
+    via_full = base.copy()
+    via_full.merge_newer(full)
+    assert via_delta == via_full
+
+
+@given(images, images)
+def test_restrict_newer_keeps_exactly_the_newer_cells(base, full):
+    delta = full.restrict_newer(base.versions)
+    for k in full.keys():
+        newer = full.versions.get(k) > base.versions.get(k)
+        assert (k in delta) == newer
+        if newer:
+            assert delta.get(k) == full.get(k)
+            assert delta.versions.get(k) == full.versions.get(k)
+
+
+def test_delta_image_codec_roundtrip():
+    img = ObjectImage({"a": 1, "b": [2, 3]})
+    img.versions.set("a", 4)
+    img.versions.set("b", 7)
+    delta = DeltaImage(img, base_seq=9, as_of=13, complete=False, slice_size=6)
+    m2 = roundtrip(Message("PULL_DATA", "dir", "cm", {"image": delta}))
+    assert m2.payload["image"] == delta
+    assert m2.payload["image"].slice_size == 6
+
+
+# -- protocol: delta on vs off must be indistinguishable ---------------------
+
+_CELLS = {f"k{i:02d}": i for i in range(12)}
+
+
+def _writer_reader_run(delta):
+    fx = ProtocolFixture(store_cells=dict(_CELLS), delta=delta)
+    keys = sorted(_CELLS)
+    cm_w, aw = fx.add_agent("w", keys)
+    cm_r, ar = fx.add_agent("r", keys)
+
+    def writer():
+        yield cm_w.start()
+        yield cm_w.init_image()
+        for i in range(3):
+            yield ("sleep", 10.0)
+            yield cm_w.start_use_image()
+            aw.local[keys[i]] = 1000 + i
+            aw.local[keys[-1]] = 2000 + i
+            cm_w.end_use_image()
+            yield cm_w.push_image()
+
+    def reader():
+        yield cm_r.start()
+        yield cm_r.init_image()
+        yield ("sleep", 15.0)
+        for _ in range(3):
+            yield cm_r.pull_image()
+            yield ("sleep", 10.0)
+
+    fx.run_scripts(writer(), reader())
+    return fx, ar, cm_r
+
+
+def test_delta_and_full_runs_are_identical():
+    """Same workload, delta on vs off: byte-identical end state and the
+    exact same logical message counts (the paper's Fig-4 economy)."""
+    fx_d, ar_d, _ = _writer_reader_run(delta=True)
+    fx_f, ar_f, _ = _writer_reader_run(delta=False)
+    assert fx_d.store.cells == fx_f.store.cells
+    assert ar_d.local == ar_f.local
+    assert dict(fx_d.stats.by_type) == dict(fx_f.stats.by_type)
+
+
+def test_delta_counters_and_image_accounting():
+    fx, ar, cm_r = _writer_reader_run(delta=True)
+    d = fx.system.directory
+    assert d.counters["delta_serves"] >= 2
+    assert cm_r.counters["delta_pulls"] >= 2
+    assert cm_r.counters["delta_fallbacks"] == 0
+    # Stats classified the serves: both complete snapshots (the two
+    # inits) and deltas, with unchanged cells kept off the wire.
+    assert fx.stats.images_full >= 2
+    assert fx.stats.images_delta >= 2
+    assert fx.stats.cells_skipped > 0
+    # The reader still converged on the committed state.
+    assert ar.local == fx.store.cells
+
+
+def test_full_run_never_builds_deltas():
+    fx, _, cm_r = _writer_reader_run(delta=False)
+    assert fx.system.directory.counters["delta_serves"] == 0
+    assert cm_r.counters["delta_pulls"] == 0
+    assert fx.stats.images_delta == 0
+
+
+def test_property_update_falls_back_to_complete_serve():
+    """Changing the slice voids the delta base on both ends; the next
+    pull must ship a complete snapshot of the new slice."""
+    fx = ProtocolFixture(store_cells={"a": 1, "b": 2, "z": 9}, delta=True)
+    cm, agent = fx.add_agent("v", ["a", "b"])
+
+    def setup():
+        yield cm.start()
+        yield cm.init_image()
+        yield cm.pull_image()
+
+    fx.run_scripts(setup())
+    full_before = cm.counters["full_pulls"]
+
+    def retarget():
+        yield cm.update_properties(props_for(["a", "z"]))
+        yield cm.pull_image()
+
+    fx.run_scripts(retarget())
+    assert cm.counters["full_pulls"] == full_before + 1
+    assert agent.local["z"] == 9
+
+
+def test_lost_base_triggers_one_shot_full_fallback():
+    """A delta whose base the CM no longer holds is rejected and the CM
+    re-pulls with an explicit full request — exactly once."""
+    fx = ProtocolFixture(store_cells={"a": 1, "b": 2}, delta=True)
+    cm, agent = fx.add_agent("v", ["a", "b"])
+    cm2, agent2 = fx.add_agent("w", ["a", "b"])
+
+    def setup(c):
+        yield c.start()
+        yield c.init_image()
+
+    fx.run_scripts(setup(cm), setup(cm2))
+
+    def write():
+        yield cm2.start_use_image()
+        agent2.local["a"] = 77
+        cm2.end_use_image()
+        yield cm2.push_image()
+
+    fx.run_scripts(write())
+
+    def degraded_pull():
+        # Simulate losing the accumulated base while keeping the cursor:
+        # the directory will serve a delta the CM cannot apply.
+        cm._synced = None
+        yield cm.pull_image()
+
+    fx.run_scripts(degraded_pull())
+    assert cm.counters["delta_fallbacks"] == 1
+    assert agent.local["a"] == 77
+
+
+def test_slice_index_hit_and_invalidation():
+    fx = ProtocolFixture(store_cells={"a": 1, "b": 2, "z": 9}, delta=True)
+    cm, _ = fx.add_agent("v", ["a", "b"])
+
+    def setup():
+        yield cm.start()
+        yield cm.init_image()
+
+    fx.run_scripts(setup())
+    d = fx.system.directory
+    builds = d.counters["slice_index_builds"]
+    hits = d.counters["slice_index_hits"]
+    assert d.slice_keys_of("v") == ["a", "b"]
+    assert d.live_keys("v") == ["a", "b"]
+    assert d.counters["slice_index_builds"] == builds  # cached
+    assert d.counters["slice_index_hits"] == hits + 2
+
+    def retarget():
+        yield cm.update_properties(props_for(["a", "z"]))
+
+    fx.run_scripts(retarget())
+    assert sorted(d.slice_keys_of("v")) == ["a", "z"]

@@ -1,0 +1,109 @@
+"""Wire-bytes accounting: per-type byte counters and image classification."""
+
+from repro.core.image import DeltaImage, ObjectImage
+from repro.net import JsonCodec, Message
+from repro.net.sim_transport import SimTransport
+from repro.net.stats import MessageStats, StatsSnapshot
+from repro.sim.kernel import SimKernel
+
+
+def _image(cells):
+    img = ObjectImage()
+    for k, v in cells.items():
+        img.put(k, v)
+    return img
+
+
+def test_last_encoded_size_matches_frame():
+    codec = JsonCodec()
+    raw = codec.encode(Message("T", "a", "b", {"n": 1, "s": "hello"}))
+    assert codec.last_encoded_size == len(raw)
+    raw2 = codec.encode(Message("T", "a", "b", {}))
+    assert codec.last_encoded_size == len(raw2) != len(raw)
+
+
+def test_plain_object_image_counts_as_full():
+    stats = MessageStats()
+    stats.record(Message("PULL_DATA", "dir", "cm", {"image": _image({"a": 1, "b": 2})}))
+    assert stats.images_full == 1
+    assert stats.images_delta == 0
+    assert stats.cells_sent == 2
+    assert stats.cells_skipped == 0
+
+
+def test_complete_delta_image_counts_as_full():
+    stats = MessageStats()
+    img = DeltaImage(_image({"a": 1}), complete=True, slice_size=1)
+    stats.record(Message("INIT_DATA", "dir", "cm", {"image": img}))
+    assert stats.images_full == 1 and stats.images_delta == 0
+    assert stats.cells_sent == 1
+
+
+def test_partial_delta_image_counts_skipped_cells():
+    stats = MessageStats()
+    img = DeltaImage(_image({"a": 1, "b": 2}), base_seq=4, as_of=9, slice_size=10)
+    stats.record(Message("PULL_DATA", "dir", "cm", {"image": img}))
+    assert stats.images_delta == 1 and stats.images_full == 0
+    assert stats.cells_sent == 2
+    assert stats.cells_skipped == 8
+
+
+def test_non_image_replies_are_not_classified():
+    stats = MessageStats()
+    stats.record(Message("PUSH", "cm", "dir", {"image": _image({"a": 1})}))
+    assert stats.images_full == 0 and stats.cells_sent == 0
+
+
+def test_bytes_by_type_requires_size():
+    stats = MessageStats()
+    stats.record(Message("PULL_REQ", "cm", "dir", {}))
+    assert "PULL_REQ" not in stats.bytes_by_type
+    stats.record(Message("PULL_REQ", "cm", "dir", {}), size=120)
+    stats.record(Message("PULL_REQ", "cm", "dir", {}), size=80)
+    assert stats.bytes_by_type["PULL_REQ"] == 200
+    assert stats.bytes_sent == 200
+
+
+def test_snapshot_delta_and_reset_cover_new_fields():
+    stats = MessageStats()
+    stats.record(
+        Message("PULL_DATA", "dir", "cm",
+                {"image": DeltaImage(_image({"a": 1}), slice_size=4)}),
+        size=100,
+    )
+    before = stats.snapshot()
+    stats.record(
+        Message("PULL_DATA", "dir", "cm", {"image": _image({"a": 1, "b": 2})}),
+        size=60,
+    )
+    diff = stats.snapshot().delta(before)
+    assert isinstance(diff, StatsSnapshot)
+    assert diff.bytes_by_type == {"PULL_DATA": 60}
+    assert diff.images_full == 1 and diff.images_delta == 0
+    assert diff.cells_sent == 2 and diff.cells_skipped == 0
+    stats.reset()
+    assert stats.images_full == stats.images_delta == 0
+    assert stats.cells_sent == stats.cells_skipped == 0
+    assert not stats.bytes_by_type
+
+
+def test_strict_wire_transport_populates_bytes_by_type():
+    kernel = SimKernel()
+    transport = SimTransport(kernel, strict_wire=True)
+    got = []
+    transport.bind("b", got.append)
+    transport.bind("a", lambda m: None)
+    transport.send(Message("T", "a", "b", {"payload": list(range(50))}))
+    kernel.run()
+    assert len(got) == 1
+    assert transport.stats.bytes_by_type["T"] == transport.stats.bytes_sent > 50
+
+
+def test_summary_mentions_image_split():
+    stats = MessageStats()
+    stats.record(
+        Message("PULL_DATA", "dir", "cm",
+                {"image": DeltaImage(_image({"a": 1}), slice_size=3)})
+    )
+    assert "delta=1" in stats.summary()
+    assert "cells_skipped=2" in stats.summary()
