@@ -201,9 +201,9 @@ class DirectoryManager:
             "fetches_sent": 0, "grants": 0, "round_timeouts": 0,
             "rounds_quarantined": 0, "leases_expired": 0,
             "recoveries": 0, "heartbeats": 0, "send_errors": 0,
-            "delta_serves": 0, "full_serves": 0,
+            "delta_serves": 0, "full_serves": 0, "delta_degraded": 0,
             "slice_index_hits": 0, "slice_index_builds": 0,
-            "partial_extracts": 0,
+            "partial_extracts": 0, "regrants": 0,
         }
         self._lock = threading.RLock()  # no-op contention in sim; needed on TCP
         self.endpoint = transport.bind(address, self._on_message)
@@ -580,6 +580,26 @@ class DirectoryManager:
     # -- queued (round-based) operations ---------------------------------------
     def _h_acquire(self, msg: Message) -> None:
         rec = self._record_for(msg)
+        op = self._current_op
+        being_revoked = op is not None and rec.view_id in op.awaiting.values()
+        if rec.exclusive and rec.active and not being_revoked:
+            # Re-ACQUIRE from the current exclusive holder — a delta
+            # fallback retry (full=True) or a retransmission.  The token
+            # did not move and, by the strong-mode invariant, every
+            # conflicting view is already inactive, so a conflict round
+            # would be an empty no-op: serve directly from current state
+            # instead of queueing a redundant round.  Not taken while an
+            # in-flight round is revoking this holder — granting then
+            # would race the INVALIDATE and could split ownership; the
+            # queue serializes the re-ACQUIRE behind the revocation.
+            self.counters["regrants"] += 1
+            self._trace("regrant", view=rec.view_id)
+            payload = self._serve_payload(
+                _PendingOp("acquire", msg, rec.view_id), rec
+            )
+            self._reply(msg, M.GRANT, payload)
+            self.check_invariants()
+            return
         self._enqueue(_PendingOp("acquire", msg, rec.view_id))
 
     def _h_init(self, msg: Message) -> None:
@@ -779,16 +799,26 @@ class DirectoryManager:
                 if self.master_versions.get(k) > rec.seen.get(k)
             ]
             image = self._extract_slice(rec, changed)
-            stamp = changed
-            self.counters["delta_serves"] += 1
-        else:
+            if len(image) != len(changed):
+                # Some changed cells did not materialize — a stale slice
+                # key index, a cell removed behind our back, or an
+                # application extract_cells hook that filters.  Stamping
+                # them as seen would silently drop those updates, so
+                # rebuild the index and degrade to a full serve.
+                self.counters["delta_degraded"] += 1
+                self.invalidate_slice_index(rec.view_id)
+                serve_delta = False
+            else:
+                self.counters["delta_serves"] += 1
+        if not serve_delta:
             image = self.extract_from_object(self.component, rec.properties)
             slice_size = len(image)
-            stamp = list(image.keys())
             self.counters["full_serves"] += 1
         # Stamp the served cells with the authoritative versions and
-        # record what this view has now seen.
-        for key in stamp:
+        # record what this view has now seen — only cells actually in
+        # the image, so the view is never marked as having seen a
+        # version it was not sent.
+        for key in image.keys():
             v = self.master_versions.get(key)
             image.versions.set(key, v)
             rec.seen.set(key, v)
@@ -854,6 +884,7 @@ class DirectoryManager:
                 self._trace("stale-state-seq", view=rec.view_id, seq=seq)
                 return 0
             rec.last_state_seq = seq
+        resolved: set = set()
         if self.conflict_resolver is not None:
             # Write-write conflict: the pusher had not seen the latest
             # committed update to a cell it is now writing.  Resolve with
@@ -866,14 +897,27 @@ class DirectoryManager:
                 current = self._extract_slice(rec, stale)
                 for k in stale:
                     if k in current:
-                        image.cells[k] = self.conflict_resolver(
+                        merged = self.conflict_resolver(
                             k, current.get(k), image.cells[k]
                         )
+                        try:
+                            changed = merged != image.cells[k]
+                        except Exception:
+                            changed = True  # incomparable: assume changed
+                        image.cells[k] = merged
+                        if changed:
+                            resolved.add(k)
         self.merge_into_object(self.component, image, rec.properties)
         self.counters["commits"] += len(image)
         for key in image.keys():
             newv = self.master_versions.bump(key)
-            rec.seen.set(key, newv)
+            if key not in resolved:
+                rec.seen.set(key, newv)
+            # A resolver-rewritten cell is NOT what the pusher sent: its
+            # seen-cursor stays behind the new master version so the next
+            # (delta) serve ships the resolved value back; advancing it
+            # would filter the key out of every delta and the view would
+            # diverge from the primary copy permanently.
             if key not in self._known_keys:
                 # A brand-new cell: any registered slice might cover it,
                 # so every cached key list is suspect.

@@ -92,6 +92,10 @@ class JsonCodec:
 
     # Byte length of the most recent successful :meth:`encode` — lets
     # transports account wire sizes without re-encoding or re-measuring.
+    # NOT thread-safe: a codec shared across sending threads can have
+    # this overwritten by a racing encode, so anything that must agree
+    # with a specific frame (e.g. a length prefix) must use len() of
+    # the returned bytes instead.
     last_encoded_size: int = 0
 
     def encode(self, msg: Message) -> bytes:

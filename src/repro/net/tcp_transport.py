@@ -253,7 +253,12 @@ class TcpTransport(Transport):
             raise TransportError("transport closed")
         t0 = time.perf_counter_ns()
         raw = self.codec.encode(msg)
-        size = self.codec.last_encoded_size
+        # Measure the frame directly: send() runs concurrently from
+        # listener/timer/CM threads, and the codec's last_encoded_size
+        # is a shared attribute a racing encode can overwrite between
+        # our encode and the read — the length prefix would then
+        # disagree with the payload and corrupt stream framing.
+        size = len(raw)
         self.stats.record_encode(size, time.perf_counter_ns() - t0)
         self.stats.record(msg, size=size)
         listener = self._listeners.get(msg.dst)

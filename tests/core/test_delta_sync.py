@@ -216,6 +216,126 @@ def test_lost_base_triggers_one_shot_full_fallback():
     assert agent.local["a"] == 77
 
 
+def _resolver_run(delta):
+    fx = ProtocolFixture(
+        store_cells={"a": 1},
+        delta=delta,
+        conflict_resolver=lambda key, current, pushed: current + pushed,
+    )
+    cm1, a1 = fx.add_agent("v1", ["a"])
+    cm2, a2 = fx.add_agent("v2", ["a"])
+
+    def setup(c):
+        yield c.start()
+        yield c.init_image()
+
+    fx.run_scripts(setup(cm1), setup(cm2))
+
+    def write(c, ag, value):
+        yield c.start_use_image()
+        ag.local["a"] = value
+        c.end_use_image()
+        yield c.push_image()
+
+    # v2 commits first; v1 then pushes a conflicting write based on the
+    # pre-v2 state — the resolver rewrites it at the directory.
+    fx.run_scripts(write(cm2, a2, 5))
+    fx.run_scripts(write(cm1, a1, 7))
+
+    def pull(c):
+        yield c.pull_image()
+
+    fx.run_scripts(pull(cm1))
+    fx.run_scripts(pull(cm1))  # a second pull must not regress the view
+    return fx, a1
+
+
+def test_resolver_rewritten_push_converges_under_delta():
+    """Regression: when the conflict resolver rewrites a pushed cell,
+    the pusher's seen-cursor must stay behind the new master version so
+    the next delta pull ships the resolved value back — otherwise the
+    view re-applies its own pre-resolution write forever."""
+    fx_d, a1_d = _resolver_run(delta=True)
+    assert fx_d.store.cells["a"] == 5 + 7
+    assert a1_d.local["a"] == 5 + 7
+    # Byte-identical end state with the full-image baseline.
+    fx_f, a1_f = _resolver_run(delta=False)
+    assert fx_f.store.cells == fx_d.store.cells
+    assert a1_f.local == a1_d.local
+
+
+def test_filtered_extract_degrades_to_full_serve():
+    """Regression: a delta extract that fails to materialize every
+    changed cell (stale slice index, or a filtering extract_cells hook)
+    must degrade to a full serve instead of stamping the view as having
+    seen updates it was never sent."""
+    from repro.testing import extract_cells as base_extract_cells
+
+    def filtering(store, props, keys):
+        img = base_extract_cells(store, props, keys)
+        img.cells.pop("b", None)  # never materializes cell "b"
+        return img
+
+    fx = ProtocolFixture(
+        store_cells={"a": 1, "b": 2}, delta=True, extract_cells=filtering
+    )
+    cm_r, ar = fx.add_agent("r", ["a", "b"])
+    cm_w, aw = fx.add_agent("w", ["a", "b"])
+
+    def setup(c):
+        yield c.start()
+        yield c.init_image()
+
+    fx.run_scripts(setup(cm_r), setup(cm_w))
+
+    def write():
+        yield cm_w.start_use_image()
+        aw.local["a"] = 11
+        aw.local["b"] = 22
+        cm_w.end_use_image()
+        yield cm_w.push_image()
+
+    fx.run_scripts(write())
+
+    def pull():
+        yield cm_r.pull_image()
+
+    fx.run_scripts(pull())
+    d = fx.system.directory
+    assert d.counters["delta_degraded"] >= 1
+    # Both updates arrived — nothing was silently dropped.
+    assert ar.local == {"a": 11, "b": 22}
+    assert ar.local == fx.store.cells
+
+
+def test_acquire_delta_fallback_is_regranted_without_a_round():
+    """A GRANT delta the CM cannot apply triggers a full re-ACQUIRE;
+    the directory serves the retry directly to the current exclusive
+    holder instead of running a second conflict round."""
+    fx = ProtocolFixture(store_cells={"a": 1, "b": 2}, delta=True)
+    cm, agent = fx.add_agent("v", ["a", "b"], mode="strong")
+    cm2, _ = fx.add_agent("w", ["a", "b"])
+
+    def setup(c):
+        yield c.start()
+        yield c.init_image()
+
+    fx.run_scripts(setup(cm), setup(cm2))
+    d = fx.system.directory
+
+    def degraded_acquire():
+        cm._synced = None  # lose the accumulated base, keep the cursor
+        yield cm.start_use_image()
+        cm.end_use_image()
+
+    fx.run_scripts(degraded_acquire())
+    assert cm.counters["delta_fallbacks"] == 1
+    assert d.counters["regrants"] == 1
+    assert cm.owner
+    d.check_invariants()
+    assert agent.local == fx.store.cells
+
+
 def test_slice_index_hit_and_invalidation():
     fx = ProtocolFixture(store_cells={"a": 1, "b": 2, "z": 9}, delta=True)
     cm, _ = fx.add_agent("v", ["a", "b"])

@@ -68,6 +68,36 @@ def test_many_messages_arrive_in_order(transport):
     assert got == list(range(50))
 
 
+def test_frame_length_immune_to_racing_last_encoded_size(transport):
+    """Regression: the length prefix must be measured from the actual
+    frame bytes, not the codec's shared last_encoded_size attribute —
+    send() runs concurrently from listener/timer threads and a racing
+    encode can overwrite the attribute between encode and read, which
+    corrupted stream framing for every later frame on the connection."""
+    got = []
+    done = threading.Event()
+    transport.bind("a", lambda m: None)
+
+    def handler(m):
+        got.append(m.payload["i"])
+        if len(got) == 20:
+            done.set()
+
+    transport.bind("b", handler)
+    real_encode = transport.codec.encode
+
+    def racing_encode(msg):
+        raw = real_encode(msg)
+        transport.codec.last_encoded_size = 7  # a concurrent encode's size
+        return raw
+
+    transport.codec.encode = racing_encode
+    for i in range(20):
+        transport.send(Message("SEQ", "a", "b", {"i": i, "pad": "x" * i}))
+    assert done.wait(5.0)
+    assert got == list(range(20))
+
+
 def test_send_to_unbound_address_is_counted_as_drop(transport):
     transport.bind("a", lambda m: None)
     transport.send(Message("X", "a", "nowhere"))
