@@ -84,15 +84,30 @@ def test_conflict_set_uncached(benchmark):
 def test_codec_encode(benchmark):
     """Single-pass wire encoding of a typical PUSH-sized payload."""
     codec = JsonCodec()
+    raw = benchmark(codec.encode, _push_message())
+    assert len(raw) > 100
+
+
+def _push_message():
     props = PropertySet(
         [Property(f"p{i}", DiscreteSet({f"k{j}" for j in range(10)})) for i in range(5)]
     )
-    msg = Message(
+    return Message(
         "PUSH", "cm:v1", "dm",
         {"view_id": "v1", "cells": {f"c{i}": i for i in range(50)}, "props": props},
     )
+
+
+def test_binary_codec_encode(benchmark):
+    """Same PUSH payload through the compact binary codec: the frame
+    must be strictly smaller than the JSON one."""
+    from repro.net.binary_codec import BinaryCodec
+
+    msg = _push_message()
+    codec = BinaryCodec()
     raw = benchmark(codec.encode, msg)
-    assert len(raw) > 100
+    assert len(raw) < len(JsonCodec().encode(msg))
+    assert codec.decode(raw) == msg
 
 
 def test_image_merge_newer(benchmark):

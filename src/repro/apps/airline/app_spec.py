@@ -125,6 +125,7 @@ def build_airline_system(
     trace: Optional[TraceLog] = None,
     strict_wire: bool = True,
     delta: Optional[bool] = None,
+    codec: Optional[object] = None,
 ) -> AirlineSystem:
     """The paper's LAN testbed as a simulated system.
 
@@ -134,7 +135,9 @@ def build_airline_system(
     kernel = SimKernel()
     hosts = ["db-server"] + [f"agent-{i}" for i in range(n_agent_hosts)]
     topology = lan_topology(hosts, latency=lan_latency)
-    transport = SimTransport(kernel, topology=topology, strict_wire=strict_wire)
+    transport = SimTransport(
+        kernel, topology=topology, strict_wire=strict_wire, codec=codec
+    )
     system = make_system(
         protocol,
         transport,

@@ -48,9 +48,21 @@ class FleccSystem:
         lease_duration: Optional[float] = None,
         delta: Optional[bool] = None,
         extract_cells: Optional[ExtractCells] = None,
+        codec: Any = None,
     ) -> None:
         self.transport = transport
         self.trace = trace
+        # Wire-codec selection ("json" | "binary" | "binary+zlib" |
+        # instance): forwarded to the transport, which owns negotiation.
+        # None keeps the transport's current codec.
+        if codec is not None:
+            set_codec = getattr(transport, "set_codec", None)
+            if set_codec is None:
+                raise ReproError(
+                    f"{type(transport).__name__} does not support codec "
+                    f"selection (no set_codec method)"
+                )
+            set_codec(codec)
         # Delta synchronization A/B switch: None keeps the directory's
         # and cache managers' own defaults (delta on); True/False forces
         # it for the whole system — the experiments' baseline toggle.

@@ -36,6 +36,7 @@ from repro.experiments import (
     fig4_efficiency,
     fig5_adaptability,
     fig6_flexibility,
+    wire_sweep,
 )
 from repro.net.message import reset_message_ids
 
@@ -132,6 +133,7 @@ EXPERIMENTS: Dict[str, Callable[[], Any]] = {
     "ext1_mixed_workload": _late_import_ext1,
     "chaos": chaos.run_chaos,
     "delta_sweep": delta_sweep.run_delta_sweep,
+    "wire_sweep": wire_sweep.run_wire_sweep,
 }
 
 

@@ -1,0 +1,587 @@
+"""Wire-codec sweep: JSON vs binary vs binary+zlib payload bytes.
+
+A/Bs the wire codecs over the two workloads that exercise the
+serialization layer hardest:
+
+- the **delta-sweep store workload** (one writer committing
+  ``dirty_per_round`` rotating cells per round, one reader pulling once
+  per round, strict-wire simulated transport) at a PUSH/PULL_DATA-heavy
+  all-dirty point and a large-view low-locality delta point;
+- a small **Fig-4 airline workload** (travel agents reserving seats
+  against the flight database) run strict-wire under every codec.
+
+What the A/B must show:
+
+- **wire win** — the binary codec shrinks the data-carrying payload
+  bytes (PUSH + PULL_DATA + INIT_DATA) by >= 2x on the PUSH-heavy
+  point; adaptive zlib compression reaches >= 3x on the 512-cell point
+  whose INIT_DATA snapshots dominate;
+- **identity** — for every point the final component/view state, the
+  paper's Fig-4 logical message counts, *and every individual decoded
+  message* are identical across codecs: the codec changes bytes on the
+  wire, never protocol behavior;
+- **delta parity preserved** — the delta-synchronization ratios from
+  ``BENCH_delta.json`` (all-dirty parity ~= 1, low-locality reduction)
+  hold under every codec, and delta-on vs delta-off runs stay
+  message-count identical per codec.
+
+``python -m repro.experiments.wire_sweep`` writes ``BENCH_wire.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.airline.app_spec import build_airline_system
+from repro.apps.airline.travel_agent import lifecycle
+from repro.apps.airline.workload import (
+    flights_needed,
+    generate_flight_database,
+    make_agent_groups,
+    reserve_operations,
+)
+from repro.core import messages as M
+from repro.core.system import FleccSystem, run_all_scripts
+from repro.core.triggers import TriggerSet
+from repro.experiments.report import Table
+from repro.net.binary_codec import resolve_codec
+from repro.net.message import Message, reset_message_ids
+from repro.net.sim_transport import SimTransport
+from repro.sim.kernel import SimKernel
+from repro.testing import (
+    Agent,
+    Store,
+    extract_cells,
+    extract_from_object,
+    extract_from_view,
+    merge_into_object,
+    merge_into_view,
+    props_for,
+)
+
+#: Codec specs swept by default (resolve_codec spellings).
+CODECS: Tuple[str, ...] = ("json", "binary", "binary+zlib")
+
+#: Message types whose payloads carry object data — the bytes the
+#: binary codec is built to shrink.
+PAYLOAD_TYPES: Tuple[str, ...] = (M.PUSH, M.PULL_DATA, M.INIT_DATA)
+
+
+@dataclass
+class WorkloadRun:
+    """Measurements from one (workload, codec, delta) run."""
+
+    state: Dict[str, Any]            # final primary-copy cells
+    view_state: Dict[str, Any]       # final reader/agent-side cells
+    by_type: Dict[str, int]          # logical message counts (Fig 4)
+    bytes_by_type: Dict[str, int]    # encoded frame bytes per type
+    total_messages: int
+    frames_compressed: int
+    frames_stored: int
+    bytes_saved_compression: int
+    captured: List[Message] = field(default_factory=list, repr=False)
+
+    @property
+    def payload_bytes(self) -> int:
+        return sum(self.bytes_by_type.get(t, 0) for t in PAYLOAD_TYPES)
+
+
+@dataclass
+class WirePoint:
+    """One store-workload sweep point A/Bed across all codecs."""
+
+    n_cells: int
+    dirty_per_round: int
+    rounds: int
+    # codec -> data-payload bytes (PUSH + PULL_DATA + INIT_DATA).
+    payload_bytes: Dict[str, int]
+    total_bytes: Dict[str, int]
+    # json payload bytes / codec payload bytes.
+    reduction: Dict[str, float]
+    # Compression accounting from each codec's run.
+    frames_compressed: Dict[str, int]
+    frames_stored: Dict[str, int]
+    bytes_saved_compression: Dict[str, int]
+    # Delta-synchronization parity, re-measured per codec: delta-on vs
+    # delta-off payload ratio and message-count identity.
+    delta_vs_full_payload_ratio: Dict[str, float]
+    delta_messages_identical: Dict[str, bool]
+    # Cross-codec invariants.
+    state_identical: bool
+    messages_identical: bool
+    decoded_identical: bool
+
+
+@dataclass
+class Fig4WireResult:
+    """The Fig-4 airline workload run under every codec."""
+
+    n_agents: int
+    n_conflicting: int
+    total_messages: Dict[str, int]
+    payload_bytes: Dict[str, int]
+    total_bytes: Dict[str, int]
+    reduction: Dict[str, float]
+    state_identical: bool
+    messages_identical: bool
+    decoded_identical: bool
+
+
+@dataclass
+class WireSweepResult:
+    points: List[WirePoint] = field(default_factory=list)
+    fig4: Optional[Fig4WireResult] = None
+
+    def table(self) -> Table:
+        t = Table(
+            [
+                "workload", "payload json", "payload binary", "payload b+z",
+                "binary", "b+zlib", "identical",
+            ],
+            title="WIRE — data-payload bytes by codec (json = 1.0x)",
+        )
+        for p in self.points:
+            t.add_row(
+                f"store {p.n_cells}c/{p.dirty_per_round}d",
+                p.payload_bytes["json"],
+                p.payload_bytes["binary"],
+                p.payload_bytes["binary+zlib"],
+                f"{p.reduction['binary']:.2f}x",
+                f"{p.reduction['binary+zlib']:.2f}x",
+                p.state_identical and p.messages_identical
+                and p.decoded_identical,
+            )
+        if self.fig4 is not None:
+            f = self.fig4
+            t.add_row(
+                f"fig4 {f.n_agents}a/{f.n_conflicting}k",
+                f.payload_bytes["json"],
+                f.payload_bytes["binary"],
+                f.payload_bytes["binary+zlib"],
+                f"{f.reduction['binary']:.2f}x",
+                f"{f.reduction['binary+zlib']:.2f}x",
+                f.state_identical and f.messages_identical
+                and f.decoded_identical,
+            )
+        return t
+
+
+def _run_store_workload(
+    n_cells: int,
+    dirty_per_round: int,
+    rounds: int,
+    delta: bool,
+    codec: str,
+    capture: bool = False,
+) -> WorkloadRun:
+    """One serial store run under ``codec`` (delta_sweep's workload).
+
+    ``reset_message_ids`` makes runs bit-comparable: the simulated
+    schedule is deterministic, so two runs that differ only in codec
+    produce equal :class:`Message` streams — ids included.
+    """
+    reset_message_ids()
+    kernel = SimKernel()
+    captured: List[Message] = []
+    fault_policy = None
+    if capture:
+        def fault_policy(msg: Message) -> str:
+            captured.append(msg)
+            return "deliver"
+
+    transport = SimTransport(
+        kernel,
+        default_latency=1.0,
+        strict_wire=True,
+        fault_policy=fault_policy,
+        codec=codec,
+    )
+    store = Store({f"c{i:04d}": i for i in range(n_cells)})
+    system = FleccSystem(
+        transport,
+        store,
+        extract_from_object,
+        merge_into_object,
+        delta=delta,
+        extract_cells=extract_cells,
+    )
+    keys = sorted(store.cells)
+    writer_agent = Agent()
+    writer = system.add_view(
+        "writer", writer_agent, props_for(keys),
+        extract_from_view, merge_into_view,
+    )
+    reader_agent = Agent()
+    reader = system.add_view(
+        "reader", reader_agent, props_for(keys),
+        extract_from_view, merge_into_view,
+    )
+    period = 10.0
+
+    def writer_script():
+        yield writer.start()
+        yield writer.init_image()
+        for r in range(rounds):
+            yield writer.start_use_image()
+            for j in range(dirty_per_round):
+                key = keys[(r * dirty_per_round + j) % n_cells]
+                writer_agent.local[key] = (r + 1) * 1_000_000 + j
+            writer.end_use_image()
+            yield writer.push_image()
+            yield ("sleep", period)
+        yield writer.kill_image()
+
+    def reader_script():
+        yield reader.start()
+        yield reader.init_image()
+        yield ("sleep", period / 2.0)
+        for _ in range(rounds):
+            yield reader.pull_image()
+            yield ("sleep", period)
+        yield reader.kill_image()
+
+    run_all_scripts(transport, [writer_script(), reader_script()])
+    stats = transport.stats
+    return WorkloadRun(
+        state=dict(store.cells),
+        view_state=dict(reader_agent.local),
+        by_type=dict(stats.by_type),
+        bytes_by_type=dict(stats.bytes_by_type),
+        total_messages=stats.total,
+        frames_compressed=stats.frames_compressed,
+        frames_stored=stats.frames_stored,
+        bytes_saved_compression=stats.bytes_saved_compression,
+        captured=captured,
+    )
+
+
+def _run_fig4_workload(
+    codec: str,
+    n_agents: int = 10,
+    n_conflicting: int = 5,
+    ops_per_agent: int = 1,
+    seed: int = 0,
+    stagger: float = 2.0,
+) -> WorkloadRun:
+    """One strict-wire Fig-4 airline run under ``codec``."""
+    reset_message_ids()
+    flights_per_agent = 3
+    database = generate_flight_database(
+        flights_needed(n_agents, n_conflicting, flights_per_agent), seed=seed
+    )
+    captured: List[Message] = []
+    airline = build_airline_system(database, strict_wire=True, codec=codec)
+    airline.transport.fault_policy = (
+        lambda msg: (captured.append(msg), "deliver")[1]
+    )
+    groups = make_agent_groups(n_agents, n_conflicting, flights_per_agent)
+    scripts = []
+    for i, served in enumerate(groups):
+        agent, cm = airline.add_travel_agent(
+            f"ta-{i:03d}", served, mode="weak",
+            triggers=TriggerSet(validity="true"),
+        )
+        ops = reserve_operations(served, ops_per_agent, seed=seed, agent_index=i)
+        scripts.append(
+            _staggered(lifecycle(cm, agent, ops, think_time=1.0), i * stagger)
+        )
+    run_all_scripts(airline.transport, scripts)
+    stats = airline.stats
+    return WorkloadRun(
+        state={num: f.to_cell() for num, f in database.flights.items()},
+        view_state={},
+        by_type=dict(stats.by_type),
+        bytes_by_type=dict(stats.bytes_by_type),
+        total_messages=stats.total,
+        frames_compressed=stats.frames_compressed,
+        frames_stored=stats.frames_stored,
+        bytes_saved_compression=stats.bytes_saved_compression,
+        captured=captured,
+    )
+
+
+def _staggered(script, delay: float):
+    if delay > 0:
+        yield ("sleep", delay)
+    result = yield from script
+    return result
+
+
+def _decoded_identical(
+    reference: List[Message], codecs: Sequence[str]
+) -> bool:
+    """Every captured message survives every codec's round-trip
+    *byte-equal in meaning*: decode(encode(m)) under each codec equals
+    the original message and each other."""
+    instances = [resolve_codec(c) for c in codecs]
+    for m in reference:
+        for inst in instances:
+            if inst.decode(inst.encode(m)) != m:
+                return False
+    return True
+
+
+def _streams_equal(a: List[Message], b: List[Message]) -> bool:
+    return len(a) == len(b) and all(x == y for x, y in zip(a, b))
+
+
+def _ratio(num: float, den: float) -> float:
+    return num / den if den else 0.0
+
+
+def run_wire_sweep(
+    sweep: Sequence[Tuple[int, int]] = ((64, 64), (512, 4)),
+    rounds: int = 5,
+    codecs: Sequence[str] = CODECS,
+    fig4_agents: int = 10,
+    fig4_conflicting: int = 5,
+) -> WireSweepResult:
+    """A/B every sweep point and the Fig-4 workload across codecs."""
+    result = WireSweepResult()
+    for n_cells, dirty in sweep:
+        runs: Dict[str, WorkloadRun] = {}
+        full_runs: Dict[str, WorkloadRun] = {}
+        for codec in codecs:
+            runs[codec] = _run_store_workload(
+                n_cells, dirty, rounds, delta=True, codec=codec, capture=True
+            )
+            full_runs[codec] = _run_store_workload(
+                n_cells, dirty, rounds, delta=False, codec=codec
+            )
+        base = runs[codecs[0]]
+        state_identical = all(
+            r.state == base.state and r.view_state == base.view_state
+            for r in runs.values()
+        )
+        messages_identical = all(
+            r.by_type == base.by_type and _streams_equal(r.captured, base.captured)
+            for r in runs.values()
+        )
+        decoded_identical = _decoded_identical(base.captured, codecs)
+        result.points.append(
+            WirePoint(
+                n_cells=n_cells,
+                dirty_per_round=dirty,
+                rounds=rounds,
+                payload_bytes={c: runs[c].payload_bytes for c in codecs},
+                total_bytes={
+                    c: sum(runs[c].bytes_by_type.values()) for c in codecs
+                },
+                reduction={
+                    c: round(
+                        _ratio(runs[codecs[0]].payload_bytes,
+                               runs[c].payload_bytes), 2
+                    )
+                    for c in codecs
+                },
+                frames_compressed={c: runs[c].frames_compressed for c in codecs},
+                frames_stored={c: runs[c].frames_stored for c in codecs},
+                bytes_saved_compression={
+                    c: runs[c].bytes_saved_compression for c in codecs
+                },
+                delta_vs_full_payload_ratio={
+                    c: round(
+                        _ratio(runs[c].payload_bytes,
+                               full_runs[c].payload_bytes), 4
+                    )
+                    for c in codecs
+                },
+                delta_messages_identical={
+                    c: runs[c].by_type == full_runs[c].by_type for c in codecs
+                },
+                state_identical=state_identical,
+                messages_identical=messages_identical,
+                decoded_identical=decoded_identical,
+            )
+        )
+    fig4_runs = {
+        c: _run_fig4_workload(
+            c, n_agents=fig4_agents, n_conflicting=fig4_conflicting
+        )
+        for c in codecs
+    }
+    fbase = fig4_runs[codecs[0]]
+    result.fig4 = Fig4WireResult(
+        n_agents=fig4_agents,
+        n_conflicting=fig4_conflicting,
+        total_messages={c: fig4_runs[c].total_messages for c in codecs},
+        payload_bytes={c: fig4_runs[c].payload_bytes for c in codecs},
+        total_bytes={
+            c: sum(fig4_runs[c].bytes_by_type.values()) for c in codecs
+        },
+        reduction={
+            c: round(
+                _ratio(fbase.payload_bytes, fig4_runs[c].payload_bytes), 2
+            )
+            for c in codecs
+        },
+        state_identical=all(
+            r.state == fbase.state for r in fig4_runs.values()
+        ),
+        messages_identical=all(
+            r.by_type == fbase.by_type
+            and _streams_equal(r.captured, fbase.captured)
+            for r in fig4_runs.values()
+        ),
+        decoded_identical=_decoded_identical(fbase.captured, codecs),
+    )
+    return result
+
+
+def bench_payload(result: WireSweepResult) -> Dict[str, object]:
+    """The ``BENCH_wire.json`` document for one sweep."""
+    push_heavy = max(
+        result.points, key=lambda p: p.dirty_per_round / max(1, p.n_cells)
+    )
+    delta_point = max(
+        result.points, key=lambda p: p.n_cells / max(1, p.dirty_per_round)
+    )
+    points_ok = [
+        p.state_identical and p.messages_identical and p.decoded_identical
+        for p in result.points
+    ]
+    fig4 = result.fig4
+    if fig4 is not None:
+        points_ok.append(
+            fig4.state_identical and fig4.messages_identical
+            and fig4.decoded_identical
+        )
+    return {
+        "description": (
+            "Wire-codec sweep: data-payload bytes (PUSH + PULL_DATA + "
+            "INIT_DATA) under json vs binary vs binary+zlib codecs, with "
+            "cross-codec state/message/decode identity checks"
+        ),
+        "command": "python -m repro.experiments.wire_sweep",
+        "push_heavy_reduction_binary": push_heavy.reduction.get("binary"),
+        "push_heavy_reduction_zlib": push_heavy.reduction.get("binary+zlib"),
+        "delta_point_reduction_binary": delta_point.reduction.get("binary"),
+        "delta_point_reduction_zlib": delta_point.reduction.get("binary+zlib"),
+        "all_points_state_identical": all(
+            p.state_identical for p in result.points
+        ) and (fig4 is None or fig4.state_identical),
+        "all_points_messages_identical": all(
+            p.messages_identical for p in result.points
+        ) and (fig4 is None or fig4.messages_identical),
+        "all_points_decoded_identical": all(
+            p.decoded_identical for p in result.points
+        ) and (fig4 is None or fig4.decoded_identical),
+        "delta_parity_by_codec": {
+            c: {
+                "all_dirty_payload_ratio":
+                    push_heavy.delta_vs_full_payload_ratio.get(c),
+                "low_locality_payload_ratio":
+                    delta_point.delta_vs_full_payload_ratio.get(c),
+                "messages_identical":
+                    push_heavy.delta_messages_identical.get(c, False)
+                    and delta_point.delta_messages_identical.get(c, False),
+            }
+            for c in push_heavy.payload_bytes
+        },
+        "fig4": None if fig4 is None else {
+            "n_agents": fig4.n_agents,
+            "n_conflicting": fig4.n_conflicting,
+            "total_messages": fig4.total_messages,
+            "payload_bytes": fig4.payload_bytes,
+            "reduction": fig4.reduction,
+            "messages_identical": fig4.messages_identical,
+            "state_identical": fig4.state_identical,
+        },
+        "points": [
+            {
+                "n_cells": p.n_cells,
+                "dirty_per_round": p.dirty_per_round,
+                "rounds": p.rounds,
+                "payload_bytes": p.payload_bytes,
+                "total_bytes": p.total_bytes,
+                "reduction": p.reduction,
+                "frames_compressed": p.frames_compressed,
+                "frames_stored": p.frames_stored,
+                "bytes_saved_compression": p.bytes_saved_compression,
+                "delta_vs_full_payload_ratio": p.delta_vs_full_payload_ratio,
+                "delta_messages_identical": p.delta_messages_identical,
+                "state_identical": p.state_identical,
+                "messages_identical": p.messages_identical,
+                "decoded_identical": p.decoded_identical,
+            }
+            for p in result.points
+        ],
+    }
+
+
+def check_acceptance(payload: Dict[str, object]) -> List[str]:
+    """The PR's acceptance gates; returns a list of violations."""
+    problems = []
+    if not payload["all_points_state_identical"]:
+        problems.append("end state differs across codecs")
+    if not payload["all_points_messages_identical"]:
+        problems.append("logical message counts differ across codecs")
+    if not payload["all_points_decoded_identical"]:
+        problems.append("decoded messages differ across codecs")
+    r = payload.get("push_heavy_reduction_binary") or 0.0
+    if r < 2.0:
+        problems.append(
+            f"binary reduction {r}x < 2x on the PUSH-heavy point"
+        )
+    rz = payload.get("delta_point_reduction_zlib") or 0.0
+    if rz < 3.0:
+        problems.append(
+            f"binary+zlib reduction {rz}x < 3x on the 512-cell delta point"
+        )
+    for codec, parity in payload.get("delta_parity_by_codec", {}).items():
+        if not parity["messages_identical"]:
+            problems.append(f"delta on/off message counts differ under {codec}")
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> WireSweepResult:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.wire_sweep",
+        description="Run the wire-codec sweep and write BENCH_wire.json",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_wire.json", metavar="FILE",
+        help="output JSON path (default: BENCH_wire.json)",
+    )
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument(
+        "--agents", type=int, default=10,
+        help="travel agents in the fig4 workload (default: 10)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when an acceptance gate fails",
+    )
+    args = parser.parse_args(argv)
+    result = run_wire_sweep(
+        rounds=args.rounds,
+        fig4_agents=args.agents,
+        fig4_conflicting=max(1, args.agents // 2),
+    )
+    print(result.table())
+    payload = bench_payload(result)
+    print(
+        f"push-heavy binary: {payload['push_heavy_reduction_binary']}x, "
+        f"delta-point binary+zlib: {payload['delta_point_reduction_zlib']}x"
+    )
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    problems = check_acceptance(payload)
+    if problems:
+        print("ACCEPTANCE VIOLATIONS:", *problems, sep="\n  ")
+        if args.check:
+            raise SystemExit(1)
+    else:
+        print(
+            "acceptance: OK (identity across codecs; binary >= 2x, "
+            "binary+zlib >= 3x; delta parity preserved per codec)"
+        )
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -10,8 +10,16 @@ Two interchangeable transports are provided:
   discrete-event delivery over a :class:`~repro.net.topology.Topology`
   (per-link latencies), used by all benchmarks.
 - :class:`~repro.net.tcp_transport.TcpTransport` — real TCP sockets on
-  localhost with length-prefixed JSON frames, matching the paper's
-  "prototype with sockets" character.
+  localhost with length-prefixed frames and per-connection codec
+  negotiation (JSON fallback), matching the paper's "prototype with
+  sockets" character.
+
+Two wire codecs share one type registry:
+:class:`~repro.net.codec.JsonCodec` (text, always available) and
+:class:`~repro.net.binary_codec.BinaryCodec` (compact binary with
+optional adaptive zlib compression).  :func:`resolve_codec` maps the
+``codec=`` spec strings ("json" | "binary" | "binary+zlib") to
+instances.
 
 Message *counts* — the paper's efficiency metric (Fig 4) — are recorded
 identically on both by :class:`~repro.net.stats.MessageStats`.
@@ -19,6 +27,7 @@ identically on both by :class:`~repro.net.stats.MessageStats`.
 
 from repro.net.message import Message
 from repro.net.codec import JsonCodec, register_codec_type
+from repro.net.binary_codec import BinaryCodec, codec_name, resolve_codec
 from repro.net.stats import MessageStats
 from repro.net.topology import Topology, lan_topology, wan_topology
 from repro.net.transport import Completion, Endpoint, Transport
@@ -29,6 +38,9 @@ from repro.net.reliability import ReliableTransport
 __all__ = [
     "Message",
     "JsonCodec",
+    "BinaryCodec",
+    "codec_name",
+    "resolve_codec",
     "register_codec_type",
     "MessageStats",
     "Topology",

@@ -1,0 +1,533 @@
+"""Compact binary wire codec with adaptive per-frame compression.
+
+Implements the same ``encode``/``decode`` contract as
+:class:`~repro.net.codec.JsonCodec` against the same type registry, but
+trades the ASCII JSON format for a length-friendly binary one:
+
+- **varint framing** — collection sizes, string lengths, and integers
+  are LEB128 varints (zigzag for signed values), so small numbers cost
+  one byte instead of their decimal spelling;
+- **per-frame string table** — every string (dict keys, codec tags,
+  addresses, cell keys, values) is emitted once as a definition and
+  referenced by index afterwards, so the key repetition that dominates
+  JSON image payloads collapses to two-byte references;
+- **struct-packed scalars** — floats travel as 8-byte IEEE doubles
+  (non-finite values included), ints as varints of arbitrary precision;
+- **fast paths for the hot registered types** — ``ObjectImage`` (cell
+  key, version, and value fused into one record, so keys are not
+  repeated between the cells dict and the version vector),
+  ``DeltaImage``, ``VersionVector``, and ``PropertySet`` are walked
+  directly off their attributes with no intermediate jsonable tree.
+
+Adaptive compression rides on top: when ``compress_level`` is set,
+frames at least ``compress_min_bytes`` long are zlib-compressed, and
+the compressed form is kept only when it is actually smaller.  The
+decision is recorded per frame on the attached
+:class:`~repro.net.stats.MessageStats` (``frames_compressed`` /
+``frames_stored`` / ``bytes_saved_compression``).
+
+Frame layout::
+
+    byte 0   magic: 0xF1 raw binary | 0xF2 zlib-compressed body
+    body     msg_type, src, dst, msg_id, reply_to, payload — six
+             values in the generic encoding below
+
+Value encoding (one tag byte, then data)::
+
+    0x00 null    0x01 true    0x02 false
+    0x03 int     zigzag varint (arbitrary precision)
+    0x04 float   8-byte big-endian IEEE double
+    0x05 strdef  varint byte length + UTF-8 (appends to string table)
+    0x06 strref  varint index into the frame's string table
+    0x07 list    varint count + values          (tuples decode as lists)
+    0x08 dict    varint count + (string key, value) pairs
+    0x09 tagged  tag string + jsonable data     (generic registered type)
+    0x0A image   ObjectImage fast path
+    0x0B vvec    VersionVector fast path
+    0x0C pset    PropertySet fast path
+    0x0D delta   DeltaImage fast path
+
+Decoded results are equal to what :class:`JsonCodec` decodes from the
+same message (the cross-codec property tests assert exactly that), with
+one deliberate improvement: this format needs no reserved-key escaping,
+so payload dicts containing ``"__type__"`` are stored structurally.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import CodecError
+from repro.net import codec as codec_mod
+from repro.net.codec import JsonCodec
+from repro.net.message import Message
+
+MAGIC_RAW = 0xF1
+MAGIC_ZLIB = 0xF2
+
+_T_NULL = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_SDEF = 0x05
+_T_SREF = 0x06
+_T_LIST = 0x07
+_T_DICT = 0x08
+_T_TAGGED = 0x09
+_T_IMAGE = 0x0A
+_T_VVEC = 0x0B
+_T_PSET = 0x0C
+_T_DELTA = 0x0D
+
+_DOUBLE = struct.Struct(">d")
+
+# Registered tags the codec encodes/decodes structurally.  Looked up by
+# tag string so net/ stays import-independent of core/ (the classes
+# register themselves at import time; a frame can only contain them if
+# that registration already ran).
+_IMAGE_TAG = "flecc.object_image"
+_VVEC_TAG = "flecc.version_vector"
+_PSET_TAG = "flecc.property_set"
+_DELTA_TAG = "flecc.delta_image"
+
+
+def _write_uvarint(out: bytearray, n: int) -> None:
+    while n > 0x7F:
+        out.append((n & 0x7F) | 0x80)
+        n >>= 7
+    out.append(n)
+
+
+def _zigzag(n: int) -> int:
+    return (n << 1) if n >= 0 else ((-n) << 1) - 1
+
+
+def _unzigzag(z: int) -> int:
+    return (z >> 1) if not (z & 1) else -((z + 1) >> 1)
+
+
+class _Reader:
+    """Cursor over one decoded frame body + its growing string table."""
+
+    __slots__ = ("buf", "pos", "strings")
+
+    def __init__(self, buf: bytes) -> None:
+        self.buf = buf
+        self.pos = 0
+        self.strings: List[str] = []
+
+    def take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.buf):
+            raise CodecError("truncated binary frame")
+        chunk = self.buf[self.pos : end]
+        self.pos = end
+        return chunk
+
+    def byte(self) -> int:
+        pos = self.pos
+        if pos >= len(self.buf):
+            raise CodecError("truncated binary frame")
+        self.pos = pos + 1
+        return self.buf[pos]
+
+    def uvarint(self) -> int:
+        shift = 0
+        result = 0
+        while True:
+            b = self.byte()
+            result |= (b & 0x7F) << shift
+            if not b & 0x80:
+                return result
+            shift += 7
+            if shift > 10_000:  # corrupt frame guard
+                raise CodecError("runaway varint in binary frame")
+
+
+class BinaryCodec:
+    """Compact binary codec, wire-compatible payload-wise with JsonCodec.
+
+    ``compress_level``: zlib level 1-9 enables adaptive per-frame
+    compression (``None``/0 disables it).  ``compress_min_bytes``:
+    frames shorter than this are stored raw without sampling.  ``stats``
+    (attached by the owning transport) receives the per-frame
+    compression decisions.
+    """
+
+    stats: Optional[Any] = None
+
+    # DEPRECATED compatibility alias, same caveats as JsonCodec's: not
+    # thread-safe, kept only so codec-agnostic callers keep working.
+    last_encoded_size: int = 0
+
+    def __init__(
+        self,
+        compress_level: Optional[int] = None,
+        compress_min_bytes: int = 200,
+    ) -> None:
+        if compress_level is not None and not 0 <= compress_level <= 9:
+            raise CodecError(f"compress_level must be 0-9: {compress_level}")
+        self.compress_level = compress_level or None
+        self.compress_min_bytes = compress_min_bytes
+        # Fallback for mixed links: a JSON frame handed to this codec
+        # (e.g. a pre-negotiation peer) still decodes.
+        self._json = JsonCodec()
+
+    # -- encoding --------------------------------------------------------
+    def encode(self, msg: Message) -> bytes:
+        try:
+            body = bytearray()
+            strings: Dict[str, int] = {}
+            enc = self._encode_value
+            enc(msg.msg_type, body, strings)
+            enc(msg.src, body, strings)
+            enc(msg.dst, body, strings)
+            enc(msg.msg_id, body, strings)
+            enc(msg.reply_to, body, strings)
+            enc(msg.payload, body, strings)
+        except CodecError:
+            raise
+        except (TypeError, ValueError, struct.error) as exc:
+            raise CodecError(f"cannot encode {msg}: {exc}") from exc
+        raw = self._finish_frame(body)
+        self.last_encoded_size = len(raw)
+        return raw
+
+    def _finish_frame(self, body: bytearray) -> bytes:
+        """Apply the adaptive compression decision and prepend the magic."""
+        level = self.compress_level
+        stats = self.stats
+        if level:
+            size = len(body)
+            if size >= self.compress_min_bytes:
+                packed = zlib.compress(bytes(body), level)
+                if len(packed) < size:
+                    if stats is not None:
+                        stats.record_compression(size - len(packed))
+                    return bytes((MAGIC_ZLIB,)) + packed
+            # Below the threshold, or the sample did not shrink: store.
+            if stats is not None:
+                stats.record_stored()
+        return bytes((MAGIC_RAW,)) + bytes(body)
+
+    def _write_str(self, s: str, out: bytearray, strings: Dict[str, int]) -> None:
+        idx = strings.get(s)
+        if idx is None:
+            strings[s] = len(strings)
+            raw = s.encode("utf-8")
+            out.append(_T_SDEF)
+            _write_uvarint(out, len(raw))
+            out += raw
+        else:
+            out.append(_T_SREF)
+            _write_uvarint(out, idx)
+
+    def _encode_value(
+        self, obj: Any, out: bytearray, strings: Dict[str, int]
+    ) -> None:
+        # Dispatch order mirrors JsonCodec._encode_into: exact scalar
+        # classes, None, registered types, dict, list/tuple, scalar
+        # subclasses (coerced to their base value, like json.dumps).
+        cls = obj.__class__
+        if cls is str:
+            self._write_str(obj, out, strings)
+            return
+        if cls is int:
+            out.append(_T_INT)
+            _write_uvarint(out, _zigzag(obj))
+            return
+        if cls is float:
+            out.append(_T_FLOAT)
+            out += _DOUBLE.pack(obj)
+            return
+        if cls is bool:
+            out.append(_T_TRUE if obj else _T_FALSE)
+            return
+        if obj is None:
+            out.append(_T_NULL)
+            return
+        entry = codec_mod._dispatch_for(cls)
+        if entry is not None:
+            tag, to_jsonable = entry
+            if tag == _IMAGE_TAG:
+                self._encode_image(obj, out, strings)
+                return
+            if tag == _VVEC_TAG:
+                self._encode_vvec(obj, out, strings)
+                return
+            if tag == _PSET_TAG:
+                self._encode_pset(obj, out, strings)
+                return
+            if tag == _DELTA_TAG:
+                self._encode_delta(obj, out, strings)
+                return
+            out.append(_T_TAGGED)
+            self._write_str(tag, out, strings)
+            self._encode_value(to_jsonable(obj), out, strings)
+            return
+        if isinstance(obj, dict):
+            out.append(_T_DICT)
+            _write_uvarint(out, len(obj))
+            for k, v in obj.items():
+                self._write_str(k if type(k) is str else str(k), out, strings)
+                self._encode_value(v, out, strings)
+            return
+        if isinstance(obj, (list, tuple)):
+            out.append(_T_LIST)
+            _write_uvarint(out, len(obj))
+            for v in obj:
+                self._encode_value(v, out, strings)
+            return
+        if isinstance(obj, bool):  # bool subclass cannot exist, but order
+            out.append(_T_TRUE if obj else _T_FALSE)  # matches JsonCodec
+            return
+        if isinstance(obj, int):  # IntEnum and friends: coerce like JSON
+            out.append(_T_INT)
+            _write_uvarint(out, _zigzag(int(obj)))
+            return
+        if isinstance(obj, float):
+            out.append(_T_FLOAT)
+            out += _DOUBLE.pack(float(obj))
+            return
+        if isinstance(obj, str):
+            self._write_str(str(obj), out, strings)
+            return
+        raise CodecError(
+            f"type {type(obj).__name__} is not wire-encodable; "
+            f"register it with register_codec_type()"
+        )
+
+    # -- fast paths ------------------------------------------------------
+    def _encode_image(self, img: Any, out: bytearray, strings: Dict[str, int]) -> None:
+        """One record per cell: key, version, value — the key crosses the
+        wire once instead of appearing in both the cells dict and the
+        version vector.  Version entries without a live cell (possible
+        after restricts/merges) follow as a separate (key, version) list.
+        """
+        out.append(_T_IMAGE)
+        cells = img.cells
+        versions = img.versions
+        vget = versions.get
+        _write_uvarint(out, len(cells))
+        for k, v in cells.items():
+            key = k if type(k) is str else str(k)
+            self._write_str(key, out, strings)
+            _write_uvarint(out, vget(key))
+            self._encode_value(v, out, strings)
+        extra = [k for k in versions.keys() if k not in cells]
+        _write_uvarint(out, len(extra))
+        for k in extra:
+            self._write_str(k, out, strings)
+            _write_uvarint(out, vget(k))
+
+    def _encode_vvec(self, vv: Any, out: bytearray, strings: Dict[str, int]) -> None:
+        out.append(_T_VVEC)
+        keys = list(vv.keys())
+        _write_uvarint(out, len(keys))
+        vget = vv.get
+        for k in keys:
+            self._write_str(k, out, strings)
+            _write_uvarint(out, vget(k))
+
+    def _encode_pset(self, ps: Any, out: bytearray, strings: Dict[str, int]) -> None:
+        out.append(_T_PSET)
+        _write_uvarint(out, len(ps))
+        for p in ps:  # deterministic name-sorted order
+            self._write_str(p.name, out, strings)
+            self._encode_value(p.domain.to_jsonable(), out, strings)
+
+    def _encode_delta(self, d: Any, out: bytearray, strings: Dict[str, int]) -> None:
+        out.append(_T_DELTA)
+        self._encode_image(d.image, out, strings)
+        _write_uvarint(out, _zigzag(d.base_seq))
+        _write_uvarint(out, _zigzag(d.as_of))
+        out.append(1 if d.complete else 0)
+        _write_uvarint(out, _zigzag(d.slice_size))
+
+    # -- decoding --------------------------------------------------------
+    def decode(self, raw: bytes) -> Message:
+        if not raw:
+            raise CodecError("cannot decode empty frame")
+        magic = raw[0]
+        if magic == MAGIC_ZLIB:
+            try:
+                body = zlib.decompress(raw[1:])
+            except zlib.error as exc:
+                raise CodecError(f"cannot decompress frame: {exc}") from exc
+        elif magic == MAGIC_RAW:
+            body = raw[1:]
+        elif magic == 0x7B:  # '{' — a JSON frame on a mixed link
+            return self._json.decode(raw)
+        else:
+            raise CodecError(f"unknown binary frame magic: {magic:#x}")
+        reader = _Reader(body)
+        try:
+            msg_type = self._decode_value(reader)
+            src = self._decode_value(reader)
+            dst = self._decode_value(reader)
+            msg_id = self._decode_value(reader)
+            reply_to = self._decode_value(reader)
+            payload = self._decode_value(reader)
+        except CodecError:
+            raise
+        except (ValueError, TypeError, KeyError, IndexError, struct.error) as exc:
+            raise CodecError(f"cannot decode frame: {exc}") from exc
+        if not isinstance(msg_type, str):
+            raise CodecError(f"frame is not a message: bad msg_type {msg_type!r}")
+        return Message(
+            msg_type=msg_type,
+            src=src,
+            dst=dst,
+            payload=payload,
+            msg_id=msg_id,
+            reply_to=reply_to,
+        )
+
+    def _read_str(self, r: _Reader) -> str:
+        tag = r.byte()
+        if tag == _T_SDEF:
+            s = str(r.take(r.uvarint()), "utf-8")
+            r.strings.append(s)
+            return s
+        if tag == _T_SREF:
+            idx = r.uvarint()
+            try:
+                return r.strings[idx]
+            except IndexError:
+                raise CodecError(f"string table reference out of range: {idx}")
+        raise CodecError(f"expected string, found value tag {tag:#x}")
+
+    def _decode_value(self, r: _Reader) -> Any:
+        tag = r.byte()
+        if tag == _T_SDEF:
+            s = str(r.take(r.uvarint()), "utf-8")
+            r.strings.append(s)
+            return s
+        if tag == _T_SREF:
+            idx = r.uvarint()
+            try:
+                return r.strings[idx]
+            except IndexError:
+                raise CodecError(f"string table reference out of range: {idx}")
+        if tag == _T_INT:
+            return _unzigzag(r.uvarint())
+        if tag == _T_DICT:
+            return {
+                self._read_str(r): self._decode_value(r)
+                for _ in range(r.uvarint())
+            }
+        if tag == _T_LIST:
+            return [self._decode_value(r) for _ in range(r.uvarint())]
+        if tag == _T_FLOAT:
+            return _DOUBLE.unpack(r.take(8))[0]
+        if tag == _T_NULL:
+            return None
+        if tag == _T_TRUE:
+            return True
+        if tag == _T_FALSE:
+            return False
+        if tag == _T_IMAGE:
+            return self._decode_image(r)
+        if tag == _T_VVEC:
+            return self._from_registry(_VVEC_TAG)(
+                {self._read_str(r): r.uvarint() for _ in range(r.uvarint())}
+            )
+        if tag == _T_PSET:
+            items = [
+                {"name": self._read_str(r), "domain": self._decode_value(r)}
+                for _ in range(r.uvarint())
+            ]
+            return self._from_registry(_PSET_TAG)(items)
+        if tag == _T_DELTA:
+            if r.byte() != _T_IMAGE:
+                raise CodecError("malformed delta frame: missing image")
+            image = self._decode_image(r)
+            return self._from_registry(_DELTA_TAG)(
+                {
+                    "image": image,
+                    "base_seq": _unzigzag(r.uvarint()),
+                    "as_of": _unzigzag(r.uvarint()),
+                    "complete": bool(r.byte()),
+                    "slice_size": _unzigzag(r.uvarint()),
+                }
+            )
+        if tag == _T_TAGGED:
+            type_tag = self._read_str(r)
+            data = self._decode_value(r)
+            return self._from_registry(type_tag)(data)
+        raise CodecError(f"unknown value tag in binary frame: {tag:#x}")
+
+    def _decode_image(self, r: _Reader) -> Any:
+        cells: Dict[str, Any] = {}
+        versions: Dict[str, int] = {}
+        for _ in range(r.uvarint()):
+            key = self._read_str(r)
+            versions[key] = r.uvarint()
+            cells[key] = self._decode_value(r)
+        for _ in range(r.uvarint()):
+            key = self._read_str(r)
+            versions[key] = r.uvarint()
+        return self._from_registry(_IMAGE_TAG)(
+            {"cells": cells, "versions": versions}
+        )
+
+    @staticmethod
+    def _from_registry(tag: str) -> Callable[[Any], Any]:
+        try:
+            return codec_mod._REGISTRY[tag][2]
+        except KeyError:
+            raise CodecError(f"unknown codec tag {tag!r} in frame")
+
+
+# ---------------------------------------------------------------------------
+# Codec selection
+# ---------------------------------------------------------------------------
+# The negotiable codec universe.  Spec strings are what SystemConfig-level
+# callers pass (``codec="binary"``) and what TCP peers advertise in their
+# hello frames; instances pass through untouched.
+
+CODEC_JSON = "json"
+CODEC_BINARY = "binary"
+CODEC_BINARY_ZLIB = "binary+zlib"
+
+_SPECS: Dict[str, Callable[[], Any]] = {
+    CODEC_JSON: JsonCodec,
+    CODEC_BINARY: BinaryCodec,
+    CODEC_BINARY_ZLIB: lambda: BinaryCodec(compress_level=6),
+}
+
+
+def resolve_codec(spec: Any = None) -> Any:
+    """Build a codec from a spec: ``None``/"json" | "binary" |
+    "binary+zlib" | an instance implementing ``encode``/``decode``."""
+    if spec is None:
+        return JsonCodec()
+    if isinstance(spec, str):
+        factory = _SPECS.get(spec)
+        if factory is None:
+            raise CodecError(
+                f"unknown codec spec {spec!r}; choose from "
+                f"{sorted(_SPECS)} or pass a codec instance"
+            )
+        return factory()
+    if callable(getattr(spec, "encode", None)) and callable(
+        getattr(spec, "decode", None)
+    ):
+        return spec
+    raise CodecError(f"not a codec: {spec!r}")
+
+
+def codec_name(codec: Any) -> str:
+    """The negotiation name a codec instance answers to.
+
+    Compressed and raw binary share one wire name — the frame magic
+    distinguishes them, so any binary decoder handles both.
+    """
+    if isinstance(codec, BinaryCodec):
+        return CODEC_BINARY
+    if isinstance(codec, JsonCodec):
+        return CODEC_JSON
+    return getattr(codec, "name", type(codec).__name__)

@@ -19,6 +19,7 @@ registry dispatch is memoized per concrete class.
 from __future__ import annotations
 
 import json
+import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple, Type
 
 from repro.errors import CodecError
@@ -32,6 +33,35 @@ _BY_CLASS: Dict[type, str] = {}
 # Also caches negative answers for plain classes (dict, list, str, ...)
 # so the common case is a single dict hit.
 _DISPATCH: Dict[type, Optional[Tuple[str, Callable[[Any], Any]]]] = {}
+# Guards registration against concurrent dispatch-memo population: the
+# TCP listener thread can be decoding (and memoizing negative answers)
+# while an application module's import-time register_codec_type runs.
+# Without the lock a racing _dispatch_for could re-cache a stale
+# negative entry for a freshly registered class after the clear().
+_registry_lock = threading.RLock()
+
+
+def _same_converter(f: Callable[[Any], Any], g: Callable[[Any], Any]) -> bool:
+    """Best-effort sameness for converter callables.
+
+    Identity first (covers module-level functions and methods, which are
+    the same objects on re-import); for distinct function objects —
+    typically lambdas re-created by a re-executed registration — compare
+    compiled code so *equivalent* re-registrations stay idempotent while
+    *behaviorally different* ones are caught.
+    """
+    if f is g:
+        return True
+    fc = getattr(f, "__code__", None)
+    gc = getattr(g, "__code__", None)
+    if fc is None or gc is None:
+        return False
+    return (
+        fc.co_code == gc.co_code
+        and fc.co_consts == gc.co_consts
+        and fc.co_names == gc.co_names
+        and getattr(f, "__defaults__", None) == getattr(g, "__defaults__", None)
+    )
 
 
 def register_codec_type(
@@ -42,17 +72,30 @@ def register_codec_type(
 ) -> None:
     """Register a domain type for wire transport.
 
-    Re-registering the same ``(tag, cls)`` pair is an idempotent no-op so
-    modules can register at import time; conflicting registrations raise.
+    Re-registering the same ``(tag, cls)`` pair with the same converters
+    is an idempotent no-op so modules can register at import time;
+    conflicting registrations — a different class for the tag, or the
+    same pair with *different* converter functions — raise instead of
+    silently keeping whichever registration ran first.
     """
-    if tag in _REGISTRY:
-        existing_cls = _REGISTRY[tag][0]
-        if existing_cls is cls:
-            return
-        raise CodecError(f"codec tag {tag!r} already bound to {existing_cls}")
-    _REGISTRY[tag] = (cls, to_jsonable, from_jsonable)
-    _BY_CLASS[cls] = tag
-    _DISPATCH.clear()  # drop any memoized negative answer for cls
+    with _registry_lock:
+        if tag in _REGISTRY:
+            existing_cls, existing_to, existing_from = _REGISTRY[tag]
+            if existing_cls is not cls:
+                raise CodecError(
+                    f"codec tag {tag!r} already bound to {existing_cls}"
+                )
+            if _same_converter(existing_to, to_jsonable) and _same_converter(
+                existing_from, from_jsonable
+            ):
+                return
+            raise CodecError(
+                f"codec tag {tag!r} re-registered with different "
+                f"to_jsonable/from_jsonable converters"
+            )
+        _REGISTRY[tag] = (cls, to_jsonable, from_jsonable)
+        _BY_CLASS[cls] = tag
+        _DISPATCH.clear()  # drop any memoized negative answer for cls
 
 
 def registered_tags() -> Tuple[str, ...]:
@@ -63,9 +106,13 @@ def _dispatch_for(cls: type) -> Optional[Tuple[str, Callable[[Any], Any]]]:
     try:
         return _DISPATCH[cls]
     except KeyError:
-        tag = _BY_CLASS.get(cls)
-        entry = (tag, _REGISTRY[tag][1]) if tag is not None else None
-        _DISPATCH[cls] = entry
+        # Populate under the registry lock so a concurrent late
+        # registration cannot interleave between our registry lookup and
+        # the memo store (which would pin a stale negative answer).
+        with _registry_lock:
+            tag = _BY_CLASS.get(cls)
+            entry = (tag, _REGISTRY[tag][1]) if tag is not None else None
+            _DISPATCH[cls] = entry
         return entry
 
 
@@ -90,12 +137,17 @@ def _format_float(value: float) -> str:
 class JsonCodec:
     """Encode/decode :class:`Message` to length-prefix-friendly bytes."""
 
-    # Byte length of the most recent successful :meth:`encode` — lets
-    # transports account wire sizes without re-encoding or re-measuring.
-    # NOT thread-safe: a codec shared across sending threads can have
-    # this overwritten by a racing encode, so anything that must agree
-    # with a specific frame (e.g. a length prefix) must use len() of
-    # the returned bytes instead.
+    # Optional MessageStats hook (set by the owning transport).  The
+    # JSON codec never compresses, so it only carries the attribute for
+    # interface parity with BinaryCodec.
+    stats: Optional[Any] = None
+
+    # DEPRECATED: byte length of the most recent successful
+    # :meth:`encode`.  NOT thread-safe — a codec shared across sending
+    # threads can have this overwritten by a racing encode, so every
+    # in-tree caller sizes frames from ``len()`` of the returned bytes;
+    # the attribute survives only as a compatibility alias and will be
+    # removed once external callers have migrated.
     last_encoded_size: int = 0
 
     def encode(self, msg: Message) -> bytes:
@@ -262,8 +314,9 @@ class JsonCodec:
         return obj
 
 
-def roundtrip(msg: Message) -> Message:
+def roundtrip(msg: Message, codec: Optional[Any] = None) -> Message:
     """Encode then decode (test helper; also used by the sim transport's
-    optional *strict wire* mode to guarantee sim/TCP parity)."""
-    codec = JsonCodec()
+    optional *strict wire* mode to guarantee sim/TCP parity).  Uses a
+    fresh :class:`JsonCodec` unless ``codec`` is given."""
+    codec = JsonCodec() if codec is None else codec
     return codec.decode(codec.encode(msg))

@@ -260,6 +260,17 @@ class ReliableTransport(Transport):
             raise TransportError(f"{type(self.inner).__name__} has no placement")
         fn(address, node)
 
+    def set_codec(self, codec: Any) -> None:
+        """Codec passthrough: R_DATA/R_ACK envelopes are ordinary
+        messages on the inner transport, so they automatically ride
+        whatever codec the underlying link negotiated."""
+        fn = getattr(self.inner, "set_codec", None)
+        if fn is None:
+            raise TransportError(
+                f"{type(self.inner).__name__} has no codec selection"
+            )
+        fn(codec)
+
     # -- delegated backend services --------------------------------------
     def now(self) -> float:
         return self.inner.now()

@@ -19,7 +19,6 @@ from time import perf_counter_ns
 from typing import Any, Callable, Dict, Optional
 
 from repro.errors import TransportError
-from repro.net import codec as codec_mod
 from repro.net.message import BATCH, Message, split_batch
 from repro.net.topology import Topology
 from repro.net.transport import Completion, TimerHandle, Transport
@@ -67,6 +66,7 @@ class SimTransport(Transport):
         model_bandwidth: bool = False,
         jitter: float = 0.0,
         jitter_seed: int = 0,
+        codec: Any = None,
     ) -> None:
         super().__init__()
         if default_latency < 0:
@@ -96,7 +96,27 @@ class SimTransport(Transport):
         self._jitter_rng = stream_for(jitter_seed, "transport-jitter")
         # logical endpoint address -> topology node it is placed on
         self._placement: Dict[str, str] = {}
-        self._codec = codec_mod.JsonCodec()
+        self.set_codec(codec)
+
+    # -- codec -------------------------------------------------------------
+    @property
+    def codec(self) -> Any:
+        """The wire codec strict-wire mode round-trips frames through."""
+        return self._codec
+
+    def set_codec(self, codec: Any) -> None:
+        """Swap the wire codec (``"json"`` | ``"binary"`` | instance).
+
+        The sim transport has no peer to negotiate with — both “ends”
+        share this object — so the chosen codec simply applies to every
+        strict-wire round-trip.
+        """
+        from repro.net.binary_codec import resolve_codec
+
+        self._codec = resolve_codec(codec)
+        # Route per-frame compression accounting into this transport's
+        # counters (no-op for codecs that never compress).
+        self._codec.stats = self.stats
 
     # -- placement ---------------------------------------------------------
     def place(self, address: str, node: str) -> None:
@@ -152,7 +172,9 @@ class SimTransport(Transport):
         if self.strict_wire:
             t0 = perf_counter_ns()
             raw = self._codec.encode(msg)
-            frame_bytes = self._codec.last_encoded_size
+            # Size from the returned bytes, never from the codec's
+            # deprecated last_encoded_size (racy under shared codecs).
+            frame_bytes = len(raw)
             self.stats.record_encode(frame_bytes, perf_counter_ns() - t0)
             wire_msg = self._codec.decode(raw)
         else:

@@ -34,6 +34,9 @@ class StatsSnapshot:
     images_delta: int = 0
     cells_sent: int = 0
     cells_skipped: int = 0
+    frames_compressed: int = 0
+    frames_stored: int = 0
+    bytes_saved_compression: int = 0
 
     def delta(self, earlier: "StatsSnapshot") -> "StatsSnapshot":
         """Counters accumulated since ``earlier``."""
@@ -59,6 +62,11 @@ class StatsSnapshot:
             images_delta=self.images_delta - earlier.images_delta,
             cells_sent=self.cells_sent - earlier.cells_sent,
             cells_skipped=self.cells_skipped - earlier.cells_skipped,
+            frames_compressed=self.frames_compressed - earlier.frames_compressed,
+            frames_stored=self.frames_stored - earlier.frames_stored,
+            bytes_saved_compression=(
+                self.bytes_saved_compression - earlier.bytes_saved_compression
+            ),
         )
 
 
@@ -98,6 +106,13 @@ class MessageStats:
     images_delta: int = 0
     cells_sent: int = 0
     cells_skipped: int = 0
+    # Adaptive per-frame compression (binary codec): frames shipped
+    # compressed, frames stored raw while compression was enabled
+    # (below the size threshold, or the sample did not shrink), and the
+    # cumulative body bytes the compressed frames saved.
+    frames_compressed: int = 0
+    frames_stored: int = 0
+    bytes_saved_compression: int = 0
 
     def record(self, msg: Message, size: Optional[int] = None) -> None:
         """Count one sent message (``size`` in bytes when known)."""
@@ -159,6 +174,15 @@ class MessageStats:
     def record_ack(self, msg: Message) -> None:
         self.acks_sent += 1
 
+    def record_compression(self, saved: int) -> None:
+        """Account one frame shipped compressed (``saved`` body bytes)."""
+        self.frames_compressed += 1
+        self.bytes_saved_compression += saved
+
+    def record_stored(self) -> None:
+        """Account one frame stored raw while compression was enabled."""
+        self.frames_stored += 1
+
     def count_for_types(self, *msg_types: str) -> int:
         """Total messages across the given message types."""
         return sum(self.by_type[t] for t in msg_types)
@@ -180,6 +204,9 @@ class MessageStats:
             images_delta=self.images_delta,
             cells_sent=self.cells_sent,
             cells_skipped=self.cells_skipped,
+            frames_compressed=self.frames_compressed,
+            frames_stored=self.frames_stored,
+            bytes_saved_compression=self.bytes_saved_compression,
         )
 
     def reset(self) -> None:
@@ -199,6 +226,9 @@ class MessageStats:
         self.images_delta = 0
         self.cells_sent = 0
         self.cells_skipped = 0
+        self.frames_compressed = 0
+        self.frames_stored = 0
+        self.bytes_saved_compression = 0
         self.by_type.clear()
         self.by_pair.clear()
         self.bytes_by_type.clear()
@@ -226,5 +256,11 @@ class MessageStats:
                 f"  (images: full={self.images_full} "
                 f"delta={self.images_delta} cells_sent={self.cells_sent} "
                 f"cells_skipped={self.cells_skipped})"
+            )
+        if self.frames_compressed or self.frames_stored:
+            lines.append(
+                f"  (compression: compressed={self.frames_compressed} "
+                f"stored={self.frames_stored} "
+                f"saved_bytes={self.bytes_saved_compression})"
             )
         return "\n".join(lines)

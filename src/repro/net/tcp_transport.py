@@ -1,12 +1,22 @@
-"""Real TCP socket transport (localhost), length-prefixed JSON frames.
+"""Real TCP socket transport (localhost), length-prefixed frames.
 
 This backend keeps the reproduction faithful to the paper's networked
 prototype: each bound address gets a listening socket; ``send`` opens
 (or reuses) a connection to the destination's port and writes a
-4-byte big-endian length followed by the JSON-encoded message.  A
+4-byte big-endian length followed by the encoded message.  A
 per-endpoint reader thread dispatches incoming messages to the handler,
 serialized by a per-endpoint lock so handlers never run concurrently
 with themselves (matching the single-threaded sim semantics).
+
+Codec negotiation: the first frame a client writes on a fresh
+connection is a JSON-encoded ``CODEC_HELLO`` advertising the codecs it
+supports and the one it prefers.  The listener answers with a
+JSON-encoded ``CODEC_WELCOME`` naming the codec every later frame on
+that connection will use — the client's preference if the server has
+it, else the first advertised codec the server shares, else ``"json"``.
+A peer whose first frame is *not* a hello (a legacy JSON speaker) gets
+its message delivered normally and the connection stays on JSON, so
+mixed-version links degrade instead of breaking.
 
 Time: ``now()`` is wall-clock seconds since transport creation, scaled
 by ``time_scale`` so tests can use the same trigger expressions as the
@@ -21,13 +31,19 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import TransportError
+from repro.errors import CodecError, TransportError
 from repro.net.codec import JsonCodec
 from repro.net.message import BATCH, Message, split_batch
 from repro.net.transport import Completion, Endpoint, TimerHandle, Transport
 
 _LEN = struct.Struct(">I")
 _MAX_FRAME = 64 * 1024 * 1024
+
+# Codec-negotiation handshake message types.  Both frames are always
+# JSON-encoded (the one format every peer speaks) and are consumed by
+# the transport itself — endpoint handlers never see them.
+CODEC_HELLO = "CODEC_HELLO"
+CODEC_WELCOME = "CODEC_WELCOME"
 
 # Default for ThreadCompletion.wait: long enough for any test or demo
 # round-trip, finite so a lost reply surfaces as a clear TransportError
@@ -152,7 +168,11 @@ class _Listener:
             self.threads.append(t)
 
     def _read_loop(self, conn: socket.socket) -> None:
-        codec = self.transport.codec
+        # Until negotiation says otherwise every frame is JSON; the
+        # first frame may be a CODEC_HELLO that switches the codec for
+        # the rest of the connection.
+        codec: Any = self.transport.json_codec
+        negotiated = False
         try:
             while self.running:
                 header = _recv_exact(conn, _LEN.size)
@@ -164,7 +184,15 @@ class _Listener:
                 body = _recv_exact(conn, length)
                 if body is None:
                     return
-                msg = codec.decode(body)
+                if not negotiated:
+                    negotiated = True
+                    msg, codec = self.transport._first_frame(
+                        conn, self.ep.address, body, codec
+                    )
+                    if msg is None:  # hello consumed, welcome written
+                        continue
+                else:
+                    msg = codec.decode(body)
                 if msg.msg_type == BATCH:
                     # Coalesced frame: split at the receiving side and
                     # route each sub-message to its own endpoint (the
@@ -197,25 +225,154 @@ class _Listener:
 class TcpTransport(Transport):
     """Localhost TCP backend with a process-local address book."""
 
-    def __init__(self, time_scale: float = 1000.0) -> None:
+    def __init__(self, time_scale: float = 1000.0, codec: Any = None) -> None:
         """``time_scale``: transport time units per wall-clock second.
 
         The default (1000) makes one time unit ~= 1 ms, so trigger
         expressions like ``t > 1500`` mean "after 1.5 s" on TCP while
         being pure numbers in simulation.
+
+        ``codec``: preferred wire codec — ``"json"`` (default),
+        ``"binary"``, ``"binary+zlib"``, or a codec instance.  JSON is
+        always kept as the negotiation fallback.
         """
         super().__init__()
-        self.codec = JsonCodec()
         self.time_scale = time_scale
         self._t0 = time.monotonic()
         self._listeners: Dict[str, _Listener] = {}
-        # (src, dst) -> (socket, port it was connected to); the port is
-        # compared against the live listener so a re-bound endpoint
-        # (new port) forces a fresh connection.
-        self._conns: Dict[Tuple[str, str], Tuple[socket.socket, int]] = {}
+        # (src, dst) -> (socket, port it was connected to, negotiated
+        # codec name); the port is compared against the live listener so
+        # a re-bound endpoint (new port) forces a fresh connection and a
+        # fresh handshake.
+        self._conns: Dict[
+            Tuple[str, str], Tuple[socket.socket, int, str]
+        ] = {}
         self._conn_lock = threading.Lock()
         self._timers: List[threading.Timer] = []
         self._closed = False
+        self.set_codec(codec)
+
+    # -- codec selection & negotiation ------------------------------------
+    def set_codec(self, codec: Any) -> None:
+        """Swap the preferred wire codec; cached connections are dropped
+        so every link renegotiates on next use."""
+        from repro.net.binary_codec import codec_name, resolve_codec
+
+        preferred = resolve_codec(codec)
+        preferred.stats = self.stats
+        name = codec_name(preferred)
+        if name == "json":
+            json_codec = preferred
+        else:
+            json_codec = getattr(self, "json_codec", None) or JsonCodec()
+        #: Always-available JSON fallback (handshake frames, legacy peers).
+        self.json_codec = json_codec
+        #: name -> codec instance this transport can speak.
+        self._codecs: Dict[str, Any] = {"json": json_codec, name: preferred}
+        self._preferred_name = name
+        #: Preferred codec instance (back-compat attribute: when the
+        #: link negotiates the preferred codec — always the case when
+        #: both ends share this transport — sends encode with it).
+        self.codec = preferred
+        with self._conn_lock:
+            for entry in self._conns.values():
+                try:
+                    entry[0].close()
+                except OSError:
+                    pass
+            self._conns.clear()
+
+    @property
+    def preferred_codec(self) -> str:
+        return self._preferred_name
+
+    @property
+    def supported_codecs(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._codecs))
+
+    def negotiated_codec(self, src: str, dst: str) -> Optional[str]:
+        """Codec name the (src, dst) link agreed on (None before any
+        send established the connection)."""
+        with self._conn_lock:
+            cached = self._conns.get((src, dst))
+        return cached[2] if cached is not None else None
+
+    def _choose_codec(self, payload: Any) -> str:
+        """Server-side pick from a hello payload: the client's stated
+        preference if we speak it, else the first advertised codec we
+        share, else JSON."""
+        if not isinstance(payload, dict):
+            return "json"
+        prefer = payload.get("prefer")
+        if isinstance(prefer, str) and prefer in self._codecs:
+            return prefer
+        for name in payload.get("supported") or ():
+            if isinstance(name, str) and name in self._codecs:
+                return name
+        return "json"
+
+    def _first_frame(
+        self, conn: socket.socket, address: str, body: bytes, codec: Any
+    ) -> Tuple[Optional[Message], Any]:
+        """Handle the first frame of an inbound connection.
+
+        A CODEC_HELLO is answered with a CODEC_WELCOME and consumed
+        (returns ``(None, negotiated_codec)``); anything else is a
+        legacy peer's ordinary message, delivered as-is on JSON.
+        """
+        try:
+            msg = self.json_codec.decode(body)
+        except CodecError:
+            # Not JSON — a peer that skipped the handshake but speaks a
+            # format we know; fall back to the frame-sniffing decoder.
+            return codec.decode(body), codec
+        if msg.msg_type != CODEC_HELLO:
+            return msg, codec
+        chosen = self._choose_codec(msg.payload)
+        welcome = Message(
+            CODEC_WELCOME,
+            src=address,
+            dst=msg.src,
+            payload={"use": chosen, "supported": sorted(self._codecs)},
+        )
+        raw = self.json_codec.encode(welcome)
+        try:
+            conn.sendall(_LEN.pack(len(raw)) + raw)
+        except OSError:
+            pass  # client gone; reader loop will see EOF next
+        return None, self._codecs[chosen]
+
+    def _handshake(self, sock: socket.socket, src: str, dst: str) -> str:
+        """Client side: advertise codecs, block for the welcome, return
+        the agreed codec name (JSON when anything goes sideways)."""
+        hello = Message(
+            CODEC_HELLO,
+            src=src,
+            dst=dst,
+            payload={
+                "supported": sorted(self._codecs),
+                "prefer": self._preferred_name,
+            },
+        )
+        raw = self.json_codec.encode(hello)
+        sock.sendall(_LEN.pack(len(raw)) + raw)
+        try:
+            header = _recv_exact(sock, _LEN.size)
+            if header is None:
+                return "json"
+            (length,) = _LEN.unpack(header)
+            if length > _MAX_FRAME:
+                return "json"
+            body = _recv_exact(sock, length)
+            if body is None:
+                return "json"
+            welcome = self.json_codec.decode(body)
+        except (OSError, CodecError):
+            return "json"
+        if welcome.msg_type != CODEC_WELCOME:
+            return "json"
+        use = welcome.payload.get("use") if welcome.payload else None
+        return use if isinstance(use, str) and use in self._codecs else "json"
 
     # -- Transport hooks --------------------------------------------------
     def _on_bind(self, ep: Endpoint) -> None:
@@ -251,30 +408,33 @@ class TcpTransport(Transport):
     def send(self, msg: Message) -> None:
         if self._closed:
             raise TransportError("transport closed")
-        t0 = time.perf_counter_ns()
-        raw = self.codec.encode(msg)
-        # Measure the frame directly: send() runs concurrently from
-        # listener/timer/CM threads, and the codec's last_encoded_size
-        # is a shared attribute a racing encode can overwrite between
-        # our encode and the read — the length prefix would then
-        # disagree with the payload and corrupt stream framing.
-        size = len(raw)
-        self.stats.record_encode(size, time.perf_counter_ns() - t0)
-        self.stats.record(msg, size=size)
-        listener = self._listeners.get(msg.dst)
-        if listener is None:
-            # Same semantics as sim: message to a vanished endpoint is lost.
-            self.stats.record_drop(msg)
-            return
-        frame = _LEN.pack(size) + raw
+        recorded = False
         # A cached connection may have died (peer endpoint was closed
         # and re-bound); reconnect once before giving up.
         for attempt in (1, 2):
             listener = self._listeners.get(msg.dst)
             if listener is None:
+                # Same semantics as sim: message to a vanished endpoint
+                # is lost (no link, so no negotiated codec to size with).
+                if not recorded:
+                    self.stats.record(msg)
                 self.stats.record_drop(msg)
                 return
-            sock = self._connection(msg.src, msg.dst, listener.port)
+            sock, codec = self._connection(msg.src, msg.dst, listener.port)
+            t0 = time.perf_counter_ns()
+            raw = codec.encode(msg)
+            # Measure the frame directly: send() runs concurrently from
+            # listener/timer/CM threads, and the codec's deprecated
+            # last_encoded_size is a shared attribute a racing encode
+            # can overwrite between our encode and the read — the
+            # length prefix would then disagree with the payload and
+            # corrupt stream framing.
+            size = len(raw)
+            if not recorded:
+                self.stats.record_encode(size, time.perf_counter_ns() - t0)
+                self.stats.record(msg, size=size)
+                recorded = True
+            frame = _LEN.pack(size) + raw
             try:
                 with self._conn_lock:
                     sock.sendall(frame)
@@ -284,14 +444,17 @@ class TcpTransport(Transport):
                 if attempt == 2:
                     raise TransportError(f"send failed {msg}: {exc}") from exc
 
-    def _connection(self, src: str, dst: str, port: int) -> socket.socket:
+    def _connection(
+        self, src: str, dst: str, port: int
+    ) -> Tuple[socket.socket, Any]:
+        """Connected socket for the link plus the codec it negotiated."""
         key = (src, dst)
         with self._conn_lock:
             cached = self._conns.get(key)
             if cached is not None:
-                sock, cached_port = cached
+                sock, cached_port, codec_name = cached
                 if cached_port == port:
-                    return sock
+                    return sock, self._codecs.get(codec_name, self.json_codec)
                 try:
                     sock.close()  # listener was re-bound on a new port
                 except OSError:
@@ -299,8 +462,18 @@ class TcpTransport(Transport):
                 del self._conns[key]
             sock = socket.create_connection(("127.0.0.1", port), timeout=10.0)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self._conns[key] = (sock, port)
-            return sock
+            try:
+                chosen = self._handshake(sock, src, dst)
+            except OSError as exc:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                raise TransportError(
+                    f"codec handshake failed {src}->{dst}: {exc}"
+                ) from exc
+            self._conns[key] = (sock, port, chosen)
+            return sock, self._codecs.get(chosen, self.json_codec)
 
     def _drop_connection(self, src: str, dst: str) -> None:
         with self._conn_lock:
@@ -330,9 +503,9 @@ class TcpTransport(Transport):
             t.cancel()
         super().close()  # closes endpoints -> stops listeners
         with self._conn_lock:
-            for sock, _port in self._conns.values():
+            for entry in self._conns.values():
                 try:
-                    sock.close()
+                    entry[0].close()
                 except OSError:
                     pass
             self._conns.clear()

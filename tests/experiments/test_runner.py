@@ -116,6 +116,6 @@ def test_registry_names_are_stable():
         "abl1_static_vs_dynamic", "abl2_trigger_period",
         "abl3_granularity", "abl4_centralization",
         "abl5_rw_semantics", "abl6_loss_tolerance",
-        "ext1_mixed_workload", "chaos", "delta_sweep",
+        "ext1_mixed_workload", "chaos", "delta_sweep", "wire_sweep",
     }
     assert set(EXPERIMENTS) == expected

@@ -70,6 +70,71 @@ def test_conflicting_registration_rejected():
         register_codec_type("test.point", Other, lambda o: {}, lambda d: Other())
 
 
+def test_reregistering_with_different_converters_rejected():
+    """Same (tag, cls) but behaviorally different converters must raise
+    instead of silently keeping whichever registration ran first."""
+    with pytest.raises(CodecError, match="different"):
+        register_codec_type(
+            "test.point",
+            _Point,
+            to_jsonable=lambda p: {"x": p.x * 2, "y": p.y},  # not the same!
+            from_jsonable=lambda d: _Point(d["x"], d["y"]),
+        )
+
+
+def test_registration_during_concurrent_dispatch_is_safe():
+    """A late register_codec_type while other threads encode must not
+    pin a stale negative dispatch memo for the new class."""
+    import threading
+
+    from repro.net import codec as codec_mod
+
+    class _Late:
+        def __init__(self, v):
+            self.v = v
+
+        def __eq__(self, other):
+            return isinstance(other, _Late) and self.v == other.v
+
+    codec = JsonCodec()
+    stop = threading.Event()
+    errors = []
+
+    def churn():
+        # Keep the dispatch memo hot (and repopulating) from a second
+        # thread while the main thread registers a new type.
+        m = Message("T", "a", "b", {"n": [1, {"s": "x"}]})
+        while not stop.is_set():
+            try:
+                codec.decode(codec.encode(m))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+                return
+
+    t = threading.Thread(target=churn)
+    t.start()
+    try:
+        for i in range(50):
+            tag = f"test.late.{i}"
+
+            class _LateN(_Late):
+                pass
+
+            register_codec_type(
+                tag, _LateN,
+                to_jsonable=lambda o: {"v": o.v},
+                from_jsonable=lambda d, cls=_LateN: cls(d["v"]),
+            )
+            # The freshly registered class must dispatch immediately.
+            assert codec_mod._dispatch_for(_LateN) is not None
+            m2 = roundtrip(Message("T", "a", "b", {"o": _LateN(i)}))
+            assert m2.payload["o"].v == i
+    finally:
+        stop.set()
+        t.join()
+    assert not errors
+
+
 def test_decode_garbage_raises():
     with pytest.raises(CodecError):
         JsonCodec().decode(b"\xff\xfe not json")

@@ -22,6 +22,31 @@ def test_last_encoded_size_matches_frame():
     assert codec.last_encoded_size == len(raw2) != len(raw)
 
 
+def test_sim_strict_wire_sizes_immune_to_racing_last_encoded_size():
+    """Regression: strict-wire accounting must size frames from the
+    returned bytes, not the codec's deprecated (and racy) shared
+    last_encoded_size attribute — a concurrent encode overwriting it
+    would skew every recorded byte counter."""
+    kernel = SimKernel()
+    transport = SimTransport(kernel, strict_wire=True)
+    real_encode = transport.codec.encode
+
+    def racing_encode(msg):
+        raw = real_encode(msg)
+        transport.codec.last_encoded_size = 7  # a concurrent encode's size
+        return raw
+
+    transport.codec.encode = racing_encode
+    transport.bind("a", lambda m: None)
+    transport.bind("b", lambda m: None)
+    msg = Message("T", "a", "b", {"pad": "x" * 100})
+    transport.send(msg)
+    kernel.run()
+    true_size = len(real_encode(msg))
+    assert transport.stats.bytes_sent == true_size != 7
+    assert transport.stats.bytes_by_type["T"] == true_size
+
+
 def test_plain_object_image_counts_as_full():
     stats = MessageStats()
     stats.record(Message("PULL_DATA", "dir", "cm", {"image": _image({"a": 1, "b": 2})}))
@@ -76,15 +101,29 @@ def test_snapshot_delta_and_reset_cover_new_fields():
         Message("PULL_DATA", "dir", "cm", {"image": _image({"a": 1, "b": 2})}),
         size=60,
     )
+    stats.record_compression(40)
+    stats.record_stored()
     diff = stats.snapshot().delta(before)
     assert isinstance(diff, StatsSnapshot)
     assert diff.bytes_by_type == {"PULL_DATA": 60}
     assert diff.images_full == 1 and diff.images_delta == 0
     assert diff.cells_sent == 2 and diff.cells_skipped == 0
+    assert diff.frames_compressed == 1 and diff.frames_stored == 1
+    assert diff.bytes_saved_compression == 40
     stats.reset()
     assert stats.images_full == stats.images_delta == 0
     assert stats.cells_sent == stats.cells_skipped == 0
+    assert stats.frames_compressed == stats.frames_stored == 0
+    assert stats.bytes_saved_compression == 0
     assert not stats.bytes_by_type
+
+
+def test_summary_mentions_compression():
+    stats = MessageStats()
+    stats.record_compression(128)
+    stats.record_stored()
+    assert "compressed=1" in stats.summary()
+    assert "saved_bytes=128" in stats.summary()
 
 
 def test_strict_wire_transport_populates_bytes_by_type():
