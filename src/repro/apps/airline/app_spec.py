@@ -28,6 +28,7 @@ from repro.baselines.common import ProtocolName, make_system
 from repro.core.cache_manager import CacheManager
 from repro.core.messages import TraceLog
 from repro.core.modes import Mode
+from repro.core.sharding import Partitioner, ShardedFleccSystem
 from repro.core.system import FleccSystem
 from repro.core.triggers import TriggerSet
 from repro.net.sim_transport import SimTransport
@@ -126,11 +127,17 @@ def build_airline_system(
     strict_wire: bool = True,
     delta: Optional[bool] = None,
     codec: Optional[object] = None,
+    n_shards: int = 1,
+    partitioner: Optional[Partitioner] = None,
 ) -> AirlineSystem:
     """The paper's LAN testbed as a simulated system.
 
     A star LAN hosts the database (``db-server``) and, optionally,
     ``agent-<i>`` hosts; the Flecc directory lives with the database.
+    With ``n_shards > 1`` (or an explicit ``partitioner``) the Flecc
+    primary copy is partitioned across a sharded directory plane —
+    every shard still lives on ``db-server``, matching the paper's
+    single-database deployment while parallelizing conflict rounds.
     """
     kernel = SimKernel()
     hosts = ["db-server"] + [f"agent-{i}" for i in range(n_agent_hosts)]
@@ -138,16 +145,42 @@ def build_airline_system(
     transport = SimTransport(
         kernel, topology=topology, strict_wire=strict_wire, codec=codec
     )
-    system = make_system(
-        protocol,
-        transport,
-        database,
-        extract_from_database,
-        merge_into_database,
-        conflict_resolver=seat_conflict_resolver if use_conflict_resolver else None,
-        trace=trace,
-        delta=delta,
-        extract_cells=extract_cells_from_database,
-    )
-    transport.place(system.directory.address, "db-server")
+    sharded = n_shards > 1 or partitioner is not None
+    if sharded and ProtocolName(protocol) is not ProtocolName.FLECC:
+        raise ValueError(
+            "sharded directory plane is a Flecc feature; baseline "
+            f"protocol {protocol!r} cannot be sharded"
+        )
+    if sharded:
+        system: FleccSystem | ShardedFleccSystem = ShardedFleccSystem(
+            transport,
+            database,
+            extract_from_database,
+            merge_into_database,
+            n_shards=n_shards,
+            partitioner=partitioner,
+            conflict_resolver=(
+                seat_conflict_resolver if use_conflict_resolver else None
+            ),
+            trace=trace,
+            delta=delta,
+            extract_cells=extract_cells_from_database,
+        )
+        for address in system.plane.addresses:
+            transport.place(address, "db-server")
+    else:
+        system = make_system(
+            protocol,
+            transport,
+            database,
+            extract_from_database,
+            merge_into_database,
+            conflict_resolver=(
+                seat_conflict_resolver if use_conflict_resolver else None
+            ),
+            trace=trace,
+            delta=delta,
+            extract_cells=extract_cells_from_database,
+        )
+        transport.place(system.directory.address, "db-server")
     return AirlineSystem(kernel, transport, system, database)

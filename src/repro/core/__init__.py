@@ -28,6 +28,13 @@ from repro.core.reflection import ReflectionExtractor, reflect_variables
 from repro.core.directory import DirectoryManager
 from repro.core.cache_manager import CacheManager
 from repro.core.system import FleccSystem
+from repro.core.sharding import (
+    DomainRangePartitioner,
+    HashPartitioner,
+    ShardedDirectoryPlane,
+    ShardedFleccSystem,
+    ShardRouter,
+)
 from repro.core.rw_semantics import Access, RWCacheManager, RWDirectoryManager
 from repro.core.multilevel import ReplicaCoordinator
 
@@ -51,6 +58,11 @@ __all__ = [
     "DirectoryManager",
     "CacheManager",
     "FleccSystem",
+    "HashPartitioner",
+    "DomainRangePartitioner",
+    "ShardRouter",
+    "ShardedDirectoryPlane",
+    "ShardedFleccSystem",
     "Access",
     "RWCacheManager",
     "RWDirectoryManager",

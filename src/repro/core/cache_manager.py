@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.core import messages as M
 from repro.core.image import DeltaImage, ObjectImage
@@ -167,7 +167,13 @@ class CacheManager:
         self._synced: Optional[ObjectImage] = None
         self._since: int = -1
         self._pending: Dict[int, Completion] = {}
-        self._pending_invalidate: Optional[Message] = None
+        # Invalidations deferred while the view is inside its critical
+        # section.  A list (not a slot): on a sharded directory plane,
+        # several shards can concurrently revoke one spanning view, and
+        # every revoker must be answered *after* the critical section —
+        # acking any of them early would let a contending view be
+        # granted that shard's partition while we are still writing it.
+        self._pending_invalidates: List[Message] = []
         self._use_lock = _CompletionLock(transport, f"{view_id}.use")
         self._in_use = False
         self._lock = threading.RLock()
@@ -287,12 +293,13 @@ class CacheManager:
         if self._in_use:
             # The view is inside startUse/endUse — defer until it exits
             # the critical section (mutual exclusion, Fig 2 steps 6-7).
-            if self._pending_invalidate is not None:
-                # Duplicate invalidate (e.g. injected fault): ack the
-                # older one empty, keep the newer.
-                stale = self._pending_invalidate
-                self.endpoint.send(stale.reply(M.INVALIDATE_ACK, {"view_id": self.view_id}))
-            self._pending_invalidate = msg
+            # A duplicate delivery of an already-deferred invalidate
+            # (injected fault or retransmission: same msg_id) collapses
+            # into the original; distinct msg_ids are distinct revokers
+            # (e.g. several shards of a partitioned directory plane) and
+            # each gets its own ACK at end-of-use.
+            if all(m.msg_id != msg.msg_id for m in self._pending_invalidates):
+                self._pending_invalidates.append(msg)
             return
         self._complete_invalidate(msg)
 
@@ -594,10 +601,14 @@ class CacheManager:
             if not self._in_use:
                 raise ProtocolError(f"{self.view_id}: end_use without start_use")
             self._in_use = False
-            deferred = self._pending_invalidate
-            self._pending_invalidate = None
-            if deferred is not None:
-                self._complete_invalidate(deferred)
+            deferred = self._pending_invalidates
+            self._pending_invalidates = []
+            # Answer every deferred revoker in arrival order.  The first
+            # ACK carries all dirty cells (and rebases); the rest are
+            # empty — on a sharded plane the router re-homes any cells
+            # the first revoker's shard does not own.
+            for msg in deferred:
+                self._complete_invalidate(msg)
         self._use_lock.release()
 
     def set_mode(self, mode: Mode | str) -> Completion:
@@ -718,7 +729,7 @@ class CacheManager:
                 self._trigger_timer = None
             self._stop_heartbeats()
             self._pending.clear()  # a dead process answers nothing
-            self._pending_invalidate = None
+            self._pending_invalidates = []
             self._in_use = False
             self._base = ObjectImage()
             self._synced = None  # delta base is volatile state too

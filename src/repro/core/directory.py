@@ -131,8 +131,14 @@ class DirectoryManager:
         lease_duration: Optional[float] = None,
         delta: bool = True,
         extract_cells: Optional[ExtractCells] = None,
+        key_filter: Optional[Callable[[str], bool]] = None,
     ) -> None:
         self.transport = transport
+        # Sharded-plane guard: when this directory is one shard of a
+        # partitioned primary copy, only cells the predicate accepts are
+        # committed here.  A foreign-key commit would bump versions the
+        # owning shard never sees and silently fork the version history.
+        self.key_filter = key_filter
         # Delta synchronization: serve version-filtered delta images to
         # requesters that attach a ``since`` cursor, instead of the full
         # property slice.  Off → every serve ships the full image (the
@@ -874,6 +880,10 @@ class DirectoryManager:
         view's seen-vector advances with it (it has, by definition, seen
         its own update).
         """
+        if self.key_filter is not None:
+            owned = [k for k in image.keys() if self.key_filter(k)]
+            if len(owned) != len(image):
+                image = image.restrict(owned)
         if image.is_empty():
             return 0
         if seq is not None:

@@ -1,0 +1,1175 @@
+"""Sharded directory plane: a partitioned primary copy behind a router.
+
+Flecc's protocol is deliberately centralized — one directory manager
+owns the primary copy and runs every conflict round.  That caps the
+whole coherence plane at one process.  This module partitions the
+primary copy across N independent :class:`DirectoryManager` *shards*
+while keeping every cache manager oblivious:
+
+- A **partitioner** assigns each cell key to one shard.
+  :class:`HashPartitioner` uses a consistent-hash ring over CRC-32 (so
+  the assignment is stable across process restarts — ``hash()`` is
+  randomized per process and must never leak into routing), and
+  :class:`DomainRangePartitioner` splits by property-domain ranges so
+  ``dynConfl`` overlap checks stay shard-local for range-partitioned
+  workloads.
+- A CM-side :class:`ShardRouter` (a :class:`Transport` wrapper) resolves
+  REGISTER / ACQUIRE / PUSH / PULL / INIT to the owning shard and fans
+  multi-shard operations out, merging the per-shard replies into the
+  single reply the cache manager expects.  Conflict rounds run
+  **shard-local first** (each shard revokes/fetches independently) and
+  meet at a **merge barrier** in the router only when a view's property
+  set genuinely spans shards.
+- :class:`ShardedDirectoryPlane` builds the shards (each sees only its
+  own key partition via wrapped extract functions plus the directory's
+  ``key_filter`` guard) and exposes plane-wide counters and merged
+  :class:`~repro.net.stats.MessageStats`.
+
+**N=1 parity guarantee**: with one shard the router binds handlers
+straight through and forwards every send verbatim — no message is
+created, rewritten, or re-ordered — so a single-shard plane is
+byte/message-identical to the unsharded system and all existing
+experiments remain valid.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import zlib
+from collections import Counter
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.core import messages as M
+from repro.core.cache_manager import CacheManager, ExtractFromView, MergeIntoView
+from repro.core.directory import (
+    DirectoryManager,
+    ExtractCells,
+    ExtractFromObject,
+    MergeIntoObject,
+)
+from repro.core.domains import DiscreteSet, Domain
+from repro.core.image import DeltaImage, ObjectImage
+from repro.core.messages import TraceLog
+from repro.core.modes import Mode
+from repro.core.property_set import PropertySet
+from repro.core.static_map import StaticSharingMap
+from repro.core.triggers import TriggerSet
+from repro.errors import ReproError, TransportError
+from repro.net.message import Message
+from repro.net.stats import MessageStats
+from repro.net.transport import Completion, Endpoint, TimerHandle, Transport
+
+
+def stable_key_hash(key: Any) -> int:
+    """Process-restart-stable hash for routing decisions.
+
+    Python's builtin ``hash`` is salted per process (PYTHONHASHSEED), so
+    using it would scatter a view's cells differently on every restart
+    and desynchronize recovering cache managers from the shard that
+    holds their state.  CRC-32 is stable, fast, and spreads short cell
+    keys well enough for placement.
+    """
+    return zlib.crc32(str(key).encode("utf-8")) & 0xFFFFFFFF
+
+
+class HashPartitioner:
+    """Consistent-hash ring over cell keys.
+
+    Each shard owns ``replicas`` virtual points on a CRC-32 ring; a key
+    belongs to the shard owning the first ring point at or after the
+    key's hash.  Virtual points keep the per-shard load balanced and the
+    assignment stable when the shard count changes (only ~1/N of keys
+    move), though this plane never resizes a live ring.
+
+    ``shards_for(properties)`` maps a view's property set to the shards
+    its slice can touch: a :class:`DiscreteSet` domain on the partition
+    property enumerates exactly the owning shards; an interval (or a
+    missing partition property) cannot be enumerated, so the view is
+    treated as spanning every shard.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        replicas: int = 64,
+        partition_property: str = "cells",
+    ) -> None:
+        if n_shards < 1:
+            raise ReproError(f"n_shards must be >= 1, got {n_shards}")
+        if replicas < 1:
+            raise ReproError(f"replicas must be >= 1, got {replicas}")
+        self.n_shards = n_shards
+        self.replicas = replicas
+        self.partition_property = partition_property
+        ring: List[Tuple[int, int]] = []
+        for shard in range(n_shards):
+            for rep in range(replicas):
+                ring.append((stable_key_hash(f"shard:{shard}:rep:{rep}"), shard))
+        ring.sort()
+        self._points = [point for point, _ in ring]
+        self._owners = [shard for _, shard in ring]
+
+    def shard_of(self, key: Any) -> int:
+        """The shard owning ``key``."""
+        if self.n_shards == 1:
+            return 0
+        idx = bisect.bisect_right(self._points, stable_key_hash(key))
+        return self._owners[idx % len(self._owners)]
+
+    def shards_for(self, properties: Optional[PropertySet]) -> List[int]:
+        """Sorted shards a view with ``properties`` can touch."""
+        if self.n_shards == 1:
+            return [0]
+        prop = (
+            properties.get(self.partition_property)
+            if properties is not None
+            else None
+        )
+        if prop is None or not isinstance(prop.domain, DiscreteSet):
+            # Interval (or absent) domains cannot be enumerated: the
+            # view may touch any key, so it spans the whole plane.
+            return list(range(self.n_shards))
+        return sorted({self.shard_of(v) for v in prop.domain.values})
+
+
+class DomainRangePartitioner:
+    """Partition by explicit property-domain ranges.
+
+    One :class:`~repro.core.domains.Domain` per shard; a key belongs to
+    the first range that contains it (CRC-32 fallback for keys outside
+    every range).  Because the ranges are domains, ``shards_for`` can
+    answer by *domain overlap* — the same operation ``dynConfl`` uses —
+    so a workload partitioned along its conflict structure keeps every
+    overlap check, and therefore every conflict round, shard-local.
+    """
+
+    def __init__(
+        self,
+        ranges: Sequence[Domain],
+        partition_property: str = "cells",
+    ) -> None:
+        if not ranges:
+            raise ReproError("DomainRangePartitioner needs at least one range")
+        self.ranges: List[Domain] = list(ranges)
+        self.n_shards = len(self.ranges)
+        self.partition_property = partition_property
+
+    def shard_of(self, key: Any) -> int:
+        for shard, dom in enumerate(self.ranges):
+            if dom.contains(key):
+                return shard
+        return stable_key_hash(key) % self.n_shards
+
+    def shards_for(self, properties: Optional[PropertySet]) -> List[int]:
+        prop = (
+            properties.get(self.partition_property)
+            if properties is not None
+            else None
+        )
+        if prop is None:
+            return list(range(self.n_shards))
+        dom = prop.domain
+        if isinstance(dom, DiscreteSet):
+            return sorted({self.shard_of(v) for v in dom.values})
+        overlapping = [
+            shard for shard, r in enumerate(self.ranges) if r.overlaps(dom)
+        ]
+        return overlapping or [0]
+
+
+Partitioner = Union[HashPartitioner, DomainRangePartitioner]
+
+
+def _absorb(acc: ObjectImage, part: ObjectImage) -> None:
+    """Union ``part`` into ``acc``, later/newer versions winning.
+
+    Unlike :meth:`ObjectImage.merge_newer` this keeps version-0 cells
+    (cells never committed at their shard carry version 0 in a complete
+    serve — dropping them would truncate first-contact images) and lets
+    an equal-version later serve overwrite an earlier one.
+    """
+    for key, value in part.cells.items():
+        if key not in acc.cells or part.versions.get(key) >= acc.versions.get(key):
+            acc.cells[key] = value
+            acc.versions.set(key, part.versions.get(key))
+
+
+class _ViewRoute:
+    """Router-side registration state for one view."""
+
+    __slots__ = (
+        "view_id", "cm_addr", "properties", "mode", "register_payload",
+        "shards", "shard_since", "serve_seq", "last_served", "inflight",
+    )
+
+    def __init__(self, view_id: str, cm_addr: str, properties: PropertySet) -> None:
+        self.view_id = view_id
+        self.cm_addr = cm_addr
+        self.properties = properties
+        self.mode = Mode.WEAK
+        # The original REGISTER payload, kept for synthesized
+        # registrations when a view's footprint later grows a shard.
+        self.register_payload: Dict[str, Any] = {}
+        self.shards: List[int] = []
+        # Per-shard delta cursors: the shard's commit cursor after its
+        # last serve to this view.  The CM only ever sees the *merged*
+        # cursor below, so shard cursors live here.
+        self.shard_since: Dict[int, int] = {}
+        # Merged-serve cursor handed to the CM (its ``since`` echoes it).
+        self.serve_seq = 0
+        self.last_served = -1
+        # In-flight ACQUIRE fan-outs, for cross-shard disturbance checks.
+        self.inflight: List["_Fanout"] = []
+
+
+class _Fanout:
+    """One CM request fanned out to several shards, awaiting the barrier."""
+
+    __slots__ = (
+        "orig", "ep", "route", "kind", "pending", "replies", "errors",
+        "acc", "plain", "slice_total", "since", "asked_full",
+        "attempts", "disturbed", "held", "extra",
+    )
+
+    def __init__(self, orig: Message, ep: Optional[Endpoint], route: _ViewRoute) -> None:
+        self.orig = orig
+        self.ep = ep
+        self.route = route
+        self.kind = orig.msg_type
+        # copy msg_id -> (shard, copy message); copies are kept so a CM
+        # retransmission (same orig msg_id) re-sends the *same* copies
+        # and the shards' reply caches stay dedup-correct.
+        self.pending: Dict[int, Tuple[int, Message]] = {}
+        self.replies: List[Tuple[int, Message]] = []
+        self.errors: List[str] = []
+        # Data-op accumulator: survives ACQUIRE retries, because each
+        # attempt advances the shards' seen-cursors — discarding an
+        # attempt's cells would lose them from every later delta.
+        self.acc = ObjectImage()
+        self.plain = False
+        self.slice_total: Dict[int, int] = {}
+        self.since: Optional[int] = None
+        self.asked_full = False
+        self.attempts = 1
+        # Set when a shard that already granted inside this barrier
+        # revoked us again on behalf of a *higher-priority* contender:
+        # the merged grant would be missing that shard's token, so the
+        # barrier must re-acquire instead of delivering.
+        self.disturbed = False
+        # Revocations from already-granted shards on behalf of
+        # *lower-priority* contenders, held until the merged grant is
+        # delivered (see ShardRouter._incoming for the ordering rule).
+        self.held: List[Message] = []
+        self.extra: Dict[str, Any] = {}
+
+
+_DATA_OPS = frozenset({M.ACQUIRE, M.PULL_REQ, M.INIT_REQ})
+_DATA_REPLY = {M.ACQUIRE: M.GRANT, M.INIT_REQ: M.INIT_DATA, M.PULL_REQ: M.PULL_DATA}
+
+
+class ShardRouter(Transport):
+    """CM-side request router over a partitioned directory plane.
+
+    Cache managers bind on this transport and address the plane by its
+    single logical directory address; the router resolves each request
+    to the owning shard(s) on the inner transport, runs the merge
+    barrier for multi-shard operations, and splits CM replies that carry
+    cells owned by other shards (the foreign partitions travel as
+    synthesized PUSHes to their home shards).
+
+    With one shard the router is a pure passthrough: handlers bind
+    straight through and ``send`` forwards verbatim, so the wire is
+    byte/message-identical to the unsharded system.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        directory_address: str,
+        shard_addresses: Sequence[str],
+        partitioner: Partitioner,
+        trace: Optional[TraceLog] = None,
+        max_acquire_retries: int = 8,
+    ) -> None:
+        super().__init__()
+        if not shard_addresses:
+            raise ReproError("ShardRouter needs at least one shard address")
+        self.inner = inner
+        # One wire, one ledger: the router performs no sends of its own
+        # account — everything it ships rides the inner transport, so
+        # the plane-wide wire view *is* the inner transport's stats.
+        self.stats = inner.stats
+        self.directory_address = directory_address
+        self.shard_addresses = list(shard_addresses)
+        self._shard_index = {a: i for i, a in enumerate(self.shard_addresses)}
+        self.partitioner = partitioner
+        self.passthrough = len(self.shard_addresses) == 1
+        self.trace = trace
+        self.max_acquire_retries = max_acquire_retries
+        self._inner_eps: Dict[str, Endpoint] = {}
+        self._views: Dict[str, _ViewRoute] = {}
+        self._by_addr: Dict[str, _ViewRoute] = {}
+        self._orig: Dict[int, _Fanout] = {}
+        self._copies: Dict[int, Tuple[_Fanout, int]] = {}
+        self._swallow: Set[int] = set()
+        # Router-level per-shard accounting: the logical messages
+        # exchanged with each shard (copies out, replies in).  Merged
+        # into one plane-wide view via MessageStats.merge().
+        self.shard_stats: Dict[int, MessageStats] = {
+            i: MessageStats() for i in range(len(self.shard_addresses))
+        }
+        self.counters: Dict[str, int] = {
+            "router_fanouts": 0,
+            "cross_shard_rounds": 0,
+            "shard_local_rounds": 0,
+            "acquire_retries": 0,
+            "invalidates_held": 0,
+            "synthesized_pushes": 0,
+            "registrations_extended": 0,
+            "late_replies": 0,
+        }
+        self._lock = threading.RLock()
+        self._closed = False
+
+    # -- binding ---------------------------------------------------------
+    def _on_bind(self, ep: Endpoint) -> None:
+        if self.passthrough:
+            handler = ep.handler  # N=1: no interception at all
+        else:
+            handler = lambda m, _ep=ep: self._incoming(_ep, m)  # noqa: E731
+        self._inner_eps[ep.address] = self.inner.bind(ep.address, handler)
+
+    def _on_unbind(self, ep: Endpoint) -> None:
+        inner_ep = self._inner_eps.pop(ep.address, None)
+        if inner_ep is not None:
+            inner_ep.close()
+        route = self._by_addr.pop(ep.address, None)
+        if route is not None:
+            self._views.pop(route.view_id, None)
+
+    # -- sending ---------------------------------------------------------
+    def send(self, msg: Message) -> None:
+        if self._closed:
+            raise TransportError("shard router closed")
+        if self.passthrough:
+            self.inner.send(msg)
+            return
+        with self._lock:
+            if msg.dst == self.directory_address:
+                self._route_request(msg)
+                return
+            shard = self._shard_index.get(msg.dst)
+            if shard is not None and msg.msg_type in M.CM_REPLIES:
+                self._split_cm_reply(msg, shard)
+                return
+        self.inner.send(msg)
+
+    def _send_to_shard(self, shard: int, msg: Message) -> None:
+        self.shard_stats[shard].record(msg)
+        self.inner.send(msg)
+
+    def _trace(self, event: str, **detail: Any) -> None:
+        if self.trace is not None:
+            self.trace.record(self.inner.now(), "router", event, **detail)
+
+    # -- request routing -------------------------------------------------
+    def _route_request(self, msg: Message) -> None:
+        fan = self._orig.get(msg.msg_id)
+        if fan is not None:
+            # CM retransmission (same msg_id): re-send the unanswered
+            # copies with their original ids so shard reply caches and
+            # round dedup keep working.
+            for shard, copy in list(fan.pending.values()):
+                self._send_to_shard(shard, copy)
+            return
+        mt = msg.msg_type
+        if mt == M.REGISTER:
+            self._route_register(msg)
+        elif mt in _DATA_OPS:
+            self._route_data(msg)
+        elif mt == M.PUSH:
+            self._route_push(msg)
+        elif mt == M.UNREGISTER:
+            self._route_unregister(msg)
+        elif mt == M.PROP_UPDATE:
+            self._route_prop_update(msg)
+        elif mt in (M.SET_MODE, M.HEARTBEAT):
+            self._route_broadcast(msg)
+        else:
+            self._deliver_error(msg, f"unroutable message type {mt}")
+
+    def _route_of(self, msg: Message) -> Optional[_ViewRoute]:
+        route = self._views.get(msg.payload.get("view_id"))
+        if route is None:
+            self._deliver_error(
+                msg,
+                f"message {msg.msg_type} from unregistered view "
+                f"{msg.payload.get('view_id')!r}",
+            )
+        return route
+
+    def _begin_fanout(
+        self, msg: Message, route: _ViewRoute, targets: List[Tuple[int, Message]]
+    ) -> _Fanout:
+        fan = _Fanout(msg, self._endpoints.get(msg.src), route)
+        self._orig[msg.msg_id] = fan
+        self._launch(fan, targets)
+        return fan
+
+    def _launch(self, fan: _Fanout, targets: List[Tuple[int, Message]]) -> None:
+        for shard, copy in targets:
+            fan.pending[copy.msg_id] = (shard, copy)
+            self._copies[copy.msg_id] = (fan, shard)
+        if len(targets) > 1:
+            self.counters["router_fanouts"] += 1
+        for shard, copy in targets:
+            self._send_to_shard(shard, copy)
+
+    def _route_register(self, msg: Message) -> None:
+        p = msg.payload
+        view_id = p.get("view_id")
+        properties = p.get("properties") or PropertySet()
+        shards = self.partitioner.shards_for(properties)
+        route = self._views.get(view_id)
+        if route is None:
+            route = _ViewRoute(view_id, msg.src, properties)
+            self._views[view_id] = route
+        route.cm_addr = msg.src
+        self._by_addr[msg.src] = route
+        route.properties = properties
+        route.mode = Mode.parse(p.get("mode", Mode.WEAK))
+        route.shards = shards
+        route.register_payload = dict(p)
+        for s in shards:
+            route.shard_since.setdefault(s, -1)
+        targets = [
+            (s, Message(M.REGISTER, msg.src, self.shard_addresses[s], dict(p)))
+            for s in shards
+        ]
+        self._begin_fanout(msg, route, targets)
+
+    def _route_data(self, msg: Message) -> None:
+        route = self._route_of(msg)
+        if route is None:
+            return
+        since = msg.payload.get("since")
+        # A cursor the router did not hand out — first contact, a reset
+        # after crash/property change, or an explicit full request —
+        # means the CM's base cannot anchor a merged delta: serve a
+        # complete image from every shard.
+        asked_full = bool(msg.payload.get("full")) or (
+            since is not None and (since < 0 or since != route.last_served)
+        )
+        fan = _Fanout(msg, self._endpoints.get(msg.src), route)
+        fan.since = since
+        fan.asked_full = asked_full
+        self._orig[msg.msg_id] = fan
+        if msg.msg_type == M.ACQUIRE:
+            route.inflight.append(fan)
+        self._send_data_copies(fan)
+
+    def _send_data_copies(self, fan: _Fanout) -> None:
+        route = fan.route
+        targets: List[Tuple[int, Message]] = []
+        for shard in route.shards:
+            p = dict(fan.orig.payload)
+            if fan.since is not None:
+                p["since"] = route.shard_since.get(shard, -1)
+                if fan.asked_full:
+                    p["full"] = True
+                else:
+                    p.pop("full", None)
+            targets.append(
+                (shard, Message(fan.orig.msg_type, fan.orig.src,
+                                self.shard_addresses[shard], p))
+            )
+        if len(targets) > 1:
+            self.counters["cross_shard_rounds"] += 1
+        else:
+            self.counters["shard_local_rounds"] += 1
+        self._launch(fan, targets)
+
+    def _route_push(self, msg: Message) -> None:
+        route = self._route_of(msg)
+        if route is None:
+            return
+        image: ObjectImage = msg.payload.get("image") or ObjectImage()
+        state_seq = msg.payload.get("state_seq")
+        groups = self._group_keys(image)
+        targets: List[Tuple[int, Message]] = []
+        for shard in sorted(groups):
+            if shard not in route.shards:
+                self._extend_route(route, shard)
+            targets.append(
+                (shard, Message(M.PUSH, msg.src, self.shard_addresses[shard],
+                                {"view_id": route.view_id,
+                                 "image": image.restrict(groups[shard]),
+                                 "state_seq": state_seq}))
+            )
+        if not targets:
+            # Empty push: one shard must still ACK (and renew the lease).
+            home = route.shards[0]
+            targets.append(
+                (home, Message(M.PUSH, msg.src, self.shard_addresses[home],
+                               {"view_id": route.view_id,
+                                "image": ObjectImage(),
+                                "state_seq": state_seq}))
+            )
+        self._begin_fanout(msg, route, targets)
+
+    def _route_unregister(self, msg: Message) -> None:
+        route = self._route_of(msg)
+        if route is None:
+            return
+        image: ObjectImage = msg.payload.get("image") or ObjectImage()
+        state_seq = msg.payload.get("state_seq")
+        groups = self._group_keys(image)
+        for shard in sorted(groups):
+            if shard not in route.shards:
+                self._extend_route(route, shard)
+        targets = [
+            (shard, Message(M.UNREGISTER, msg.src, self.shard_addresses[shard],
+                            {"view_id": route.view_id,
+                             "image": image.restrict(groups.get(shard, [])),
+                             "state_seq": state_seq}))
+            for shard in route.shards
+        ]
+        self._begin_fanout(msg, route, targets)
+
+    def _route_prop_update(self, msg: Message) -> None:
+        route = self._route_of(msg)
+        if route is None:
+            return
+        properties = msg.payload.get("properties")
+        if not isinstance(properties, PropertySet):
+            self._deliver_error(msg, "properties missing")
+            return
+        new_shards = set(self.partitioner.shards_for(properties))
+        old_shards = set(route.shards)
+        targets: List[Tuple[int, Message]] = []
+        for shard in sorted(new_shards & old_shards):
+            targets.append(
+                (shard, Message(M.PROP_UPDATE, msg.src,
+                                self.shard_addresses[shard],
+                                {"view_id": route.view_id,
+                                 "properties": properties}))
+            )
+        for shard in sorted(new_shards - old_shards):
+            # The slice now reaches a shard that has never seen this
+            # view: synthesize its registration inside the same barrier
+            # (recover=True keeps it idempotent against stale state).
+            reg = dict(route.register_payload)
+            reg["properties"] = properties
+            reg["recover"] = True
+            targets.append(
+                (shard, Message(M.REGISTER, msg.src,
+                                self.shard_addresses[shard], reg))
+            )
+        for shard in sorted(old_shards - new_shards):
+            targets.append(
+                (shard, Message(M.UNREGISTER, msg.src,
+                                self.shard_addresses[shard],
+                                {"view_id": route.view_id,
+                                 "image": ObjectImage()}))
+            )
+        fan = self._begin_fanout(msg, route, targets)
+        fan.extra["new_shards"] = sorted(new_shards)
+        fan.extra["new_properties"] = properties
+
+    def _route_broadcast(self, msg: Message) -> None:
+        route = self._route_of(msg)
+        if route is None:
+            return
+        targets = [
+            (shard, Message(msg.msg_type, msg.src,
+                            self.shard_addresses[shard], dict(msg.payload)))
+            for shard in route.shards
+        ]
+        self._begin_fanout(msg, route, targets)
+
+    # -- CM replies carrying state (INVALIDATE_ACK / FETCH_REPLY) --------
+    def _split_cm_reply(self, msg: Message, shard: int) -> None:
+        """Keep the asking shard's partition in the reply; ship the rest.
+
+        A revoked spanning view hands *all* its dirty cells to whichever
+        shard asked first.  Cells the asking shard does not own would be
+        dropped by its ``key_filter``, so they are re-homed here as
+        synthesized PUSHes — sent before the reply, and FIFO per link,
+        so a shard always commits its partition before any later round
+        reply from this CM reaches it.
+        """
+        route = self._by_addr.get(msg.src)
+        image = msg.payload.get("image")
+        if route is not None and image is not None and not image.is_empty():
+            groups = self._group_keys(image)
+            own_keys = groups.pop(shard, [])
+            for other in sorted(groups):
+                if other not in route.shards:
+                    self._extend_route(route, other)
+                push = Message(
+                    M.PUSH, msg.src, self.shard_addresses[other],
+                    # No state_seq: the per-shard cursors gate the CM's
+                    # own pushes; a re-homed partition must always land.
+                    {"view_id": route.view_id,
+                     "image": image.restrict(groups[other])},
+                )
+                self._swallow.add(push.msg_id)
+                self.counters["synthesized_pushes"] += 1
+                self._send_to_shard(other, push)
+            if len(own_keys) != len(image):
+                msg.payload["image"] = image.restrict(own_keys)
+        self._send_to_shard(shard, msg)
+
+    def _group_keys(self, image: ObjectImage) -> Dict[int, List[str]]:
+        groups: Dict[int, List[str]] = {}
+        for key in image.keys():
+            groups.setdefault(self.partitioner.shard_of(key), []).append(key)
+        return groups
+
+    def _extend_route(self, route: _ViewRoute, shard: int) -> None:
+        """Synthesize a registration on a shard the view has outgrown to.
+
+        FIFO per link guarantees the REGISTER lands before anything this
+        method's callers send to the same shard right after.
+        """
+        reg = dict(route.register_payload) or {"view_id": route.view_id}
+        reg.setdefault("view_id", route.view_id)
+        reg["properties"] = route.properties
+        reg["recover"] = True
+        m = Message(M.REGISTER, route.cm_addr, self.shard_addresses[shard], reg)
+        self._swallow.add(m.msg_id)
+        self.counters["registrations_extended"] += 1
+        route.shards = sorted(set(route.shards) | {shard})
+        route.shard_since.setdefault(shard, -1)
+        self._send_to_shard(shard, m)
+
+    # -- incoming (wrapped CM endpoints) ---------------------------------
+    def _incoming(self, ep: Endpoint, msg: Message) -> None:
+        with self._lock:
+            if msg.reply_to is not None:
+                entry = self._copies.pop(msg.reply_to, None)
+                if entry is not None:
+                    fan, shard = entry
+                    self.shard_stats[shard].record(msg)
+                    self._on_copy_reply(fan, shard, msg)
+                    return
+                if msg.reply_to in self._swallow:
+                    self._swallow.discard(msg.reply_to)
+                    return
+                if msg.src in self._shard_index:
+                    # Reply to an abandoned copy (e.g. a duplicate after
+                    # the barrier already closed) — consume it quietly.
+                    self.counters["late_replies"] += 1
+                    return
+            elif msg.msg_type == M.INVALIDATE:
+                if self._intercept_invalidate(msg):
+                    return
+        ep.handler(msg)
+
+    def _intercept_invalidate(self, msg: Message) -> bool:
+        """Ordering rule for revocations racing an open acquire barrier.
+
+        A CM that is mid-acquire answers INVALIDATE with an *empty* ACK
+        (it is not in its critical section yet), silently surrendering
+        any shard token the open barrier already collected — the merged
+        grant the router is about to deliver would then claim ownership
+        a shard has already given away (a lost-update hole), and two
+        contending spanning views can revoke each other's half-collected
+        barriers forever (livelock).
+
+        Resolution, per revocation from a shard that already granted
+        inside the open barrier:
+
+        - requester has **lower priority** (greater view id): hold the
+          INVALIDATE until the merged grant is delivered, then release
+          it — the CM is then in (or past) its critical section, so the
+          ACK carries the critical section's writes.  Holding blocks
+          only that shard's next round, which nothing in this barrier
+          waits on; cycles would need priority to strictly decrease
+          around a loop, so none form.
+        - requester has **higher priority** (smaller view id): let it
+          through (the CM yields the token) and mark the barrier
+          disturbed — it re-acquires after closing instead of
+          delivering a grant with a stolen token.
+
+        A revocation from a shard that has *not* yet granted in this
+        barrier costs nothing (no token to lose — the shard's grant
+        will come from a later round) and passes straight through.
+
+        Returns True when the message was consumed (held).
+        """
+        route = self._by_addr.get(msg.dst)
+        shard = self._shard_index.get(msg.src)
+        if route is None or shard is None:
+            return False
+        for fan in route.inflight:
+            if not any(s == shard for s, _ in fan.replies):
+                continue
+            requester = msg.payload.get("requested_by")
+            if requester is not None and str(requester) > str(route.view_id):
+                fan.held.append(msg)
+                self.counters["invalidates_held"] += 1
+                return True
+            fan.disturbed = True
+        return False
+
+    def _release_held(self, fan: _Fanout) -> None:
+        """Deliver held revocations to the CM (after grant or on abort)."""
+        held, fan.held = fan.held, []
+        if not held:
+            return
+        ep = fan.ep if fan.ep is not None else self._endpoints.get(fan.orig.src)
+        if ep is None or ep.closed:
+            for m in held:
+                self.stats.record_drop(m)
+            return
+        for m in held:
+            ep.handler(m)
+
+    def _on_copy_reply(self, fan: _Fanout, shard: int, msg: Message) -> None:
+        fan.pending.pop(msg.reply_to, None)
+        if msg.msg_type == M.ERROR:
+            fan.errors.append(msg.payload.get("error", "shard error"))
+        else:
+            fan.replies.append((shard, msg))
+        if not fan.pending:
+            self._finalize(fan)
+
+    # -- barrier merges --------------------------------------------------
+    def _finalize(self, fan: _Fanout) -> None:
+        if fan.kind in _DATA_OPS:
+            self._finalize_data(fan)
+            return
+        self._orig.pop(fan.orig.msg_id, None)
+        if fan.errors:
+            self._deliver(fan, M.ERROR, {"error": "; ".join(fan.errors)})
+            return
+        route = fan.route
+        vid = route.view_id
+        replies = [m for _, m in fan.replies]
+        if fan.kind == M.REGISTER:
+            lease = next(
+                (m.payload.get("lease") for m in replies
+                 if m.payload.get("lease") is not None), None,
+            )
+            self._deliver(fan, M.REGISTER_ACK, {
+                "view_id": vid,
+                "recovered": any(m.payload.get("recovered") for m in replies),
+                "last_state_seq": max(
+                    (m.payload.get("last_state_seq") or 0 for m in replies),
+                    default=0,
+                ),
+                "lease": lease,
+                "slice_size": sum(
+                    m.payload.get("slice_size") or 0 for m in replies
+                ),
+            })
+        elif fan.kind == M.PUSH:
+            self._deliver(fan, M.PUSH_ACK, {
+                "committed": sum(
+                    m.payload.get("committed", 0) for m in replies
+                ),
+            })
+        elif fan.kind == M.UNREGISTER:
+            self._views.pop(vid, None)
+            self._by_addr.pop(route.cm_addr, None)
+            self._deliver(fan, M.UNREGISTER_ACK, {"view_id": vid})
+        elif fan.kind == M.PROP_UPDATE:
+            route.properties = fan.extra["new_properties"]
+            route.shards = fan.extra["new_shards"]
+            kept = set(route.shards)
+            route.shard_since = {
+                s: route.shard_since.get(s, -1) for s in kept
+            }
+            # The slice changed shape: the CM resets its cursor to -1,
+            # and the next serve must be complete.
+            route.last_served = -1
+            self._deliver(fan, M.PROP_UPDATE_ACK, {"view_id": vid})
+        elif fan.kind == M.SET_MODE:
+            payload = replies[0].payload if replies else {}
+            route.mode = Mode.parse(payload.get("mode", route.mode))
+            self._deliver(fan, M.SET_MODE_ACK, dict(payload))
+        elif fan.kind == M.HEARTBEAT:
+            lease = next(
+                (m.payload.get("lease") for m in replies
+                 if m.payload.get("lease") is not None), None,
+            )
+            self._deliver(fan, M.HEARTBEAT_ACK, {"view_id": vid, "lease": lease})
+        else:  # pragma: no cover - routing covers every request type
+            self._deliver(fan, M.ERROR, {"error": f"unmergeable {fan.kind}"})
+
+    def _finalize_data(self, fan: _Fanout) -> None:
+        route = fan.route
+        for shard, msg in fan.replies:
+            image = msg.payload.get("image")
+            if isinstance(image, DeltaImage):
+                route.shard_since[shard] = image.as_of
+                fan.slice_total[shard] = image.slice_size
+                part = image.image
+            else:
+                fan.plain = True
+                part = image if image is not None else ObjectImage()
+                fan.slice_total[shard] = len(part)
+            _absorb(fan.acc, part)
+        fan.replies = []
+        if fan.kind == M.ACQUIRE and fan.disturbed and not fan.errors:
+            if fan.attempts < self.max_acquire_retries:
+                # A higher-priority contender stole a shard token while
+                # the barrier was open: the merged grant would split
+                # ownership.  Release anything held (those shards' next
+                # rounds must run before our fresh copies reach them),
+                # then re-acquire — shards still holding our token
+                # answer from the regrant fast path.
+                fan.attempts += 1
+                fan.disturbed = False
+                self.counters["acquire_retries"] += 1
+                self._trace("acquire-retry", view=route.view_id,
+                            attempt=fan.attempts)
+                self._release_held(fan)
+                self._send_data_copies(fan)
+                return
+            fan.errors.append(
+                f"acquire for {route.view_id} disturbed after "
+                f"{fan.attempts} attempts"
+            )
+        self._orig.pop(fan.orig.msg_id, None)
+        if fan in route.inflight:
+            route.inflight.remove(fan)
+        if fan.errors:
+            self._deliver(fan, M.ERROR, {"error": "; ".join(fan.errors)})
+            self._release_held(fan)
+            return
+        if fan.plain or fan.since is None:
+            payload: Dict[str, Any] = {"image": fan.acc}
+        else:
+            route.serve_seq += 1
+            payload = {"image": DeltaImage(
+                fan.acc,
+                base_seq=-1 if fan.asked_full else fan.since,
+                as_of=route.serve_seq,
+                complete=fan.asked_full,
+                slice_size=sum(fan.slice_total.values()),
+            )}
+            route.last_served = route.serve_seq
+        self._deliver(fan, _DATA_REPLY[fan.kind], payload)
+        if fan.held:
+            # Release held revocations once the grant has taken effect.
+            # Triggered completions run ahead of same-time timers, so a
+            # zero-delay timer fires after the CM has processed the
+            # grant (entered — possibly already left — its critical
+            # section); its ACK then carries the section's writes.
+            self.inner.schedule(0.0, lambda: self._release_held(fan))
+
+    # -- delivery back to the CM ----------------------------------------
+    def _deliver(self, fan: _Fanout, msg_type: str, payload: Dict[str, Any]) -> None:
+        reply = fan.orig.reply(msg_type, payload)
+        ep = fan.ep if fan.ep is not None else self._endpoints.get(fan.orig.src)
+        if ep is None or ep.closed:
+            self.stats.record_drop(reply)
+            return
+        # Handed to the endpoint directly: the per-shard replies already
+        # paid their wire latency and accounting; the merge itself is
+        # local to the router.
+        ep.handler(reply)
+
+    def _deliver_error(self, msg: Message, error: str) -> None:
+        ep = self._endpoints.get(msg.src)
+        if ep is None or ep.closed:
+            return
+        ep.handler(msg.reply(M.ERROR, {"error": error}))
+
+    # -- plane-wide views ------------------------------------------------
+    def merged_shard_stats(self) -> MessageStats:
+        """All per-shard routing stats merged into one plane-wide view."""
+        total = MessageStats()
+        for st in self.shard_stats.values():
+            total.merge(st)
+        return total
+
+    # -- delegated backend services --------------------------------------
+    def node_of(self, address: str) -> Optional[str]:
+        fn = getattr(self.inner, "node_of", None)
+        return fn(address) if fn is not None else None
+
+    def place(self, address: str, node: str) -> None:
+        fn = getattr(self.inner, "place", None)
+        if fn is None:
+            raise TransportError(f"{type(self.inner).__name__} has no placement")
+        fn(address, node)
+
+    def set_codec(self, codec: Any) -> None:
+        fn = getattr(self.inner, "set_codec", None)
+        if fn is None:
+            raise TransportError(
+                f"{type(self.inner).__name__} has no codec selection"
+            )
+        fn(codec)
+
+    def now(self) -> float:
+        return self.inner.now()
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        return self.inner.schedule(delay, fn)
+
+    def completion(self, name: str = "") -> Completion:
+        return self.inner.completion(name)
+
+    def close(self) -> None:
+        self._closed = True
+        super().close()  # closes router endpoints -> unbinds inner ones
+        # The inner transport is shared with the shards; its owner
+        # (the plane / the caller) closes it.
+
+
+class ShardedDirectoryPlane:
+    """N directory shards + the router, presented as one directory.
+
+    Each shard is a full :class:`DirectoryManager` whose extract hooks
+    are wrapped to see only the shard's key partition, with the
+    directory's ``key_filter`` as a second line of defense against
+    foreign-key commits (a foreign commit would bump versions the owning
+    shard never sees and silently fork the version history).
+
+    With ``n_shards=1`` the plane degenerates to exactly the unsharded
+    construction — raw extract functions, no key filter, the original
+    directory address — and the router passes everything through, so
+    the wire is byte/message-identical to a plain DirectoryManager.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        component: Any,
+        extract_from_object: ExtractFromObject,
+        merge_into_object: MergeIntoObject,
+        n_shards: int = 1,
+        partitioner: Optional[Partitioner] = None,
+        directory_address: str = "dir",
+        directory_cls: type = DirectoryManager,
+        trace: Optional[TraceLog] = None,
+        **dm_kwargs: Any,
+    ) -> None:
+        if partitioner is None:
+            partitioner = HashPartitioner(n_shards)
+        self.partitioner = partitioner
+        self.n_shards = partitioner.n_shards
+        self.address = directory_address
+        self.inner = transport
+        self.trace = trace
+        if self.n_shards == 1:
+            self.addresses = [directory_address]
+        else:
+            self.addresses = [
+                f"{directory_address}#{i}" for i in range(self.n_shards)
+            ]
+        self.router = ShardRouter(
+            transport, directory_address, self.addresses, partitioner,
+            trace=trace,
+        )
+        self.shards: List[DirectoryManager] = []
+        for i, addr in enumerate(self.addresses):
+            kwargs = dict(dm_kwargs)
+            if self.n_shards == 1:
+                extract = extract_from_object
+            else:
+                extract = self._partition_extract(extract_from_object, i)
+                if kwargs.get("extract_cells") is not None:
+                    kwargs["extract_cells"] = self._partition_extract_cells(
+                        kwargs["extract_cells"], i
+                    )
+                kwargs["key_filter"] = self._owns(i)
+            self.shards.append(directory_cls(
+                transport=transport,
+                address=addr,
+                component=component,
+                extract_from_object=extract,
+                merge_into_object=merge_into_object,
+                trace=trace,
+                **kwargs,
+            ))
+
+    def _owns(self, shard: int) -> Callable[[str], bool]:
+        part = self.partitioner
+
+        def owns(key: str, _shard: int = shard) -> bool:
+            return part.shard_of(key) == _shard
+
+        return owns
+
+    def _partition_extract(
+        self, fn: ExtractFromObject, shard: int
+    ) -> ExtractFromObject:
+        owns = self._owns(shard)
+
+        def extract(component: Any, props: PropertySet) -> ObjectImage:
+            image = fn(component, props)
+            return image.restrict([k for k in image.keys() if owns(k)])
+
+        return extract
+
+    def _partition_extract_cells(
+        self, fn: ExtractCells, shard: int
+    ) -> ExtractCells:
+        owns = self._owns(shard)
+
+        def extract_cells(
+            component: Any, props: PropertySet, keys: List[str]
+        ) -> ObjectImage:
+            return fn(component, props, [k for k in keys if owns(k)])
+
+        return extract_cells
+
+    # -- plane-wide introspection ----------------------------------------
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Shard counters summed, plus the router's own counters."""
+        total: Counter = Counter()
+        for dm in self.shards:
+            total.update(dm.counters)
+        total.update(self.router.counters)
+        return dict(total)
+
+    def merged_stats(self) -> MessageStats:
+        """Per-shard routing stats merged into one plane-wide view."""
+        return self.router.merged_shard_stats()
+
+    def registered_views(self) -> List[str]:
+        out: Set[str] = set()
+        for dm in self.shards:
+            out.update(dm.registered_views())
+        return sorted(out)
+
+    def check_invariants(self) -> None:
+        for dm in self.shards:
+            dm.check_invariants()
+
+    def close(self) -> None:
+        for dm in self.shards:
+            dm.close()
+        self.router.close()
+
+
+class ShardedFleccSystem:
+    """Drop-in :class:`~repro.core.system.FleccSystem` over a sharded plane.
+
+    Same constructor surface plus ``n_shards`` / ``partitioner``; views
+    attach exactly as on the unsharded builder (the cache managers bind
+    on the router and never learn the plane is partitioned).
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        component: Any,
+        extract_from_object: ExtractFromObject,
+        merge_into_object: MergeIntoObject,
+        n_shards: int = 1,
+        partitioner: Optional[Partitioner] = None,
+        directory_address: str = "dir",
+        static_map: Optional[StaticSharingMap] = None,
+        conflict_resolver: Optional[Callable[[str, Any, Any], Any]] = None,
+        trace: Optional[TraceLog] = None,
+        directory_cls: type = DirectoryManager,
+        coalesce_rounds: bool = False,
+        round_timeout: Optional[float] = None,
+        lease_duration: Optional[float] = None,
+        delta: Optional[bool] = None,
+        extract_cells: Optional[ExtractCells] = None,
+        codec: Any = None,
+    ) -> None:
+        if codec is not None:
+            set_codec = getattr(transport, "set_codec", None)
+            if set_codec is None:
+                raise ReproError(
+                    f"{type(transport).__name__} does not support codec "
+                    f"selection (no set_codec method)"
+                )
+            set_codec(codec)
+        self.trace = trace
+        self.delta = delta
+        dm_kwargs: Dict[str, Any] = {}
+        if round_timeout is not None:
+            dm_kwargs["round_timeout"] = round_timeout
+        if lease_duration is not None:
+            dm_kwargs["lease_duration"] = lease_duration
+        if delta is not None:
+            dm_kwargs["delta"] = delta
+        if extract_cells is not None:
+            dm_kwargs["extract_cells"] = extract_cells
+        self.plane = ShardedDirectoryPlane(
+            transport,
+            component,
+            extract_from_object,
+            merge_into_object,
+            n_shards=n_shards,
+            partitioner=partitioner,
+            directory_address=directory_address,
+            directory_cls=directory_cls,
+            trace=trace,
+            static_map=static_map,
+            conflict_resolver=conflict_resolver,
+            coalesce_rounds=coalesce_rounds,
+            **dm_kwargs,
+        )
+        # Views bind on the router; ``.directory`` is the plane (it has
+        # ``.address``/``.counters``/``.check_invariants`` like a DM).
+        self.transport: Transport = self.plane.router
+        self.directory = self.plane
+        self.cache_managers: Dict[str, CacheManager] = {}
+
+    def add_view(
+        self,
+        view_id: str,
+        view: Any,
+        properties: PropertySet,
+        extract_from_view: ExtractFromView,
+        merge_into_view: MergeIntoView,
+        mode: Union[Mode, str] = Mode.WEAK,
+        triggers: Optional[TriggerSet] = None,
+        trigger_poll_period: float = 100.0,
+        request_timeout: Optional[float] = None,
+        max_retries: int = 3,
+        heartbeat_period: Optional[float] = None,
+    ) -> CacheManager:
+        """Create (but do not yet start) the cache manager for a view."""
+        if view_id in self.cache_managers:
+            raise ReproError(f"view id already in system: {view_id}")
+        cm_kwargs: Dict[str, Any] = {}
+        if self.delta is not None:
+            cm_kwargs["delta"] = self.delta
+        cm = CacheManager(
+            transport=self.plane.router,
+            directory_address=self.plane.address,
+            view_id=view_id,
+            view=view,
+            properties=properties,
+            extract_from_view=extract_from_view,
+            merge_into_view=merge_into_view,
+            mode=mode,
+            triggers=triggers,
+            trigger_poll_period=trigger_poll_period,
+            trace=self.trace,
+            request_timeout=request_timeout,
+            max_retries=max_retries,
+            heartbeat_period=heartbeat_period,
+            **cm_kwargs,
+        )
+        self.cache_managers[view_id] = cm
+        return cm
+
+    def close(self) -> None:
+        for cm in self.cache_managers.values():
+            if not cm._closed:
+                cm._shutdown()
+        self.plane.close()

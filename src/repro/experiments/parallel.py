@@ -50,12 +50,18 @@ class ShardSpec:
 def shard_specs() -> Dict[str, ShardSpec]:
     """Experiments that decompose into independent sweep points."""
     from repro.experiments import fig4_efficiency as f4
+    from repro.experiments import shard_sweep as shards
 
     return {
         "fig4_efficiency": ShardSpec(
             points=f4.sweep_points,
             run_point=f4.run_fig4_point,
             merge=f4.merge_fig4,
+        ),
+        "shard_sweep": ShardSpec(
+            points=shards.sweep_points,
+            run_point=shards.run_sweep_point,
+            merge=shards.merge_shard_sweep,
         ),
     }
 

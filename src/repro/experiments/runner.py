@@ -36,6 +36,7 @@ from repro.experiments import (
     fig4_efficiency,
     fig5_adaptability,
     fig6_flexibility,
+    shard_sweep,
     wire_sweep,
 )
 from repro.net.message import reset_message_ids
@@ -134,6 +135,7 @@ EXPERIMENTS: Dict[str, Callable[[], Any]] = {
     "chaos": chaos.run_chaos,
     "delta_sweep": delta_sweep.run_delta_sweep,
     "wire_sweep": wire_sweep.run_wire_sweep,
+    "shard_sweep": shard_sweep.run_shard_sweep,
 }
 
 

@@ -1,0 +1,465 @@
+"""Sharded-directory sweep: conflict-round throughput vs shard count.
+
+Runs the same contended workload — per group, a strong writer
+ping-ponging ownership against a weak reader's pulls — against a
+:class:`~repro.core.sharding.ShardedDirectoryPlane` at N ∈ {1, 2, 4, 8}
+shards and measures, in *simulated* time on a strict-wire transport:
+
+- **aggregate round throughput** — completed directory operations
+  (acquires + pulls, each forcing a conflict round) per simulated
+  second across the whole plane;
+- **acquire latency** — p50/p99 from ``start_use_image`` to grant,
+  including directory queueing delay.
+
+Two workload shapes bracket the design space:
+
+- **shard-local** — views grouped so every property set falls inside
+  one shard's domain range (the ``DomainRangePartitioner`` answers
+  ``shards_for`` by domain overlap, exactly like ``dynConfl``).  Each
+  shard serializes only its own groups' rounds, so throughput scales
+  with N; this is the point of the sharded plane.
+- **all-spanning (worst case)** — every view's property set covers the
+  whole key space, so every acquire fans out to all N shards and waits
+  on the merge barrier.  No parallelism is available and the barrier
+  plus cross-shard conflict handling make N > 1 at best break even.
+
+The ``--check`` gate also replays a mixed-mode Fig-4-style workload on
+the unsharded :class:`~repro.core.system.FleccSystem` and on the plane
+at N=1 and requires byte-for-byte message parity: one shard must be the
+identity configuration.
+
+``python -m repro.experiments.shard_sweep`` writes ``BENCH_shard.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import DiscreteSet, DomainRangePartitioner
+from repro.core.system import FleccSystem, run_all_scripts
+from repro.core.sharding import ShardedFleccSystem
+from repro.experiments.report import Table
+from repro.net.message import reset_message_ids
+from repro.net.sim_transport import SimTransport
+from repro.sim.kernel import SimKernel
+from repro.testing import (
+    Agent,
+    Store,
+    extract_cells,
+    extract_from_object,
+    extract_from_view,
+    merge_into_object,
+    merge_into_view,
+    props_for,
+)
+
+# 8 groups x 8 cells; group g's cells live in exactly one shard for
+# every N in {1, 2, 4, 8} because shard ranges are unions of groups.
+N_GROUPS = 8
+CELLS_PER_GROUP = 8
+CELLS = [f"c{i:02d}" for i in range(N_GROUPS * CELLS_PER_GROUP)]
+
+
+def _group_cells(group: int) -> List[str]:
+    lo = group * CELLS_PER_GROUP
+    return CELLS[lo:lo + CELLS_PER_GROUP]
+
+
+def _partitioner(n_shards: int) -> Optional[DomainRangePartitioner]:
+    """Shard i owns the cells of groups [i*8/N, (i+1)*8/N)."""
+    if n_shards == 1:
+        return None
+    per_shard = N_GROUPS // n_shards
+    ranges = [
+        DiscreteSet(
+            {c for g in range(i * per_shard, (i + 1) * per_shard)
+             for c in _group_cells(g)}
+        )
+        for i in range(n_shards)
+    ]
+    return DomainRangePartitioner(ranges)
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+@dataclass
+class ShardPoint:
+    """One sweep point: a workload shape at one shard count."""
+
+    n_shards: int
+    workload: str                  # "shard-local" | "spanning"
+    views: int
+    rounds_per_view: int
+    ops: int                       # completed acquires + pulls
+    makespan: float                # simulated time to drain all scripts
+    rounds_per_sec: float          # completed ops / makespan
+    acquire_p50: float             # simulated time, start_use -> grant
+    acquire_p99: float
+    plane_rounds: int              # per-shard DM conflict rounds, summed
+    shard_local_rounds: int
+    cross_shard_rounds: int
+    router_fanouts: int
+    acquire_retries: int
+
+
+@dataclass
+class ShardSweepResult:
+    points: List[ShardPoint] = field(default_factory=list)
+    # N=1 plane vs unsharded FleccSystem on the Fig-4-style workload.
+    n1_state_identical: bool = True
+    n1_messages_identical: bool = True
+
+    def table(self) -> Table:
+        t = Table(
+            [
+                "workload", "shards", "views", "ops", "makespan",
+                "rounds/s", "p50", "p99", "x-shard", "retries",
+            ],
+            title="SHARD — conflict-round throughput and acquire latency vs shard count",
+        )
+        for p in self.points:
+            t.add_row(
+                p.workload, p.n_shards, p.views, p.ops,
+                f"{p.makespan:.1f}", f"{p.rounds_per_sec:.3f}",
+                f"{p.acquire_p50:.1f}", f"{p.acquire_p99:.1f}",
+                p.cross_shard_rounds, p.acquire_retries,
+            )
+        return t
+
+
+def _run_point(
+    n_shards: int,
+    spanning: bool,
+    rounds: int,
+    spanning_groups: int = 2,
+) -> ShardPoint:
+    """One workload run; all timing is simulated (strict wire, lat 1.0).
+
+    Each group pairs a strong writer with a weak reader over the same
+    cells: every ``pull_image`` must revoke the exclusive writer and
+    every re-acquire must invalidate the reader's fresh copy, so *all*
+    conflict work flows through the directory — no view can streak on a
+    locally-retained owner token and bypass the serialization this
+    sweep is measuring.  The spanning variant keeps the same pairing
+    but gives every view the whole key space (fewer groups: all their
+    rounds collide on every shard).
+    """
+    reset_message_ids()
+    kernel = SimKernel()
+    transport = SimTransport(kernel, default_latency=1.0, strict_wire=True)
+    store = Store({c: 0 for c in CELLS})
+    system = ShardedFleccSystem(
+        transport, store, extract_from_object, merge_into_object,
+        n_shards=n_shards, partitioner=_partitioner(n_shards),
+        extract_cells=extract_cells,
+    )
+    latencies: List[float] = []
+    ops = [0]
+    sleep, stagger = 0.5, 0.3
+    groups = spanning_groups if spanning else N_GROUPS
+    scripts = []
+    for g in range(groups):
+        cells = CELLS if spanning else _group_cells(g)
+        writer_agent, reader_agent = Agent(), Agent()
+        writer = system.add_view(
+            f"g{g}w", writer_agent, props_for(cells),
+            extract_from_view, merge_into_view, mode="strong",
+        )
+        reader = system.add_view(
+            f"g{g}r", reader_agent, props_for(cells),
+            extract_from_view, merge_into_view, mode="weak",
+        )
+
+        def writer_script(cm=writer, agent=writer_agent, cells=cells, g=g):
+            yield cm.start()
+            yield cm.init_image()
+            yield ("sleep", g * stagger)  # deterministic desync
+            for _ in range(rounds):
+                t0 = kernel.now
+                yield cm.start_use_image()
+                latencies.append(kernel.now - t0)
+                ops[0] += 1
+                for c in cells:
+                    agent.local[c] = agent.local.get(c, 0) + 1
+                cm.end_use_image()
+                yield ("sleep", sleep)
+            yield cm.kill_image()
+
+        def reader_script(cm=reader, g=g):
+            yield cm.start()
+            yield cm.init_image()
+            yield ("sleep", g * stagger + sleep / 2.0)
+            for _ in range(rounds):
+                yield cm.pull_image()
+                ops[0] += 1
+                yield ("sleep", sleep)
+            yield cm.kill_image()
+
+        scripts.append(writer_script())
+        scripts.append(reader_script())
+    run_all_scripts(system.transport, scripts)
+    makespan = kernel.now
+    counters = system.plane.counters
+    system.close()
+    return ShardPoint(
+        n_shards=n_shards,
+        workload="spanning" if spanning else "shard-local",
+        views=2 * groups,
+        rounds_per_view=rounds,
+        ops=ops[0],
+        makespan=makespan,
+        rounds_per_sec=ops[0] / makespan if makespan else 0.0,
+        acquire_p50=_percentile(latencies, 0.50),
+        acquire_p99=_percentile(latencies, 0.99),
+        plane_rounds=counters.get("rounds", 0),
+        shard_local_rounds=counters.get("shard_local_rounds", 0),
+        cross_shard_rounds=counters.get("cross_shard_rounds", 0),
+        router_fanouts=counters.get("router_fanouts", 0),
+        acquire_retries=counters.get("acquire_retries", 0),
+    )
+
+
+def _fig4_workload(system: Any, cells: List[str]) -> None:
+    """A mixed-mode Fig-4-style workload on an already-built system."""
+    writer_agent, reader_agent, late_agent = Agent(), Agent(), Agent()
+    writer = system.add_view(
+        "writer", writer_agent, props_for(cells),
+        extract_from_view, merge_into_view, mode="strong",
+    )
+    reader = system.add_view(
+        "reader", reader_agent, props_for(cells),
+        extract_from_view, merge_into_view, mode="weak",
+    )
+    late = system.add_view(
+        "late", late_agent, props_for(cells),
+        extract_from_view, merge_into_view, mode="strong",
+    )
+
+    def writer_script():
+        yield writer.start()
+        yield writer.init_image()
+        for _ in range(2):
+            yield writer.start_use_image()
+            for c in cells:
+                writer_agent.local[c] = writer_agent.local.get(c, 0) + 1
+            writer.end_use_image()
+            yield ("sleep", 8.0)
+        yield writer.kill_image()
+
+    def reader_script():
+        yield reader.start()
+        yield reader.init_image()
+        yield ("sleep", 30.0)
+        yield reader.pull_image()
+        reader_agent.local[cells[0]] += 100
+        yield reader.push_image()
+        yield reader.kill_image()
+
+    def late_script():
+        yield late.start()
+        yield ("sleep", 12.0)
+        yield late.init_image()
+        yield late.start_use_image()
+        late_agent.local[cells[-1]] = late_agent.local.get(cells[-1], 0) + 1000
+        late.end_use_image()
+        yield late.kill_image()
+
+    run_all_scripts(system.transport, [writer_script(), reader_script(), late_script()])
+
+
+def _n1_parity() -> Tuple[bool, bool]:
+    """Plane at N=1 vs the unsharded builder: same state, same wire."""
+    def run(sharded: bool):
+        reset_message_ids()
+        kernel = SimKernel()
+        transport = SimTransport(kernel, default_latency=1.0, strict_wire=True)
+        record: List[Tuple[str, str, str]] = []
+        transport.fault_policy = (
+            lambda msg: record.append((msg.msg_type, msg.src, msg.dst))
+            or "deliver"
+        )
+        store = Store({f"c{i:02d}": i for i in range(8)})
+        if sharded:
+            system = ShardedFleccSystem(
+                transport, store, extract_from_object, merge_into_object,
+                n_shards=1, extract_cells=extract_cells,
+            )
+        else:
+            system = FleccSystem(
+                transport, store, extract_from_object, merge_into_object,
+                extract_cells=extract_cells,
+            )
+        _fig4_workload(system, sorted(store.cells))
+        system.close()
+        return dict(store.cells), record, dict(transport.stats.bytes_by_type)
+
+    base_state, base_record, base_bytes = run(sharded=False)
+    plane_state, plane_record, plane_bytes = run(sharded=True)
+    return (
+        base_state == plane_state,
+        base_record == plane_record and base_bytes == plane_bytes,
+    )
+
+
+def sweep_points(
+    shards: Sequence[int] = (1, 2, 4, 8), rounds: int = 4
+) -> List[Tuple[int, bool, int]]:
+    """Picklable point descriptors: ``(n_shards, spanning, rounds)``."""
+    points = [(n, False, rounds) for n in shards]
+    # The worst case: every view spans every shard (skip the N=1 dup of
+    # "no parallelism available" only in the sense that N=1 is its own
+    # baseline — we still run it to anchor the ratio).
+    points += [(n, True, rounds) for n in shards]
+    return points
+
+
+def run_sweep_point(
+    point: Tuple[int, bool, int], seed: Optional[int] = None
+) -> ShardPoint:
+    n_shards, spanning, rounds = point
+    return _run_point(n_shards, spanning, rounds)
+
+
+def merge_shard_sweep(
+    points: List[Tuple[int, bool, int]],
+    partials: List[ShardPoint],
+    seed: Optional[int] = None,
+) -> ShardSweepResult:
+    result = ShardSweepResult(points=list(partials))
+    result.n1_state_identical, result.n1_messages_identical = _n1_parity()
+    return result
+
+
+def run_shard_sweep(
+    shards: Sequence[int] = (1, 2, 4, 8), rounds: int = 4
+) -> ShardSweepResult:
+    points = sweep_points(shards, rounds)
+    return merge_shard_sweep(points, [run_sweep_point(p) for p in points])
+
+
+def _point(result: ShardSweepResult, workload: str, n: int) -> Optional[ShardPoint]:
+    for p in result.points:
+        if p.workload == workload and p.n_shards == n:
+            return p
+    return None
+
+
+def bench_payload(result: ShardSweepResult) -> Dict[str, object]:
+    """The ``BENCH_shard.json`` document for one sweep."""
+    local1 = _point(result, "shard-local", 1)
+    local4 = _point(result, "shard-local", 4)
+    span1 = _point(result, "spanning", 1)
+    span4 = _point(result, "spanning", 4)
+    speedup4 = (
+        local4.rounds_per_sec / local1.rounds_per_sec
+        if local1 and local4 and local1.rounds_per_sec else 0.0
+    )
+    spanning_ratio = (
+        span4.rounds_per_sec / span1.rounds_per_sec
+        if span1 and span4 and span1.rounds_per_sec else 0.0
+    )
+    return {
+        "description": (
+            "Sharded directory plane sweep: aggregate conflict-round "
+            "throughput and acquire latency vs shard count, shard-local "
+            "vs all-spanning workloads (simulated time, strict wire)"
+        ),
+        "command": "python -m repro.experiments.shard_sweep",
+        "local_speedup_4_shards": round(speedup4, 2),
+        "spanning_ratio_4_shards": round(spanning_ratio, 2),
+        "n1_state_identical": result.n1_state_identical,
+        "n1_messages_identical": result.n1_messages_identical,
+        "points": [
+            {
+                "workload": p.workload,
+                "n_shards": p.n_shards,
+                "views": p.views,
+                "rounds_per_view": p.rounds_per_view,
+                "ops": p.ops,
+                "makespan": round(p.makespan, 2),
+                "rounds_per_sec": round(p.rounds_per_sec, 4),
+                "acquire_p50": round(p.acquire_p50, 2),
+                "acquire_p99": round(p.acquire_p99, 2),
+                "plane_rounds": p.plane_rounds,
+                "shard_local_rounds": p.shard_local_rounds,
+                "cross_shard_rounds": p.cross_shard_rounds,
+                "router_fanouts": p.router_fanouts,
+                "acquire_retries": p.acquire_retries,
+            }
+            for p in result.points
+        ],
+    }
+
+
+def check_acceptance(payload: Dict[str, object]) -> List[str]:
+    """The PR's acceptance gates; returns a list of violations."""
+    problems = []
+    speedup = payload.get("local_speedup_4_shards") or 0.0
+    if speedup < 2.0:
+        problems.append(
+            f"shard-local rounds/sec at 4 shards only {speedup}x of 1 shard "
+            f"(need >= 2x)"
+        )
+    if not payload["n1_state_identical"]:
+        problems.append("N=1 plane end state differs from unsharded system")
+    if not payload["n1_messages_identical"]:
+        problems.append(
+            "N=1 plane message sequence/bytes differ from unsharded system"
+        )
+    for p in payload["points"]:
+        if p["workload"] == "shard-local" and p["cross_shard_rounds"]:
+            problems.append(
+                f"shard-local workload fanned out at N={p['n_shards']}"
+            )
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> ShardSweepResult:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.shard_sweep",
+        description="Run the sharded-directory sweep and write BENCH_shard.json",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_shard.json", metavar="FILE",
+        help="output JSON path (default: BENCH_shard.json)",
+    )
+    parser.add_argument("--rounds", type=int, default=4)
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when an acceptance gate fails",
+    )
+    args = parser.parse_args(argv)
+    result = run_shard_sweep(rounds=args.rounds)
+    print(result.table())
+    payload = bench_payload(result)
+    print(
+        f"shard-local speedup at 4 shards: {payload['local_speedup_4_shards']}x, "
+        f"spanning (worst case) ratio: {payload['spanning_ratio_4_shards']}x"
+    )
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    problems = check_acceptance(payload)
+    if problems:
+        print("ACCEPTANCE VIOLATIONS:", *problems, sep="\n  ")
+        if args.check:
+            raise SystemExit(1)
+    else:
+        print(
+            "acceptance: OK (>= 2x rounds/sec at 4 shards on the "
+            "shard-local workload; N=1 plane is message-identical)"
+        )
+    return result
+
+
+if __name__ == "__main__":
+    main()

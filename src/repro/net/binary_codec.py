@@ -159,10 +159,6 @@ class BinaryCodec:
 
     stats: Optional[Any] = None
 
-    # DEPRECATED compatibility alias, same caveats as JsonCodec's: not
-    # thread-safe, kept only so codec-agnostic callers keep working.
-    last_encoded_size: int = 0
-
     def __init__(
         self,
         compress_level: Optional[int] = None,
@@ -192,9 +188,7 @@ class BinaryCodec:
             raise
         except (TypeError, ValueError, struct.error) as exc:
             raise CodecError(f"cannot encode {msg}: {exc}") from exc
-        raw = self._finish_frame(body)
-        self.last_encoded_size = len(raw)
-        return raw
+        return self._finish_frame(body)
 
     def _finish_frame(self, body: bytearray) -> bytes:
         """Apply the adaptive compression decision and prepend the magic."""

@@ -142,21 +142,11 @@ class JsonCodec:
     # interface parity with BinaryCodec.
     stats: Optional[Any] = None
 
-    # DEPRECATED: byte length of the most recent successful
-    # :meth:`encode`.  NOT thread-safe — a codec shared across sending
-    # threads can have this overwritten by a racing encode, so every
-    # in-tree caller sizes frames from ``len()`` of the returned bytes;
-    # the attribute survives only as a compatibility alias and will be
-    # removed once external callers have migrated.
-    last_encoded_size: int = 0
-
     def encode(self, msg: Message) -> bytes:
         try:
             parts: List[str] = []
             self._encode_into(msg.to_dict(), parts)
-            raw = "".join(parts).encode("utf-8")
-            self.last_encoded_size = len(raw)
-            return raw
+            return "".join(parts).encode("utf-8")
         except CodecError:
             raise
         except (TypeError, ValueError) as exc:

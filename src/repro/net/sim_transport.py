@@ -172,8 +172,8 @@ class SimTransport(Transport):
         if self.strict_wire:
             t0 = perf_counter_ns()
             raw = self._codec.encode(msg)
-            # Size from the returned bytes, never from the codec's
-            # deprecated last_encoded_size (racy under shared codecs).
+            # Size from the returned bytes — codecs keep no per-encode
+            # state, so a shared codec stays race-free.
             frame_bytes = len(raw)
             self.stats.record_encode(frame_bytes, perf_counter_ns() - t0)
             wire_msg = self._codec.decode(raw)

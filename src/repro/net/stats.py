@@ -183,6 +183,40 @@ class MessageStats:
         """Account one frame stored raw while compression was enabled."""
         self.frames_stored += 1
 
+    def merge(self, other: "MessageStats") -> "MessageStats":
+        """Fold ``other``'s counters into this one (returns ``self``).
+
+        Sums every scalar counter and every per-type/per-pair dict —
+        including ``bytes_by_type`` — and keeps the larger
+        ``max_message_bytes``.  This is how per-shard stats roll up into
+        one plane-wide view; callers previously hand-summed a subset.
+        """
+        self.total += other.total
+        self.bytes_sent += other.bytes_sent
+        self.by_type.update(other.by_type)
+        self.by_pair.update(other.by_pair)
+        self.bytes_by_type.update(other.bytes_by_type)
+        self.dropped += other.dropped
+        self.duplicated += other.duplicated
+        self.encodes += other.encodes
+        self.encode_ns += other.encode_ns
+        self.max_message_bytes = max(
+            self.max_message_bytes, other.max_message_bytes
+        )
+        self.batches_sent += other.batches_sent
+        self.messages_coalesced += other.messages_coalesced
+        self.retransmits += other.retransmits
+        self.duplicates_suppressed += other.duplicates_suppressed
+        self.acks_sent += other.acks_sent
+        self.images_full += other.images_full
+        self.images_delta += other.images_delta
+        self.cells_sent += other.cells_sent
+        self.cells_skipped += other.cells_skipped
+        self.frames_compressed += other.frames_compressed
+        self.frames_stored += other.frames_stored
+        self.bytes_saved_compression += other.bytes_saved_compression
+        return self
+
     def count_for_types(self, *msg_types: str) -> int:
         """Total messages across the given message types."""
         return sum(self.by_type[t] for t in msg_types)

@@ -424,11 +424,10 @@ class TcpTransport(Transport):
             t0 = time.perf_counter_ns()
             raw = codec.encode(msg)
             # Measure the frame directly: send() runs concurrently from
-            # listener/timer/CM threads, and the codec's deprecated
-            # last_encoded_size is a shared attribute a racing encode
-            # can overwrite between our encode and the read — the
-            # length prefix would then disagree with the payload and
-            # corrupt stream framing.
+            # listener/timer/CM threads, so the length prefix must come
+            # from the bytes in hand, never from shared codec state —
+            # otherwise a racing encode could make the prefix disagree
+            # with the payload and corrupt stream framing.
             size = len(raw)
             if not recorded:
                 self.stats.record_encode(size, time.perf_counter_ns() - t0)

@@ -208,10 +208,10 @@ def test_binary_smaller_than_json_on_image_payload():
     assert len(BinaryCodec().encode(m)) * 2 <= len(JsonCodec().encode(m))
 
 
-def test_last_encoded_size_alias_still_tracks():
+def test_no_last_encoded_size_alias():
     codec = BinaryCodec()
-    raw = codec.encode(Message("T", "a", "b", {"n": 1}))
-    assert codec.last_encoded_size == len(raw)
+    codec.encode(Message("T", "a", "b", {"n": 1}))
+    assert not hasattr(codec, "last_encoded_size")
 
 
 def test_concurrent_encodes_produce_consistent_frames():

@@ -68,12 +68,13 @@ def test_many_messages_arrive_in_order(transport):
     assert got == list(range(50))
 
 
-def test_frame_length_immune_to_racing_last_encoded_size(transport):
+def test_frame_length_immune_to_racing_codec_state(transport):
     """Regression: the length prefix must be measured from the actual
-    frame bytes, not the codec's shared last_encoded_size attribute —
-    send() runs concurrently from listener/timer threads and a racing
-    encode can overwrite the attribute between encode and read, which
-    corrupted stream framing for every later frame on the connection."""
+    frame bytes, never from shared codec state — send() runs
+    concurrently from listener/timer threads, so framing that consulted
+    a codec attribute a racing encode can overwrite would corrupt the
+    stream for every later frame on the connection.  Simulate such a
+    stale attribute and check framing stays intact."""
     got = []
     done = threading.Event()
     transport.bind("a", lambda m: None)
@@ -88,7 +89,9 @@ def test_frame_length_immune_to_racing_last_encoded_size(transport):
 
     def racing_encode(msg):
         raw = real_encode(msg)
-        transport.codec.last_encoded_size = 7  # a concurrent encode's size
+        # A stale size attribute left by a concurrent encode; framing
+        # must not consult it.
+        transport.codec.last_encoded_size = 7
         return raw
 
     transport.codec.encode = racing_encode

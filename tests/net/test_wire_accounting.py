@@ -14,26 +14,29 @@ def _image(cells):
     return img
 
 
-def test_last_encoded_size_matches_frame():
+def test_codec_keeps_no_per_encode_state():
+    """The retired ``last_encoded_size`` alias must stay gone: a codec
+    shared across sending threads carries no mutable per-encode state
+    that a racing encode could clobber."""
     codec = JsonCodec()
-    raw = codec.encode(Message("T", "a", "b", {"n": 1, "s": "hello"}))
-    assert codec.last_encoded_size == len(raw)
-    raw2 = codec.encode(Message("T", "a", "b", {}))
-    assert codec.last_encoded_size == len(raw2) != len(raw)
+    codec.encode(Message("T", "a", "b", {"n": 1, "s": "hello"}))
+    assert not hasattr(codec, "last_encoded_size")
 
 
-def test_sim_strict_wire_sizes_immune_to_racing_last_encoded_size():
+def test_sim_strict_wire_sizes_frames_from_returned_bytes():
     """Regression: strict-wire accounting must size frames from the
-    returned bytes, not the codec's deprecated (and racy) shared
-    last_encoded_size attribute — a concurrent encode overwriting it
-    would skew every recorded byte counter."""
+    returned bytes, never from shared codec state — simulate a stale
+    attribute a racing encode might leave behind and check the byte
+    counters ignore it."""
     kernel = SimKernel()
     transport = SimTransport(kernel, strict_wire=True)
     real_encode = transport.codec.encode
 
     def racing_encode(msg):
         raw = real_encode(msg)
-        transport.codec.last_encoded_size = 7  # a concurrent encode's size
+        # A stale size attribute left by a concurrent encode; framing
+        # must not consult it.
+        transport.codec.last_encoded_size = 7
         return raw
 
     transport.codec.encode = racing_encode
