@@ -76,8 +76,8 @@ class AirlineSystem:
 
     def __init__(
         self,
-        kernel: SimKernel,
-        transport: SimTransport,
+        kernel: Optional[SimKernel],
+        transport,
         system: FleccSystem,
         database: FlightDatabase,
     ) -> None:
@@ -102,7 +102,7 @@ class AirlineSystem:
             self.system, agent, mode=mode, triggers=triggers,
             trigger_poll_period=trigger_poll_period,
         )
-        if node is not None and self.transport.topology is not None:
+        if node is not None and getattr(self.transport, "topology", None) is not None:
             self.transport.place(cm.address, node)
         self.agents[agent_id] = agent
         self.cache_managers[agent_id] = cm
@@ -129,6 +129,7 @@ def build_airline_system(
     codec: Optional[object] = None,
     n_shards: int = 1,
     partitioner: Optional[Partitioner] = None,
+    transport: object = "sim",
 ) -> AirlineSystem:
     """The paper's LAN testbed as a simulated system.
 
@@ -138,13 +139,30 @@ def build_airline_system(
     primary copy is partitioned across a sharded directory plane —
     every shard still lives on ``db-server``, matching the paper's
     single-database deployment while parallelizing conflict rounds.
+
+    ``transport`` picks the backend (a :func:`resolve_transport` spec
+    or instance).  The default ``"sim"`` builds the simulated LAN; with
+    ``"tcp"`` / ``"aio"`` the same system runs over real sockets —
+    there is no topology to place endpoints on (everything is
+    localhost), and ``kernel`` on the returned system is ``None``.
     """
-    kernel = SimKernel()
-    hosts = ["db-server"] + [f"agent-{i}" for i in range(n_agent_hosts)]
-    topology = lan_topology(hosts, latency=lan_latency)
-    transport = SimTransport(
-        kernel, topology=topology, strict_wire=strict_wire, codec=codec
-    )
+    from repro.net.transport import resolve_transport
+
+    if transport == "sim":
+        kernel = SimKernel()
+        hosts = ["db-server"] + [f"agent-{i}" for i in range(n_agent_hosts)]
+        topology = lan_topology(hosts, latency=lan_latency)
+        transport = SimTransport(
+            kernel, topology=topology, strict_wire=strict_wire, codec=codec
+        )
+    elif isinstance(transport, str):
+        transport = resolve_transport(transport, codec=codec)
+        kernel = getattr(transport, "kernel", None)
+    else:
+        transport = resolve_transport(transport)
+        if codec is not None:
+            transport.set_codec(codec)
+        kernel = getattr(transport, "kernel", None)
     sharded = n_shards > 1 or partitioner is not None
     if sharded and ProtocolName(protocol) is not ProtocolName.FLECC:
         raise ValueError(
@@ -166,8 +184,9 @@ def build_airline_system(
             delta=delta,
             extract_cells=extract_cells_from_database,
         )
-        for address in system.plane.addresses:
-            transport.place(address, "db-server")
+        if getattr(transport, "topology", None) is not None:
+            for address in system.plane.addresses:
+                transport.place(address, "db-server")
     else:
         system = make_system(
             protocol,
@@ -182,5 +201,6 @@ def build_airline_system(
             delta=delta,
             extract_cells=extract_cells_from_database,
         )
-        transport.place(system.directory.address, "db-server")
+        if getattr(transport, "topology", None) is not None:
+            transport.place(system.directory.address, "db-server")
     return AirlineSystem(kernel, transport, system, database)

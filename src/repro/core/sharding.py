@@ -68,7 +68,13 @@ from repro.core.triggers import TriggerSet
 from repro.errors import ReproError, TransportError
 from repro.net.message import Message
 from repro.net.stats import MessageStats
-from repro.net.transport import Completion, Endpoint, TimerHandle, Transport
+from repro.net.transport import (
+    Completion,
+    Endpoint,
+    TimerHandle,
+    Transport,
+    resolve_transport,
+)
 
 
 def stable_key_hash(key: Any) -> int:
@@ -1088,6 +1094,9 @@ class ShardedFleccSystem:
         extract_cells: Optional[ExtractCells] = None,
         codec: Any = None,
     ) -> None:
+        # Instance or resolve_transport spec ("sim" | "tcp" | "aio"),
+        # same seam as the unsharded builder.
+        transport = resolve_transport(transport)
         if codec is not None:
             set_codec = getattr(transport, "set_codec", None)
             if set_codec is None:

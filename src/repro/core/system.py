@@ -26,7 +26,7 @@ from repro.core.static_map import StaticSharingMap
 from repro.core.triggers import TriggerSet
 from repro.errors import ReproError
 from repro.net.sim_transport import SimTransport
-from repro.net.transport import Completion, Transport
+from repro.net.transport import Completion, Transport, resolve_transport
 
 
 class FleccSystem:
@@ -50,7 +50,10 @@ class FleccSystem:
         extract_cells: Optional[ExtractCells] = None,
         codec: Any = None,
     ) -> None:
-        self.transport = transport
+        # `transport` may be an instance or a resolve_transport spec
+        # string ("sim" | "tcp" | "aio"): the three backends are
+        # interchangeable behind this one seam.
+        self.transport = transport = resolve_transport(transport)
         self.trace = trace
         # Wire-codec selection ("json" | "binary" | "binary+zlib" |
         # instance): forwarded to the transport, which owns negotiation.

@@ -50,6 +50,7 @@ class ShardSpec:
 def shard_specs() -> Dict[str, ShardSpec]:
     """Experiments that decompose into independent sweep points."""
     from repro.experiments import fig4_efficiency as f4
+    from repro.experiments import scale_sweep as scale
     from repro.experiments import shard_sweep as shards
 
     return {
@@ -62,6 +63,11 @@ def shard_specs() -> Dict[str, ShardSpec]:
             points=shards.sweep_points,
             run_point=shards.run_sweep_point,
             merge=shards.merge_shard_sweep,
+        ),
+        "scale_sweep": ShardSpec(
+            points=scale.sweep_points,
+            run_point=scale.run_sweep_point,
+            merge=scale.merge_scale_sweep,
         ),
     }
 

@@ -36,6 +36,7 @@ from repro.experiments import (
     fig4_efficiency,
     fig5_adaptability,
     fig6_flexibility,
+    scale_sweep,
     shard_sweep,
     wire_sweep,
 )
@@ -136,6 +137,7 @@ EXPERIMENTS: Dict[str, Callable[[], Any]] = {
     "delta_sweep": delta_sweep.run_delta_sweep,
     "wire_sweep": wire_sweep.run_wire_sweep,
     "shard_sweep": shard_sweep.run_shard_sweep,
+    "scale_sweep": scale_sweep.run_scale_sweep,
 }
 
 

@@ -4,7 +4,8 @@ The Flecc protocol engines (directory manager, cache managers) are
 transport-agnostic: they talk to a :class:`~repro.net.transport.Transport`
 which provides message delivery, a clock, timers, and completions.
 
-Two interchangeable transports are provided:
+Three interchangeable transports are provided (see
+:func:`~repro.net.transport.resolve_transport`):
 
 - :class:`~repro.net.sim_transport.SimTransport` — deterministic
   discrete-event delivery over a :class:`~repro.net.topology.Topology`
@@ -13,6 +14,10 @@ Two interchangeable transports are provided:
   localhost with length-prefixed frames and per-connection codec
   negotiation (JSON fallback), matching the paper's "prototype with
   sockets" character.
+- :class:`~repro.net.aio_transport.AioTcpTransport` — the same wire
+  contract on one asyncio event loop: endpoints multiplex one socket
+  pair, writes coalesce into single flushes, and bounded send queues
+  push back on senders instead of buffering unboundedly.
 
 Two wire codecs share one type registry:
 :class:`~repro.net.codec.JsonCodec` (text, always available) and
@@ -30,9 +35,16 @@ from repro.net.codec import JsonCodec, register_codec_type
 from repro.net.binary_codec import BinaryCodec, codec_name, resolve_codec
 from repro.net.stats import MessageStats
 from repro.net.topology import Topology, lan_topology, wan_topology
-from repro.net.transport import Completion, Endpoint, Transport
+from repro.net.transport import (
+    Completion,
+    Endpoint,
+    Transport,
+    resolve_transport,
+    transport_name,
+)
 from repro.net.sim_transport import SimCompletion, SimTransport
 from repro.net.tcp_transport import TcpTransport, ThreadCompletion
+from repro.net.aio_transport import AioTcpTransport
 from repro.net.reliability import ReliableTransport
 
 __all__ = [
@@ -53,5 +65,8 @@ __all__ = [
     "SimCompletion",
     "TcpTransport",
     "ThreadCompletion",
+    "AioTcpTransport",
     "ReliableTransport",
+    "resolve_transport",
+    "transport_name",
 ]

@@ -1,0 +1,545 @@
+"""Event-loop TCP transport: multiplexed links, coalesced writes,
+bounded send queues.
+
+``TcpTransport`` spends one listening socket per endpoint and one
+reader thread per connection — faithful to the paper's prototype, but
+it collapses around a few hundred cache managers.  ``AioTcpTransport``
+keeps the same wire contract (4-byte length-prefixed frames, JSON
+``CODEC_HELLO``/``CODEC_WELCOME`` negotiation, process-local address
+book, ``ThreadCompletion`` futures) while changing the machinery
+underneath:
+
+- **Multiplexing** — all endpoints bound on one transport share a
+  single asyncio server and a single mux connection; ``bind`` is a
+  dict insert, not a socket.  10k endpoints cost 10k dict entries and
+  one socket pair instead of ~30k file descriptors and 10k threads.
+- **Write coalescing** — the writer coroutine drains whatever has
+  queued since the last flush and ships it in one ``write()`` +
+  ``drain()``; with ``wrap_batches=True`` adjacent messages are
+  additionally wrapped in one ``BATCH`` envelope (the PR-2 machinery),
+  paying one codec pass and one frame for the whole flush.
+- **Backpressure** — the send queue is bounded (``max_queue``).  A
+  send against a full queue is *refused* with a ``TransportError``
+  and counted in ``stats.backpressure_stalls``; stacked layers that
+  already handle lossy links (``ReliableTransport`` catches the error
+  and recovers via its retransmit timer) turn that refusal into flow
+  control instead of unbounded buffering.
+
+Threaded callers are first-class: ``send``/``schedule``/``close`` may
+be called from any thread, and ``completion()`` returns the same
+``ThreadCompletion`` the threaded backend uses, resolved from handler
+code running on the loop.  Handlers themselves run on the loop thread,
+one at a time — the same one-at-a-time semantics the sim kernel and
+the per-endpoint TCP locks provide — so engine code runs unchanged.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import CodecError, TransportError
+from repro.net.codec import JsonCodec
+from repro.net.message import BATCH, Message, make_batch, split_batch
+from repro.net.tcp_transport import (
+    _LEN,
+    _MAX_FRAME,
+    CODEC_HELLO,
+    CODEC_WELCOME,
+    ThreadCompletion,
+)
+from repro.net.transport import Endpoint, TimerHandle, Transport
+
+
+class _Link:
+    """The mux connection: one bounded queue + one writer coroutine."""
+
+    def __init__(self, max_queue: int) -> None:
+        self.max_queue = max_queue
+        self.queue: Deque[Message] = deque()
+        self.lock = threading.Lock()
+        # Created off-loop (safe on 3.10+: Event binds its loop on first
+        # await); set via call_soon_threadsafe from sender threads.
+        self.wake = asyncio.Event()
+        self.task: Optional[asyncio.Task] = None
+        self.codec_name: Optional[str] = None
+        self.error: Optional[BaseException] = None
+
+
+class AioTcpTransport(Transport):
+    """Asyncio localhost TCP backend; drop-in for ``TcpTransport``.
+
+    ``time_scale``/``codec`` mean what they mean on ``TcpTransport``.
+    ``max_queue`` bounds the mux send queue (full queue ⇒ the send is
+    refused with ``TransportError`` + a ``backpressure_stalls`` tick).
+    ``max_flush`` caps frames coalesced into one ``drain()``.
+    ``wrap_batches`` additionally wraps each multi-frame flush in a
+    single ``BATCH`` envelope: one codec pass and one frame per flush,
+    with logical per-message counts (the Fig-4 metric) unchanged —
+    bytes are then accounted per envelope, not per message, so leave it
+    off when per-type wire-byte attribution matters.
+    """
+
+    def __init__(
+        self,
+        time_scale: float = 1000.0,
+        codec: Any = None,
+        max_queue: int = 4096,
+        max_flush: int = 128,
+        wrap_batches: bool = False,
+    ) -> None:
+        super().__init__()
+        self.time_scale = time_scale
+        self.max_queue = max_queue
+        self.max_flush = max_flush
+        self.wrap_batches = wrap_batches
+        self._t0 = time.monotonic()
+        self._closed = False
+        self._lifecycle_lock = threading.Lock()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._server_writers: set = set()
+        self._port: Optional[int] = None
+        self._link: Optional[_Link] = None
+        # Writer gate for deterministic backpressure tests: cleared by
+        # pause_writes(), the writer coroutine parks before its next
+        # flush until resume_writes().
+        self._gate = asyncio.Event()
+        self._gate.set()
+        #: (msg_type, exception) pairs from handlers that raised — a bad
+        #: handler must not kill the shared mux connection, but the
+        #: failure has to stay observable.
+        self.handler_errors: List[Tuple[str, BaseException]] = []
+        self.set_codec(codec)
+
+    # -- codec selection & negotiation ------------------------------------
+    def set_codec(self, codec: Any) -> None:
+        """Swap the preferred wire codec; the mux link is dropped so the
+        next send renegotiates.  Quiesce traffic first: frames still
+        queued on the old link are discarded with it."""
+        from repro.net.binary_codec import codec_name, resolve_codec
+
+        preferred = resolve_codec(codec)
+        preferred.stats = self.stats
+        name = codec_name(preferred)
+        if name == "json":
+            json_codec = preferred
+        else:
+            json_codec = getattr(self, "json_codec", None) or JsonCodec()
+        self.json_codec = json_codec
+        self._codecs: Dict[str, Any] = {"json": json_codec, name: preferred}
+        self._preferred_name = name
+        self.codec = preferred
+        self._reset_link()
+
+    @property
+    def preferred_codec(self) -> str:
+        return self._preferred_name
+
+    @property
+    def supported_codecs(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._codecs))
+
+    def negotiated_codec(self, src: str, dst: str) -> Optional[str]:
+        """Codec name the mux link agreed on (all (src, dst) pairs share
+        the one link; None before any send established it)."""
+        link = self._link
+        return link.codec_name if link is not None else None
+
+    def _choose_codec(self, payload: Any) -> str:
+        if not isinstance(payload, dict):
+            return "json"
+        prefer = payload.get("prefer")
+        if isinstance(prefer, str) and prefer in self._codecs:
+            return prefer
+        for name in payload.get("supported") or ():
+            if isinstance(name, str) and name in self._codecs:
+                return name
+        return "json"
+
+    # -- loop lifecycle ---------------------------------------------------
+    def _ensure_loop(self) -> None:
+        if self._loop is not None:
+            return
+        with self._lifecycle_lock:
+            if self._loop is not None:
+                return
+            if self._closed:
+                raise TransportError("transport closed")
+            loop = asyncio.new_event_loop()
+            thread = threading.Thread(
+                target=self._run_loop, args=(loop,), name="aio-transport",
+                daemon=True,
+            )
+            thread.start()
+            fut = asyncio.run_coroutine_threadsafe(self._start_server(), loop)
+            self._port = fut.result(timeout=10.0)
+            self._loop = loop
+            self._loop_thread = thread
+
+    def _run_loop(self, loop: asyncio.AbstractEventLoop) -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_forever()
+        finally:
+            try:
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+            except Exception:
+                pass
+            loop.close()
+
+    async def _start_server(self) -> int:
+        self._server = await asyncio.start_server(
+            self._serve_conn, "127.0.0.1", 0
+        )
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def port(self) -> Optional[int]:
+        """The shared server port (None until the loop has started)."""
+        return self._port
+
+    # -- server side ------------------------------------------------------
+    async def _serve_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._server_writers.add(writer)
+        codec: Any = self.json_codec
+        negotiated = False
+        try:
+            while True:
+                header = await reader.readexactly(_LEN.size)
+                (length,) = _LEN.unpack(header)
+                if length > _MAX_FRAME:
+                    raise TransportError(f"frame too large: {length}")
+                body = await reader.readexactly(length)
+                if not negotiated:
+                    negotiated = True
+                    msg, codec = self._first_frame(writer, body, codec)
+                    if msg is None:  # hello consumed, welcome written
+                        await writer.drain()
+                        continue
+                else:
+                    msg = codec.decode(body)
+                self._dispatch(msg)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass
+        except (TransportError, CodecError):
+            pass
+        finally:
+            self._server_writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    def _first_frame(
+        self, writer: asyncio.StreamWriter, body: bytes, codec: Any
+    ) -> Tuple[Optional[Message], Any]:
+        """Same contract as ``TcpTransport._first_frame``: a hello is
+        answered and consumed, anything else is a legacy JSON frame."""
+        try:
+            msg = self.json_codec.decode(body)
+        except CodecError:
+            return codec.decode(body), codec
+        if msg.msg_type != CODEC_HELLO:
+            return msg, codec
+        chosen = self._choose_codec(msg.payload)
+        welcome = Message(
+            CODEC_WELCOME,
+            src="aio-server",
+            dst=msg.src,
+            payload={"use": chosen, "supported": sorted(self._codecs)},
+        )
+        raw = self.json_codec.encode(welcome)
+        writer.write(_LEN.pack(len(raw)) + raw)
+        return None, self._codecs[chosen]
+
+    def _dispatch(self, msg: Message) -> None:
+        """Deliver one inbound message on the loop thread.
+
+        BATCH frames (protocol-level coalescing or ``wrap_batches``
+        envelopes) are split recursively so handlers never see them.
+        Handler exceptions are recorded, not propagated — one bad
+        handler must not tear down the shared mux connection.
+        """
+        if msg.msg_type == BATCH:
+            for sub in split_batch(msg):
+                self._dispatch(sub)
+            return
+        ep = self._endpoints.get(msg.dst)
+        if ep is None or ep.closed:
+            self.stats.record_drop(msg)
+            return
+        try:
+            ep.handler(msg)
+        except Exception as exc:  # noqa: BLE001 - observability list
+            self.handler_errors.append((msg.msg_type, exc))
+
+    # -- client (writer) side ---------------------------------------------
+    async def _client_handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> str:
+        hello = Message(
+            CODEC_HELLO,
+            src="aio-mux",
+            dst="aio-server",
+            payload={
+                "supported": sorted(self._codecs),
+                "prefer": self._preferred_name,
+            },
+        )
+        raw = self.json_codec.encode(hello)
+        writer.write(_LEN.pack(len(raw)) + raw)
+        await writer.drain()
+        try:
+            header = await reader.readexactly(_LEN.size)
+            (length,) = _LEN.unpack(header)
+            if length > _MAX_FRAME:
+                return "json"
+            body = await reader.readexactly(length)
+            welcome = self.json_codec.decode(body)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError, CodecError):
+            return "json"
+        if welcome.msg_type != CODEC_WELCOME:
+            return "json"
+        use = welcome.payload.get("use") if welcome.payload else None
+        return use if isinstance(use, str) and use in self._codecs else "json"
+
+    async def _run_link(self, link: _Link) -> None:
+        link.task = asyncio.current_task()
+        try:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", self._port
+            )
+        except OSError as exc:
+            link.error = exc
+            return
+        try:
+            link.codec_name = await self._client_handshake(reader, writer)
+            codec = self._codecs.get(link.codec_name, self.json_codec)
+            while True:
+                while not link.queue:
+                    link.wake.clear()
+                    await link.wake.wait()
+                await self._gate.wait()
+                msgs: List[Message] = []
+                with link.lock:
+                    while link.queue and len(msgs) < self.max_flush:
+                        msgs.append(link.queue.popleft())
+                if not msgs:
+                    continue
+                writer.write(self._encode_flush(msgs, codec))
+                await writer.drain()
+                if len(msgs) > 1:
+                    self.stats.record_coalesced_flush(len(msgs) - 1)
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, OSError, CodecError, TransportError) as exc:
+            link.error = exc
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    def _encode_flush(self, msgs: List[Message], codec: Any) -> bytes:
+        """Encode one flush worth of messages into wire bytes.
+
+        Stats contract: each logical message is recorded exactly once
+        (identical ``by_type``/``by_pair``/``total`` to the threaded
+        backend).  In ``wrap_batches`` mode the flush ships as one
+        BATCH envelope, so bytes are accounted per envelope and the
+        envelope itself stays out of ``by_type`` — it is transport
+        framing, not a protocol message.
+        """
+        stats = self.stats
+        if self.wrap_batches and len(msgs) >= 2:
+            env = make_batch(msgs[0].src, msgs[0].dst, msgs)
+            t0 = time.perf_counter_ns()
+            raw = codec.encode(env)
+            stats.record_encode(len(raw), time.perf_counter_ns() - t0)
+            for m in msgs:
+                stats.record(m)
+            stats.bytes_sent += len(raw)
+            stats.batches_sent += 1
+            stats.messages_coalesced += len(msgs)
+            return _LEN.pack(len(raw)) + raw
+        parts: List[bytes] = []
+        for m in msgs:
+            t0 = time.perf_counter_ns()
+            raw = codec.encode(m)
+            size = len(raw)
+            stats.record_encode(size, time.perf_counter_ns() - t0)
+            stats.record(m, size=size)
+            parts.append(_LEN.pack(size) + raw)
+        return b"".join(parts)
+
+    def _link_for(self) -> _Link:
+        link = self._link
+        if link is not None:
+            return link
+        with self._lifecycle_lock:
+            link = self._link
+            if link is not None:
+                return link
+            link = _Link(self.max_queue)
+            self._link = link
+        loop = self._loop
+        assert loop is not None  # _ensure_loop ran first
+        asyncio.run_coroutine_threadsafe(self._run_link(link), loop)
+        return link
+
+    def _reset_link(self) -> None:
+        with self._lifecycle_lock:
+            link, self._link = self._link, None
+        loop = self._loop
+        if link is None or loop is None:
+            return
+
+        def kill() -> None:
+            if link.task is not None:
+                link.task.cancel()
+
+        try:
+            loop.call_soon_threadsafe(kill)
+        except RuntimeError:
+            pass  # loop already gone
+
+    # -- test hooks -------------------------------------------------------
+    def pause_writes(self) -> None:
+        """Park the writer before its next flush (deterministic
+        backpressure tests: queued sends accumulate until the bound)."""
+        self._ensure_loop()
+        self._loop.call_soon_threadsafe(self._gate.clear)
+
+    def resume_writes(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._gate.set)
+
+    # -- Transport hooks --------------------------------------------------
+    def _on_bind(self, ep: Endpoint) -> None:
+        # Binding is a dict insert (the base class did it); the shared
+        # server just has to exist so peers have somewhere to frame to.
+        self._ensure_loop()
+
+    # -- Transport API ----------------------------------------------------
+    def send(self, msg: Message) -> None:
+        if self._closed:
+            raise TransportError("transport closed")
+        if msg.dst not in self._endpoints:
+            # Same semantics as sim/TCP: message to a vanished endpoint
+            # is lost (and there is no link to size the frame with).
+            self.stats.record(msg)
+            self.stats.record_drop(msg)
+            return
+        self._ensure_loop()
+        link = self._link_for()
+        with link.lock:
+            if len(link.queue) >= link.max_queue:
+                self.stats.record_backpressure_stall()
+                raise TransportError(
+                    f"send queue full ({link.max_queue}) for {msg.msg_type} "
+                    f"{msg.src}->{msg.dst}: receiver is slower than sender"
+                )
+            link.queue.append(msg)
+            depth = len(link.queue)
+        self.stats.record_queue_depth(depth)
+        try:
+            self._loop.call_soon_threadsafe(link.wake.set)
+        except RuntimeError:
+            pass  # loop shut down under us; close() owns cleanup
+
+    def now(self) -> float:
+        return (time.monotonic() - self._t0) * self.time_scale
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        self._ensure_loop()
+        loop = self._loop
+        state: Dict[str, Any] = {"cancelled": False, "handle": None}
+
+        def run() -> None:
+            if state["cancelled"] or self._closed:
+                return
+            try:
+                fn()
+            except (TransportError, OSError):
+                # Timer fired in the close() race window; the transport
+                # is (or is becoming) dead, so the failure is expected.
+                if not self._closed:
+                    raise
+
+        def create() -> None:
+            if not state["cancelled"]:
+                state["handle"] = loop.call_later(delay / self.time_scale, run)
+
+        def cancel() -> None:
+            state["cancelled"] = True
+            try:
+                loop.call_soon_threadsafe(
+                    lambda: state["handle"] and state["handle"].cancel()
+                )
+            except RuntimeError:
+                pass
+
+        try:
+            loop.call_soon_threadsafe(create)
+        except RuntimeError:
+            raise TransportError("transport closed")
+        return TimerHandle(cancel)
+
+    def completion(self, name: str = "") -> ThreadCompletion:
+        return ThreadCompletion(name)
+
+    def close(self, join_timeout: float = 2.0) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        super().close()
+        loop, thread = self._loop, self._loop_thread
+        if loop is None:
+            return
+        if thread is threading.current_thread():
+            # close() from a handler/timer on the loop itself: blocking
+            # on the shutdown future would deadlock — fire and return
+            # (run_forever's finally cancels whatever remains).
+            loop.create_task(self._shutdown())
+            loop.call_soon(loop.stop)
+            return
+        try:
+            fut = asyncio.run_coroutine_threadsafe(self._shutdown(), loop)
+            fut.result(timeout=join_timeout)
+        except Exception:
+            pass
+        try:
+            loop.call_soon_threadsafe(loop.stop)
+        except RuntimeError:
+            pass
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(join_timeout)
+
+    async def _shutdown(self) -> None:
+        link = self._link
+        if link is not None and link.task is not None:
+            link.task.cancel()
+            try:
+                await link.task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._server_writers):
+            try:
+                writer.close()
+            except Exception:
+                pass

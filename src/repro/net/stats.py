@@ -113,6 +113,16 @@ class MessageStats:
     frames_compressed: int = 0
     frames_stored: int = 0
     bytes_saved_compression: int = 0
+    # Event-loop transport (net/aio_transport.py): peak depth any
+    # bounded per-link send queue ever reached (a gauge — merge keeps
+    # the max), frames that rode another frame's flush instead of
+    # paying for their own drain, and sends refused because the
+    # bounded queue was at its high-water mark (the refusal surfaces
+    # as a TransportError, which pushes back into ReliableTransport's
+    # retransmit path instead of buffering unboundedly).
+    send_queue_hwm: int = 0
+    flushes_coalesced: int = 0
+    backpressure_stalls: int = 0
 
     def record(self, msg: Message, size: Optional[int] = None) -> None:
         """Count one sent message (``size`` in bytes when known)."""
@@ -183,6 +193,20 @@ class MessageStats:
         """Account one frame stored raw while compression was enabled."""
         self.frames_stored += 1
 
+    def record_queue_depth(self, depth: int) -> None:
+        """Track the peak depth of a bounded per-link send queue."""
+        if depth > self.send_queue_hwm:
+            self.send_queue_hwm = depth
+
+    def record_coalesced_flush(self, extra_frames: int) -> None:
+        """Account one multi-frame flush (``extra_frames`` = frames that
+        shared the first frame's drain instead of paying for their own)."""
+        self.flushes_coalesced += extra_frames
+
+    def record_backpressure_stall(self) -> None:
+        """Account one send refused on a full bounded send queue."""
+        self.backpressure_stalls += 1
+
     def merge(self, other: "MessageStats") -> "MessageStats":
         """Fold ``other``'s counters into this one (returns ``self``).
 
@@ -215,6 +239,10 @@ class MessageStats:
         self.frames_compressed += other.frames_compressed
         self.frames_stored += other.frames_stored
         self.bytes_saved_compression += other.bytes_saved_compression
+        # hwm is a gauge: the merged peak is the larger of the two.
+        self.send_queue_hwm = max(self.send_queue_hwm, other.send_queue_hwm)
+        self.flushes_coalesced += other.flushes_coalesced
+        self.backpressure_stalls += other.backpressure_stalls
         return self
 
     def count_for_types(self, *msg_types: str) -> int:
@@ -263,6 +291,9 @@ class MessageStats:
         self.frames_compressed = 0
         self.frames_stored = 0
         self.bytes_saved_compression = 0
+        self.send_queue_hwm = 0
+        self.flushes_coalesced = 0
+        self.backpressure_stalls = 0
         self.by_type.clear()
         self.by_pair.clear()
         self.bytes_by_type.clear()
@@ -296,5 +327,11 @@ class MessageStats:
                 f"  (compression: compressed={self.frames_compressed} "
                 f"stored={self.frames_stored} "
                 f"saved_bytes={self.bytes_saved_compression})"
+            )
+        if self.flushes_coalesced or self.backpressure_stalls or self.send_queue_hwm:
+            lines.append(
+                f"  (send queues: hwm={self.send_queue_hwm} "
+                f"coalesced_flushes={self.flushes_coalesced} "
+                f"stalls={self.backpressure_stalls})"
             )
         return "\n".join(lines)

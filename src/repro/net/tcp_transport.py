@@ -146,6 +146,11 @@ class _Listener:
         self.running = True
         self.handler_lock = threading.Lock()
         self.threads: List[threading.Thread] = []
+        # Accepted sockets, so stop() can close them and unblock reader
+        # threads parked in _recv_exact on a half-open connection (a
+        # peer that died mid-frame never sends EOF).
+        self._conns: List[socket.socket] = []
+        self._conns_lock = threading.Lock()
         t = threading.Thread(
             target=self._accept_loop, name=f"accept-{ep.address}", daemon=True
         )
@@ -158,6 +163,14 @@ class _Listener:
                 conn, _ = self.sock.accept()
             except OSError:
                 return  # socket closed during shutdown
+            with self._conns_lock:
+                if not self.running:
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                    return
+                self._conns.append(conn)
             t = threading.Thread(
                 target=self._read_loop,
                 args=(conn,),
@@ -220,6 +233,28 @@ class _Listener:
             self.sock.close()
         except OSError:
             pass
+        # Close accepted connections too: a reader blocked in
+        # _recv_exact on a half-open socket only wakes when its fd dies.
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def join(self, deadline: float) -> None:
+        """Join acceptor + reader threads until ``deadline`` (monotonic).
+
+        Bounded: a thread that refuses to die (pathological peer) is
+        abandoned as a daemon rather than hanging close() forever.
+        """
+        for t in self.threads:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            if t is not threading.current_thread():
+                t.join(remaining)
 
 
 class TcpTransport(Transport):
@@ -487,7 +522,17 @@ class TcpTransport(Transport):
         return (time.monotonic() - self._t0) * self.time_scale
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
-        timer = threading.Timer(delay / self.time_scale, fn)
+        def run() -> None:
+            # A Timer that fires in the window between close() setting
+            # _closed and cancel() landing would crash its thread on the
+            # dead transport; swallow those shutdown races.
+            try:
+                fn()
+            except (TransportError, OSError):
+                if not self._closed:
+                    raise
+
+        timer = threading.Timer(delay / self.time_scale, run)
         timer.daemon = True
         timer.start()
         self._timers.append(timer)
@@ -496,10 +541,17 @@ class TcpTransport(Transport):
     def completion(self, name: str = "") -> ThreadCompletion:
         return ThreadCompletion(name)
 
-    def close(self) -> None:
+    def close(self, join_timeout: float = 2.0) -> None:
+        if self._closed:
+            return
         self._closed = True
         for t in self._timers:
             t.cancel()
+        self._timers.clear()
+        # Snapshot listeners first: super().close() unbinds endpoints,
+        # which pops them from the dict, but we still must join their
+        # threads afterwards.
+        listeners = list(self._listeners.values())
         super().close()  # closes endpoints -> stops listeners
         with self._conn_lock:
             for entry in self._conns.values():
@@ -508,3 +560,8 @@ class TcpTransport(Transport):
                 except OSError:
                     pass
             self._conns.clear()
+        # Bounded join across *all* listeners: one shared deadline, so
+        # close() returns in ~join_timeout even with many stuck readers.
+        deadline = time.monotonic() + join_timeout
+        for listener in listeners:
+            listener.join(deadline)

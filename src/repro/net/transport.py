@@ -154,3 +154,104 @@ class Transport(abc.ABC):
         """Release backend resources (sockets, threads)."""
         for addr in list(self._endpoints):
             self._endpoints[addr].close()
+
+
+# ---------------------------------------------------------------------------
+# Transport factory
+# ---------------------------------------------------------------------------
+# Mirrors ``resolve_codec``: a spec string names a backend, an instance
+# passes through.  The factories import lazily so this module stays the
+# bottom of the dependency graph (sim_transport, tcp_transport, and
+# aio_transport all import *us*).
+
+#: Spec names understood by :func:`resolve_transport`.
+TRANSPORT_SIM = "sim"
+TRANSPORT_TCP = "tcp"
+TRANSPORT_AIO = "aio"
+
+
+def _make_sim(**kwargs: Any) -> "Transport":
+    from repro.net.sim_transport import SimTransport
+
+    if kwargs.get("kernel") is None:
+        from repro.sim.kernel import SimKernel
+
+        kwargs["kernel"] = SimKernel()
+    return SimTransport(**kwargs)
+
+
+def _make_tcp(**kwargs: Any) -> "Transport":
+    from repro.net.tcp_transport import TcpTransport
+
+    return TcpTransport(**kwargs)
+
+
+def _make_aio(**kwargs: Any) -> "Transport":
+    from repro.net.aio_transport import AioTcpTransport
+
+    return AioTcpTransport(**kwargs)
+
+
+_TRANSPORT_SPECS: Dict[str, Callable[..., "Transport"]] = {
+    TRANSPORT_SIM: _make_sim,
+    TRANSPORT_TCP: _make_tcp,
+    TRANSPORT_AIO: _make_aio,
+    # Common aliases.
+    "asyncio": _make_aio,
+    "aio-tcp": _make_aio,
+}
+
+
+def resolve_transport(spec: Any, **kwargs: Any) -> "Transport":
+    """Build a transport from a spec, mirroring ``resolve_codec``.
+
+    ``spec`` is one of:
+
+    - a :class:`Transport` instance — passed through unchanged
+      (``kwargs`` must be empty: an already-built backend cannot be
+      reconfigured here);
+    - ``"sim"`` — a :class:`~repro.net.sim_transport.SimTransport`; a
+      fresh :class:`~repro.sim.kernel.SimKernel` is created unless one
+      is passed as ``kernel=``;
+    - ``"tcp"`` — a threaded :class:`~repro.net.tcp_transport.TcpTransport`;
+    - ``"aio"`` (aliases ``"asyncio"``, ``"aio-tcp"``) — an event-loop
+      :class:`~repro.net.aio_transport.AioTcpTransport`.
+
+    Extra ``kwargs`` are forwarded to the backend constructor.
+    """
+    if isinstance(spec, Transport):
+        if kwargs:
+            raise TransportError(
+                f"cannot apply constructor options {sorted(kwargs)} to an "
+                f"already-built {type(spec).__name__}"
+            )
+        return spec
+    if isinstance(spec, str):
+        factory = _TRANSPORT_SPECS.get(spec)
+        if factory is None:
+            raise TransportError(
+                f"unknown transport spec {spec!r}; choose from "
+                f"{sorted(_TRANSPORT_SPECS)} or pass a Transport instance"
+            )
+        return factory(**kwargs)
+    raise TransportError(f"not a transport: {spec!r}")
+
+
+def transport_name(transport: "Transport") -> str:
+    """The spec name a transport instance answers to (best effort)."""
+    from repro.net.sim_transport import SimTransport
+
+    if isinstance(transport, SimTransport):
+        return TRANSPORT_SIM
+    try:
+        from repro.net.aio_transport import AioTcpTransport
+
+        if isinstance(transport, AioTcpTransport):
+            return TRANSPORT_AIO
+    except ImportError:  # pragma: no cover - aio backend always ships
+        pass
+    from repro.net.tcp_transport import TcpTransport
+
+    if isinstance(transport, TcpTransport):
+        return TRANSPORT_TCP
+    return type(transport).__name__

@@ -1,0 +1,137 @@
+"""The scale sweep's acceptance properties (ISSUE acceptance criteria).
+
+The full 10k ramp is a nightly/manual run; the tier-1 suite exercises a
+small ramp end to end (both backends, real sockets) plus the pure-logic
+pieces — budgets, capacity gating, payload shape, acceptance gates — at
+zero socket cost.
+"""
+
+import pytest
+
+from repro.experiments.scale_sweep import (
+    DEFAULT_RAMP,
+    FULL_RAMP,
+    ScaleSweepResult,
+    bench_payload,
+    check_acceptance,
+    point_budget,
+    run_scale_sweep,
+    run_sweep_point,
+    sweep_points,
+    tcp_capacity_reason,
+    transport_parity,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Small but end-to-end: both socket backends, two ramp points each,
+    # plus the three-transport parity replay in the merge step.
+    return run_scale_sweep(ramp=(20, 60), cycles=2)
+
+
+def test_all_small_points_sustain(result):
+    assert len(result.points) == 4
+    for p in result.points:
+        assert p.ran and p.sustainable, (p.transport, p.n_cms, p.reason)
+        assert p.errors == 0
+        assert p.elapsed < p.budget
+
+
+def test_aio_coalesces_and_bounds_queues(result):
+    aio = [p for p in result.points if p.transport == "aio"]
+    for p in aio:
+        # The concurrent burst shares flushes and exercises the queue.
+        assert p.coalesced_ratio > 0.0
+        assert 0 < p.send_queue_hwm <= 2 * p.n_cms + 1024
+        # At benchmark scale the envelope wrapping pays: fewer wire
+        # frames than logical messages.
+        assert p.frames < p.messages
+
+
+def test_latency_percentiles_are_recorded(result):
+    for p in result.points:
+        assert p.acquire_p99 >= p.acquire_p50 > 0.0
+
+
+def test_three_transport_parity(result):
+    assert result.parity_state_identical
+    assert result.parity_counts_identical
+    assert result.parity_by_type  # reference census travels with the payload
+
+
+def test_bench_payload_shape_and_acceptance(result):
+    payload = bench_payload(result)
+    assert payload["ramp_top"] == 60
+    assert payload["aio_max_sustainable_cms"] == 60
+    assert payload["tcp_max_sustainable_cms"] == 60
+    assert len(payload["points"]) == 4
+    for point in payload["points"]:
+        assert {"transport", "n_cms", "sustainable", "acquire_p99_s",
+                "frames_per_sec", "coalesced_ratio",
+                "backpressure_stalls"} <= set(point)
+    # A ramp this small cannot prove the 3x gate, so acceptance reduces
+    # to parity + aio never behind threaded TCP — which must hold.
+    assert check_acceptance(payload) == []
+
+
+def test_point_budget_is_bounded():
+    assert point_budget(10, 2) == 60.0          # floor
+    assert point_budget(100000, 2) == 600.0     # cap
+    # Quadratic mid-range: 3k CMs needs ~190 s measured, budget > that.
+    assert 190.0 < point_budget(3000, 2) < 600.0
+
+
+def test_tcp_capacity_gate_tracks_rlimit():
+    import resource
+
+    soft, _ = resource.getrlimit(resource.RLIMIT_NOFILE)
+    # Far under the limit: runnable.  Far over: structurally skipped,
+    # with the fd math in the reason string.
+    assert tcp_capacity_reason(10) is None
+    reason = tcp_capacity_reason(soft)  # 5x soft fds needed
+    assert reason is not None and str(soft) in reason
+
+
+def test_skipped_tcp_point_is_recorded_not_run():
+    import resource
+
+    soft, _ = resource.getrlimit(resource.RLIMIT_NOFILE)
+    p = run_sweep_point(("tcp", soft, 2))
+    assert not p.ran and not p.sustainable
+    assert "fds" in p.reason
+
+
+def test_sweep_points_cover_both_transports():
+    pts = sweep_points((100, 1000), cycles=2)
+    assert ("tcp", 100, 2) in pts and ("aio", 1000, 2) in pts
+    assert len(pts) == 4
+    assert set(FULL_RAMP) - set(DEFAULT_RAMP) == {10000}
+
+
+def test_check_acceptance_flags_failures():
+    base = bench_payload(ScaleSweepResult(points=[]))
+    base["parity_state_identical"] = False
+    base["parity_counts_identical"] = False
+    problems = check_acceptance(base)
+    assert any("end states differ" in p for p in problems)
+    assert any("message counts differ" in p for p in problems)
+
+    # aio falling behind threaded TCP is always a violation.
+    ramped = bench_payload(ScaleSweepResult(points=[]))
+    ramped["parity_state_identical"] = True
+    ramped["parity_counts_identical"] = True
+    ramped["ramp_top"] = 1000
+    ramped["aio_max_sustainable_cms"] = 300
+    ramped["tcp_max_sustainable_cms"] = 500
+    assert any(
+        "fewer CMs than threaded TCP" in p for p in check_acceptance(ramped)
+    )
+
+    # With room to prove it (top >= 3x tcp), a sub-3x ratio fails.
+    ratio = dict(ramped)
+    ratio["ramp_top"] = 3000
+    ratio["aio_max_sustainable_cms"] = 2000
+    ratio["tcp_max_sustainable_cms"] = 1000
+    ratio["aio_over_tcp_ratio"] = 2.0
+    assert any("need >= 3x" in p for p in check_acceptance(ratio))

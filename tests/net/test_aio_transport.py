@@ -1,0 +1,348 @@
+"""Unit tests for repro.net.aio_transport (event-loop TCP on localhost).
+
+The asyncio backend must honour the exact Transport contract the
+threaded TCP backend does — same framing, same codec negotiation, same
+completion semantics — plus the three things it adds: connection
+multiplexing, write coalescing, and bounded-queue backpressure.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import TransportError
+from repro.net import (
+    AioTcpTransport,
+    Message,
+    TcpTransport,
+    ThreadCompletion,
+    resolve_transport,
+    transport_name,
+)
+
+
+@pytest.fixture()
+def transport():
+    tr = AioTcpTransport()
+    yield tr
+    tr.close()
+
+
+def test_send_and_receive_over_event_loop(transport):
+    got = []
+    done = threading.Event()
+
+    def handler(m):
+        got.append(m)
+        done.set()
+
+    transport.bind("a", lambda m: None)
+    transport.bind("b", handler)
+    transport.send(Message("HELLO", "a", "b", {"x": 1}))
+    assert done.wait(5.0)
+    assert got[0].msg_type == "HELLO" and got[0].payload == {"x": 1}
+
+
+def test_request_reply_roundtrip(transport):
+    done = threading.Event()
+    answers = []
+
+    def server(m):
+        if m.msg_type == "ASK":
+            server_ep.send(m.reply("ANSWER", {"n": m.payload["n"] * 2}))
+
+    def client(m):
+        answers.append(m)
+        done.set()
+
+    server_ep = transport.bind("server", server)
+    transport.bind("client", client)
+    transport.send(Message("ASK", "client", "server", {"n": 21}))
+    assert done.wait(5.0)
+    assert answers[0].msg_type == "ANSWER" and answers[0].payload == {"n": 42}
+    assert answers[0].reply_to is not None
+
+
+def test_many_messages_arrive_in_order(transport):
+    got = []
+    done = threading.Event()
+
+    def handler(m):
+        got.append(m.payload["i"])
+        if len(got) == 200:
+            done.set()
+
+    transport.bind("src", lambda m: None)
+    transport.bind("dst", handler)
+    for i in range(200):
+        transport.send(Message("SEQ", "src", "dst", {"i": i}))
+    assert done.wait(10.0)
+    assert got == list(range(200))
+
+
+def test_endpoints_multiplex_one_server_port(transport):
+    done = threading.Event()
+    seen = []
+
+    def handler(m):
+        seen.append(m.src)
+        if len(seen) == 3:
+            done.set()
+
+    transport.bind("sink", handler)
+    for name in ("a", "b", "c"):
+        transport.bind(name, lambda m: None)
+    port = transport.port
+    for name in ("a", "b", "c"):
+        transport.send(Message("PING", name, "sink", {}))
+    assert done.wait(5.0)
+    # All endpoints share the transport's single listening socket.
+    assert transport.port == port
+    assert sorted(seen) == ["a", "b", "c"]
+
+
+def test_binary_codec_negotiates_like_tcp():
+    tr = AioTcpTransport(codec="binary")
+    try:
+        done = threading.Event()
+        tr.bind("x", lambda m: None)
+        tr.bind("y", lambda m: done.set())
+        tr.send(Message("PING", "x", "y", {}))
+        assert done.wait(5.0)
+        assert tr.negotiated_codec("x", "y") == "binary"
+    finally:
+        tr.close()
+
+
+def test_json_is_the_default_codec(transport):
+    done = threading.Event()
+    transport.bind("x", lambda m: None)
+    transport.bind("y", lambda m: done.set())
+    transport.send(Message("PING", "x", "y", {}))
+    assert done.wait(5.0)
+    assert transport.negotiated_codec("x", "y") == "json"
+
+
+def test_completion_bridges_loop_to_caller_thread(transport):
+    comp = transport.completion("probe")
+    assert isinstance(comp, ThreadCompletion)
+
+    def resolver(m):
+        comp.resolve(m.payload["v"])
+
+    transport.bind("p", lambda m: None)
+    transport.bind("q", resolver)
+    transport.send(Message("SET", "p", "q", {"v": 7}))
+    assert comp.wait(5.0) == 7
+
+
+def test_schedule_and_cancel(transport):
+    fired = []
+    done = threading.Event()
+    transport.schedule(5.0, lambda: (fired.append("a"), done.set()))
+    handle = transport.schedule(5.0, lambda: fired.append("b"))
+    handle.cancel()
+    assert done.wait(5.0)
+    time.sleep(0.05)
+    assert fired == ["a"]
+
+
+def test_send_to_unknown_destination_counts_a_drop(transport):
+    transport.bind("known", lambda m: None)
+    transport.send(Message("PING", "known", "ghost", {}))
+    time.sleep(0.05)
+    assert transport.stats.dropped >= 1
+
+
+def test_send_after_close_raises():
+    tr = AioTcpTransport()
+    tr.bind("a", lambda m: None)
+    tr.bind("b", lambda m: None)
+    tr.close()
+    with pytest.raises(TransportError):
+        tr.send(Message("PING", "a", "b", {}))
+
+
+def test_close_is_idempotent(transport):
+    transport.bind("a", lambda m: None)
+    transport.send(Message("PING", "a", "a", {}))
+    transport.close()
+    transport.close()
+
+
+def test_handler_exceptions_are_captured_not_fatal(transport):
+    done = threading.Event()
+
+    def bad(m):
+        raise RuntimeError("boom")
+
+    transport.bind("src", lambda m: None)
+    transport.bind("bad", bad)
+    transport.bind("ok", lambda m: done.set())
+    transport.send(Message("PING", "src", "bad", {}))
+    transport.send(Message("PING", "src", "ok", {}))
+    assert done.wait(5.0)
+    assert any("boom" in str(e) for e in transport.handler_errors)
+
+
+# ---------------------------------------------------------------------------
+# Coalescing
+# ---------------------------------------------------------------------------
+
+
+def test_burst_coalesces_into_fewer_frames():
+    tr = AioTcpTransport()
+    try:
+        got = []
+        done = threading.Event()
+
+        def handler(m):
+            got.append(m.payload["i"])
+            if len(got) == 100:
+                done.set()
+
+        tr.bind("src", lambda m: None)
+        tr.bind("dst", handler)
+        tr.pause_writes()  # let the burst pile up behind the writer
+        for i in range(100):
+            tr.send(Message("SEQ", "src", "dst", {"i": i}))
+        tr.resume_writes()
+        assert done.wait(10.0)
+        assert got == list(range(100))
+        # Messages shared flushes (fewer drains), but without
+        # wrap_batches each one is still its own encoded frame.
+        assert tr.stats.flushes_coalesced > 0
+        assert tr.stats.encodes == 100
+    finally:
+        tr.close()
+
+
+def test_wrap_batches_preserves_logical_type_counts():
+    tr = AioTcpTransport(wrap_batches=True)
+    try:
+        got = []
+        done = threading.Event()
+
+        def handler(m):
+            got.append(m.payload["i"])
+            if len(got) == 60:
+                done.set()
+
+        tr.bind("src", lambda m: None)
+        tr.bind("dst", handler)
+        tr.pause_writes()
+        for i in range(60):
+            tr.send(Message("DATA", "src", "dst", {"i": i}))
+        tr.resume_writes()
+        assert done.wait(10.0)
+        assert got == list(range(60))
+        # Fig-4 counting: the BATCH envelope is invisible to by_type —
+        # the 60 logical messages are what is recorded.
+        assert tr.stats.by_type.get("DATA") == 60
+        assert "BATCH" not in tr.stats.by_type
+        assert tr.stats.batches_sent >= 1
+        assert tr.stats.messages_coalesced >= 2
+    finally:
+        tr.close()
+
+
+# ---------------------------------------------------------------------------
+# Backpressure
+# ---------------------------------------------------------------------------
+
+
+def test_full_send_queue_refuses_and_counts_stalls():
+    tr = AioTcpTransport(max_queue=8)
+    try:
+        got = []
+        all_in = threading.Event()
+
+        def handler(m):
+            got.append(m.payload["i"])
+            if len(got) == 8:
+                all_in.set()
+
+        tr.bind("src", lambda m: None)
+        tr.bind("dst", handler)
+        tr.pause_writes()  # simulate a reader that cannot drain
+        sent = stalled = 0
+        for i in range(20):
+            try:
+                tr.send(Message("SEQ", "src", "dst", {"i": i}))
+                sent += 1
+            except TransportError:
+                stalled += 1
+        assert sent == 8 and stalled == 12
+        assert tr.stats.backpressure_stalls == 12
+        assert tr.stats.send_queue_hwm == 8
+        tr.resume_writes()  # queue drains: nothing queued was lost
+        assert all_in.wait(5.0)
+        assert got == list(range(8))
+    finally:
+        tr.close()
+
+
+def test_stacked_reliable_transport_recovers_stalled_frames():
+    from repro.net.reliability import ReliableTransport
+
+    tr = AioTcpTransport(max_queue=4)
+    rel = ReliableTransport(tr, ack_timeout=50.0, max_attempts=20)
+    try:
+        got = []
+        done = threading.Event()
+
+        def handler(m):
+            got.append(m.payload["i"])
+            if len(got) == 12:
+                done.set()
+
+        rel.bind("src", lambda m: None)
+        rel.bind("dst", handler)
+        tr.pause_writes()
+        for i in range(12):
+            # The bounded queue refuses some of these; ReliableTransport
+            # records the drop and retransmits on the ack timer.
+            rel.send(Message("SEQ", "src", "dst", {"i": i}))
+        time.sleep(0.05)
+        tr.resume_writes()
+        assert done.wait(20.0)
+        # No frame loss end to end despite refused sends.
+        assert sorted(got) == list(range(12))
+    finally:
+        rel.close()
+
+
+# ---------------------------------------------------------------------------
+# Factory
+# ---------------------------------------------------------------------------
+
+
+def test_resolve_transport_specs():
+    for spec in ("aio", "asyncio", "aio-tcp"):
+        tr = resolve_transport(spec)
+        try:
+            assert isinstance(tr, AioTcpTransport)
+            assert transport_name(tr) == "aio"
+        finally:
+            tr.close()
+
+
+def test_resolve_transport_passthrough_and_errors():
+    tr = AioTcpTransport()
+    try:
+        assert resolve_transport(tr) is tr
+        with pytest.raises(TransportError):
+            resolve_transport(tr, codec="json")  # kwargs need a spec string
+        with pytest.raises(TransportError):
+            resolve_transport("carrier-pigeon")
+    finally:
+        tr.close()
+
+
+def test_transport_name_distinguishes_tcp_backends():
+    tcp = TcpTransport()
+    try:
+        assert transport_name(tcp) == "tcp"
+    finally:
+        tcp.close()

@@ -193,3 +193,66 @@ def test_send_after_close_rejected():
     tr.close()
     with pytest.raises(TransportError, match="closed"):
         tr.send(Message("X", "a", "a"))
+
+
+# ---------------------------------------------------------------------------
+# Shutdown hygiene: close() must actually reclaim reader threads
+# ---------------------------------------------------------------------------
+
+
+def _net_threads():
+    return [
+        t for t in threading.enumerate()
+        if t.name.startswith(("tcp-", "Thread-")) and t is not threading.current_thread()
+    ]
+
+
+def test_close_joins_reader_threads_within_timeout():
+    tr = TcpTransport()
+    done = threading.Event()
+    tr.bind("a", lambda m: None)
+    tr.bind("b", lambda m: done.set())
+    tr.send(Message("PING", "a", "b"))
+    assert done.wait(5.0)
+    before = threading.active_count()
+    t0 = time.monotonic()
+    tr.close(join_timeout=2.0)
+    elapsed = time.monotonic() - t0
+    assert elapsed < 2.5  # bounded even with live connections
+    # The accept loops and per-connection readers exited with close();
+    # give the last joins a beat, then require the count to have shrunk
+    # back (no leaked daemon readers spinning on dead sockets).
+    deadline = time.monotonic() + 2.0
+    while threading.active_count() >= before and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert threading.active_count() < before
+
+
+def test_close_is_idempotent_and_swallows_timer_races():
+    tr = TcpTransport()
+    tr.bind("a", lambda m: None)
+    tr.bind("b", lambda m: None)
+    # A timer that fires into the closing transport must not raise on
+    # its timer thread: schedule() fences the callback once closed.
+    tr.schedule(30.0, lambda: tr.send(Message("LATE", "a", "b")))
+    tr.close()
+    tr.close()  # second close is a no-op, not an error
+
+
+def test_scheduled_send_racing_close_is_silent():
+    tr = TcpTransport()
+    tr.bind("a", lambda m: None)
+    tr.bind("b", lambda m: None)
+    failures = []
+    hook_prev = threading.excepthook
+    threading.excepthook = lambda args: failures.append(args)
+    try:
+        # Fire "immediately": the timer thread may run before, during,
+        # or after close() — all three must be silent.
+        for _ in range(5):
+            tr.schedule(0.1, lambda: tr.send(Message("RACE", "a", "b")))
+        tr.close()
+        time.sleep(0.15)
+    finally:
+        threading.excepthook = hook_prev
+    assert failures == []
