@@ -130,6 +130,7 @@ def build_airline_system(
     n_shards: int = 1,
     partitioner: Optional[Partitioner] = None,
     transport: object = "sim",
+    durability: Optional[object] = None,
 ) -> AirlineSystem:
     """The paper's LAN testbed as a simulated system.
 
@@ -183,6 +184,7 @@ def build_airline_system(
             trace=trace,
             delta=delta,
             extract_cells=extract_cells_from_database,
+            durability=durability,
         )
         if getattr(transport, "topology", None) is not None:
             for address in system.plane.addresses:
@@ -200,6 +202,7 @@ def build_airline_system(
             trace=trace,
             delta=delta,
             extract_cells=extract_cells_from_database,
+            durability=durability,
         )
         if getattr(transport, "topology", None) is not None:
             transport.place(system.directory.address, "db-server")

@@ -20,6 +20,7 @@ from repro.core.directory import (
 from repro.core.messages import TraceLog
 from repro.core.static_map import StaticSharingMap
 from repro.core.system import FleccSystem
+from repro.errors import ReproError
 from repro.net.transport import Transport
 
 
@@ -52,9 +53,17 @@ def make_system(
     trace: Optional[TraceLog] = None,
     delta: Optional[bool] = None,
     extract_cells: Optional[ExtractCells] = None,
+    durability: Any = None,
 ) -> FleccSystem:
     """Build a FleccSystem running the requested protocol's directory."""
     protocol = ProtocolName(protocol)
+    if durability is not None and _DIRECTORY_CLASSES[protocol] is not DirectoryManager:
+        # Baseline directory classes predate the durable plane and do
+        # not accept the kwarg; failing here beats a TypeError deep in
+        # the constructor.
+        raise ReproError(
+            f"durability is not supported by the {protocol.value} directory"
+        )
     return FleccSystem(
         transport,
         component,
@@ -67,4 +76,5 @@ def make_system(
         directory_cls=_DIRECTORY_CLASSES[protocol],
         delta=delta,
         extract_cells=extract_cells,
+        durability=durability,
     )

@@ -174,6 +174,11 @@ class CacheManager:
         # acking any of them early would let a contending view be
         # granted that shard's partition while we are still writing it.
         self._pending_invalidates: List[Message] = []
+        # Full-slice fetches (a recovering directory reclaiming the
+        # authoritative image from its exclusive owner) deferred for the
+        # same reason: answering mid-critical-section would hand the
+        # directory a half-edited view.
+        self._pending_fetches: List[Message] = []
         self._use_lock = _CompletionLock(transport, f"{view_id}.use")
         self._in_use = False
         self._lock = threading.RLock()
@@ -326,13 +331,26 @@ class CacheManager:
 
     def _h_fetch(self, msg: Message) -> None:
         self.counters["fetches"] += 1
+        full = bool(msg.payload.get("full"))
+        if full and self._in_use:
+            # A recovering directory is reclaiming the authoritative
+            # slice from us; answer after the critical section so it
+            # cannot capture a half-edited view.
+            if all(m.msg_id != msg.msg_id for m in self._pending_fetches):
+                self._pending_fetches.append(msg)
+            return
+        self._complete_fetch(msg)
+
+    def _complete_fetch(self, msg: Message) -> None:
+        full = bool(msg.payload.get("full"))
         dirty = ObjectImage() if self._in_use else self._extract_dirty()
         self._absorb_dirty(dirty)
+        image = self._extract_current() if full else dirty
         self._trace(f"send:{M.FETCH_REPLY}", dst=msg.src)
         self.endpoint.send(
             msg.reply(
                 M.FETCH_REPLY,
-                {"view_id": self.view_id, "image": dirty,
+                {"view_id": self.view_id, "image": image,
                  "state_seq": self._next_state_seq()},
             )
         )
@@ -603,12 +621,16 @@ class CacheManager:
             self._in_use = False
             deferred = self._pending_invalidates
             self._pending_invalidates = []
+            fetches = self._pending_fetches
+            self._pending_fetches = []
             # Answer every deferred revoker in arrival order.  The first
             # ACK carries all dirty cells (and rebases); the rest are
             # empty — on a sharded plane the router re-homes any cells
             # the first revoker's shard does not own.
             for msg in deferred:
                 self._complete_invalidate(msg)
+            for msg in fetches:
+                self._complete_fetch(msg)
         self._use_lock.release()
 
     def set_mode(self, mode: Mode | str) -> Completion:
@@ -730,6 +752,7 @@ class CacheManager:
             self._stop_heartbeats()
             self._pending.clear()  # a dead process answers nothing
             self._pending_invalidates = []
+            self._pending_fetches = []
             self._in_use = False
             self._base = ObjectImage()
             self._synced = None  # delta base is volatile state too

@@ -24,6 +24,7 @@ from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.core import messages as M
 from repro.core.conflicts import ConflictPolicy
+from repro.core.durability import DurabilityManager, DurabilitySpec
 from repro.core.image import DeltaImage, ObjectImage
 from repro.core.messages import TraceLog
 from repro.core.modes import Mode
@@ -132,6 +133,7 @@ class DirectoryManager:
         delta: bool = True,
         extract_cells: Optional[ExtractCells] = None,
         key_filter: Optional[Callable[[str], bool]] = None,
+        durability: Optional["DurabilitySpec | DurabilityManager"] = None,
     ) -> None:
         self.transport = transport
         # Sharded-plane guard: when this directory is one shard of a
@@ -210,9 +212,33 @@ class DirectoryManager:
             "delta_serves": 0, "full_serves": 0, "delta_degraded": 0,
             "slice_index_hits": 0, "slice_index_builds": 0,
             "partial_extracts": 0, "regrants": 0,
+            "commits_durable": 0, "commits_volatile": 0,
+            "wal_recoveries": 0, "cells_replayed": 0,
+            "recovery_reclaims": 0, "reclaim_timeouts": 0,
         }
         self._lock = threading.RLock()  # no-op contention in sim; needed on TCP
+        # Recovery ownership reclaim: views recovered holding strong-mode
+        # exclusivity may hold dirty state newer than anything in the WAL
+        # (their handoff rides an INVALIDATE_ACK that can die with the
+        # directory process).  Until each answers a full-slice fetch (or
+        # the reclaim window expires), queued ops stay blocked.
+        self._reclaim_needed: List[str] = []
+        self._reclaim_fetches: Dict[int, str] = {}
+        # Durable primary copy: opening the lineage performs recovery
+        # (snapshot + WAL tail), which must land before the endpoint
+        # binds — a request that raced recovery could read the blank
+        # pre-replay state.
+        self.durability: Optional[DurabilityManager] = None
+        if durability is not None:
+            self.durability = (
+                durability
+                if isinstance(durability, DurabilityManager)
+                else DurabilityManager(durability)
+            )
+            self._recover_durable_state()
         self.endpoint = transport.bind(address, self._on_message)
+        if self._reclaim_needed:
+            self._start_recovery_reclaim()
 
     # ------------------------------------------------------------------
     # Introspection used by experiments / QualityProbe
@@ -373,6 +399,7 @@ class DirectoryManager:
         self.policy.invalidate()  # membership changed: cached answers stale
         self.invalidate_slice_index(view_id)
         self._forget_in_rounds(view_id)
+        self._log({"k": "evict", "v": view_id, "reason": reason})
 
     # ------------------------------------------------------------------
     # Message handling
@@ -444,6 +471,12 @@ class DirectoryManager:
 
     def _reply(self, request: Message, msg_type: str, payload: Optional[Dict[str, Any]] = None) -> None:
         """Answer ``request``, caching the reply for duplicate deliveries."""
+        if self.durability is not None:
+            # No ack-before-durable window: under fsync=always every WAL
+            # append synced inline, and this guard closes any path (e.g.
+            # a coalesced round finalizing several commits) where an
+            # acknowledgment could otherwise overtake the fsync.
+            self.durability.ensure_ack_durable()
         reply = request.reply(msg_type, payload)
         self._reply_cache[request.msg_id] = reply
         while len(self._reply_cache) > self._dedup_window:
@@ -507,6 +540,7 @@ class DirectoryManager:
         self.policy.invalidate()  # membership changed: cached answers stale
         self.invalidate_slice_index(view_id)  # properties may differ
         self._arm_lease_checker()
+        self._log({"k": "register", **self._view_state(rec)})
         self._reply(
             msg,
             M.REGISTER_ACK,
@@ -548,6 +582,7 @@ class DirectoryManager:
             # Leaving strong mode releases exclusivity; dirty state was
             # pushed by the cache manager before it sent SET_MODE.
             rec.exclusive = False
+        self._log_cursors(rec)
         self._reply(
             msg,
             M.SET_MODE_ACK,
@@ -566,6 +601,7 @@ class DirectoryManager:
         # The slice changed shape under the view: its next serve must
         # be a complete image of the new slice, not a delta of the old.
         rec.synced = False
+        self._log({"k": "props", "v": rec.view_id, "props": props})
         self._reply(msg, M.PROP_UPDATE_ACK, {"view_id": rec.view_id})
 
     def _h_unregister(self, msg: Message) -> None:
@@ -581,6 +617,7 @@ class DirectoryManager:
         self.policy.invalidate()  # membership changed: cached answers stale
         self.invalidate_slice_index(view_id)
         self._forget_in_rounds(view_id)
+        self._log({"k": "unregister", "v": view_id})
         self._reply(msg, M.UNREGISTER_ACK, {"view_id": view_id})
 
     # -- queued (round-based) operations ---------------------------------------
@@ -588,7 +625,10 @@ class DirectoryManager:
         rec = self._record_for(msg)
         op = self._current_op
         being_revoked = op is not None and rec.view_id in op.awaiting.values()
-        if rec.exclusive and rec.active and not being_revoked:
+        if (
+            rec.exclusive and rec.active and not being_revoked
+            and not self._reclaim_fetches  # reclaim first: state unreconciled
+        ):
             # Re-ACQUIRE from the current exclusive holder — a delta
             # fallback retry (full=True) or a retransmission.  The token
             # did not move and, by the strong-mode invariant, every
@@ -603,6 +643,7 @@ class DirectoryManager:
             payload = self._serve_payload(
                 _PendingOp("acquire", msg, rec.view_id), rec
             )
+            self._log_cursors(rec)
             self._reply(msg, M.GRANT, payload)
             self.check_invariants()
             return
@@ -631,6 +672,8 @@ class DirectoryManager:
         self._pump()
 
     def _pump(self) -> None:
+        if self._reclaim_fetches:
+            return  # recovery reclaim in progress: hold every op
         while self._current_op is None and self._op_queue:
             op = self._op_queue.popleft()
             if op.view_id not in self.views:
@@ -737,10 +780,14 @@ class DirectoryManager:
                     )
                     rec.active = False
                     rec.exclusive = False
+                    self._log_cursors(rec)
             op.awaiting.clear()
             self._finalize_op(op)
 
     def _h_round_reply(self, msg: Message) -> None:
+        if msg.reply_to in self._reclaim_fetches:
+            self._h_reclaim_reply(msg)
+            return
         op = self._current_op
         if op is None or msg.reply_to not in op.awaiting:
             # Late/duplicate reply from a finished round — harmless.
@@ -756,6 +803,7 @@ class DirectoryManager:
             if msg.msg_type == M.INVALIDATE_ACK:
                 rec.active = False
                 rec.exclusive = False
+                self._log_cursors(rec)
         if not op.awaiting:
             self._finalize_op(op)
 
@@ -773,6 +821,11 @@ class DirectoryManager:
                 reply_type = M.INIT_DATA
             else:
                 reply_type = M.PULL_DATA
+            # The serve moved this view's delta cursors (seen,
+            # last_served_seq) and its activity flags: persist them so a
+            # restarted directory still serves this view deltas instead
+            # of forcing a full re-sync.
+            self._log_cursors(rec)
             self._reply(op.request, reply_type, payload)
             self.check_invariants()
         self._pump()
@@ -868,6 +921,254 @@ class DirectoryManager:
             self._finalize_op(op)
 
     # ------------------------------------------------------------------
+    # Durability: WAL records, snapshots, crash-restart recovery
+    # ------------------------------------------------------------------
+    # WAL record payloads are dicts keyed by "k" (kind) — "commit",
+    # "register", "unregister", "cursors", "props", "evict" — with the
+    # lsn ("n") assigned by the DurabilityManager.  Cursor records make
+    # the delta-serve state survive a restart: a recovering directory
+    # that forgot rec.seen / last_served_seq would have to serve every
+    # reconnecting CM a full image.
+
+    def _view_state(self, rec: ViewRecord) -> Dict[str, Any]:
+        return {
+            "v": rec.view_id, "addr": rec.address,
+            "props": rec.properties, "mode": rec.mode.value,
+            "trig": dict(rec.triggers), "seen": rec.seen.copy(),
+            "sseq": rec.last_state_seq, "served": rec.last_served_seq,
+            "synced": rec.synced, "active": rec.active,
+            "excl": rec.exclusive,
+        }
+
+    def _restore_view(self, vd: Dict[str, Any]) -> ViewRecord:
+        rec = ViewRecord(
+            view_id=vd["v"],
+            address=vd["addr"],
+            properties=vd.get("props") or PropertySet(),
+            mode=Mode.parse(vd.get("mode", Mode.WEAK)),
+            triggers=dict(vd.get("trig") or {}),
+            active=bool(vd.get("active", False)),
+            exclusive=bool(vd.get("excl", False)),
+            seen=vd["seen"].copy() if vd.get("seen") is not None else VersionVector(),
+            last_state_seq=int(vd.get("sseq", 0)),
+            synced=bool(vd.get("synced", False)),
+            last_served_seq=int(vd.get("served", -1)),
+        )
+        self.views[rec.view_id] = rec
+        return rec
+
+    def _durable_state(self) -> Dict[str, Any]:
+        """Snapshot payload: the full primary-copy image plus every
+        piece of directory bookkeeping recovery needs (commit cursor,
+        master versions, per-view delta-serve cursors, quarantine)."""
+        return {
+            "cseq": self.commit_seq,
+            "versions": self.master_versions.copy(),
+            # Convention: the empty property set extracts the complete
+            # component (the same convention CM recovery relies on).
+            "image": self.extract_from_object(self.component, PropertySet()),
+            "views": [self._view_state(r) for r in self.views.values()],
+            "quarantined": [
+                {
+                    "v": q.view_id, "addr": q.address, "props": q.properties,
+                    "mode": q.mode.value, "seen": q.seen.copy(),
+                    "sseq": q.last_state_seq, "img": q.image,
+                    "reason": q.reason, "time": q.time, "op": q.op_context,
+                }
+                for q in self.quarantined.values()
+            ],
+        }
+
+    def _log(self, record: Dict[str, Any]) -> bool:
+        """Append one WAL record; True when it is already durable."""
+        if self.durability is None:
+            return False
+        return self.durability.append(record)
+
+    def _log_cursors(self, rec: ViewRecord) -> None:
+        if self.durability is not None:
+            self.durability.append({"k": "cursors", **self._view_state(rec)})
+
+    def _recover_durable_state(self) -> None:
+        rs = self.durability.recovered
+        if rs.empty:
+            # First boot of this lineage: snapshot the initial primary
+            # copy.  State that predates the first commit is in no WAL
+            # record, so without this a crash would lose it.
+            self.durability.snapshot(self._durable_state())
+            return
+        cells = 0
+        snap = rs.snapshot
+        if snap is not None:
+            self.merge_into_object(self.component, snap["image"], PropertySet())
+            cells += len(snap["image"])
+            self.master_versions = snap["versions"].copy()
+            self.commit_seq = int(snap["cseq"])
+            for vd in snap.get("views") or []:
+                self._restore_view(vd)
+            for qd in snap.get("quarantined") or []:
+                self.quarantined[qd["v"]] = QuarantinedView(
+                    view_id=qd["v"], address=qd["addr"],
+                    properties=qd.get("props") or PropertySet(),
+                    mode=Mode.parse(qd.get("mode", Mode.WEAK)),
+                    seen=qd["seen"], last_state_seq=int(qd.get("sseq", 0)),
+                    image=qd["img"], reason=qd.get("reason", "recovered"),
+                    time=float(qd.get("time", 0.0)),
+                    op_context=qd.get("op"),
+                )
+        for record in rs.records:
+            cells += self._replay(record)
+        self.counters["wal_recoveries"] += 1
+        self.counters["cells_replayed"] += cells
+        self.transport.stats.record_recovery(cells)
+        self._trace(
+            "durable-recovery",
+            cells=cells, records=len(rs.records),
+            snapshot_lsn=rs.snapshot_lsn,
+        )
+        # Post-replay bookkeeping: recovered views get fresh leases (the
+        # downtime must not count against them), membership-derived
+        # caches start cold, and the lease sweep re-arms.
+        for rec in self.views.values():
+            self._renew_lease(rec)
+            if self.static_map is not None and not self.static_map.has_view(
+                rec.view_id
+            ):
+                self.static_map.add_view(rec.view_id)
+        self.policy.invalidate()
+        self.invalidate_slice_index()
+        self._arm_lease_checker()
+        # Surviving strong owners may hold dirty state the WAL never saw
+        # (a handoff lost with the dead process); reclaim before serving.
+        self._reclaim_needed = [
+            vid for vid, rec in sorted(self.views.items()) if rec.exclusive
+        ]
+
+    def _start_recovery_reclaim(self) -> None:
+        """Fetch the authoritative slice from recovered exclusive owners.
+
+        The WAL cannot contain dirty state a strong owner had not yet
+        handed over when the directory died, so the recovered primary
+        copy may be behind the owner's view.  Every recovered-exclusive
+        view is sent a full-slice FETCH_REQ; queued operations stay
+        blocked (:meth:`_pump`) until all replies arrive or the reclaim
+        window expires — serving anyone from the unreconciled copy
+        could leak a stale read.
+        """
+        for view_id in self._reclaim_needed:
+            rec = self.views[view_id]
+            out = Message(
+                M.FETCH_REQ, self.address, rec.address,
+                {"view_id": view_id, "full": True},
+            )
+            self._reclaim_fetches[out.msg_id] = view_id
+            self.counters["fetches_sent"] += 1
+            self.counters["recovery_reclaims"] += 1
+            self._trace("recovery-reclaim", view=view_id)
+            self._send(out)
+        self._reclaim_needed = []
+        if self._reclaim_fetches:
+            # Without a configured round/lease window, a fixed one keeps
+            # a dead owner from wedging the queue forever.
+            timeout = self.round_timeout or self.lease_duration or 60.0
+            self.transport.schedule(timeout, self._expire_reclaim)
+
+    def _h_reclaim_reply(self, msg: Message) -> None:
+        view_id = self._reclaim_fetches.pop(msg.reply_to)
+        rec = self.views.get(view_id)
+        image: ObjectImage = msg.payload.get("image") or ObjectImage()
+        if rec is not None:
+            self._renew_lease(rec)
+            if not image.is_empty():
+                self._commit(rec, image, seq=msg.payload.get("state_seq"))
+                self._log_cursors(rec)
+        self._trace("recovery-reclaim-done", view=view_id)
+        if not self._reclaim_fetches:
+            self._pump()
+
+    def _expire_reclaim(self) -> None:
+        """Watchdog: stop waiting on owners that died with the crash.
+
+        Mirrors :meth:`_expire_round`: the silent views are quarantined
+        (their recovered context kept for reconciliation) and their
+        exclusivity reclaimed so the queue can drain.
+        """
+        with self._lock:
+            if not self._reclaim_fetches:
+                return
+            dropped = sorted(self._reclaim_fetches.values())
+            self._reclaim_fetches.clear()
+            self.counters["reclaim_timeouts"] += 1
+            self._trace("recovery-reclaim-timeout", dropped=dropped)
+            for view_id in dropped:
+                rec = self.views.get(view_id)
+                if rec is not None:
+                    self._quarantine_view(rec, reason="reclaim-timeout")
+                    rec.active = False
+                    rec.exclusive = False
+                    self._log_cursors(rec)
+            self._pump()
+
+    def _replay(self, record: Dict[str, Any]) -> int:
+        """Apply one WAL record to blank post-restart state; returns the
+        number of primary-copy cells it re-committed."""
+        kind = record.get("k")
+        if kind == "commit":
+            img: ObjectImage = record["img"]
+            rec = self.views.get(record.get("v"))
+            props = rec.properties if rec is not None else PropertySet()
+            self.merge_into_object(self.component, img, props)
+            noadv = set(record.get("noadv") or ())
+            for key in img.keys():
+                v = img.versions.get(key)
+                if v > self.master_versions.get(key):
+                    self.master_versions.set(key, v)
+                if rec is not None and key not in noadv:
+                    rec.seen.set(key, max(rec.seen.get(key), v))
+            if rec is not None:
+                rec.last_state_seq = max(
+                    rec.last_state_seq, int(record.get("sseq", 0))
+                )
+            self.commit_seq = max(self.commit_seq, int(record.get("cseq", 0)))
+            return len(img)
+        if kind == "register":
+            self._restore_view(record)
+            self.quarantined.pop(record["v"], None)
+        elif kind == "unregister":
+            self.views.pop(record.get("v"), None)
+        elif kind == "cursors":
+            rec = self.views.get(record.get("v"))
+            if rec is not None:
+                rec.seen = record["seen"].copy()
+                rec.last_state_seq = int(record.get("sseq", 0))
+                rec.last_served_seq = int(record.get("served", -1))
+                rec.synced = bool(record.get("synced", False))
+                rec.active = bool(record.get("active", False))
+                rec.exclusive = bool(record.get("excl", False))
+                rec.mode = Mode.parse(record.get("mode", rec.mode.value))
+        elif kind == "props":
+            rec = self.views.get(record.get("v"))
+            if rec is not None:
+                rec.properties = record.get("props") or PropertySet()
+                rec.synced = False
+        elif kind == "evict":
+            rec = self.views.pop(record.get("v"), None)
+            if rec is not None:
+                self.quarantined[rec.view_id] = QuarantinedView(
+                    view_id=rec.view_id, address=rec.address,
+                    properties=rec.properties, mode=rec.mode,
+                    seen=rec.seen, last_state_seq=rec.last_state_seq,
+                    image=self.extract_from_object(
+                        self.component, rec.properties
+                    ),
+                    reason=record.get("reason", "recovered"),
+                    time=0.0, op_context=None,
+                )
+        else:
+            self._trace("replay-unknown-record", kind=kind)
+        return 0
+
+    # ------------------------------------------------------------------
     # Committing updates
     # ------------------------------------------------------------------
     def _commit(
@@ -917,6 +1218,27 @@ class DirectoryManager:
                         image.cells[k] = merged
                         if changed:
                             resolved.add(k)
+        if self.durability is not None:
+            # Write-ahead: the record carries the cells stamped with the
+            # versions the bump loop below is about to assign, so replay
+            # can restore master_versions without re-running the bumps.
+            # Appended *before* the in-memory merge and commit_seq
+            # advance — under fsync=always the append has synced when it
+            # returns, so no ACK built from post-commit state can leave
+            # before the record is durable.
+            wal_image = ObjectImage(image.cells)
+            for key in wal_image.keys():
+                wal_image.versions.set(key, self.master_versions.get(key) + 1)
+            durable = self._log({
+                "k": "commit", "v": rec.view_id, "img": wal_image,
+                "noadv": sorted(resolved), "sseq": rec.last_state_seq,
+                "cseq": self.commit_seq + len(image),
+            })
+            self.counters[
+                "commits_durable" if durable else "commits_volatile"
+            ] += len(image)
+        else:
+            self.counters["commits_volatile"] += len(image)
         self.merge_into_object(self.component, image, rec.properties)
         self.counters["commits"] += len(image)
         for key in image.keys():
@@ -936,6 +1258,8 @@ class DirectoryManager:
             if self.on_commit is not None:
                 self.on_commit(key, newv)
         self.commit_seq += len(image)
+        if self.durability is not None:
+            self.durability.note_commit(len(image), self._durable_state)
         return len(image)
 
     # ------------------------------------------------------------------
@@ -943,4 +1267,20 @@ class DirectoryManager:
         if self._lease_timer is not None:
             self._lease_timer.cancel()
             self._lease_timer = None
+        if self.durability is not None:
+            self.durability.close()  # clean shutdown: WAL tail synced
+        self.endpoint.close()
+
+    def crash(self, torn_tail: bytes = b"") -> None:
+        """Die like a killed process: volatile state is simply abandoned,
+        and the WAL loses exactly the bytes the fsync policy had not yet
+        synced (optionally leaving ``torn_tail`` garbage from a record
+        the kill interrupted).  Restart = construct a fresh
+        DirectoryManager over the same DurabilitySpec; its recovery
+        replays the lineage."""
+        if self._lease_timer is not None:
+            self._lease_timer.cancel()
+            self._lease_timer = None
+        if self.durability is not None:
+            self.durability.simulate_crash(torn_tail=torn_tail)
         self.endpoint.close()

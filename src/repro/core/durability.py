@@ -1,0 +1,360 @@
+"""Durable directory plane: WAL lineage, snapshots, crash recovery.
+
+:class:`DurabilitySpec` is the user-facing configuration threaded
+through :class:`~repro.core.system.FleccSystem`,
+:class:`~repro.core.sharding.ShardedFleccSystem` (one lineage per
+shard, named by shard id + partitioner fingerprint) and
+``build_airline_system``.  :class:`DurabilityManager` owns one
+lineage's on-disk state:
+
+- WAL segments ``wal-<first_lsn>.log`` (format: :mod:`repro.core.wal`),
+  rotated at every snapshot;
+- snapshots ``snap-<lsn>.bin`` — one CRC-framed
+  :func:`~repro.net.binary_codec.encode_value` record holding the full
+  primary-copy image plus directory bookkeeping — written atomically
+  (tmp file, fsync, ``os.replace``), the newest ``keep_snapshots`` of
+  them retained as fallbacks;
+- recovery on open: load the newest snapshot that validates, replay
+  every WAL record with ``lsn`` greater than its cut, truncate a torn
+  tail, fail-stop on mid-log corruption.
+
+Record payloads are dicts (with codec-registered values like
+``ObjectImage`` inside); this layer assigns each one a monotone ``lsn``
+under the key ``"n"`` and leaves the rest to the directory manager.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import zlib
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.wal import (
+    SYNC_ALWAYS,
+    SYNC_POLICIES,
+    WalCorruptionError,
+    WalError,
+    WalScan,
+    WalWriter,
+    scan_wal,
+)
+from repro.net.binary_codec import decode_value, encode_value
+
+SNAP_MAGIC = b"FLSNP01\n"
+_LEN = struct.Struct(">I")
+_CRC = struct.Struct(">I")
+
+_SEGMENT_RE = re.compile(r"^wal-(\d+)\.log$")
+_SNAPSHOT_RE = re.compile(r"^snap-(\d+)\.bin$")
+
+
+@dataclass(frozen=True)
+class DurabilitySpec:
+    """Configuration for one directory's durable lineage.
+
+    ``root`` is the directory that holds (or will hold) the lineage
+    directory ``<root>/<name>/``.  ``fsync`` picks the WAL policy
+    (``always`` | ``batch`` | ``off``); ``snapshot_every`` is the
+    number of committed cells between compacted snapshots (0 disables
+    snapshotting); ``keep_snapshots`` retains that many snapshot
+    generations (and the WAL segments they need) as corruption
+    fallbacks.
+    """
+
+    root: Union[str, Path]
+    fsync: str = "batch"
+    batch_interval: int = 16
+    snapshot_every: int = 256
+    keep_snapshots: int = 2
+    name: str = "dm"
+
+    def __post_init__(self) -> None:
+        if self.fsync not in SYNC_POLICIES:
+            raise WalError(
+                f"unknown fsync policy {self.fsync!r}; one of {SYNC_POLICIES}"
+            )
+        if self.keep_snapshots < 1:
+            raise WalError(f"keep_snapshots must be >= 1, got {self.keep_snapshots}")
+
+    def for_shard(self, shard_id: int, fingerprint: str) -> "DurabilitySpec":
+        """The per-shard lineage of a sharded plane.
+
+        Named by shard id *and* partitioner fingerprint: restarting the
+        plane with a different partitioner must not recover a shard
+        from a lineage whose key partition was different — that would
+        silently re-home cells the new partitioner routes elsewhere.
+        """
+        return replace(self, name=f"{self.name}-shard{shard_id}-{fingerprint}")
+
+    @property
+    def directory(self) -> Path:
+        return Path(self.root) / self.name
+
+
+@dataclass
+class RecoveredState:
+    """What one lineage held on disk at open time."""
+
+    snapshot: Optional[Dict[str, Any]] = None   # newest snapshot that validates
+    snapshot_lsn: int = 0                       # its WAL cut (0: none)
+    records: List[Dict[str, Any]] = field(default_factory=list)  # lsn > cut
+    snapshots_skipped: int = 0                  # newer snapshots that failed to load
+    torn_tail_truncated: bool = False
+
+    @property
+    def empty(self) -> bool:
+        return self.snapshot is None and not self.records
+
+
+def _frame_snapshot(payload: bytes) -> bytes:
+    return SNAP_MAGIC + _LEN.pack(len(payload)) + payload + _CRC.pack(
+        zlib.crc32(payload) & 0xFFFFFFFF
+    )
+
+
+def _load_snapshot(path: Path) -> Dict[str, Any]:
+    """Decode one snapshot file; raises WalError on any damage."""
+    raw = path.read_bytes()
+    header = len(SNAP_MAGIC)
+    if len(raw) < header + _LEN.size or raw[:header] != SNAP_MAGIC:
+        raise WalError(f"{path}: not a snapshot (bad or truncated magic)")
+    (length,) = _LEN.unpack_from(raw, header)
+    body_end = header + _LEN.size + length
+    if body_end + _CRC.size > len(raw):
+        raise WalError(f"{path}: truncated snapshot body")
+    payload = raw[header + _LEN.size : body_end]
+    (crc,) = _CRC.unpack_from(raw, body_end)
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+        raise WalError(f"{path}: snapshot CRC mismatch")
+    value = decode_value(payload)
+    if not isinstance(value, dict):
+        raise WalError(f"{path}: snapshot payload is not a record")
+    return value
+
+
+def partitioner_fingerprint(partitioner: Any) -> str:
+    """A stable fingerprint of a partitioner's key-routing function.
+
+    Hashes the class name plus the routing-relevant configuration; two
+    partitioners that route keys identically fingerprint identically
+    across process restarts (CRC-32 over a canonical JSON spelling —
+    never ``hash()``, which is salted per process).
+    """
+    fp = getattr(partitioner, "fingerprint", None)
+    if callable(fp):
+        return fp()
+    spec: Dict[str, Any] = {"cls": type(partitioner).__name__}
+    for attr in ("n_shards", "replicas", "partition_property"):
+        if hasattr(partitioner, attr):
+            spec[attr] = getattr(partitioner, attr)
+    ranges = getattr(partitioner, "ranges", None)
+    if ranges is not None:
+        spec["ranges"] = [r.to_jsonable() for r in ranges]
+    digest = zlib.crc32(
+        json.dumps(spec, sort_keys=True, default=str).encode("utf-8")
+    )
+    return f"{digest & 0xFFFFFFFF:08x}"
+
+
+class DurabilityManager:
+    """One directory's WAL + snapshot lineage.
+
+    Construction performs recovery: ``recovered`` holds the newest
+    valid snapshot and the decoded WAL tail beyond it, a torn tail is
+    truncated on disk, and the writer resumes appending at the next
+    ``lsn``.  Mid-log corruption raises — the caller must not come up
+    on a forked history.
+    """
+
+    def __init__(self, spec: DurabilitySpec) -> None:
+        self.spec = spec
+        self.dir = spec.directory
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.counters: Dict[str, int] = {
+            "wal_appends": 0, "wal_syncs": 0, "snapshots_written": 0,
+            "snapshots_skipped": 0, "records_replayed": 0,
+            "segments_pruned": 0,
+        }
+        self.recovered = self._recover()
+        self.counters["records_replayed"] = len(self.recovered.records)
+        self.counters["snapshots_skipped"] = self.recovered.snapshots_skipped
+        self.next_lsn = 1 + max(
+            self.recovered.snapshot_lsn,
+            max((r["n"] for r in self.recovered.records), default=0),
+        )
+        self._snapshot_lsn = self.recovered.snapshot_lsn
+        self._cells_since_snapshot = 0
+        self._syncs_base = 0  # syncs of writers already rotated out
+        self._writer = self._open_tail_writer()
+
+    # -- recovery --------------------------------------------------------
+    def _segments(self) -> List[Tuple[int, Path]]:
+        out = []
+        for p in self.dir.iterdir():
+            m = _SEGMENT_RE.match(p.name)
+            if m:
+                out.append((int(m.group(1)), p))
+        return sorted(out)
+
+    def _snapshots(self) -> List[Tuple[int, Path]]:
+        out = []
+        for p in self.dir.iterdir():
+            m = _SNAPSHOT_RE.match(p.name)
+            if m:
+                out.append((int(m.group(1)), p))
+        return sorted(out)
+
+    def _recover(self) -> RecoveredState:
+        state = RecoveredState()
+        for lsn, path in reversed(self._snapshots()):
+            try:
+                state.snapshot = _load_snapshot(path)
+                state.snapshot_lsn = lsn
+                break
+            except WalError:
+                # A damaged snapshot (e.g. the process died while one
+                # was being written): fall back to the previous
+                # generation and pay a longer WAL replay instead.
+                state.snapshots_skipped += 1
+        segments = self._segments()
+        for i, (first_lsn, path) in enumerate(segments):
+            last = i == len(segments) - 1
+            try:
+                scan = scan_wal(path)
+            except WalCorruptionError:
+                raise
+            if scan.torn:
+                if not last:
+                    # Rotation closes segments cleanly; a short interior
+                    # segment means acknowledged records vanished.
+                    raise WalCorruptionError(
+                        f"{path}: truncated interior WAL segment"
+                    )
+                with open(path, "r+b") as f:
+                    f.truncate(scan.valid_end)
+                state.torn_tail_truncated = True
+            for payload in scan.records:
+                record = decode_value(payload)
+                if record.get("n", 0) > state.snapshot_lsn:
+                    state.records.append(record)
+        state.records.sort(key=lambda r: r.get("n", 0))
+        return state
+
+    def _open_tail_writer(self) -> WalWriter:
+        segments = self._segments()
+        if segments:
+            path = segments[-1][1]
+        else:
+            path = self.dir / f"wal-{self.next_lsn}.log"
+        return WalWriter(
+            path, sync=self.spec.fsync, batch_interval=self.spec.batch_interval
+        )
+
+    # -- appending -------------------------------------------------------
+    def append(self, record: Dict[str, Any]) -> bool:
+        """Persist one record; returns True when it is already durable.
+
+        Assigns the next ``lsn`` (key ``"n"``) — callers pass the
+        payload only.  Under ``fsync=always`` the append has been
+        fsynced when this returns, so replying to the client after
+        ``append`` is exactly the no-ack-before-durable rule.
+        """
+        record = dict(record)
+        record["n"] = self.next_lsn
+        self.next_lsn += 1
+        self.counters["wal_appends"] += 1
+        durable = self._writer.append(encode_value(record))
+        self.counters["wal_syncs"] = self._syncs_base + self._writer.syncs
+        return durable
+
+    def sync(self) -> None:
+        self._writer.sync()
+        self.counters["wal_syncs"] = self._syncs_base + self._writer.syncs
+
+    def ensure_ack_durable(self) -> None:
+        """Make every appended record durable before an ACK leaves.
+
+        Under ``fsync=always`` this is a no-op (``append`` already
+        synced); it exists as the explicit guard that closes any
+        ack-before-durable window on the reply path.
+        """
+        if self.spec.fsync == SYNC_ALWAYS and self._writer.unsynced_records:
+            self.sync()
+
+    # -- snapshots -------------------------------------------------------
+    def note_commit(self, cells: int, state: Callable[[], Dict[str, Any]]) -> None:
+        """Account committed cells; snapshot when the interval elapses.
+
+        ``state`` is a thunk so the full primary-copy image is only
+        materialized when a snapshot is actually due.
+        """
+        if self.spec.snapshot_every <= 0:
+            return
+        self._cells_since_snapshot += cells
+        if self._cells_since_snapshot >= self.spec.snapshot_every:
+            self.snapshot(state())
+
+    def snapshot(self, state: Dict[str, Any]) -> int:
+        """Write a compacted snapshot at the current WAL position.
+
+        The image covers everything through ``lsn = next_lsn - 1``; the
+        WAL rotates to a fresh segment and generations beyond
+        ``keep_snapshots`` (with the segments only they needed) are
+        pruned.  Returns the snapshot's cut lsn.
+        """
+        cut = self.next_lsn - 1
+        payload = encode_value(dict(state, snapshot_lsn=cut))
+        final = self.dir / f"snap-{cut}.bin"
+        tmp = self.dir / f"snap-{cut}.bin.tmp"
+        with open(tmp, "wb") as f:
+            f.write(_frame_snapshot(payload))
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, final)
+        self.counters["snapshots_written"] += 1
+        self._snapshot_lsn = cut
+        self._cells_since_snapshot = 0
+        # Rotate: close the current segment (making its tail durable)
+        # and start the post-snapshot segment.
+        self._writer.close()
+        self._syncs_base += self._writer.syncs
+        self._writer = WalWriter(
+            self.dir / f"wal-{self.next_lsn}.log",
+            sync=self.spec.fsync,
+            batch_interval=self.spec.batch_interval,
+        )
+        self._prune(cut)
+        return cut
+
+    def _prune(self, newest_snapshot_lsn: int) -> None:
+        snaps = self._snapshots()
+        keep = snaps[-self.spec.keep_snapshots:]
+        for lsn, path in snaps[: len(snaps) - len(keep)]:
+            path.unlink(missing_ok=True)
+        oldest_kept = keep[0][0] if keep else newest_snapshot_lsn
+        segments = self._segments()
+        # Segment i covers lsns [first_i, first_{i+1}); drop it only when
+        # the *next* segment already starts at or before the oldest kept
+        # snapshot's cut + 1 (i.e. every record in it predates the cut).
+        for (first, path), (nxt, _) in zip(segments, segments[1:]):
+            if nxt <= oldest_kept + 1:
+                path.unlink(missing_ok=True)
+                self.counters["segments_pruned"] += 1
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Clean shutdown: the WAL tail is synced regardless of policy."""
+        self._writer.close()
+        self.counters["wal_syncs"] = self._syncs_base + self._writer.syncs
+
+    def simulate_crash(self, torn_tail: bytes = b"") -> None:
+        """Kill this lineage's process: unsynced WAL bytes are lost and
+        ``torn_tail`` garbage may be left behind (a record the kill
+        interrupted).  A fresh :class:`DurabilityManager` over the same
+        spec performs recovery."""
+        self._writer.simulate_crash(torn_tail=torn_tail)

@@ -35,6 +35,7 @@ experiments remain valid.
 from __future__ import annotations
 
 import bisect
+import json
 import threading
 import zlib
 from collections import Counter
@@ -59,6 +60,7 @@ from repro.core.directory import (
     MergeIntoObject,
 )
 from repro.core.domains import DiscreteSet, Domain
+from repro.core.durability import DurabilitySpec, partitioner_fingerprint
 from repro.core.image import DeltaImage, ObjectImage
 from repro.core.messages import TraceLog
 from repro.core.modes import Mode
@@ -133,6 +135,17 @@ class HashPartitioner:
         idx = bisect.bisect_right(self._points, stable_key_hash(key))
         return self._owners[idx % len(self._owners)]
 
+    def fingerprint(self) -> str:
+        """Restart-stable digest of this partitioner's key routing.
+
+        Names per-shard durability lineages: a plane restarted with a
+        *different* routing function must not recover a shard from a
+        lineage whose key partition disagrees with where the new
+        partitioner routes those keys.
+        """
+        spec = f"hash:{self.n_shards}:{self.replicas}:{self.partition_property}"
+        return f"{zlib.crc32(spec.encode('utf-8')) & 0xFFFFFFFF:08x}"
+
     def shards_for(self, properties: Optional[PropertySet]) -> List[int]:
         """Sorted shards a view with ``properties`` can touch."""
         if self.n_shards == 1:
@@ -192,6 +205,18 @@ class DomainRangePartitioner:
             shard for shard, r in enumerate(self.ranges) if r.overlaps(dom)
         ]
         return overlapping or [0]
+
+    def fingerprint(self) -> str:
+        """Restart-stable digest of the range routing (see
+        :meth:`HashPartitioner.fingerprint`)."""
+        spec = json.dumps(
+            {
+                "ranges": [r.to_jsonable() for r in self.ranges],
+                "partition_property": self.partition_property,
+            },
+            sort_keys=True,
+        )
+        return f"{zlib.crc32(spec.encode('utf-8')) & 0xFFFFFFFF:08x}"
 
 
 Partitioner = Union[HashPartitioner, DomainRangePartitioner]
@@ -983,7 +1008,21 @@ class ShardedDirectoryPlane:
             transport, directory_address, self.addresses, partitioner,
             trace=trace,
         )
+        # Durable plane: one WAL/snapshot lineage per shard, named by
+        # shard id + partitioner fingerprint — recovering through a
+        # *different* partitioner would re-home cells the new routing
+        # sends elsewhere, so the lineage name pins the partition.
+        durability = dm_kwargs.pop("durability", None)
+        if durability is not None and not isinstance(durability, DurabilitySpec):
+            raise ReproError(
+                "a sharded plane needs a DurabilitySpec (it derives one "
+                f"lineage per shard), got {type(durability).__name__}"
+            )
+        fingerprint = (
+            partitioner_fingerprint(partitioner) if durability is not None else ""
+        )
         self.shards: List[DirectoryManager] = []
+        self._shard_factories: List[Callable[[], DirectoryManager]] = []
         for i, addr in enumerate(self.addresses):
             kwargs = dict(dm_kwargs)
             if self.n_shards == 1:
@@ -995,15 +1034,26 @@ class ShardedDirectoryPlane:
                         kwargs["extract_cells"], i
                     )
                 kwargs["key_filter"] = self._owns(i)
-            self.shards.append(directory_cls(
-                transport=transport,
-                address=addr,
-                component=component,
-                extract_from_object=extract,
-                merge_into_object=merge_into_object,
-                trace=trace,
-                **kwargs,
-            ))
+            if durability is not None:
+                kwargs["durability"] = durability.for_shard(i, fingerprint)
+
+            def factory(
+                _addr: str = addr,
+                _extract: ExtractFromObject = extract,
+                _kwargs: Dict[str, Any] = kwargs,
+            ) -> DirectoryManager:
+                return directory_cls(
+                    transport=transport,
+                    address=_addr,
+                    component=component,
+                    extract_from_object=_extract,
+                    merge_into_object=merge_into_object,
+                    trace=trace,
+                    **_kwargs,
+                )
+
+            self._shard_factories.append(factory)
+            self.shards.append(factory())
 
     def _owns(self, shard: int) -> Callable[[str], bool]:
         part = self.partitioner
@@ -1060,6 +1110,20 @@ class ShardedDirectoryPlane:
         for dm in self.shards:
             dm.check_invariants()
 
+    # -- crash / restart (durable planes) --------------------------------
+    def crash_shard(self, shard: int = 0, torn_tail: bytes = b"") -> None:
+        """Kill one shard like a dead process (see DirectoryManager.crash):
+        its volatile state is abandoned and its WAL loses exactly what
+        the fsync policy had not synced."""
+        self.shards[shard].crash(torn_tail=torn_tail)
+
+    def restart_shard(self, shard: int = 0) -> DirectoryManager:
+        """Bring a crashed shard back: a fresh DirectoryManager over the
+        same construction spec recovers the shard's durable lineage and
+        re-binds the shard address."""
+        self.shards[shard] = self._shard_factories[shard]()
+        return self.shards[shard]
+
     def close(self) -> None:
         for dm in self.shards:
             dm.close()
@@ -1093,6 +1157,7 @@ class ShardedFleccSystem:
         delta: Optional[bool] = None,
         extract_cells: Optional[ExtractCells] = None,
         codec: Any = None,
+        durability: Optional[DurabilitySpec] = None,
     ) -> None:
         # Instance or resolve_transport spec ("sim" | "tcp" | "aio"),
         # same seam as the unsharded builder.
@@ -1116,6 +1181,8 @@ class ShardedFleccSystem:
             dm_kwargs["delta"] = delta
         if extract_cells is not None:
             dm_kwargs["extract_cells"] = extract_cells
+        if durability is not None:
+            dm_kwargs["durability"] = durability
         self.plane = ShardedDirectoryPlane(
             transport,
             component,

@@ -49,6 +49,7 @@ class FleccSystem:
         delta: Optional[bool] = None,
         extract_cells: Optional[ExtractCells] = None,
         codec: Any = None,
+        durability: Any = None,
     ) -> None:
         # `transport` may be an instance or a resolve_transport spec
         # string ("sim" | "tcp" | "aio"): the three backends are
@@ -81,6 +82,10 @@ class FleccSystem:
             directory_kwargs["delta"] = delta
         if extract_cells is not None:
             directory_kwargs["extract_cells"] = extract_cells
+        if durability is not None:
+            # A DurabilitySpec (or pre-built DurabilityManager): the
+            # directory recovers its lineage before binding.
+            directory_kwargs["durability"] = durability
         self.directory = directory_cls(
             transport=transport,
             address=directory_address,

@@ -1,0 +1,238 @@
+"""Append-only write-ahead log with CRC-framed records.
+
+The durability plane (:mod:`repro.core.durability`) persists every
+directory commit as one WAL record *before* the in-memory primary copy
+advances.  This module owns the on-disk format and its two failure
+stories:
+
+- a **torn tail** — the process died mid-append, leaving a partial or
+  CRC-bad record with nothing valid after it.  That record was never
+  acknowledged (the append had not returned), so the reader silently
+  truncates it and recovery proceeds;
+- **mid-log corruption** — a CRC-bad record *followed by* further valid
+  records.  That data was acknowledged as durable and is now gone;
+  recovering past the hole would silently resurrect a stale prefix, so
+  the reader fail-stops with :class:`WalCorruptionError`.
+
+File layout::
+
+    bytes 0-7   magic  b"FLWAL01\\n"
+    record      u32 BE payload length | payload | u32 BE crc32(payload)
+
+Payloads are opaque bytes to this module; the durability layer encodes
+its records with :func:`repro.net.binary_codec.encode_value`, so cell
+images inside WAL records reuse the wire codec's fused
+(key, version, value) cell encoding.
+
+Durability model: a *simulated* process kill cannot lose OS page-cache
+contents, so :class:`WalWriter` tracks the byte offset covered by the
+last explicit ``sync()`` and :meth:`WalWriter.simulate_crash` truncates
+the file back to it — exactly the bytes a real kill could lose under
+the configured fsync policy, no more, no less.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.errors import ReproError
+
+WAL_MAGIC = b"FLWAL01\n"
+_LEN = struct.Struct(">I")
+_CRC = struct.Struct(">I")
+_HEADER_SIZE = len(WAL_MAGIC)
+# Sanity cap on one record's declared length: a corrupted length field
+# must not allocate gigabytes before the CRC gets a chance to object.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+# The fsync policy vocabulary (validated by DurabilitySpec too).
+SYNC_ALWAYS = "always"
+SYNC_BATCH = "batch"
+SYNC_OFF = "off"
+SYNC_POLICIES = (SYNC_ALWAYS, SYNC_BATCH, SYNC_OFF)
+
+
+class WalError(ReproError):
+    """A write-ahead log could not be read or written."""
+
+
+class WalCorruptionError(WalError):
+    """A CRC-bad record sits *before* valid data — acknowledged records
+    are gone, and skipping the hole would silently serve a forked
+    history.  Recovery must stop and surface the damage."""
+
+
+def frame_record(payload: bytes) -> bytes:
+    """One on-disk record: length prefix, payload, CRC32 trailer."""
+    return _LEN.pack(len(payload)) + payload + _CRC.pack(
+        zlib.crc32(payload) & 0xFFFFFFFF
+    )
+
+
+@dataclass
+class WalScan:
+    """The result of reading one WAL segment."""
+
+    records: List[bytes] = field(default_factory=list)
+    valid_end: int = _HEADER_SIZE   # byte offset where intact data ends
+    torn: bool = False              # a tail was truncated at valid_end
+
+
+def scan_wal(path: Union[str, Path]) -> WalScan:
+    """Read every intact record of one segment.
+
+    Torn tails (partial length/payload/CRC, or a CRC-bad record with no
+    valid record after it) are reported via ``torn`` and excluded; a
+    CRC-bad record *followed by* a valid one raises
+    :class:`WalCorruptionError`.
+    """
+    raw = Path(path).read_bytes()
+    if len(raw) < _HEADER_SIZE:
+        if raw and not WAL_MAGIC.startswith(raw):
+            raise WalError(f"{path}: not a WAL segment (bad magic)")
+        # Killed before the header finished: an empty segment.
+        return WalScan(records=[], valid_end=_HEADER_SIZE, torn=bool(raw))
+    if raw[:_HEADER_SIZE] != WAL_MAGIC:
+        raise WalError(f"{path}: not a WAL segment (bad magic)")
+    scan = WalScan()
+    pos = _HEADER_SIZE
+    bad_at: Optional[int] = None          # offset of the first CRC-bad record
+    records_after_bad = 0
+    end = len(raw)
+    while pos < end:
+        if pos + _LEN.size > end:
+            break  # partial length prefix: torn
+        (length,) = _LEN.unpack_from(raw, pos)
+        if length > MAX_RECORD_BYTES:
+            break  # implausible length: treat as tail garbage
+        body_end = pos + _LEN.size + length
+        if body_end + _CRC.size > end:
+            break  # partial payload or CRC: torn
+        payload = raw[pos + _LEN.size : body_end]
+        (crc,) = _CRC.unpack_from(raw, body_end)
+        pos = body_end + _CRC.size
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            if bad_at is None:
+                bad_at = pos - _LEN.size - length - _CRC.size
+                continue  # keep scanning: is there valid data after?
+            continue
+        if bad_at is not None:
+            records_after_bad += 1
+            continue
+        scan.records.append(payload)
+        scan.valid_end = pos
+    if bad_at is not None and records_after_bad:
+        raise WalCorruptionError(
+            f"{path}: CRC mismatch at byte {bad_at} with "
+            f"{records_after_bad} valid record(s) after it — mid-log "
+            f"corruption, not a torn tail; refusing to recover past it"
+        )
+    scan.torn = scan.valid_end < end
+    return scan
+
+
+class WalWriter:
+    """Appender for one WAL segment with a pluggable fsync policy.
+
+    - ``always`` — every append flushes and fsyncs before returning (no
+      acknowledged record can be lost);
+    - ``batch`` — fsync once per ``batch_interval`` appends (bounded
+      loss window, amortized fsync cost);
+    - ``off`` — no fsyncs while running; only :meth:`close` makes the
+      segment durable (clean shutdowns lose nothing, kills lose the
+      whole unsynced tail).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        sync: str = SYNC_ALWAYS,
+        batch_interval: int = 16,
+    ) -> None:
+        if sync not in SYNC_POLICIES:
+            raise WalError(f"unknown fsync policy {sync!r}; one of {SYNC_POLICIES}")
+        if batch_interval < 1:
+            raise WalError(f"batch_interval must be >= 1, got {batch_interval}")
+        self.path = Path(path)
+        self.sync_policy = sync
+        self.batch_interval = batch_interval
+        self.records_appended = 0
+        self.syncs = 0
+        self._unsynced = 0
+        self._closed = False
+        existing = self.path.exists() and self.path.stat().st_size >= _HEADER_SIZE
+        self._f = open(self.path, "r+b" if existing else "wb")
+        if existing:
+            self._f.seek(0, io.SEEK_END)
+        else:
+            self._f.write(WAL_MAGIC)
+            self._f.flush()
+            os.fsync(self._f.fileno())
+        # Everything on disk at open time survived whatever came before.
+        self._durable_size = self._f.tell()
+
+    @property
+    def durable_size(self) -> int:
+        """Byte offset a kill right now could not take back."""
+        return self._durable_size
+
+    @property
+    def unsynced_records(self) -> int:
+        """Appended records a kill right now would lose."""
+        return self._unsynced
+
+    def append(self, payload: bytes) -> bool:
+        """Append one record; returns True when it is already durable."""
+        if self._closed:
+            raise WalError(f"{self.path}: writer is closed")
+        self._f.write(frame_record(payload))
+        self.records_appended += 1
+        self._unsynced += 1
+        if self.sync_policy == SYNC_ALWAYS or (
+            self.sync_policy == SYNC_BATCH
+            and self._unsynced >= self.batch_interval
+        ):
+            self.sync()
+        return self._unsynced == 0
+
+    def sync(self) -> None:
+        """Flush and fsync: everything appended so far becomes durable."""
+        if self._closed:
+            return
+        self._f.flush()
+        os.fsync(self._f.fileno())
+        self._durable_size = self._f.tell()
+        self._unsynced = 0
+        self.syncs += 1
+
+    def close(self) -> None:
+        """Clean shutdown: sync the tail, then close the file."""
+        if self._closed:
+            return
+        self.sync()
+        self._closed = True
+        self._f.close()
+
+    def simulate_crash(self, torn_tail: bytes = b"") -> None:
+        """Die like a killed process under the configured fsync policy.
+
+        Truncates the segment back to the last synced offset — the bytes
+        an OS crash could lose — and optionally leaves ``torn_tail``
+        garbage behind it (a record the kill interrupted mid-write).
+        """
+        if self._closed:
+            raise WalError(f"{self.path}: writer is closed")
+        self._f.flush()  # model the page cache: bytes reached the file
+        self._closed = True
+        self._f.close()
+        with open(self.path, "r+b") as f:
+            f.truncate(self._durable_size)
+            if torn_tail:
+                f.seek(0, io.SEEK_END)
+                f.write(torn_tail)

@@ -27,18 +27,21 @@ from __future__ import annotations
 
 import argparse
 import json
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cache_manager import CacheManager
 from repro.core.directory import DirectoryManager
+from repro.core.durability import DurabilitySpec
 from repro.core.system import run_all_scripts
 from repro.core.triggers import TriggerSet
 from repro.experiments.report import Table
 from repro.net.reliability import ReliableTransport
 from repro.net.sim_transport import SimTransport
-from repro.sim.faults import FaultScenario
+from repro.sim.faults import DMCrashPlan, FaultInjector, FaultScenario
 from repro.sim.kernel import SimKernel
 from repro.testing import (
     Agent,
@@ -74,11 +77,35 @@ class ChaosPoint:
 
 
 @dataclass
+class DMRestartPoint:
+    """The directory crash/restart leg: durable-plane recovery accounting.
+
+    ``state_parity`` compares the finished run's primary copy against
+    the crash-free run's (the workload must converge to the same state
+    despite the mid-run directory outage); ``recovered_parity`` then
+    kills the directory *after* the run, wipes the component, and
+    requires recovery alone to reproduce that state (every acknowledged
+    commit must come back from the WAL/snapshot lineage).
+    """
+
+    committed: int               # final value of the shared counter
+    expected: int                # writers * ops
+    lost_writes: int             # expected - committed (must be 0)
+    dm_crashes: int              # injected directory kills
+    dm_restarts: int             # injected directory restarts
+    recoveries: int              # MessageStats.recoveries (incl. final check)
+    cells_replayed: int          # MessageStats.cells_replayed
+    state_parity: bool           # final primary copy == crash-free run's
+    recovered_parity: bool       # post-run recovery reproduces final state
+
+
+@dataclass
 class ChaosResult:
     points: List[ChaosPoint] = field(default_factory=list)
     # 0-loss logical profile over ReliableTransport == raw SimTransport?
     parity_ok: bool = False
     faultless_acks: int = 0      # sublayer ACK traffic at 0 loss (wire only)
+    dm_restart: Optional[DMRestartPoint] = None
 
     def table(self) -> Table:
         t = Table(
@@ -105,18 +132,49 @@ def _workload(
     n_ops: int,
     reader_samples: int,
     sample_gap: float,
-) -> Tuple[List[int], List[CacheManager]]:
-    """Run the chaos workload on ``transport``; return (lags, cms).
+    request_timeout: float = 400.0,
+    durability: Optional[DurabilitySpec] = None,
+    dm_injector: Optional[FaultInjector] = None,
+    kernel: Optional[SimKernel] = None,
+) -> Tuple[List[int], List[CacheManager], List[DirectoryManager]]:
+    """Run the chaos workload on ``transport``; return (lags, cms, dm_box).
 
     ``n_writers`` strong-mode agents each increment the shared cell
     ``a`` ``n_ops`` times while a weak-mode reader with a pull trigger
     samples its lag behind the primary copy.
+
+    When ``dm_injector`` carries :class:`~repro.sim.faults.DMCrashPlan`
+    entries (and ``kernel`` is given), its crash events kill the
+    directory *and wipe the component's cells* — everything a process
+    death would take — and its restart events rebuild the directory
+    over the same :class:`DurabilitySpec` lineage, so the primary copy
+    must come back from the WAL/snapshot chain alone.  ``dm_box`` is a
+    one-element list holding the current directory instance (restarts
+    replace it in place).
     """
-    DirectoryManager(
-        transport=transport, address="dir", component=store,
-        extract_from_object=extract_from_object,
-        merge_into_object=merge_into_object,
-    )
+    dm_kwargs: Dict[str, object] = {}
+    if durability is not None:
+        dm_kwargs["durability"] = durability
+
+    def build_dm() -> DirectoryManager:
+        return DirectoryManager(
+            transport=transport, address="dir", component=store,
+            extract_from_object=extract_from_object,
+            merge_into_object=merge_into_object,
+            **dm_kwargs,
+        )
+
+    dm_box = [build_dm()]
+    if dm_injector is not None and kernel is not None:
+
+        def crash(_shard: int, torn_tail: bytes) -> None:
+            dm_box[0].crash(torn_tail=torn_tail)
+            store.cells.clear()  # volatile state dies with the process
+
+        def restart(_shard: int) -> None:
+            dm_box[0] = build_dm()
+
+        dm_injector.schedule_dm_crashes(kernel, crash, restart)
     cms: List[CacheManager] = []
     writers = []
     for i in range(n_writers):
@@ -126,7 +184,7 @@ def _workload(
             view_id=f"w{i}", view=agent, properties=props_for(["a"]),
             extract_from_view=extract_from_view,
             merge_into_view=merge_into_view, mode="strong",
-            request_timeout=400.0, max_retries=8,
+            request_timeout=request_timeout, max_retries=8,
         )
         writers.append((cm, agent))
         cms.append(cm)
@@ -138,7 +196,7 @@ def _workload(
         merge_into_view=merge_into_view, mode="weak",
         triggers=TriggerSet(pull="t > 0"),
         trigger_poll_period=sample_gap / 2.0,
-        request_timeout=400.0, max_retries=8,
+        request_timeout=request_timeout, max_retries=8,
     )
     cms.append(reader)
 
@@ -158,7 +216,9 @@ def _workload(
         yield reader.init_image()
         for _ in range(reader_samples):
             yield reader.start_use_image()
-            lags.append(store.cells["a"] - reader_agent.local["a"])
+            # .get: during a directory outage the component is wiped,
+            # so the primary cell may be transiently absent.
+            lags.append(store.cells.get("a", 0) - reader_agent.local["a"])
             reader.end_use_image()
             yield ("sleep", sample_gap)
         yield reader.kill_image()
@@ -167,7 +227,9 @@ def _workload(
         transport,
         [reader_script()] + [writer_script(cm, a) for cm, a in writers],
     )
-    return lags, cms
+    if kernel is not None:
+        kernel.run()  # drain crash/restart events past the scripts' end
+    return lags, cms, dm_box
 
 
 def run_chaos(
@@ -188,8 +250,10 @@ def run_chaos(
     # Reference profile: same workload, raw transport, no faults.
     kernel = SimKernel()
     raw = SimTransport(kernel, default_latency=1.0, strict_wire=False)
-    _workload(raw, Store({"a": 0}), n_writers, n_ops, reader_samples, sample_gap)
+    raw_store = Store({"a": 0})
+    _workload(raw, raw_store, n_writers, n_ops, reader_samples, sample_gap)
     raw_profile = dict(raw.stats.by_type)
+    crash_free_state = dict(raw_store.cells)
 
     for loss in loss_rates:
         dup = duplicate_rate if loss > 0 else 0.0
@@ -200,7 +264,7 @@ def run_chaos(
         ).compile().install(inner)
         transport = ReliableTransport(inner, ack_timeout=8.0, seed=seed)
         store = Store({"a": 0})
-        lags, _cms = _workload(
+        lags, _cms, _dm = _workload(
             transport, store, n_writers, n_ops, reader_samples, sample_gap
         )
         if loss == 0:
@@ -229,7 +293,79 @@ def run_chaos(
             )
         )
         transport.close()
+
+    result.dm_restart = _run_dm_restart(
+        n_writers, n_ops, reader_samples, sample_gap,
+        expected=expected, crash_free_state=crash_free_state, seed=seed,
+    )
     return result
+
+
+def _run_dm_restart(
+    n_writers: int,
+    n_ops: int,
+    reader_samples: int,
+    sample_gap: float,
+    expected: int,
+    crash_free_state: Dict[str, int],
+    seed: int,
+) -> DMRestartPoint:
+    """The durability leg: kill and restart the directory mid-workload.
+
+    The crash wipes the component (simulating process death), the
+    restart recovers from the WAL/snapshot lineage, and the writers'
+    retransmissions carry the outage — so the run must still converge
+    to the crash-free run's primary copy.  A second, post-run
+    crash+wipe+recover checks that every acknowledged commit is
+    reproducible from the durable lineage alone.
+    """
+    kernel = SimKernel()
+    transport = SimTransport(kernel, default_latency=1.0, strict_wire=False)
+    wal_root = Path(tempfile.mkdtemp(prefix="flecc-chaos-wal-"))
+    try:
+        spec = DurabilitySpec(
+            root=wal_root, fsync="always", snapshot_every=4, name="chaos-dm"
+        )
+        # One mid-run kill while the writers are actively committing;
+        # the outage (70) outlasts the request timeout (60) so at least
+        # one retry lands during the outage and another after restart.
+        injector = FaultScenario(
+            dm_crashes=[DMCrashPlan(at=20.0, restart_at=90.0)], seed=seed
+        ).compile()
+        store = Store({"a": 0})
+        _lags, _cms, dm_box = _workload(
+            transport, store, n_writers, n_ops, reader_samples, sample_gap,
+            request_timeout=60.0, durability=spec,
+            dm_injector=injector, kernel=kernel,
+        )
+        final = dict(store.cells)
+        committed = final.get("a", 0)
+        # Post-run recovery: kill the directory, wipe the component,
+        # and rebuild over the same lineage.  WAL + snapshots alone
+        # must reproduce the final primary copy.
+        dm_box[0].crash()
+        store.cells.clear()
+        dm_box[0] = DirectoryManager(
+            transport=transport, address="dir", component=store,
+            extract_from_object=extract_from_object,
+            merge_into_object=merge_into_object,
+            durability=spec,
+        )
+        recovered_parity = dict(store.cells) == final
+        dm_box[0].close()
+        return DMRestartPoint(
+            committed=committed,
+            expected=expected,
+            lost_writes=expected - committed,
+            dm_crashes=injector.counters["dm_crashes"],
+            dm_restarts=injector.counters["dm_restarts"],
+            recoveries=transport.stats.recoveries,
+            cells_replayed=transport.stats.cells_replayed,
+            state_parity=final == crash_free_state,
+            recovered_parity=recovered_parity,
+        )
+    finally:
+        shutil.rmtree(wal_root, ignore_errors=True)
 
 
 def bench_payload(result: ChaosResult) -> Dict[str, object]:
@@ -263,6 +399,21 @@ def bench_payload(result: ChaosResult) -> Dict[str, object]:
             }
             for p in result.points
         ],
+        "dm_restart": (
+            {
+                "committed": result.dm_restart.committed,
+                "expected": result.dm_restart.expected,
+                "lost_writes": result.dm_restart.lost_writes,
+                "dm_crashes": result.dm_restart.dm_crashes,
+                "dm_restarts": result.dm_restart.dm_restarts,
+                "recoveries": result.dm_restart.recoveries,
+                "cells_replayed": result.dm_restart.cells_replayed,
+                "state_parity": result.dm_restart.state_parity,
+                "recovered_parity": result.dm_restart.recovered_parity,
+            }
+            if result.dm_restart is not None
+            else None
+        ),
     }
 
 
@@ -281,6 +432,14 @@ def main(argv: Optional[Sequence[str]] = None) -> ChaosResult:
     print(result.table())
     print(f"parity at 0 loss: {result.parity_ok} "
           f"(ACK-only overhead: {result.faultless_acks} frames)")
+    if result.dm_restart is not None:
+        d = result.dm_restart
+        print(
+            f"dm restart: lost={d.lost_writes} "
+            f"state_parity={d.state_parity} "
+            f"recovered_parity={d.recovered_parity} "
+            f"(recoveries={d.recoveries}, cells_replayed={d.cells_replayed})"
+        )
     Path(args.out).write_text(json.dumps(bench_payload(result), indent=2) + "\n")
     print(f"wrote {args.out}")
     return result

@@ -49,6 +49,7 @@ class ShardSpec:
 
 def shard_specs() -> Dict[str, ShardSpec]:
     """Experiments that decompose into independent sweep points."""
+    from repro.experiments import durability_sweep as dura
     from repro.experiments import fig4_efficiency as f4
     from repro.experiments import scale_sweep as scale
     from repro.experiments import shard_sweep as shards
@@ -68,6 +69,11 @@ def shard_specs() -> Dict[str, ShardSpec]:
             points=scale.sweep_points,
             run_point=scale.run_sweep_point,
             merge=scale.merge_scale_sweep,
+        ),
+        "durability_sweep": ShardSpec(
+            points=dura.sweep_points,
+            run_point=dura.run_sweep_point,
+            merge=dura.merge_durability_sweep,
         ),
     }
 

@@ -31,6 +31,7 @@ from repro.experiments import (
     ablations,
     chaos,
     delta_sweep,
+    durability_sweep,
     fig1_deployment,
     fig2_trace,
     fig4_efficiency,
@@ -138,6 +139,7 @@ EXPERIMENTS: Dict[str, Callable[[], Any]] = {
     "wire_sweep": wire_sweep.run_wire_sweep,
     "shard_sweep": shard_sweep.run_shard_sweep,
     "scale_sweep": scale_sweep.run_scale_sweep,
+    "durability_sweep": durability_sweep.run_durability_sweep,
 }
 
 

@@ -477,6 +477,55 @@ class BinaryCodec:
 
 
 # ---------------------------------------------------------------------------
+# Standalone value encoding (used by the durability WAL)
+# ---------------------------------------------------------------------------
+# One shared instance; every call gets a fresh per-value string table,
+# so encoded values are self-contained byte strings (unlike message
+# frames, whose string table spans the whole frame).
+
+_VALUE_CODEC = BinaryCodec()
+
+
+def encode_value(obj: Any) -> bytes:
+    """Encode one value (scalars, containers, registered types) to bytes.
+
+    The byte string is self-contained: it carries its own string table
+    and decodes without any frame context.  ``ObjectImage`` payloads get
+    the fused (key, version, value) cell records, exactly as on the
+    wire — which is why the WAL reuses this instead of inventing its own
+    record format.
+    """
+    body = bytearray()
+    try:
+        _VALUE_CODEC._encode_value(obj, body, {})
+    except CodecError:
+        raise
+    except (TypeError, ValueError, struct.error) as exc:
+        raise CodecError(f"cannot encode value {obj!r}: {exc}") from exc
+    return bytes(body)
+
+
+def decode_value(raw: bytes) -> Any:
+    """Decode one :func:`encode_value` byte string back to its value.
+
+    Trailing bytes after the value are an error — a WAL record is one
+    value, so leftovers mean the framing around it is wrong.
+    """
+    reader = _Reader(raw)
+    try:
+        value = _VALUE_CODEC._decode_value(reader)
+    except CodecError:
+        raise
+    except (ValueError, TypeError, KeyError, IndexError, struct.error) as exc:
+        raise CodecError(f"cannot decode value: {exc}") from exc
+    if reader.pos != len(reader.buf):
+        raise CodecError(
+            f"trailing bytes after value: {len(reader.buf) - reader.pos}"
+        )
+    return value
+
+
+# ---------------------------------------------------------------------------
 # Codec selection
 # ---------------------------------------------------------------------------
 # The negotiable codec universe.  Spec strings are what SystemConfig-level

@@ -123,6 +123,11 @@ class MessageStats:
     send_queue_hwm: int = 0
     flushes_coalesced: int = 0
     backpressure_stalls: int = 0
+    # Durable directory plane (core/durability.py): crash-restart
+    # recoveries performed by directory managers on this transport, and
+    # the primary-copy cells restored from snapshot + WAL replay.
+    recoveries: int = 0
+    cells_replayed: int = 0
 
     def record(self, msg: Message, size: Optional[int] = None) -> None:
         """Count one sent message (``size`` in bytes when known)."""
@@ -207,6 +212,12 @@ class MessageStats:
         """Account one send refused on a full bounded send queue."""
         self.backpressure_stalls += 1
 
+    def record_recovery(self, cells: int) -> None:
+        """Account one directory crash-restart recovery (``cells`` =
+        primary-copy cells restored from snapshot + WAL replay)."""
+        self.recoveries += 1
+        self.cells_replayed += cells
+
     def merge(self, other: "MessageStats") -> "MessageStats":
         """Fold ``other``'s counters into this one (returns ``self``).
 
@@ -243,6 +254,8 @@ class MessageStats:
         self.send_queue_hwm = max(self.send_queue_hwm, other.send_queue_hwm)
         self.flushes_coalesced += other.flushes_coalesced
         self.backpressure_stalls += other.backpressure_stalls
+        self.recoveries += other.recoveries
+        self.cells_replayed += other.cells_replayed
         return self
 
     def count_for_types(self, *msg_types: str) -> int:
@@ -294,6 +307,8 @@ class MessageStats:
         self.send_queue_hwm = 0
         self.flushes_coalesced = 0
         self.backpressure_stalls = 0
+        self.recoveries = 0
+        self.cells_replayed = 0
         self.by_type.clear()
         self.by_pair.clear()
         self.bytes_by_type.clear()
@@ -333,5 +348,10 @@ class MessageStats:
                 f"  (send queues: hwm={self.send_queue_hwm} "
                 f"coalesced_flushes={self.flushes_coalesced} "
                 f"stalls={self.backpressure_stalls})"
+            )
+        if self.recoveries:
+            lines.append(
+                f"  (durability: recoveries={self.recoveries} "
+                f"cells_replayed={self.cells_replayed})"
             )
         return "\n".join(lines)

@@ -91,6 +91,29 @@ class CrashPlan:
 
 
 @dataclass(frozen=True)
+class DMCrashPlan:
+    """A scheduled directory-manager (shard) crash and optional restart.
+
+    ``shard`` selects the shard on a sharded plane (0 on an unsharded
+    system).  ``torn_tail`` bytes, when given, are left behind the
+    crashed WAL's durable end — a record the kill interrupted mid-write
+    — exercising the recovery path's torn-tail truncation.
+    """
+
+    at: float
+    restart_at: Optional[float] = None
+    shard: int = 0
+    torn_tail: bytes = b""
+
+    def __post_init__(self) -> None:
+        if self.restart_at is not None and self.restart_at <= self.at:
+            raise SimulationError(
+                f"shard {self.shard}: restart_at {self.restart_at} must "
+                f"be after crash at {self.at}"
+            )
+
+
+@dataclass(frozen=True)
 class FaultScenario:
     """Declarative description of injected network faults.
 
@@ -107,12 +130,14 @@ class FaultScenario:
     delay_range: Tuple[float, float] = (0.0, 0.0)
     partitions: Sequence[Partition] = field(default_factory=tuple)
     crashes: Sequence[CrashPlan] = field(default_factory=tuple)
+    dm_crashes: Sequence[DMCrashPlan] = field(default_factory=tuple)
     exempt_types: FrozenSet[str] = frozenset()
     seed: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "partitions", tuple(self.partitions))
         object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "dm_crashes", tuple(self.dm_crashes))
         object.__setattr__(self, "exempt_types", frozenset(self.exempt_types))
         for name in ("drop_rate", "duplicate_rate", "delay_rate"):
             rate = getattr(self, name)
@@ -143,6 +168,7 @@ class FaultInjector:
         self.counters: Dict[str, int] = {
             "drops": 0, "duplicates": 0, "delays": 0,
             "partition_drops": 0, "crashes": 0, "restarts": 0,
+            "dm_crashes": 0, "dm_restarts": 0,
         }
 
     # -- wiring ----------------------------------------------------------
@@ -177,6 +203,35 @@ class FaultInjector:
     def _restart(self, cm) -> None:
         self.counters["restarts"] += 1
         cm.recover()
+
+    def schedule_dm_crashes(
+        self,
+        kernel: SimKernel,
+        crash: Callable[[int, bytes], None],
+        restart: Callable[[int], None],
+    ) -> None:
+        """Turn the scenario's DM crash plan into kernel events.
+
+        ``crash(shard, torn_tail)`` kills one directory shard (e.g.
+        ``plane.crash_shard`` or a wrapper that also wipes the shard's
+        in-process component state); ``restart(shard)`` brings it back
+        through its durable lineage (e.g. ``plane.restart_shard``).
+        """
+        self._now = lambda: kernel.now
+        for plan in self.scenario.dm_crashes:
+            kernel.call_at(plan.at, lambda p=plan: self._dm_crash(crash, p))
+            if plan.restart_at is not None:
+                kernel.call_at(
+                    plan.restart_at, lambda p=plan: self._dm_restart(restart, p)
+                )
+
+    def _dm_crash(self, crash: Callable[[int, bytes], None], plan: DMCrashPlan) -> None:
+        self.counters["dm_crashes"] += 1
+        crash(plan.shard, plan.torn_tail)
+
+    def _dm_restart(self, restart: Callable[[int], None], plan: DMCrashPlan) -> None:
+        self.counters["dm_restarts"] += 1
+        restart(plan.shard)
 
     # -- the policy ------------------------------------------------------
     def policy(self, msg: Message) -> FaultAction:

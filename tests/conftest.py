@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite.
+
+``wal_root`` is the canonical place for tests to put WAL/snapshot
+lineages (:mod:`repro.core.durability`).  It is built on ``tmp_path``
+— already unique per test — with the pytest-xdist worker id folded
+into the path, so parallel test workers can never collide on a
+lineage directory even when a test derives further paths from shared
+environment state.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture
+def wal_root(tmp_path):
+    worker = os.environ.get("PYTEST_XDIST_WORKER", "master")
+    root = tmp_path / f"wal-{worker}"
+    root.mkdir(parents=True, exist_ok=True)
+    return root

@@ -1,0 +1,206 @@
+"""The write-ahead log's framing and failure semantics.
+
+Two failure stories matter (see :mod:`repro.core.wal`): a *torn tail*
+(the kill interrupted an unacknowledged append — truncate silently)
+versus *mid-log corruption* (acknowledged data vanished — fail stop).
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.wal import (
+    WAL_MAGIC,
+    WalCorruptionError,
+    WalError,
+    WalWriter,
+    frame_record,
+    scan_wal,
+)
+from repro.net.binary_codec import decode_value, encode_value
+
+
+def _write(path, payloads, sync="always", **kw):
+    w = WalWriter(path, sync=sync, **kw)
+    for p in payloads:
+        w.append(p)
+    w.close()
+
+
+# -- framing ----------------------------------------------------------------
+
+def test_frame_round_trip(wal_root):
+    path = wal_root / "wal-1.log"
+    payloads = [b"", b"a", b"hello" * 100, bytes(range(256))]
+    _write(path, payloads)
+    scan = scan_wal(path)
+    assert scan.records == payloads
+    assert not scan.torn
+    assert scan.valid_end == path.stat().st_size
+
+
+def test_empty_segment_is_just_the_magic(wal_root):
+    path = wal_root / "wal-1.log"
+    WalWriter(path).close()
+    assert path.read_bytes() == WAL_MAGIC
+    scan = scan_wal(path)
+    assert scan.records == [] and not scan.torn
+
+
+def test_bad_magic_rejected(wal_root):
+    path = wal_root / "wal-1.log"
+    path.write_bytes(b"NOTAWAL!\x00\x00")
+    with pytest.raises(WalError):
+        scan_wal(path)
+
+
+# -- torn tails -------------------------------------------------------------
+
+def test_torn_tail_partial_record_is_truncated(wal_root):
+    path = wal_root / "wal-1.log"
+    _write(path, [b"one", b"two"])
+    intact = path.stat().st_size
+    with open(path, "ab") as f:  # a record the kill interrupted mid-write
+        f.write(struct.pack(">I", 64) + b"only-a-fragment")
+    scan = scan_wal(path)
+    assert scan.records == [b"one", b"two"]
+    assert scan.torn
+    assert scan.valid_end == intact
+
+
+def test_torn_tail_crc_bad_last_record_is_torn_not_corrupt(wal_root):
+    path = wal_root / "wal-1.log"
+    _write(path, [b"one"])
+    intact = path.stat().st_size
+    with open(path, "ab") as f:  # complete frame, wrong CRC: still a tail
+        f.write(struct.pack(">I", 3) + b"two" + struct.pack(">I", 0xDEADBEEF))
+    scan = scan_wal(path)
+    assert scan.records == [b"one"]
+    assert scan.torn and scan.valid_end == intact
+
+
+def test_implausible_length_is_treated_as_tail_garbage(wal_root):
+    path = wal_root / "wal-1.log"
+    _write(path, [b"one"])
+    with open(path, "ab") as f:
+        f.write(struct.pack(">I", 0xFFFFFFF0))  # ~4 GiB declared length
+    scan = scan_wal(path)
+    assert scan.records == [b"one"] and scan.torn
+
+
+# -- mid-log corruption -----------------------------------------------------
+
+def test_mid_log_corruption_fail_stops(wal_root):
+    path = wal_root / "wal-1.log"
+    _write(path, [b"alpha", b"bravo", b"charlie"])
+    # Flip a payload byte of the FIRST record: valid records follow, so
+    # acknowledged data is gone — recovery must refuse, not skip.
+    offset = len(WAL_MAGIC) + struct.calcsize(">I")
+    raw = bytearray(path.read_bytes())
+    raw[offset] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    with pytest.raises(WalCorruptionError):
+        scan_wal(path)
+
+
+# -- writer policies --------------------------------------------------------
+
+def test_sync_always_every_append_is_durable(wal_root):
+    w = WalWriter(wal_root / "w.log", sync="always")
+    for i in range(3):
+        assert w.append(b"x%d" % i) is True
+        assert w.unsynced_records == 0
+        assert w.durable_size == (wal_root / "w.log").stat().st_size
+    assert w.syncs >= 3
+    w.close()
+
+
+def test_sync_batch_syncs_once_per_interval(wal_root):
+    w = WalWriter(wal_root / "w.log", sync="batch", batch_interval=4)
+    durable = [w.append(b"x") for _ in range(8)]
+    # Durable exactly when the batch boundary was hit.
+    assert durable == [False, False, False, True] * 2
+    assert w.syncs == 2
+    w.close()
+
+
+def test_sync_off_only_close_makes_durable(wal_root):
+    path = wal_root / "w.log"
+    w = WalWriter(path, sync="off")
+    assert not any(w.append(b"x") for _ in range(5))
+    assert w.unsynced_records == 5
+    assert w.durable_size == len(WAL_MAGIC)
+    w.close()  # clean shutdown syncs the tail
+    assert scan_wal(path).records == [b"x"] * 5
+
+
+def test_simulate_crash_loses_exactly_the_unsynced_tail(wal_root):
+    path = wal_root / "w.log"
+    w = WalWriter(path, sync="batch", batch_interval=4)
+    for i in range(6):  # records 0-3 synced at the batch boundary, 4-5 not
+        w.append(b"r%d" % i)
+    w.simulate_crash()
+    scan = scan_wal(path)
+    assert scan.records == [b"r0", b"r1", b"r2", b"r3"]
+    assert not scan.torn
+
+
+def test_simulate_crash_with_torn_tail_garbage(wal_root):
+    path = wal_root / "w.log"
+    w = WalWriter(path, sync="always")
+    w.append(b"kept")
+    w.simulate_crash(torn_tail=struct.pack(">I", 64) + b"interrupted")
+    scan = scan_wal(path)
+    assert scan.records == [b"kept"] and scan.torn
+
+
+def test_writer_resumes_existing_segment(wal_root):
+    path = wal_root / "w.log"
+    _write(path, [b"first"])
+    w = WalWriter(path, sync="always")
+    w.append(b"second")
+    w.close()
+    assert scan_wal(path).records == [b"first", b"second"]
+
+
+def test_writer_rejects_unknown_policy_and_bad_interval(wal_root):
+    with pytest.raises(WalError):
+        WalWriter(wal_root / "w.log", sync="sometimes")
+    with pytest.raises(WalError):
+        WalWriter(wal_root / "w2.log", sync="batch", batch_interval=0)
+
+
+def test_closed_writer_refuses_appends(wal_root):
+    w = WalWriter(wal_root / "w.log")
+    w.close()
+    with pytest.raises(WalError):
+        w.append(b"late")
+
+
+# -- hypothesis: framed codec round trip ------------------------------------
+
+_values = st.recursive(
+    st.one_of(
+        st.integers(min_value=-(2**31), max_value=2**31 - 1),
+        st.text(max_size=12),
+        st.booleans(),
+        st.none(),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(_values, min_size=1, max_size=8))
+def test_wal_round_trips_codec_records(tmp_path_factory, records):
+    """Any codec-encodable record survives the WAL frame and back."""
+    path = tmp_path_factory.mktemp("hypo-wal") / "wal-1.log"
+    payloads = [encode_value(r) for r in records]
+    _write(path, payloads)
+    assert [decode_value(p) for p in scan_wal(path).records] == records

@@ -36,3 +36,21 @@ def test_chaos_overhead_grows_with_loss():
     result = run_chaos(loss_rates=(0.0, 0.2), seed=0)
     clean, lossy = result.points
     assert lossy.overhead_ratio > clean.overhead_ratio
+
+
+def test_chaos_dm_restart_recovery_accounting():
+    """A mid-run directory kill/restart must lose nothing: the run
+    converges to the crash-free run's primary copy, and a post-run
+    crash+wipe recovery reproduces it from the durable lineage alone."""
+    result = run_chaos(loss_rates=(0.0,), seed=0)
+    d = result.dm_restart
+    assert d is not None
+    assert d.dm_crashes == 1 and d.dm_restarts == 1
+    assert d.lost_writes == 0
+    assert d.state_parity and d.recovered_parity
+    # Recovery accounting lands in MessageStats: the mid-run restart
+    # plus the final recovery check.
+    assert d.recoveries == 2
+    assert d.cells_replayed > 0
+    payload = bench_payload(result)
+    assert payload["dm_restart"]["recovered_parity"]
