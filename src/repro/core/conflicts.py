@@ -6,18 +6,42 @@ to the *dynamic set of data properties* — ``dynConfl`` (Definition 1).
 
 Hot-path note (paper §4.1, Fig. 4): the static map exists precisely to
 short-circuit repeated ``dynConfl`` computation.  :class:`ConflictPolicy`
-extends that idea with a generation-stamped memoization cache — pairwise
-answers and whole per-view conflict sets are remembered until the
-directory reports a membership or property change via
-:meth:`ConflictPolicy.invalidate`.  Registration events are rare
-compared to ACQUIRE/PULL rounds, so a whole-cache generation bump on
-each change keeps invalidation O(1) while the steady-state query cost
-drops to a dict lookup.
+extends that idea with memoization in two flavors:
+
+* **Legacy (indexed=False)** — generation-stamped caches: pairwise
+  answers and whole per-view conflict sets are remembered until the
+  directory reports *any* membership or property change via
+  :meth:`ConflictPolicy.invalidate`, which bumps a single generation
+  counter and so drops the whole cache.  Cheap to invalidate, but a
+  churning fleet repays O(V) recomputation per view after every event,
+  and the ``conflict_set`` cache key is a ``tuple(candidates)`` whose
+  construction alone costs O(V) per query even on a hit.
+
+* **Indexed (indexed=True)** — an incremental :class:`ConflictIndex`
+  (property-key inverted index: property name / discrete value →
+  posting list of views) supplies a view's conflict *candidates* in
+  O(degree) instead of scanning the registry, and invalidation is
+  *scoped*: a membership or property change for view ``v`` evicts only
+  the cached pairs involving ``v`` and bumps a per-view membership
+  stamp on ``v``'s index neighborhood (plus static-map partners), so
+  unrelated views keep their cached conflict sets.  The per-view set
+  cache is keyed by ``(generation, stamp)`` — an O(1) check, no tuple
+  build.  The directory drives this through
+  :meth:`ConflictPolicy.register_view` /
+  :meth:`ConflictPolicy.unregister_view` /
+  :meth:`ConflictPolicy.update_properties`.
+
+Candidate lists from the index are a *superset* of the true conflict
+set (postings over-approximate domain overlap; static SHARED partners
+are unioned in); every candidate is confirmed with :meth:`conflicts`,
+so answers are identical to brute force over the full registry.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import (
+    Callable, Dict, Iterable, List, Optional, Set, Tuple,
+)
 
 from repro.core.property_set import PropertySet
 from repro.core.static_map import Sharing, StaticSharingMap
@@ -26,10 +50,121 @@ from repro.core.static_map import Sharing, StaticSharingMap
 # outright instead of leaving stale-generation tombstones behind.
 _CACHE_SWEEP_LIMIT = 65536
 
+_EMPTY_SET: frozenset = frozenset()
+
 
 def dyn_confl(p: PropertySet, q: PropertySet) -> int:
     """Definition 1: ``1`` if the property-set intersection is non-empty."""
     return 1 if p.conflicts_with(q) else 0
+
+
+class ConflictIndex:
+    """Property-key inverted index: posting lists of views per key.
+
+    A view with properties posts under each property *name*, and — for
+    finite domains — under each ``(name, value)`` pair; properties with
+    unenumerable domains (intervals) post under the name only and are
+    additionally tracked in a per-name "unenumerable" list that every
+    finite-domain query on that name must also consult.  A view with
+    unknown (``None``) properties conflicts with everyone (paper §4.1
+    worst case) and lands in the universal list.
+
+    ``candidates_for`` returns every view whose postings *could*
+    overlap the given properties — a superset of the views whose
+    ``dynConfl`` is true, suitable for confirmation by the policy's
+    pairwise check.
+    """
+
+    __slots__ = ("_by_name", "_by_value", "_unenum", "_universal", "_props")
+
+    def __init__(self) -> None:
+        self._by_name: Dict[str, Set[str]] = {}
+        self._by_value: Dict[Tuple[str, object], Set[str]] = {}
+        self._unenum: Dict[str, Set[str]] = {}
+        self._universal: Set[str] = set()
+        self._props: Dict[str, Optional[PropertySet]] = {}
+
+    def __len__(self) -> int:
+        return len(self._props)
+
+    def __contains__(self, view_id: str) -> bool:
+        return view_id in self._props
+
+    def properties_of(self, view_id: str) -> Optional[PropertySet]:
+        return self._props.get(view_id)
+
+    def add(self, view_id: str, properties: Optional[PropertySet]) -> None:
+        """(Re)index a view under its property keys."""
+        if view_id in self._props:
+            self.remove(view_id)
+        self._props[view_id] = properties
+        if properties is None:
+            self._universal.add(view_id)
+            return
+        for name, keys in properties.index_keys():
+            self._by_name.setdefault(name, set()).add(view_id)
+            if keys is None:
+                self._unenum.setdefault(name, set()).add(view_id)
+            else:
+                for v in keys:
+                    self._by_value.setdefault((name, v), set()).add(view_id)
+
+    def remove(self, view_id: str) -> None:
+        """Drop a view's postings (no-op when it was never indexed)."""
+        if view_id not in self._props:
+            return
+        properties = self._props.pop(view_id)
+        if properties is None:
+            self._universal.discard(view_id)
+            return
+        for name, keys in properties.index_keys():
+            self._discard(self._by_name, name, view_id)
+            if keys is None:
+                self._discard(self._unenum, name, view_id)
+            else:
+                for v in keys:
+                    self._discard(self._by_value, (name, v), view_id)
+
+    @staticmethod
+    def _discard(postings: Dict, key, view_id: str) -> None:
+        views = postings.get(key)
+        if views is not None:
+            views.discard(view_id)
+            if not views:
+                del postings[key]
+
+    def candidates_for(self, properties: Optional[PropertySet]) -> Set[str]:
+        """Views whose postings overlap ``properties`` (a conflict superset)."""
+        if properties is None:
+            return set(self._props)
+        out: Set[str] = set(self._universal)
+        for name, keys in properties.index_keys():
+            if keys is None:
+                # Unenumerable domain: anyone on this name may overlap.
+                out |= self._by_name.get(name, _EMPTY_SET)
+            else:
+                unenum = self._unenum.get(name)
+                if unenum:
+                    out |= unenum
+                by_value = self._by_value
+                for v in keys:
+                    views = by_value.get((name, v))
+                    if views:
+                        out |= views
+        return out
+
+    def candidates(self, view_id: str) -> Set[str]:
+        """Conflict candidates of a registered view (excluding itself)."""
+        out = self.candidates_for(self._props.get(view_id))
+        out.discard(view_id)
+        return out
+
+    def clear(self) -> None:
+        self._by_name.clear()
+        self._by_value.clear()
+        self._unenum.clear()
+        self._universal.clear()
+        self._props.clear()
 
 
 class ConflictPolicy:
@@ -41,15 +176,20 @@ class ConflictPolicy:
     are honored without re-wiring.
 
     Results are memoized per unordered pair and per conflict-set query.
-    The owner of the live registry (the directory) must call
-    :meth:`invalidate` whenever view membership, a view's properties, or
-    a static-map cell changes; until then cached answers are authoritative.
+    In legacy mode (``indexed=False``) the owner of the live registry
+    must call :meth:`invalidate` on every membership/property/map
+    change; in indexed mode it reports changes per view through
+    :meth:`register_view` / :meth:`unregister_view` /
+    :meth:`update_properties` and invalidation stays scoped to the
+    changed view's conflict neighborhood.  :meth:`invalidate` always
+    remains a correct (if blunt) fallback.
     """
 
     def __init__(
         self,
         static_map: Optional[StaticSharingMap],
         properties_of: Callable[[str], Optional[PropertySet]],
+        indexed: bool = False,
     ) -> None:
         self.static_map = static_map
         self.properties_of = properties_of
@@ -59,24 +199,144 @@ class ConflictPolicy:
         self.static_hits = 0
         self.dynamic_evals = 0
         self.cache_hits = 0
+        # Indexed-mode instrumentation: candidates the inverted index
+        # yielded (vs. full-registry scans), and membership events
+        # absorbed without a whole-cache generation bump.
+        self.index_candidates = 0
+        self.scoped_invalidations = 0
         # Generation-stamped memoization: entries tagged with an older
         # generation than the current one are treated as absent.
         self._generation = 0
         self._pair_cache: Dict[Tuple[str, str], Tuple[int, bool]] = {}
         self._set_cache: Dict[Tuple[str, Tuple[str, ...]], Tuple[int, List[str]]] = {}
+        # Incremental index + scoped-invalidation state (indexed mode).
+        self.index: Optional[ConflictIndex] = ConflictIndex() if indexed else None
+        # Per-view membership stamp: bumped whenever an event touches
+        # the view's conflict neighborhood; the per-view set cache is
+        # valid only while both the generation and the stamp match.
+        self._stamps: Dict[str, int] = {}
+        self._iset_cache: Dict[str, Tuple[int, int, List[str]]] = {}
+        # Reverse index of cached pair keys per view, for O(cached-deg)
+        # pair eviction when that view changes.
+        self._pairs_of: Dict[str, Set[Tuple[str, str]]] = {}
+
+    @property
+    def indexed(self) -> bool:
+        return self.index is not None
 
     # -- cache control --------------------------------------------------
     def invalidate(self) -> None:
         """Drop all memoized answers (membership/property/map change)."""
         self._generation += 1
-        if len(self._pair_cache) + len(self._set_cache) > _CACHE_SWEEP_LIMIT:
+        if (
+            len(self._pair_cache) + len(self._set_cache) + len(self._iset_cache)
+            > _CACHE_SWEEP_LIMIT
+        ):
             self._pair_cache.clear()
             self._set_cache.clear()
+            self._iset_cache.clear()
+            self._pairs_of.clear()
 
     @property
     def generation(self) -> int:
         """Monotone counter of invalidations (exposed for tests/probes)."""
         return self._generation
+
+    def stamp_of(self, view_id: str) -> int:
+        """Membership stamp of a view (exposed for tests/probes)."""
+        return self._stamps.get(view_id, 0)
+
+    # -- scoped invalidation (indexed mode) -----------------------------
+    def _bump(self, views: Iterable[str]) -> None:
+        stamps = self._stamps
+        for v in views:
+            stamps[v] = stamps.get(v, 0) + 1
+
+    def _evict_pairs(self, view_id: str) -> None:
+        """Drop every cached pairwise answer involving ``view_id``."""
+        pair_cache = self._pair_cache
+        for key in self._pairs_of.pop(view_id, _EMPTY_SET):
+            pair_cache.pop(key, None)
+
+    def _static_partners(self, view_id: str) -> List[str]:
+        """Views statically marked SHARED with ``view_id``.
+
+        A SHARED cell makes the pair conflict regardless of property
+        overlap, so these partners must be in the candidate set and
+        must be stamp-bumped on register/unregister even when the
+        inverted index sees no key overlap.  (DYNAMIC cells defer to
+        ``dynConfl`` and are therefore covered by the index itself.)
+        """
+        sm = self.static_map
+        if sm is None or not sm.has_view(view_id):
+            return []
+        return sm.statically_shared_with(view_id)
+
+    def register_view(
+        self, view_id: str, properties: Optional[PropertySet]
+    ) -> None:
+        """A view joined (or re-joined): index it, invalidate its scope."""
+        if self.index is None:
+            self.invalidate()
+            return
+        affected = self.index.candidates_for(properties)
+        self.index.add(view_id, properties)
+        affected.update(self._static_partners(view_id))
+        affected.add(view_id)
+        self._evict_pairs(view_id)
+        self._iset_cache.pop(view_id, None)
+        self._bump(affected)
+        self.scoped_invalidations += 1
+
+    def unregister_view(self, view_id: str) -> None:
+        """A view left: drop its postings, invalidate its scope."""
+        if self.index is None:
+            self.invalidate()
+            return
+        affected = self.index.candidates(view_id)
+        affected.update(self._static_partners(view_id))
+        self.index.remove(view_id)
+        self._evict_pairs(view_id)
+        self._iset_cache.pop(view_id, None)
+        self._stamps.pop(view_id, None)
+        self._bump(affected)
+        self.scoped_invalidations += 1
+
+    def update_properties(
+        self, view_id: str, properties: Optional[PropertySet]
+    ) -> None:
+        """A view's properties changed: re-index, invalidate old+new scope."""
+        if self.index is None:
+            self.invalidate()
+            return
+        affected = self.index.candidates(view_id)       # old neighborhood
+        self.index.add(view_id, properties)             # drops old postings
+        affected |= self.index.candidates(view_id)      # new neighborhood
+        affected.add(view_id)
+        self._evict_pairs(view_id)
+        self._iset_cache.pop(view_id, None)
+        self._bump(affected)
+        self.scoped_invalidations += 1
+
+    def invalidate_pair(self, a: str, b: str) -> None:
+        """A static-map cell changed for one pair: scoped eviction."""
+        if self.index is None:
+            self.invalidate()
+            return
+        key = (a, b) if a <= b else (b, a)
+        self._pair_cache.pop(key, None)
+        self._bump((a, b))
+        self.scoped_invalidations += 1
+
+    def reset_index(
+        self, props_by_view: Dict[str, Optional[PropertySet]]
+    ) -> None:
+        """Rebuild the index from scratch (directory recovery path)."""
+        if self.index is not None:
+            self.index.clear()
+            for vid, props in props_by_view.items():
+                self.index.add(vid, props)
+        self.invalidate()
 
     # -- queries --------------------------------------------------------
     def conflicts(self, a: str, b: str) -> bool:
@@ -89,6 +349,11 @@ class ConflictPolicy:
             return hit[1]
         result = self._compute(a, b)
         self._pair_cache[key] = (self._generation, result)
+        if self.index is not None:
+            # Reverse index so a later change to either view can evict
+            # exactly this entry instead of bumping the generation.
+            self._pairs_of.setdefault(a, set()).add(key)
+            self._pairs_of.setdefault(b, set()).add(key)
         return result
 
     def _compute(self, a: str, b: str) -> bool:
@@ -106,13 +371,21 @@ class ConflictPolicy:
             return True
         return p.conflicts_with(q)
 
-    def conflict_set(self, view_id: str, candidates: Iterable[str]) -> List[str]:
+    def conflict_set(
+        self, view_id: str, candidates: Optional[Iterable[str]] = None
+    ) -> List[str]:
         """All candidates (excluding ``view_id``) that conflict with it.
 
-        Whole result lists are cached per ``(view_id, candidates)`` so
-        the directory's repeated per-round recomputation collapses to a
-        lookup between membership changes.
+        With explicit ``candidates`` (legacy path) the result keeps the
+        candidates' order and whole lists are cached per ``(view_id,
+        tuple(candidates))`` — an O(V) key build per call.  With
+        ``candidates=None`` (indexed mode only) candidates come from
+        the inverted index, the result is name-sorted, and the cache
+        key is the view's ``(generation, membership-stamp)`` pair — an
+        O(1) hit between scoped invalidations.
         """
+        if candidates is None:
+            return self._indexed_conflict_set(view_id)
         key = (view_id, tuple(candidates))
         hit = self._set_cache.get(key)
         if hit is not None and hit[0] == self._generation:
@@ -122,4 +395,24 @@ class ConflictPolicy:
             c for c in key[1] if c != view_id and self.conflicts(view_id, c)
         ]
         self._set_cache[key] = (self._generation, result)
+        return list(result)
+
+    def _indexed_conflict_set(self, view_id: str) -> List[str]:
+        if self.index is None:
+            raise ValueError(
+                "conflict_set without candidates requires indexed=True"
+            )
+        stamp = self._stamps.get(view_id, 0)
+        hit = self._iset_cache.get(view_id)
+        if hit is not None and hit[0] == self._generation and hit[1] == stamp:
+            self.cache_hits += 1
+            return list(hit[2])
+        cand = self.index.candidates(view_id)
+        statics = self._static_partners(view_id)
+        if statics:
+            cand.update(statics)
+            cand.discard(view_id)
+        self.index_candidates += len(cand)
+        result = sorted(c for c in cand if self.conflicts(view_id, c))
+        self._iset_cache[view_id] = (self._generation, stamp, result)
         return list(result)

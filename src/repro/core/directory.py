@@ -17,6 +17,7 @@ operations (REGISTER, PUSH, SET_MODE, ...) are handled immediately.
 
 from __future__ import annotations
 
+import heapq
 import threading
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
@@ -28,6 +29,7 @@ from repro.core.durability import DurabilityManager, DurabilitySpec
 from repro.core.image import DeltaImage, ObjectImage
 from repro.core.messages import TraceLog
 from repro.core.modes import Mode
+from repro.core.profiling import DirectoryProfiler, clock_ns as _clock_ns
 from repro.core.property_set import PropertySet
 from repro.core.static_map import StaticSharingMap
 from repro.core.versioning import VersionVector
@@ -47,33 +49,88 @@ MergeIntoObject = Callable[[Any, ObjectImage, PropertySet], None]
 ExtractCells = Callable[[Any, PropertySet, List[str]], ObjectImage]
 
 
-@dataclass
 class ViewRecord:
-    """Directory-side registration state for one view."""
+    """Directory-side registration state for one view.
 
-    view_id: str
-    address: str
-    properties: PropertySet
-    mode: Mode
-    triggers: Dict[str, Optional[str]] = field(default_factory=dict)
-    active: bool = False
-    exclusive: bool = False
-    seen: VersionVector = field(default_factory=VersionVector)
-    # Highest state sequence number committed from this view; images
-    # stamped with an older/equal seq are stale retransmissions.
-    last_state_seq: int = 0
-    # Lease-based failure detection: transport time after which the
-    # view is presumed crashed (inf when leases are disabled).  Renewed
-    # by HEARTBEAT and by every message carrying the view's id.
-    lease_expires: float = float("inf")
-    # Delta synchronization cursors: ``synced`` flips true once this
-    # view has received a complete slice image (first contact and
-    # recovery re-sync always serve full); ``last_served_seq`` is the
-    # directory commit cursor echoed to the view on its last serve — a
-    # request whose ``since`` cursor does not match is served a full
-    # image (the requester's base can no longer be trusted).
-    synced: bool = False
-    last_served_seq: int = -1
+    ``active`` and ``exclusive`` are notifying properties: once a
+    directory adopts the record (``_owner``), every flag assignment —
+    including direct mutation from tests or subclasses — updates the
+    directory's maintained activity sets, so ``active_views`` /
+    ``exclusive_views`` / ``check_invariants`` never need a registry
+    scan.
+    """
+
+    __slots__ = (
+        "view_id", "address", "properties", "mode", "triggers",
+        "_active", "_exclusive", "seen", "last_state_seq",
+        "lease_expires", "synced", "last_served_seq", "_owner",
+    )
+
+    def __init__(
+        self,
+        view_id: str,
+        address: str,
+        properties: PropertySet,
+        mode: Mode,
+        triggers: Optional[Dict[str, Optional[str]]] = None,
+        active: bool = False,
+        exclusive: bool = False,
+        seen: Optional[VersionVector] = None,
+        last_state_seq: int = 0,
+        lease_expires: float = float("inf"),
+        synced: bool = False,
+        last_served_seq: int = -1,
+    ) -> None:
+        self.view_id = view_id
+        self.address = address
+        self.properties = properties
+        self.mode = mode
+        self.triggers = {} if triggers is None else triggers
+        self._owner: Optional["DirectoryManager"] = None
+        self._active = bool(active)
+        self._exclusive = bool(exclusive)
+        self.seen = VersionVector() if seen is None else seen
+        # Highest state sequence number committed from this view; images
+        # stamped with an older/equal seq are stale retransmissions.
+        self.last_state_seq = last_state_seq
+        # Lease-based failure detection: transport time after which the
+        # view is presumed crashed (inf when leases are disabled).  Renewed
+        # by HEARTBEAT and by every message carrying the view's id.
+        self.lease_expires = lease_expires
+        # Delta synchronization cursors: ``synced`` flips true once this
+        # view has received a complete slice image (first contact and
+        # recovery re-sync always serve full); ``last_served_seq`` is the
+        # directory commit cursor echoed to the view on its last serve — a
+        # request whose ``since`` cursor does not match is served a full
+        # image (the requester's base can no longer be trusted).
+        self.synced = synced
+        self.last_served_seq = last_served_seq
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    @active.setter
+    def active(self, value: bool) -> None:
+        self._active = bool(value)
+        if self._owner is not None:
+            self._owner._note_activity(self)
+
+    @property
+    def exclusive(self) -> bool:
+        return self._exclusive
+
+    @exclusive.setter
+    def exclusive(self, value: bool) -> None:
+        self._exclusive = bool(value)
+        if self._owner is not None:
+            self._owner._note_activity(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ViewRecord({self.view_id!r}, mode={self.mode}, "
+            f"active={self._active}, exclusive={self._exclusive})"
+        )
 
 
 @dataclass
@@ -134,6 +191,8 @@ class DirectoryManager:
         extract_cells: Optional[ExtractCells] = None,
         key_filter: Optional[Callable[[str], bool]] = None,
         durability: Optional["DurabilitySpec | DurabilityManager"] = None,
+        conflict_index: bool = True,
+        profile: bool = False,
     ) -> None:
         self.transport = transport
         # Sharded-plane guard: when this directory is one shard of a
@@ -169,6 +228,14 @@ class DirectoryManager:
         self.quarantined: Dict[str, QuarantinedView] = {}
         self._lease_timer_armed = False
         self._lease_timer = None
+        # Lease-expiry min-heap with lazy deletion: at most one
+        # (expiry, view_id) entry per view (membership tracked in
+        # _lease_heaped).  Renewals do not touch the heap — a popped
+        # entry whose view is still alive is re-pushed at its current
+        # expiry, so each expiry sweep does O(log V) work per candidate
+        # instead of scanning the whole registry every half-lease tick.
+        self._lease_heap: List[tuple] = []
+        self._lease_heaped: set = set()
         # At-least-once delivery tolerance: replies to the most recent
         # requests are cached by msg_id and re-sent verbatim when a
         # duplicate request arrives (instead of re-executing it).
@@ -199,7 +266,23 @@ class DirectoryManager:
         # introduces a cell key the index has never seen.
         self._slice_index: Dict[str, tuple] = {}
         self._known_keys: set = set()
-        self.policy = ConflictPolicy(static_map, self._properties_of)
+        # Conflict policy: indexed mode (the default) maintains the
+        # property-key inverted index and scoped invalidation; off, the
+        # pre-index brute-force path (full-registry candidate scans +
+        # whole-cache generation bumps) is preserved as the A/B baseline.
+        self.policy = ConflictPolicy(
+            static_map, self._properties_of, indexed=conflict_index
+        )
+        # Maintained activity sets, updated by ViewRecord's notifying
+        # flag setters (see _note_activity): who is active, and who
+        # holds strong-mode exclusivity, without registry scans.
+        self._active_set: set = set()
+        self._exclusive_set: set = set()
+        # Op-path profiler (core/profiling.py): None unless profile=True,
+        # so the hot paths pay one `is None` test when off.
+        self.profiler: Optional[DirectoryProfiler] = (
+            DirectoryProfiler(stats=transport.stats) if profile else None
+        )
         self._op_queue: Deque[_PendingOp] = deque()
         self._current_op: Optional[_PendingOp] = None
         # Operational counters for experiments and monitoring.
@@ -215,6 +298,8 @@ class DirectoryManager:
             "commits_durable": 0, "commits_volatile": 0,
             "wal_recoveries": 0, "cells_replayed": 0,
             "recovery_reclaims": 0, "reclaim_timeouts": 0,
+            "index_candidates": 0, "scoped_invalidations": 0,
+            "lease_heap_pops": 0,
         }
         self._lock = threading.RLock()  # no-op contention in sim; needed on TCP
         # Recovery ownership reclaim: views recovered holding strong-mode
@@ -295,43 +380,103 @@ class DirectoryManager:
         else:
             self._slice_index.pop(view_id, None)
 
+    # ------------------------------------------------------------------
+    # Maintained activity sets
+    # ------------------------------------------------------------------
+    def _adopt(self, rec: ViewRecord) -> None:
+        """Install a record in the registry and start tracking its
+        activity flags in the maintained sets."""
+        self.views[rec.view_id] = rec
+        rec._owner = self
+        self._note_activity(rec)
+
+    def _release(self, view_id: str) -> Optional[ViewRecord]:
+        """Remove a record from the registry and the activity sets."""
+        rec = self.views.pop(view_id, None)
+        if rec is not None:
+            rec._owner = None
+            self._active_set.discard(view_id)
+            self._exclusive_set.discard(view_id)
+        return rec
+
+    def _note_activity(self, rec: ViewRecord) -> None:
+        """ViewRecord flag-setter callback: sync the maintained sets."""
+        vid = rec.view_id
+        if rec._active:
+            self._active_set.add(vid)
+        else:
+            self._active_set.discard(vid)
+        if rec._exclusive:
+            self._exclusive_set.add(vid)
+        else:
+            self._exclusive_set.discard(vid)
+
     def active_views(self) -> List[str]:
-        return sorted(v for v, r in self.views.items() if r.active)
+        return sorted(self._active_set)
 
     def exclusive_views(self) -> List[str]:
-        return sorted(v for v, r in self.views.items() if r.exclusive)
+        return sorted(self._exclusive_set)
 
     def registered_views(self) -> List[str]:
         return sorted(self.views)
 
     def conflict_set_of(self, view_id: str) -> List[str]:
-        """Registered views conflicting with ``view_id`` (any activity)."""
+        """Registered views conflicting with ``view_id`` (any activity).
+
+        Indexed policy: candidates come from the inverted index and the
+        result is cached per (generation, membership-stamp) — no
+        registry scan, no O(V) tuple key.  Brute-force policy (the A/B
+        baseline): the legacy full-candidate-list path.
+        """
+        if self.policy.indexed:
+            result = self.policy.conflict_set(view_id)
+            self.counters["index_candidates"] = self.policy.index_candidates
+            return result
         return self.policy.conflict_set(view_id, self.views.keys())
+
+    def _sync_policy_counters(self) -> None:
+        """Mirror the policy's index instrumentation into counters."""
+        self.counters["index_candidates"] = self.policy.index_candidates
+        self.counters["scoped_invalidations"] = self.policy.scoped_invalidations
 
     def check_invariants(self) -> None:
         """Raise ProtocolError when a protocol invariant is broken.
 
         Strong-mode invariant: an exclusive owner has no conflicting
-        active view (one-copy serializability, paper §4).
+        active view (one-copy serializability, paper §4).  Driven from
+        the maintained exclusive set and the conflict index, so the
+        check costs O(owners x conflict degree), not O(V^2) — usable
+        as a per-op assertion even at 10k registered views.
         """
-        for vid, rec in self.views.items():
-            if rec.exclusive and not rec.active:
+        for vid in sorted(self._exclusive_set):
+            rec = self.views.get(vid)
+            if rec is None:
+                continue
+            if not rec.active:
                 raise ProtocolError(f"{vid} exclusive but not active")
-            if rec.exclusive:
-                for other in self.conflict_set_of(vid):
-                    orec = self.views.get(other)
-                    if orec is not None and orec.active:
-                        raise ProtocolError(
-                            f"strong-mode violation: {vid} owns exclusively "
-                            f"but conflicting {other} is active"
-                        )
+            for other in self.conflict_set_of(vid):
+                if other in self._active_set:
+                    raise ProtocolError(
+                        f"strong-mode violation: {vid} owns exclusively "
+                        f"but conflicting {other} is active"
+                    )
 
     # ------------------------------------------------------------------
     # Lease-based failure detection & quarantine
     # ------------------------------------------------------------------
     def _renew_lease(self, rec: ViewRecord) -> None:
-        if self.lease_duration is not None:
-            rec.lease_expires = self.transport.now() + self.lease_duration
+        if self.lease_duration is None:
+            return
+        rec.lease_expires = self.transport.now() + self.lease_duration
+        if rec.view_id not in self._lease_heaped:
+            # First contact (or the view's entry was lazily retired):
+            # one heap entry per view.  Renewals never touch the heap —
+            # the entry's time only under-estimates the true expiry, so
+            # the sweep re-pushes it at the current lease on pop.
+            self._lease_heaped.add(rec.view_id)
+            heapq.heappush(
+                self._lease_heap, (rec.lease_expires, rec.view_id)
+            )
 
     def _arm_lease_checker(self) -> None:
         """Arm the periodic expiry sweep (only while views are registered,
@@ -348,17 +493,34 @@ class DirectoryManager:
         )
 
     def _check_leases(self) -> None:
+        """Expiry sweep over the lease heap (lazy deletion).
+
+        Pops only entries whose recorded time has passed: an idle tick
+        against V live views inspects one heap head and stops —
+        O(1) — while each actual expiry or stale entry costs one
+        O(log V) pop.  The old implementation rescanned every record
+        on every half-lease tick.
+        """
         with self._lock:
             self._lease_timer_armed = False
             now = self.transport.now()
-            expired = [
-                vid for vid, rec in self.views.items()
-                if now > rec.lease_expires
-            ]
-            for vid in expired:
-                self.counters["leases_expired"] += 1
-                self._trace("lease-expired", view=vid)
-                self._evict_view(vid, reason="lease-expired")
+            heap = self._lease_heap
+            while heap and heap[0][0] < now:
+                _, vid = heapq.heappop(heap)
+                self.counters["lease_heap_pops"] += 1
+                self._lease_heaped.discard(vid)
+                rec = self.views.get(vid)
+                if rec is None:
+                    continue  # unregistered/evicted: entry was stale
+                if now > rec.lease_expires:
+                    self.counters["leases_expired"] += 1
+                    self._trace("lease-expired", view=vid)
+                    self._evict_view(vid, reason="lease-expired")
+                else:
+                    # Renewed since the entry was pushed: re-push at the
+                    # current expiry.
+                    self._lease_heaped.add(vid)
+                    heapq.heappush(heap, (rec.lease_expires, vid))
             self._arm_lease_checker()
 
     def _quarantine_view(
@@ -393,10 +555,13 @@ class DirectoryManager:
         if rec is None:
             return
         self._quarantine_view(rec, reason=reason)
-        del self.views[view_id]
+        # Scoped invalidation precedes the static-map removal: the
+        # policy still needs the map row to find SHARED partners.
+        self.policy.unregister_view(view_id)
+        self._release(view_id)
         if self.static_map is not None and self.static_map.has_view(view_id):
             self.static_map.remove_view(view_id)
-        self.policy.invalidate()  # membership changed: cached answers stale
+        self._sync_policy_counters()
         self.invalidate_slice_index(view_id)
         self._forget_in_rounds(view_id)
         self._log({"k": "evict", "v": view_id, "reason": reason})
@@ -499,6 +664,8 @@ class DirectoryManager:
 
     # -- immediate operations -------------------------------------------------
     def _h_register(self, msg: Message) -> None:
+        prof = self.profiler
+        t0 = _clock_ns() if prof is not None else 0
         p = msg.payload
         view_id = p["view_id"]
         recovering = bool(p.get("recover", False))
@@ -532,15 +699,20 @@ class DirectoryManager:
             if recovered:
                 self.counters["recoveries"] += 1
                 self._trace("view-recovered", view=view_id)
-        self.views[view_id] = rec
+        self._adopt(rec)
         self._renew_lease(rec)
         self.counters["registers"] += 1
         if self.static_map is not None and not self.static_map.has_view(view_id):
             self.static_map.add_view(view_id)
-        self.policy.invalidate()  # membership changed: cached answers stale
+        # Scoped invalidation: only this view's conflict neighborhood
+        # is re-stamped (a whole-cache bump in brute-force mode).
+        self.policy.register_view(view_id, rec.properties)
+        self._sync_policy_counters()
         self.invalidate_slice_index(view_id)  # properties may differ
         self._arm_lease_checker()
         self._log({"k": "register", **self._view_state(rec)})
+        if prof is not None:
+            prof.record("register", _clock_ns() - t0)
         self._reply(
             msg,
             M.REGISTER_ACK,
@@ -596,7 +768,10 @@ class DirectoryManager:
             self._reply(msg, M.ERROR, {"error": "properties missing"})
             return
         rec.properties = props
-        self.policy.invalidate()  # conflict relationships may have moved
+        # Conflict relationships may have moved: invalidate the view's
+        # old and new index neighborhoods (scoped in indexed mode).
+        self.policy.update_properties(rec.view_id, props)
+        self._sync_policy_counters()
         self.invalidate_slice_index(rec.view_id)
         # The slice changed shape under the view: its next serve must
         # be a complete image of the new slice, not a delta of the old.
@@ -610,11 +785,14 @@ class DirectoryManager:
         if not image.is_empty():
             self._commit(rec, image, seq=msg.payload.get("state_seq"))
         view_id = rec.view_id
-        del self.views[view_id]
+        # Scoped invalidation needs the static-map row: run it before
+        # removing the view from the registry and the map.
+        self.policy.unregister_view(view_id)
+        self._release(view_id)
         self.counters["unregisters"] += 1
         if self.static_map is not None and self.static_map.has_view(view_id):
             self.static_map.remove_view(view_id)
-        self.policy.invalidate()  # membership changed: cached answers stale
+        self._sync_policy_counters()
         self.invalidate_slice_index(view_id)
         self._forget_in_rounds(view_id)
         self._log({"k": "unregister", "v": view_id})
@@ -683,24 +861,31 @@ class DirectoryManager:
             self._start_op(op)
 
     def _start_op(self, op: _PendingOp) -> None:
-        rec = self.views[op.view_id]
-        conflicts = set(self.conflict_set_of(op.view_id))
+        prof = self.profiler
+        t0 = _clock_ns() if prof is not None else 0
+        conflicts = self.conflict_set_of(op.view_id)
+        if prof is not None:
+            prof.note_op()
+            t1 = _clock_ns()
+            prof.record("conflict", t1 - t0)
+        else:
+            t1 = 0
+        # Target selection intersects the conflict set with the
+        # maintained activity sets — O(conflict degree), never O(V).
         if op.kind == "acquire":
             # Revoke every conflicting view that is currently active.
-            targets = {
-                v: M.INVALIDATE
-                for v in conflicts
-                if self.views[v].active
-            }
+            active = self._active_set
+            targets = {v: M.INVALIDATE for v in conflicts if v in active}
         else:  # pull / init
             targets = {}
+            exclusive = self._exclusive_set
+            active = self._active_set
             for v in conflicts:
-                vrec = self.views[v]
-                if vrec.exclusive:
+                if v in exclusive:
                     # A conflicting strong owner must always be revoked
                     # before data is served (one-copy semantics).
                     targets[v] = M.INVALIDATE
-                elif vrec.active and op.need_fresh:
+                elif op.need_fresh and v in active:
                     # Validity trigger fired: collect fresh state from
                     # the other active views before serving.
                     targets[v] = M.FETCH_REQ
@@ -714,7 +899,14 @@ class DirectoryManager:
             else:
                 self.counters["fetches_sent"] += 1
             outgoing.append(out)
+        if prof is not None:
+            t2 = _clock_ns()
+            prof.record("targets", t2 - t1)
+        else:
+            t2 = 0
         self._send_round(outgoing)
+        if prof is not None:
+            prof.record("fanout", _clock_ns() - t2)
         if op.awaiting:
             self.counters["rounds"] += 1
         if not op.awaiting:
@@ -811,7 +1003,11 @@ class DirectoryManager:
         self._current_op = None
         rec = self.views.get(op.view_id)
         if rec is not None:
+            prof = self.profiler
+            t0 = _clock_ns() if prof is not None else 0
             payload = self._serve_payload(op, rec)
+            if prof is not None:
+                prof.record("serve", _clock_ns() - t0)
             rec.active = True
             if op.kind == "acquire":
                 rec.exclusive = True
@@ -954,7 +1150,7 @@ class DirectoryManager:
             synced=bool(vd.get("synced", False)),
             last_served_seq=int(vd.get("served", -1)),
         )
-        self.views[rec.view_id] = rec
+        self._adopt(rec)
         return rec
 
     def _durable_state(self) -> Dict[str, Any]:
@@ -1035,7 +1231,12 @@ class DirectoryManager:
                 rec.view_id
             ):
                 self.static_map.add_view(rec.view_id)
-        self.policy.invalidate()
+        # Membership-derived caches start cold; in indexed mode the
+        # inverted index is rebuilt from the recovered registry in one
+        # pass (replay never queried it, so nothing stale survives).
+        self.policy.reset_index(
+            {vid: r.properties for vid, r in self.views.items()}
+        )
         self.invalidate_slice_index()
         self._arm_lease_checker()
         # Surviving strong owners may hold dirty state the WAL never saw
@@ -1135,7 +1336,7 @@ class DirectoryManager:
             self._restore_view(record)
             self.quarantined.pop(record["v"], None)
         elif kind == "unregister":
-            self.views.pop(record.get("v"), None)
+            self._release(record.get("v"))
         elif kind == "cursors":
             rec = self.views.get(record.get("v"))
             if rec is not None:
@@ -1152,7 +1353,7 @@ class DirectoryManager:
                 rec.properties = record.get("props") or PropertySet()
                 rec.synced = False
         elif kind == "evict":
-            rec = self.views.pop(record.get("v"), None)
+            rec = self._release(record.get("v"))
             if rec is not None:
                 self.quarantined[rec.view_id] = QuarantinedView(
                     view_id=rec.view_id, address=rec.address,
@@ -1181,6 +1382,17 @@ class DirectoryManager:
         view's seen-vector advances with it (it has, by definition, seen
         its own update).
         """
+        prof = self.profiler
+        if prof is None:
+            return self._commit_inner(rec, image, seq)
+        t0 = _clock_ns()
+        n = self._commit_inner(rec, image, seq)
+        prof.record("commit", _clock_ns() - t0)
+        return n
+
+    def _commit_inner(
+        self, rec: ViewRecord, image: ObjectImage, seq: Optional[int] = None
+    ) -> int:
         if self.key_filter is not None:
             owned = [k for k in image.keys() if self.key_filter(k)]
             if len(owned) != len(image):
@@ -1229,11 +1441,14 @@ class DirectoryManager:
             wal_image = ObjectImage(image.cells)
             for key in wal_image.keys():
                 wal_image.versions.set(key, self.master_versions.get(key) + 1)
+            wal_t0 = _clock_ns() if self.profiler is not None else 0
             durable = self._log({
                 "k": "commit", "v": rec.view_id, "img": wal_image,
                 "noadv": sorted(resolved), "sseq": rec.last_state_seq,
                 "cseq": self.commit_seq + len(image),
             })
+            if self.profiler is not None:
+                self.profiler.record("wal", _clock_ns() - wal_t0)
             self.counters[
                 "commits_durable" if durable else "commits_volatile"
             ] += len(image)

@@ -15,7 +15,7 @@ an explicit flight list.
 from __future__ import annotations
 
 import abc
-from typing import Any, FrozenSet, Iterable, Union
+from typing import Any, FrozenSet, Iterable, Optional, Union
 
 from repro.errors import PropertyError
 
@@ -33,6 +33,15 @@ class Domain(abc.ABC):
 
     @abc.abstractmethod
     def contains(self, value: Scalar) -> bool: ...
+
+    def index_keys(self) -> Optional[Iterable[Scalar]]:
+        """Enumerable posting keys for the directory's conflict index.
+
+        A finite domain returns its values so views can be indexed per
+        value; ``None`` means the domain is not enumerable (e.g. an
+        interval) and the index must fall back to name-level postings.
+        """
+        return None
 
     def overlaps(self, other: "Domain") -> bool:
         """Boolean fast path: true iff ``intersect`` would be non-empty.
@@ -75,6 +84,9 @@ class _EmptyDomain(Domain):
 
     def contains(self, value: Scalar) -> bool:
         return False
+
+    def index_keys(self) -> Optional[Iterable[Scalar]]:
+        return ()  # overlaps nothing: post no keys at all
 
     def to_jsonable(self) -> dict:
         return {"kind": "empty"}
@@ -175,6 +187,9 @@ class DiscreteSet(Domain):
 
     def contains(self, value: Scalar) -> bool:
         return value in self.values
+
+    def index_keys(self) -> Optional[Iterable[Scalar]]:
+        return self.values
 
     def intersect(self, other: Domain) -> Domain:
         if isinstance(other, _EmptyDomain):

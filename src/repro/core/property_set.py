@@ -109,6 +109,17 @@ class PropertySet:
     def union_names(self, other: "PropertySet") -> List[str]:
         return sorted(set(self._names).union(other._names))
 
+    def index_keys(self) -> Iterator[Tuple[str, Optional[Iterable]]]:
+        """Posting keys for the directory's conflict index.
+
+        Yields ``(name, keys)`` per property in deterministic order,
+        where ``keys`` enumerates the domain's values (finite domains)
+        or is ``None`` for unenumerable domains (intervals), which the
+        index must post at name level.
+        """
+        for p in self._sorted:
+            yield p.name, p.domain.index_keys()
+
     # -- wire --------------------------------------------------------------
     def to_jsonable(self) -> list:
         return [p.to_jsonable() for p in self._sorted]

@@ -77,12 +77,13 @@ class RWDirectoryManager(DirectoryManager):
             super()._start_op(op)
             return
         # READ acquire: only a conflicting *writer* must be revoked;
-        # co-existing readers are fine (the message saving).
-        conflicts = set(self.conflict_set_of(op.view_id))
+        # co-existing readers are fine (the message saving).  Writers
+        # come from the maintained exclusive set — O(conflict degree).
+        exclusive = self._exclusive_set
         targets = {
             v: M.INVALIDATE
-            for v in conflicts
-            if self.views[v].exclusive
+            for v in self.conflict_set_of(op.view_id)
+            if v in exclusive
         }
         for v, mtype in targets.items():
             out = Message(mtype, self.address, self.views[v].address,
@@ -129,12 +130,10 @@ class RWDirectoryManager(DirectoryManager):
         from repro.errors import ProtocolError
 
         for vid in self.read_sharers:
-            rec = self.views.get(vid)
-            if rec is None:
+            if vid not in self.views:
                 continue
             for other in self.conflict_set_of(vid):
-                orec = self.views.get(other)
-                if orec is not None and orec.exclusive:
+                if other in self._exclusive_set:
                     raise ProtocolError(
                         f"rw violation: reader {vid} coexists with writer {other}"
                     )

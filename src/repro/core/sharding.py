@@ -1100,6 +1100,22 @@ class ShardedDirectoryPlane:
         """Per-shard routing stats merged into one plane-wide view."""
         return self.router.merged_shard_stats()
 
+    def merged_profile(self):
+        """Per-shard op-path profiles folded into one plane-wide
+        :class:`~repro.core.profiling.DirectoryProfiler` (``None`` when
+        the shards were not built with ``profile=True``)."""
+        from repro.core.profiling import DirectoryProfiler
+
+        merged: Optional[DirectoryProfiler] = None
+        for dm in self.shards:
+            prof = getattr(dm, "profiler", None)
+            if prof is None:
+                continue
+            if merged is None:
+                merged = DirectoryProfiler()
+            merged.merge(prof)
+        return merged
+
     def registered_views(self) -> List[str]:
         out: Set[str] = set()
         for dm in self.shards:
@@ -1158,6 +1174,8 @@ class ShardedFleccSystem:
         extract_cells: Optional[ExtractCells] = None,
         codec: Any = None,
         durability: Optional[DurabilitySpec] = None,
+        conflict_index: Optional[bool] = None,
+        profile: bool = False,
     ) -> None:
         # Instance or resolve_transport spec ("sim" | "tcp" | "aio"),
         # same seam as the unsharded builder.
@@ -1183,6 +1201,13 @@ class ShardedFleccSystem:
             dm_kwargs["extract_cells"] = extract_cells
         if durability is not None:
             dm_kwargs["durability"] = durability
+        if conflict_index is not None:
+            # Per-shard conflict indexes: each shard maintains its own
+            # inverted index over the views registered with it.
+            dm_kwargs["conflict_index"] = conflict_index
+        if profile:
+            # Per-shard profilers; fold with plane.merged_profile().
+            dm_kwargs["profile"] = True
         self.plane = ShardedDirectoryPlane(
             transport,
             component,

@@ -50,6 +50,8 @@ class FleccSystem:
         extract_cells: Optional[ExtractCells] = None,
         codec: Any = None,
         durability: Any = None,
+        conflict_index: Optional[bool] = None,
+        profile: bool = False,
     ) -> None:
         # `transport` may be an instance or a resolve_transport spec
         # string ("sim" | "tcp" | "aio"): the three backends are
@@ -86,6 +88,14 @@ class FleccSystem:
             # A DurabilitySpec (or pre-built DurabilityManager): the
             # directory recovers its lineage before binding.
             directory_kwargs["durability"] = durability
+        if conflict_index is not None:
+            # Conflict-index A/B switch: None keeps the directory's own
+            # default (indexed on); False forces the pre-index
+            # brute-force paths — the dm_profile experiment's baseline.
+            directory_kwargs["conflict_index"] = conflict_index
+        if profile:
+            # Op-path profiler (core/profiling.py): off by default.
+            directory_kwargs["profile"] = True
         self.directory = directory_cls(
             transport=transport,
             address=directory_address,

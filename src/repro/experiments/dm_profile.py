@@ -1,0 +1,668 @@
+"""Directory op-path profile: per-op cost vs registered-view count.
+
+The scale sweep (PR 7) showed the directory manager — not the wire —
+is the wall past a few thousand views, and PR 9's conflict index exists
+to knock that wall down.  This experiment proves it, with the op-path
+profiler (:mod:`repro.core.profiling`) as the measuring instrument:
+
+- **Harness** — a *bare* :class:`~repro.core.directory.DirectoryManager`
+  on a :class:`~repro.net.sim_transport.SimTransport`, driven by one
+  fake cache-manager hub endpoint that auto-acks INVALIDATE/FETCH_REQ.
+  No cache managers, no static map (its numpy row scans are O(V) by
+  construction and would mask what the index does), so every measured
+  nanosecond belongs to the directory's own op path.
+- **Workload** — V views with *disjoint-by-pairs* properties: view ``i``
+  holds a private cell plus a group cell shared with its pair partner,
+  so the true conflict degree is 1 no matter how large V grows.  The
+  pure-op phase issues PULL/ACQUIRE/PUSH traffic over a fixed sample of
+  views; the churn-burst phase registers a fresh view into the full
+  fleet and immediately operates on it — the worst case for the legacy
+  whole-cache invalidation.
+- **A/B legs** — ``conflict_index=True`` (the indexed default) vs
+  ``conflict_index=False`` (the pre-index brute-force paths, preserved
+  verbatim as the baseline).  Both legs run the identical message
+  sequence; per-op directory cost comes from the profiler's phase
+  totals (conflict lookup + target build + fan-out + serve), so sim
+  latency and harness overhead cancel out.
+- **Parity** — the legs must agree exactly: identical Fig-4 message
+  counts per ramp point, identical end state, and — on the indexed
+  leg — conflict-set answers identical to a fresh brute-force
+  recomputation over the full registry.  A separate deterministic
+  Fig-4-style workload on :class:`~repro.core.system.FleccSystem`
+  replays with the index on and off and must match too.
+
+``python -m repro.experiments.dm_profile`` writes
+``BENCH_dmprofile.json``; ``--full`` adds the 10k-view point, which
+arms the performance gates (>=5x over brute at the top, sub-linear
+indexed growth, churn cost bounded by conflict degree not V).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import DiscreteSet, Property, PropertySet
+from repro.core import messages as M
+from repro.core.conflicts import ConflictPolicy
+from repro.core.directory import DirectoryManager
+from repro.core.image import ObjectImage
+from repro.core.system import FleccSystem, run_all_scripts
+from repro.experiments.report import Table
+from repro.net.message import Message, reset_message_ids
+from repro.net.sim_transport import SimTransport
+from repro.net.transport import resolve_transport
+from repro.sim import SimKernel
+from repro.testing import (
+    Agent,
+    Store,
+    extract_cells,
+    extract_from_object,
+    extract_from_view,
+    merge_into_object,
+    merge_into_view,
+    props_for,
+)
+
+#: Registered-view ramp; the 10k point rides only behind ``--full``.
+DEFAULT_RAMP: Tuple[int, ...] = (100, 300, 1000, 3000)
+FULL_RAMP: Tuple[int, ...] = (100, 300, 1000, 3000, 10000)
+LEGS: Tuple[str, ...] = ("indexed", "brute")
+
+#: The performance gates arm only when the ramp reaches this many views
+#: (the full run): below it wall-clock noise dominates the deltas.
+GATE_TOP = 10000
+
+# Workload shape (identical across legs and ramp points, so phase-total
+# deltas are comparable): ops run over a fixed-size view sample.
+OP_SAMPLE = 200        # distinct views issuing pure-phase ops
+OP_ROUNDS = 3          # passes over the sample (round 2+ = cache-hit path)
+ACQ_SAMPLE = 24        # views that ACQUIRE (exercise invalidate rounds)
+CHURN_CYCLES = 30      # churn-burst: REGISTER into full fleet + one op
+PARITY_SAMPLE = 50     # views checked index-vs-brute-force per point
+
+#: Profiler phases that make up "per-op directory cost" (commit/wal are
+#: push-path phases, reported separately).
+OP_PHASES = ("conflict", "targets", "fanout", "serve")
+
+
+def _vid(i: int) -> str:
+    return f"v{i:05d}"
+
+
+def _props_of(i: int) -> PropertySet:
+    """Disjoint-by-pairs properties: private cell + pair-group cell.
+
+    Views ``2k`` and ``2k+1`` share ``grp{k}`` (conflict degree 1);
+    any other pair of views shares nothing.
+    """
+    return PropertySet([
+        Property("cells", DiscreteSet({f"own{i:05d}", f"grp{i // 2:05d}"}))
+    ])
+
+
+def _churn_props(v_base: int, c: int) -> PropertySet:
+    """Properties of the c-th churn view: joins an existing pair group
+    (constant conflict degree 2), plus its own private cell."""
+    group = c % max(1, v_base // 2)
+    return PropertySet([
+        Property("cells", DiscreteSet({f"churn{c:05d}", f"grp{group:05d}"}))
+    ])
+
+
+def _extract(store: Dict[str, int], props: PropertySet) -> ObjectImage:
+    """O(slice) extract: walks the property's *domain values*, not the
+    store — a register/serve must not cost O(total cells), or the
+    harness itself would be the O(V) term it is trying to measure."""
+    img = ObjectImage()
+    p = props.get("cells") if props is not None else None
+    if p is None:
+        for k, v in store.items():
+            img.cells[k] = v
+        return img
+    for k in p.domain.values:
+        if k in store:
+            img.cells[k] = store[k]
+    return img
+
+
+def _merge(store: Dict[str, int], image: ObjectImage, props: PropertySet) -> None:
+    for k in image.keys():
+        store[k] = image.get(k)
+
+
+class _BareDirHarness:
+    """One directory manager + one fake cache-manager hub endpoint.
+
+    Every view registers from the same hub address, so the directory's
+    INVALIDATE/FETCH fan-out lands on one handler that auto-acks — the
+    protocol sees live cache managers, the profiler sees only the
+    directory.
+    """
+
+    def __init__(self, conflict_index: bool) -> None:
+        self.kernel = SimKernel()
+        self.transport = SimTransport(self.kernel, default_latency=0.01)
+        self.store: Dict[str, int] = {}
+        self.dm = DirectoryManager(
+            transport=self.transport,
+            address="dir",
+            component=self.store,
+            extract_from_object=_extract,
+            merge_into_object=_merge,
+            static_map=None,
+            conflict_index=conflict_index,
+            profile=True,
+        )
+        self.replies: List[Message] = []
+        self._seq: Dict[str, int] = {}
+        self.endpoint = self.transport.bind("cmhub", self._on_message)
+
+    def _on_message(self, msg: Message) -> None:
+        if msg.msg_type == M.INVALIDATE:
+            self.endpoint.send(msg.reply(
+                M.INVALIDATE_ACK, {"view_id": msg.payload.get("view_id")}
+            ))
+        elif msg.msg_type == M.FETCH_REQ:
+            self.endpoint.send(msg.reply(
+                M.FETCH_REPLY,
+                {"view_id": msg.payload.get("view_id"), "image": ObjectImage()},
+            ))
+        else:
+            self.replies.append(msg)
+
+    def drain(self) -> None:
+        self.kernel.run()
+
+    # -- protocol verbs (sent from the hub) -----------------------------
+    def register(self, view_id: str, props: PropertySet) -> None:
+        self.endpoint.send(Message(M.REGISTER, "cmhub", "dir", {
+            "view_id": view_id, "properties": props, "mode": "weak",
+        }))
+
+    def pull(self, view_id: str) -> None:
+        self.endpoint.send(Message(
+            M.PULL_REQ, "cmhub", "dir", {"view_id": view_id}
+        ))
+
+    def acquire(self, view_id: str) -> None:
+        self.endpoint.send(Message(
+            M.ACQUIRE, "cmhub", "dir", {"view_id": view_id}
+        ))
+
+    def push(self, view_id: str, cells: Dict[str, int]) -> None:
+        seq = self._seq.get(view_id, 0) + 1
+        self._seq[view_id] = seq
+        self.endpoint.send(Message(M.PUSH, "cmhub", "dir", {
+            "view_id": view_id, "image": ObjectImage(dict(cells)),
+            "state_seq": seq,
+        }))
+
+    # -- profiler bookkeeping -------------------------------------------
+    def phase_total(self, phases: Sequence[str]) -> int:
+        return self.dm.profiler.total_ns(*phases)
+
+    def state_digest(self) -> str:
+        blob = repr(sorted(self.store.items())).encode()
+        return hashlib.sha1(blob).hexdigest()
+
+
+@dataclass
+class DmProfilePoint:
+    """One (leg, view count) measurement."""
+
+    leg: str                       # 'indexed' | 'brute'
+    n_views: int
+    ops: int                       # queued ops the profiler timed
+    register_mean_ns: float        # ramp registration, per REGISTER
+    pure_op_ns: float              # conflict+targets+fanout+serve, per op
+    pure_phases: Dict[str, float]  # per-op ns by phase
+    commit_mean_ns: float          # push-path commit, per commit sample
+    churn_cycle_ns: float          # REGISTER-into-full-fleet + one op
+    index_candidates: int          # policy counter (0 on the brute leg)
+    scoped_invalidations: int      # policy counter (0 on the brute leg)
+    conflict_parity: bool          # index answers == brute recomputation
+    by_type: Dict[str, int]        # Fig-4 message counts for the point
+    state_digest: str              # end-state fingerprint
+    elapsed_s: float
+
+
+def _sample_ids(n_views: int, size: int) -> List[int]:
+    step = max(1, n_views // size)
+    return list(range(0, n_views, step))[:size]
+
+
+def _conflict_parity(dm: DirectoryManager, sample: List[str]) -> bool:
+    """Indexed conflict sets vs a fresh brute-force policy (no caches)."""
+    if not dm.policy.indexed:
+        return True
+    brute = ConflictPolicy(dm.static_map, dm._properties_of, indexed=False)
+    views = sorted(dm.views)
+    for vid in sample:
+        if set(dm.policy.conflict_set(vid)) != set(
+            brute.conflict_set(vid, views)
+        ):
+            return False
+    return True
+
+
+def _run_point(leg: str, n_views: int) -> DmProfilePoint:
+    reset_message_ids()
+    t_start = time.perf_counter()
+    h = _BareDirHarness(conflict_index=(leg == "indexed"))
+    prof = h.dm.profiler
+
+    # Phase 1 — registration ramp: V views join the directory.
+    for i in range(n_views):
+        h.register(_vid(i), _props_of(i))
+    h.drain()
+    reg_hist = prof.phases.get("register")
+    register_mean = reg_hist.mean_ns if reg_hist is not None else 0.0
+
+    # Phase 2 — pure-op workload at steady membership.  Deltas of the
+    # phase totals isolate it from the registration ramp above.
+    sample = [_vid(i) for i in _sample_ids(n_views, OP_SAMPLE)]
+    acq = sample[:: max(1, len(sample) // ACQ_SAMPLE)][:ACQ_SAMPLE]
+    t0 = h.phase_total(OP_PHASES)
+    ops0 = prof.ops
+    for _ in range(OP_ROUNDS):
+        for vid in sample:
+            h.pull(vid)
+        h.drain()
+        for vid in acq:
+            h.acquire(vid)
+        h.drain()
+    for vid in sample:
+        h.push(vid, {f"own{vid[1:]}": 1})
+    h.drain()
+    pure_ops = prof.ops - ops0
+    pure_total = h.phase_total(OP_PHASES) - t0
+    pure_phases = {
+        p: (
+            (prof.phases[p].total_ns if p in prof.phases else 0) / pure_ops
+            if pure_ops else 0.0
+        )
+        for p in OP_PHASES
+    }
+    commit_hist = prof.phases.get("commit")
+    commit_mean = commit_hist.mean_ns if commit_hist is not None else 0.0
+
+    # Phase 3 — churn burst: a fresh view joins the *full* fleet, then
+    # immediately operates.  Legacy mode pays a whole-cache invalidation
+    # plus an O(V) recomputation per cycle; indexed mode pays O(degree).
+    churn_phases = ("register",) + OP_PHASES
+    t1 = h.phase_total(churn_phases)
+    for c in range(CHURN_CYCLES):
+        vid = f"churn{c:05d}"
+        h.register(vid, _churn_props(n_views, c))
+        h.pull(vid)
+        h.drain()
+    churn_total = h.phase_total(churn_phases) - t1
+
+    parity_ids = [_vid(i) for i in _sample_ids(n_views, PARITY_SAMPLE)]
+    parity = _conflict_parity(h.dm, parity_ids)
+    point = DmProfilePoint(
+        leg=leg,
+        n_views=n_views,
+        ops=prof.ops,
+        register_mean_ns=register_mean,
+        pure_op_ns=pure_total / pure_ops if pure_ops else 0.0,
+        pure_phases=pure_phases,
+        commit_mean_ns=commit_mean,
+        churn_cycle_ns=churn_total / CHURN_CYCLES,
+        index_candidates=h.dm.counters["index_candidates"],
+        scoped_invalidations=h.dm.counters["scoped_invalidations"],
+        conflict_parity=parity,
+        by_type=dict(h.transport.stats.by_type),
+        state_digest=h.state_digest(),
+        elapsed_s=time.perf_counter() - t_start,
+    )
+    h.dm.close()
+    h.transport.close()
+    return point
+
+
+# ---------------------------------------------------------------------------
+# Fig-4-style A/B parity on the full system
+# ---------------------------------------------------------------------------
+
+def _fig4_parity_run(conflict_index: bool) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """One deterministic conflicting workload; returns (state, by_type).
+
+    Two overlapping views (so conflict rounds actually fire) run
+    single-actor phases back to back — message counts cannot depend on
+    races, which is what makes exact count parity assertable.
+    """
+    reset_message_ids()
+    transport = resolve_transport("sim")
+    store = Store({"a": 10, "b": 20})
+    system = FleccSystem(
+        transport, store, extract_from_object, merge_into_object,
+        extract_cells=extract_cells, conflict_index=conflict_index,
+    )
+    weak_agent, strong_agent = Agent(), Agent()
+    weak = system.add_view(
+        "weak-view", weak_agent, props_for(["a"]),
+        extract_from_view, merge_into_view, mode="weak",
+    )
+    strong = system.add_view(
+        "strong-view", strong_agent, props_for(["a", "b"]),
+        extract_from_view, merge_into_view, mode="strong",
+    )
+
+    def weak_script():
+        yield weak.start()
+        yield weak.init_image()
+        yield weak.start_use_image()
+        weak_agent.local["a"] = 99
+        weak.end_use_image()
+        yield weak.push_image()
+
+    def strong_script():
+        yield strong.start()
+        yield strong.init_image()
+        yield strong.start_use_image()
+        strong_agent.local["b"] = strong_agent.local.get("b", 0) + 1
+        strong.end_use_image()
+        yield strong.kill_image()
+
+    def weak_exit_script():
+        yield weak.kill_image()
+
+    run_all_scripts(transport, [weak_script()])
+    run_all_scripts(transport, [strong_script()])  # revokes the weak view
+    run_all_scripts(transport, [weak_exit_script()])
+    state = dict(store.cells)
+    by_type = dict(transport.stats.by_type)
+    system.close()
+    transport.close()
+    return state, by_type
+
+
+def fig4_parity() -> Tuple[bool, bool, Dict[str, int]]:
+    """Indexed vs brute on the system workload.
+
+    Returns (state_identical, counts_identical, reference by_type)."""
+    state_on, counts_on = _fig4_parity_run(True)
+    state_off, counts_off = _fig4_parity_run(False)
+    return state_on == state_off, counts_on == counts_off, counts_on
+
+
+@dataclass
+class DmProfileResult:
+    points: List[DmProfilePoint] = field(default_factory=list)
+    fig4_state_identical: bool = True
+    fig4_counts_identical: bool = True
+    fig4_by_type: Dict[str, int] = field(default_factory=dict)
+
+    def table(self) -> Table:
+        t = Table(
+            [
+                "leg", "views", "reg us", "op us", "churn us",
+                "idx cand", "scoped", "parity",
+            ],
+            title="DM PROFILE — per-op directory cost vs registered views",
+        )
+        for p in self.points:
+            t.add_row(
+                p.leg, p.n_views,
+                f"{p.register_mean_ns / 1000:.1f}",
+                f"{p.pure_op_ns / 1000:.1f}",
+                f"{p.churn_cycle_ns / 1000:.1f}",
+                p.index_candidates, p.scoped_invalidations,
+                "ok" if p.conflict_parity else "DIVERGED",
+            )
+        return t
+
+
+def sweep_points(
+    ramp: Sequence[int] = DEFAULT_RAMP,
+) -> List[Tuple[str, int]]:
+    """Picklable point descriptors: ``(leg, n_views)``."""
+    return [(leg, n) for leg in LEGS for n in ramp]
+
+
+def run_sweep_point(
+    point: Tuple[str, int], seed: Optional[int] = None
+) -> DmProfilePoint:
+    leg, n_views = point
+    return _run_point(leg, n_views)
+
+
+def merge_dm_profile(
+    points: List[Tuple[str, int]],
+    partials: List[DmProfilePoint],
+    seed: Optional[int] = None,
+) -> DmProfileResult:
+    result = DmProfileResult(points=list(partials))
+    (
+        result.fig4_state_identical,
+        result.fig4_counts_identical,
+        result.fig4_by_type,
+    ) = fig4_parity()
+    return result
+
+
+def run_dm_profile(
+    ramp: Optional[Sequence[int]] = None, full: bool = False
+) -> DmProfileResult:
+    if ramp is None:
+        ramp = FULL_RAMP if full else DEFAULT_RAMP
+    points = sweep_points(ramp)
+    return merge_dm_profile(points, [run_sweep_point(p) for p in points])
+
+
+def _leg_points(
+    payload_points: List[Dict[str, Any]], leg: str
+) -> List[Dict[str, Any]]:
+    return sorted(
+        (p for p in payload_points if p["leg"] == leg),
+        key=lambda p: p["n_views"],
+    )
+
+
+def _growth(points: List[Dict[str, Any]], key: str) -> float:
+    """top-point / bottom-point ratio of one metric (0 when undefined)."""
+    if len(points) < 2 or not points[0][key]:
+        return 0.0
+    return points[-1][key] / points[0][key]
+
+
+def bench_payload(result: DmProfileResult) -> Dict[str, object]:
+    """The ``BENCH_dmprofile.json`` document for one run."""
+    points = [
+        {
+            "leg": p.leg,
+            "n_views": p.n_views,
+            "ops": p.ops,
+            "register_mean_us": round(p.register_mean_ns / 1000, 2),
+            "pure_op_us": round(p.pure_op_ns / 1000, 2),
+            "pure_phases_us": {
+                k: round(v / 1000, 2) for k, v in p.pure_phases.items()
+            },
+            "commit_mean_us": round(p.commit_mean_ns / 1000, 2),
+            "churn_cycle_us": round(p.churn_cycle_ns / 1000, 2),
+            "index_candidates": p.index_candidates,
+            "scoped_invalidations": p.scoped_invalidations,
+            "conflict_parity": p.conflict_parity,
+            "by_type": dict(p.by_type),
+            "state_digest": p.state_digest,
+            "elapsed_s": round(p.elapsed_s, 2),
+        }
+        for p in result.points
+    ]
+    indexed = _leg_points(points, "indexed")
+    brute = _leg_points(points, "brute")
+    ramp_top = max((p["n_views"] for p in points), default=0)
+    ramp_bottom = min((p["n_views"] for p in points), default=0)
+    v_ratio = ramp_top / ramp_bottom if ramp_bottom else 0.0
+    top_indexed = indexed[-1] if indexed else None
+    top_brute = next(
+        (p for p in brute if top_indexed and p["n_views"] == top_indexed["n_views"]),
+        None,
+    )
+    speedup = (
+        top_brute["pure_op_us"] / top_indexed["pure_op_us"]
+        if top_indexed and top_brute and top_indexed["pure_op_us"]
+        else 0.0
+    )
+    churn_speedup = (
+        top_brute["churn_cycle_us"] / top_indexed["churn_cycle_us"]
+        if top_indexed and top_brute and top_indexed["churn_cycle_us"]
+        else 0.0
+    )
+    # Cross-leg parity at matched ramp points: the identical workload
+    # must produce identical Fig-4 message counts and end state.
+    leg_counts_identical = all(
+        i["by_type"] == b["by_type"]
+        for i in indexed for b in brute if i["n_views"] == b["n_views"]
+    )
+    leg_state_identical = all(
+        i["state_digest"] == b["state_digest"]
+        for i in indexed for b in brute if i["n_views"] == b["n_views"]
+    )
+    return {
+        "description": (
+            "Directory op-path profile: per-op cost (conflict lookup + "
+            "target build + fan-out + serve) vs registered-view count, "
+            "indexed conflict policy vs pre-index brute force"
+        ),
+        "command": "python -m repro.experiments.dm_profile --full",
+        "ramp_top": ramp_top,
+        "ramp_bottom": ramp_bottom,
+        "view_ratio": round(v_ratio, 1),
+        "speedup_at_top": round(speedup, 2),
+        "churn_speedup_at_top": round(churn_speedup, 2),
+        "indexed_pure_growth": round(_growth(indexed, "pure_op_us"), 2),
+        "brute_pure_growth": round(_growth(brute, "pure_op_us"), 2),
+        "indexed_churn_growth": round(_growth(indexed, "churn_cycle_us"), 2),
+        "brute_churn_growth": round(_growth(brute, "churn_cycle_us"), 2),
+        "conflict_parity": all(p["conflict_parity"] for p in points),
+        "leg_counts_identical": leg_counts_identical,
+        "leg_state_identical": leg_state_identical,
+        "fig4_state_identical": result.fig4_state_identical,
+        "fig4_counts_identical": result.fig4_counts_identical,
+        "fig4_by_type": dict(result.fig4_by_type),
+        "points": points,
+    }
+
+
+def check_acceptance(payload: Dict[str, Any]) -> List[str]:
+    """The PR's acceptance gates; returns a list of violations.
+
+    Parity is enforced on every run (any ramp).  The performance gates
+    arm only when the ramp reaches ``GATE_TOP`` views — the full run —
+    because below that the deltas sit inside wall-clock noise:
+
+    - indexed per-op cost >= 5x cheaper than brute force at the top;
+    - indexed per-op growth sub-linear in V (<= 0.5x the view ratio);
+    - indexed churn-burst growth bounded by conflict degree, not V.
+    """
+    problems = []
+    if not payload["conflict_parity"]:
+        problems.append(
+            "indexed conflict sets diverged from brute-force recomputation"
+        )
+    if not payload["leg_counts_identical"]:
+        problems.append(
+            "indexed vs brute legs produced different Fig-4 message counts"
+        )
+    if not payload["leg_state_identical"]:
+        problems.append("indexed vs brute legs produced different end state")
+    if not payload["fig4_state_identical"]:
+        problems.append(
+            "system workload end state differs with conflict_index on/off"
+        )
+    if not payload["fig4_counts_identical"]:
+        problems.append(
+            "system workload Fig-4 counts differ with conflict_index on/off"
+        )
+    if payload["ramp_top"] >= GATE_TOP:
+        v_ratio = payload["view_ratio"]
+        if payload["speedup_at_top"] < 5.0:
+            problems.append(
+                f"indexed per-op cost only {payload['speedup_at_top']}x "
+                f"cheaper than brute force at {payload['ramp_top']} views "
+                f"(need >= 5x)"
+            )
+        if payload["indexed_pure_growth"] > 0.5 * v_ratio:
+            problems.append(
+                f"indexed per-op cost grew {payload['indexed_pure_growth']}x "
+                f"over a {v_ratio}x view ramp (need sub-linear: <= "
+                f"{0.5 * v_ratio}x)"
+            )
+        churn_bound = max(8.0, 0.1 * v_ratio)
+        if payload["indexed_churn_growth"] > churn_bound:
+            problems.append(
+                f"indexed churn-burst cost grew "
+                f"{payload['indexed_churn_growth']}x over a {v_ratio}x view "
+                f"ramp (need bounded by conflict degree: <= {churn_bound}x)"
+            )
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> DmProfileResult:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.dm_profile",
+        description=(
+            "Profile directory per-op cost vs view count and write "
+            "BENCH_dmprofile.json"
+        ),
+    )
+    parser.add_argument(
+        "--out", default="BENCH_dmprofile.json", metavar="FILE",
+        help="output JSON path (default: BENCH_dmprofile.json)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="include the 10k-view point (arms the performance gates)",
+    )
+    parser.add_argument(
+        "--max-views", type=int, default=None, metavar="N",
+        help="cap the ramp at N views (CI smoke uses 2000); N itself is "
+             "appended as the top point when not already in the ramp",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when an acceptance gate fails",
+    )
+    args = parser.parse_args(argv)
+    ramp: List[int] = list(FULL_RAMP if args.full else DEFAULT_RAMP)
+    if args.max_views is not None:
+        ramp = [n for n in ramp if n <= args.max_views]
+        if args.max_views not in ramp:
+            ramp.append(args.max_views)
+    result = run_dm_profile(ramp=ramp)
+    print(result.table())
+    payload = bench_payload(result)
+    print(
+        f"per-op speedup at {payload['ramp_top']} views: "
+        f"{payload['speedup_at_top']}x (churn "
+        f"{payload['churn_speedup_at_top']}x); indexed growth "
+        f"{payload['indexed_pure_growth']}x vs brute "
+        f"{payload['brute_pure_growth']}x over a {payload['view_ratio']}x ramp"
+    )
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    problems = check_acceptance(payload)
+    if problems:
+        print("ACCEPTANCE VIOLATIONS:", *problems, sep="\n  ")
+        if args.check:
+            raise SystemExit(1)
+    else:
+        print(
+            "acceptance: OK (index == brute force on every conflict "
+            "answer, message count and end state; perf gates "
+            + ("enforced at the 10k point)" if payload["ramp_top"] >= GATE_TOP
+               else "armed only at the 10k ramp point)")
+        )
+    return result
+
+
+if __name__ == "__main__":
+    main()

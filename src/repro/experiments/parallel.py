@@ -49,12 +49,18 @@ class ShardSpec:
 
 def shard_specs() -> Dict[str, ShardSpec]:
     """Experiments that decompose into independent sweep points."""
+    from repro.experiments import dm_profile as dmp
     from repro.experiments import durability_sweep as dura
     from repro.experiments import fig4_efficiency as f4
     from repro.experiments import scale_sweep as scale
     from repro.experiments import shard_sweep as shards
 
     return {
+        "dm_profile": ShardSpec(
+            points=dmp.sweep_points,
+            run_point=dmp.run_sweep_point,
+            merge=dmp.merge_dm_profile,
+        ),
         "fig4_efficiency": ShardSpec(
             points=f4.sweep_points,
             run_point=f4.run_fig4_point,

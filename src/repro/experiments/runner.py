@@ -31,6 +31,7 @@ from repro.experiments import (
     ablations,
     chaos,
     delta_sweep,
+    dm_profile,
     durability_sweep,
     fig1_deployment,
     fig2_trace,
@@ -140,6 +141,7 @@ EXPERIMENTS: Dict[str, Callable[[], Any]] = {
     "shard_sweep": shard_sweep.run_shard_sweep,
     "scale_sweep": scale_sweep.run_scale_sweep,
     "durability_sweep": durability_sweep.run_durability_sweep,
+    "dm_profile": dm_profile.run_dm_profile,
 }
 
 

@@ -128,6 +128,12 @@ class MessageStats:
     # the primary-copy cells restored from snapshot + WAL replay.
     recoveries: int = 0
     cells_replayed: int = 0
+    # Directory op-path profiling (core/profiling.py): cumulative time
+    # and sample count per op phase, mirrored here by DirectoryProfiler
+    # so phase totals ride the same merge/summary pipeline as message
+    # counters.  Empty unless a directory runs with profile=True.
+    op_phase_ns: Counter = field(default_factory=Counter)
+    op_phase_count: Counter = field(default_factory=Counter)
 
     def record(self, msg: Message, size: Optional[int] = None) -> None:
         """Count one sent message (``size`` in bytes when known)."""
@@ -218,6 +224,11 @@ class MessageStats:
         self.recoveries += 1
         self.cells_replayed += cells
 
+    def record_op_phase(self, phase: str, ns: int) -> None:
+        """Account one profiled directory op phase (duration in ns)."""
+        self.op_phase_ns[phase] += ns
+        self.op_phase_count[phase] += 1
+
     def merge(self, other: "MessageStats") -> "MessageStats":
         """Fold ``other``'s counters into this one (returns ``self``).
 
@@ -256,6 +267,8 @@ class MessageStats:
         self.backpressure_stalls += other.backpressure_stalls
         self.recoveries += other.recoveries
         self.cells_replayed += other.cells_replayed
+        self.op_phase_ns.update(other.op_phase_ns)
+        self.op_phase_count.update(other.op_phase_count)
         return self
 
     def count_for_types(self, *msg_types: str) -> int:
@@ -312,6 +325,8 @@ class MessageStats:
         self.by_type.clear()
         self.by_pair.clear()
         self.bytes_by_type.clear()
+        self.op_phase_ns.clear()
+        self.op_phase_count.clear()
 
     def summary(self) -> str:
         """Human-readable one-block summary (used by experiment reports)."""
@@ -354,4 +369,11 @@ class MessageStats:
                 f"  (durability: recoveries={self.recoveries} "
                 f"cells_replayed={self.cells_replayed})"
             )
+        if self.op_phase_count:
+            for phase in sorted(self.op_phase_count):
+                n = self.op_phase_count[phase]
+                mean_us = (self.op_phase_ns[phase] / n) / 1000.0 if n else 0.0
+                lines.append(
+                    f"  (op phase {phase}: n={n} mean={mean_us:.1f}us)"
+                )
         return "\n".join(lines)

@@ -117,6 +117,6 @@ def test_registry_names_are_stable():
         "abl3_granularity", "abl4_centralization",
         "abl5_rw_semantics", "abl6_loss_tolerance",
         "ext1_mixed_workload", "chaos", "delta_sweep", "wire_sweep",
-        "shard_sweep", "scale_sweep", "durability_sweep",
+        "shard_sweep", "scale_sweep", "durability_sweep", "dm_profile",
     }
     assert set(EXPERIMENTS) == expected
