@@ -397,6 +397,28 @@ class ConflictPolicy:
         self._set_cache[key] = (self._generation, result)
         return list(result)
 
+    def op_scope(
+        self, view_id: str, candidates: Optional[Iterable[str]] = None
+    ) -> frozenset:
+        """In-flight independence footprint of a round for ``view_id``.
+
+        The scope is the view itself plus its whole conflict set —
+        index candidates confirmed pairwise, static-SHARED partners,
+        and therefore every exclusive holder or active view the round
+        could target.  Two rounds may run concurrently iff their scopes
+        are :meth:`independent` (disjoint): a round only ever sends to,
+        or changes the activity of, views inside its own scope, and any
+        view registering *after* a round started lands in the *new*
+        op's freshly-computed scope, so disjointness remains sound
+        against membership churn while a round is in flight.
+        """
+        return frozenset((view_id, *self.conflict_set(view_id, candidates)))
+
+    @staticmethod
+    def independent(scope_a: frozenset, scope_b: frozenset) -> bool:
+        """May two in-flight rounds with these scopes overlap in time?"""
+        return scope_a.isdisjoint(scope_b)
+
     def _indexed_conflict_set(self, view_id: str) -> List[str]:
         if self.index is None:
             raise ValueError(

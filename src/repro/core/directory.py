@@ -9,10 +9,25 @@ application's merge function, and stamps every committed cell update
 with a version (the basis of the data-quality metric).
 
 Concurrency discipline: operations that require a multi-message round
-(ACQUIRE, and PULL/INIT that must first revoke or fetch) are serialized
-through a FIFO queue — the centralized primary-copy is the natural
-serialization point the paper's protocol relies on.  Single-message
-operations (REGISTER, PUSH, SET_MODE, ...) are handled immediately.
+(ACQUIRE, and PULL/INIT that must first revoke or fetch) go through a
+**conflict-aware round scheduler**.  In the default serial mode
+(``concurrent_rounds=1``) that is exactly the paper's discipline — one
+op at a time through a FIFO queue, the centralized primary copy as the
+natural serialization point.  With ``concurrent_rounds`` > 1 (or 0 =
+unbounded) the scheduler keeps an in-flight op table and starts a new
+round immediately whenever its *scope* — the requesting view plus its
+conflict set (``ConflictIndex`` candidates, static-SHARED partners,
+exclusive holders) — is disjoint from every running round's scope and
+from every conflicting op queued ahead of it (no barging: ops of one
+conflict group never reorder, so each group still sees the serial
+order).  Waiting ops hold no slot and rounds always terminate (CM ACKs
+or the round watchdog), so there are no wait cycles — the same
+strictly-decreasing-priority argument the ShardRouter's INVALIDATE
+hold/disturb protocol makes.  Commits stay linearized: every committed
+cell passes through ``_commit`` under the directory lock, so
+``commit_seq`` (and the WAL's per-lineage commit order) remains a
+single monotone sequence.  Single-message operations (REGISTER, PUSH,
+SET_MODE, ...) are handled immediately, as before.
 """
 
 from __future__ import annotations
@@ -167,6 +182,14 @@ class _PendingOp:
     view_id: str
     awaiting: Dict[int, str] = field(default_factory=dict)  # msg_id -> view_id
     need_fresh: bool = False
+    # Scheduler bookkeeping: ``seq`` keys the in-flight op table (0 =
+    # never started), ``scope`` is the independence footprint frozen at
+    # round start, ``enqueued_ns`` feeds the queue_wait profiler phase,
+    # and ``waited`` dedups the sched_conflict_waits counter per op.
+    seq: int = 0
+    scope: Optional[frozenset] = None
+    enqueued_ns: int = 0
+    waited: bool = False
 
 
 class DirectoryManager:
@@ -193,8 +216,15 @@ class DirectoryManager:
         durability: Optional["DurabilitySpec | DurabilityManager"] = None,
         conflict_index: bool = True,
         profile: bool = False,
+        concurrent_rounds: int = 1,
     ) -> None:
         self.transport = transport
+        # Round-scheduler concurrency: 1 (the default) is the paper's
+        # serial discipline — one multi-message round at a time through
+        # the FIFO, behavior-identical to the pre-scheduler directory.
+        # N > 1 bounds the in-flight op table at N rounds; 0 means
+        # unbounded (every independent round starts immediately).
+        self.concurrent_rounds = concurrent_rounds
         # Sharded-plane guard: when this directory is one shard of a
         # partitioned primary copy, only cells the predicate accepts are
         # committed here.  A foreign-key commit would bump versions the
@@ -283,8 +313,18 @@ class DirectoryManager:
         self.profiler: Optional[DirectoryProfiler] = (
             DirectoryProfiler(stats=transport.stats) if profile else None
         )
+        # Conflict-aware round scheduler state.  Waiting ops sit in one
+        # FIFO (per-conflict-group order falls out of the no-barging
+        # scan in _schedule_ready); running ops live in the in-flight
+        # table keyed by start sequence, and _round_ops maps every
+        # outstanding round message id to its owning op so replies
+        # dispatch in O(1) regardless of how many rounds are in flight.
         self._op_queue: Deque[_PendingOp] = deque()
-        self._current_op: Optional[_PendingOp] = None
+        self._running: Dict[int, _PendingOp] = {}
+        self._round_ops: Dict[int, _PendingOp] = {}
+        self._op_seq = 0
+        self._pumping = False
+        self._pump_again = False
         # Operational counters for experiments and monitoring.
         self.counters: Dict[str, int] = {
             "registers": 0, "unregisters": 0, "pushes": 0,
@@ -300,6 +340,14 @@ class DirectoryManager:
             "recovery_reclaims": 0, "reclaim_timeouts": 0,
             "index_candidates": 0, "scoped_invalidations": 0,
             "lease_heap_pops": 0,
+            # Round-scheduler instrumentation: high-water mark of
+            # simultaneously running rounds, rounds that started while
+            # another was already in flight, ops that had to wait on a
+            # conflicting round, and handler faults fenced off by the
+            # per-op slot release (satellite of the scheduler work).
+            "concurrent_rounds_hwm": 0, "rounds_overlapped": 0,
+            "sched_conflict_waits": 0, "round_faults": 0,
+            "serve_faults": 0,
         }
         self._lock = threading.RLock()  # no-op contention in sim; needed on TCP
         # Recovery ownership reclaim: views recovered holding strong-mode
@@ -628,8 +676,9 @@ class DirectoryManager:
         except TransportError as exc:
             # A wire failure mid-dispatch (e.g. the TCP peer vanished
             # between the connect and the write) must not propagate
-            # into the handler and wedge _current_op: record the loss
-            # and let the round watchdog / CM retransmission recover.
+            # into the handler and wedge an in-flight op slot: record
+            # the loss and let the round watchdog / CM retransmission
+            # recover.
             self.counters["send_errors"] += 1
             self.transport.stats.record_drop(msg)
             self._trace("send-error", dst=msg.dst, error=str(exc))
@@ -801,8 +850,10 @@ class DirectoryManager:
     # -- queued (round-based) operations ---------------------------------------
     def _h_acquire(self, msg: Message) -> None:
         rec = self._record_for(msg)
-        op = self._current_op
-        being_revoked = op is not None and rec.view_id in op.awaiting.values()
+        being_revoked = any(
+            rec.view_id in op.awaiting.values()
+            for op in self._running.values()
+        )
         if (
             rec.exclusive and rec.active and not being_revoked
             and not self._reclaim_fetches  # reclaim first: state unreconciled
@@ -846,19 +897,100 @@ class DirectoryManager:
         )
 
     def _enqueue(self, op: _PendingOp) -> None:
+        if self.profiler is not None:
+            op.enqueued_ns = _clock_ns()
         self._op_queue.append(op)
         self._pump()
 
     def _pump(self) -> None:
+        # Reentrancy guard: _start_op can finalize synchronously (no
+        # targets) and _finalize_op pumps, so a scan can trigger another
+        # scan mid-flight.  Deferring the nested call to the outer loop
+        # keeps the queue scan atomic — a recursive scan would see a
+        # half-drained queue and could barge past a blocked op.
+        if self._pumping:
+            self._pump_again = True
+            return
+        self._pumping = True
+        try:
+            while True:
+                self._pump_again = False
+                self._schedule_ready()
+                if not self._pump_again:
+                    return
+        finally:
+            self._pumping = False
+
+    def _schedule_ready(self) -> None:
         if self._reclaim_fetches:
             return  # recovery reclaim in progress: hold every op
-        while self._current_op is None and self._op_queue:
-            op = self._op_queue.popleft()
+        if self.concurrent_rounds == 1:
+            # Serial passthrough: the paper's one-op-at-a-time queue,
+            # kept as its own branch so the default path never pays a
+            # scope computation.
+            while not self._running and self._op_queue:
+                op = self._op_queue.popleft()
+                if op.view_id not in self.views:
+                    # The view unregistered while queued; drop it.
+                    continue
+                self._start_running(op)
+            return
+        queue = self._op_queue
+        if not queue:
+            return
+        # One FIFO scan with no barging: an op starts iff its scope is
+        # disjoint from every running round AND from every conflicting
+        # op still waiting ahead of it, so two conflicting ops never
+        # reorder (each conflict group sees exactly the serial order)
+        # while independent groups overtake a blocked one.
+        limit = self.concurrent_rounds
+        scan = list(queue)
+        queue.clear()
+        blocked: List[frozenset] = []
+        for op in scan:
             if op.view_id not in self.views:
-                # The view unregistered while queued; drop the stale op.
                 continue
-            self._current_op = op
-            self._start_op(op)
+            if limit and len(self._running) >= limit:
+                queue.append(op)  # table full: keep FIFO order
+                continue
+            scope = self._op_scope(op)
+            if any(
+                not scope.isdisjoint(r.scope) for r in self._running.values()
+            ) or any(not scope.isdisjoint(b) for b in blocked):
+                if not op.waited:
+                    op.waited = True
+                    self.counters["sched_conflict_waits"] += 1
+                blocked.append(scope)
+                queue.append(op)
+                continue
+            op.scope = scope
+            self._start_running(op)
+
+    def _op_scope(self, op: _PendingOp) -> frozenset:
+        """Independence footprint of one round: the requesting view plus
+        its whole conflict set (index candidates, static-SHARED
+        partners, exclusive holders — every view the round could target
+        or race with)."""
+        if self.policy.indexed:
+            scope = self.policy.op_scope(op.view_id)
+            self.counters["index_candidates"] = self.policy.index_candidates
+            return scope
+        return self.policy.op_scope(op.view_id, self.views.keys())
+
+    def _start_running(self, op: _PendingOp) -> None:
+        self._op_seq += 1
+        op.seq = self._op_seq
+        self._running[op.seq] = op
+        depth = len(self._running)
+        if depth > self.counters["concurrent_rounds_hwm"]:
+            self.counters["concurrent_rounds_hwm"] = depth
+            self.transport.stats.record_concurrent_rounds(depth)
+        if depth > 1:
+            self.counters["rounds_overlapped"] += 1
+        prof = self.profiler
+        if prof is not None and op.enqueued_ns:
+            prof.record("queue_wait", _clock_ns() - op.enqueued_ns)
+        self._start_op(op)
 
     def _start_op(self, op: _PendingOp) -> None:
         prof = self.profiler
@@ -894,6 +1026,7 @@ class DirectoryManager:
             out = Message(mtype, self.address, self.views[v].address,
                           {"view_id": v, "requested_by": op.view_id})
             op.awaiting[out.msg_id] = v
+            self._round_ops[out.msg_id] = op
             if mtype == M.INVALIDATE:
                 self.counters["invalidates_sent"] += 1
             else:
@@ -953,7 +1086,7 @@ class DirectoryManager:
         can reconcile instead of silently losing its dirty state.
         """
         with self._lock:
-            if self._current_op is not op or not op.awaiting:
+            if op.seq not in self._running or not op.awaiting:
                 return  # the round completed in time
             dropped = list(op.awaiting.values())
             self.counters["round_timeouts"] += 1
@@ -973,6 +1106,8 @@ class DirectoryManager:
                     rec.active = False
                     rec.exclusive = False
                     self._log_cursors(rec)
+            for mid in op.awaiting:
+                self._round_ops.pop(mid, None)
             op.awaiting.clear()
             self._finalize_op(op)
 
@@ -980,7 +1115,7 @@ class DirectoryManager:
         if msg.reply_to in self._reclaim_fetches:
             self._h_reclaim_reply(msg)
             return
-        op = self._current_op
+        op = self._round_ops.pop(msg.reply_to, None)
         if op is None or msg.reply_to not in op.awaiting:
             # Late/duplicate reply from a finished round — harmless.
             self._trace("stale-round-reply", reply_to=msg.reply_to)
@@ -990,22 +1125,77 @@ class DirectoryManager:
         image: ObjectImage = msg.payload.get("image") or ObjectImage()
         if rec is not None:
             self._renew_lease(rec)  # the view answered: it is alive
+            faulted = False
             if not image.is_empty():
-                self._commit(rec, image, seq=msg.payload.get("state_seq"))
-            if msg.msg_type == M.INVALIDATE_ACK:
+                try:
+                    self._commit(rec, image, seq=msg.payload.get("state_seq"))
+                except Exception as exc:  # noqa: BLE001 — fence, see below
+                    # A merge/resolver hook blowing up mid-round used to
+                    # propagate out of the handler and wedge the op slot
+                    # forever (the ACK was consumed but the round never
+                    # finalized).  Fence it: record the loss, quarantine
+                    # the offending view, and let the round finish.
+                    faulted = True
+                    self._round_fault(op, rec, exc)
+            if not faulted and msg.msg_type == M.INVALIDATE_ACK:
                 rec.active = False
                 rec.exclusive = False
                 self._log_cursors(rec)
         if not op.awaiting:
             self._finalize_op(op)
 
+    def _round_fault(self, op: _PendingOp, rec: ViewRecord, exc: Exception) -> None:
+        """Fence a handler fault while absorbing a round reply: the
+        view's handed-over state is recorded as lost (quarantined for
+        reconciliation) instead of wedging the op's slot."""
+        self.counters["round_faults"] += 1
+        self._trace("round-fault", view=rec.view_id, error=str(exc))
+        try:
+            self._quarantine_view(
+                rec,
+                reason="round-fault",
+                op_context={"op_kind": op.kind, "requested_by": op.view_id},
+            )
+        except Exception:
+            # Quarantine runs the same application hooks that just
+            # failed; the stash is best-effort during a fault.
+            self._trace("round-fault-quarantine-failed", view=rec.view_id)
+        rec.active = False
+        rec.exclusive = False
+        self._log_cursors(rec)
+
+    def _serve_fault(self, op: _PendingOp, rec: ViewRecord, exc: Exception) -> None:
+        """Fence a serve-side fault (application extract hook raised):
+        record the loss, quarantine the offender, answer ERROR — the
+        op's slot has already been released, so unrelated rounds keep
+        flowing instead of wedging behind the failure."""
+        self.counters["serve_faults"] += 1
+        self._trace("serve-fault", view=rec.view_id, error=str(exc))
+        try:
+            self._quarantine_view(
+                rec,
+                reason="serve-fault",
+                op_context={"op_kind": op.kind, "requested_by": op.view_id},
+            )
+        except Exception:
+            self._trace("serve-fault-quarantine-failed", view=rec.view_id)
+        rec.active = False
+        rec.exclusive = False
+        self._log_cursors(rec)
+        self._reply(op.request, M.ERROR, {"error": str(exc)})
+
     def _finalize_op(self, op: _PendingOp) -> None:
-        self._current_op = None
+        self._running.pop(op.seq, None)
         rec = self.views.get(op.view_id)
         if rec is not None:
             prof = self.profiler
             t0 = _clock_ns() if prof is not None else 0
-            payload = self._serve_payload(op, rec)
+            try:
+                payload = self._serve_payload(op, rec)
+            except Exception as exc:  # noqa: BLE001 — fence, see _serve_fault
+                self._serve_fault(op, rec, exc)
+                self._pump()
+                return
             if prof is not None:
                 prof.record("serve", _clock_ns() - t0)
             rec.active = True
@@ -1107,14 +1297,15 @@ class DirectoryManager:
 
     def _forget_in_rounds(self, view_id: str) -> None:
         """Remove a vanished view from any in-flight round."""
-        op = self._current_op
-        if op is None:
-            return
-        stale = [mid for mid, v in op.awaiting.items() if v == view_id]
-        for mid in stale:
-            del op.awaiting[mid]
-        if not op.awaiting:
-            self._finalize_op(op)
+        for op in list(self._running.values()):
+            stale = [mid for mid, v in op.awaiting.items() if v == view_id]
+            if not stale:
+                continue
+            for mid in stale:
+                del op.awaiting[mid]
+                self._round_ops.pop(mid, None)
+            if not op.awaiting:
+                self._finalize_op(op)
 
     # ------------------------------------------------------------------
     # Durability: WAL records, snapshots, crash-restart recovery

@@ -188,6 +188,24 @@ class DurabilityManager:
             max((r["n"] for r in self.recovered.records), default=0),
         )
         self._snapshot_lsn = self.recovered.snapshot_lsn
+        # Commit-order guard: commit records must append in strictly
+        # increasing "cseq" order.  With the directory's concurrent
+        # round scheduler several rounds commit interleaved, but every
+        # commit runs under the directory lock and advances commit_seq
+        # before the next can log — this assertion turns any future
+        # violation of that linearization into a loud WalError instead
+        # of a silently forked replay order.  Seeded from the recovered
+        # tail so the invariant spans restarts of one lineage.
+        self._last_commit_cseq = max(
+            (int(r.get("cseq", 0)) for r in self.recovered.records
+             if r.get("k") == "commit"),
+            default=0,
+        )
+        if self.recovered.snapshot is not None:
+            self._last_commit_cseq = max(
+                self._last_commit_cseq,
+                int(self.recovered.snapshot.get("cseq", 0)),
+            )
         self._cells_since_snapshot = 0
         self._syncs_base = 0  # syncs of writers already rotated out
         self._writer = self._open_tail_writer()
@@ -265,6 +283,15 @@ class DurabilityManager:
         ``append`` is exactly the no-ack-before-durable rule.
         """
         record = dict(record)
+        if record.get("k") == "commit" and "cseq" in record:
+            cseq = int(record["cseq"])
+            if cseq <= self._last_commit_cseq:
+                raise WalError(
+                    f"commit records out of order: cseq {cseq} after "
+                    f"{self._last_commit_cseq} (concurrent rounds must "
+                    f"commit in commit_seq order)"
+                )
+            self._last_commit_cseq = cseq
         record["n"] = self.next_lsn
         self.next_lsn += 1
         self.counters["wal_appends"] += 1

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional
 # profiler accepts any label, these are the ones the directory emits).
 PHASES = (
     "register",   # REGISTER handling (index + slice bookkeeping)
+    "queue_wait", # enqueue -> round start (scheduler head-of-line wait)
     "conflict",   # conflict-set lookup for a queued op
     "targets",    # round target selection from the activity sets
     "fanout",     # sending the round's INVALIDATE/FETCH messages
@@ -135,12 +136,19 @@ class DirectoryProfiler:
 
         ``wal`` is a subset of ``commit``: when both are present and no
         explicit phase list is given, ``wal`` is excluded so the total
-        does not double-count the append.
+        does not double-count the append.  ``queue_wait`` is *elapsed*
+        scheduler wait (it spans ACK round trips of other ops), not CPU
+        work, so it is likewise excluded from the implicit total and
+        must be asked for by name.
         """
         if phases:
             names: List[str] = list(phases)
         else:
-            names = [p for p in self.phases if p != "wal" or "commit" not in self.phases]
+            names = [
+                p for p in self.phases
+                if p != "queue_wait"
+                and (p != "wal" or "commit" not in self.phases)
+            ]
         return sum(
             self.phases[p].total_ns for p in names if p in self.phases
         )

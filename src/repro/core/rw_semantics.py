@@ -89,6 +89,7 @@ class RWDirectoryManager(DirectoryManager):
             out = Message(mtype, self.address, self.views[v].address,
                           {"view_id": v, "requested_by": op.view_id})
             op.awaiting[out.msg_id] = v
+            self._round_ops[out.msg_id] = op
             self._send(out)
         if not op.awaiting:
             self._finalize_op(op)
@@ -120,7 +121,7 @@ class RWDirectoryManager(DirectoryManager):
 
     def _h_round_reply(self, msg: Message) -> None:
         # An invalidated view loses read-sharer status too.
-        op = self._current_op
+        op = self._round_ops.get(msg.reply_to)
         if op is not None and msg.reply_to in op.awaiting:
             self.read_sharers.discard(op.awaiting[msg.reply_to])
         super()._h_round_reply(msg)

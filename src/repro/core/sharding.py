@@ -1176,6 +1176,7 @@ class ShardedFleccSystem:
         durability: Optional[DurabilitySpec] = None,
         conflict_index: Optional[bool] = None,
         profile: bool = False,
+        concurrent_rounds: Optional[int] = None,
     ) -> None:
         # Instance or resolve_transport spec ("sim" | "tcp" | "aio"),
         # same seam as the unsharded builder.
@@ -1208,6 +1209,14 @@ class ShardedFleccSystem:
         if profile:
             # Per-shard profilers; fold with plane.merged_profile().
             dm_kwargs["profile"] = True
+        if concurrent_rounds is not None:
+            # Each shard runs its own conflict-aware round scheduler:
+            # with N > 1 (or 0 = unbounded) a shard overlaps rounds for
+            # independent conflict groups of *its* partition.  The
+            # router's INVALIDATE hold/disturb protocol is per-view, so
+            # a held revocation now blocks only its own conflict
+            # group's round, not the shard's whole queue.
+            dm_kwargs["concurrent_rounds"] = concurrent_rounds
         self.plane = ShardedDirectoryPlane(
             transport,
             component,

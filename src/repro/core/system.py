@@ -52,6 +52,7 @@ class FleccSystem:
         durability: Any = None,
         conflict_index: Optional[bool] = None,
         profile: bool = False,
+        concurrent_rounds: Optional[int] = None,
     ) -> None:
         # `transport` may be an instance or a resolve_transport spec
         # string ("sim" | "tcp" | "aio"): the three backends are
@@ -96,6 +97,11 @@ class FleccSystem:
         if profile:
             # Op-path profiler (core/profiling.py): off by default.
             directory_kwargs["profile"] = True
+        if concurrent_rounds is not None:
+            # Round-scheduler concurrency: None keeps the directory's
+            # own default (1 = the serial queue); N > 1 bounds the
+            # in-flight op table, 0 = unbounded independent rounds.
+            directory_kwargs["concurrent_rounds"] = concurrent_rounds
         self.directory = directory_cls(
             transport=transport,
             address=directory_address,

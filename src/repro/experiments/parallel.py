@@ -50,6 +50,7 @@ class ShardSpec:
 def shard_specs() -> Dict[str, ShardSpec]:
     """Experiments that decompose into independent sweep points."""
     from repro.experiments import dm_profile as dmp
+    from repro.experiments import dm_sched as dms
     from repro.experiments import durability_sweep as dura
     from repro.experiments import fig4_efficiency as f4
     from repro.experiments import scale_sweep as scale
@@ -60,6 +61,11 @@ def shard_specs() -> Dict[str, ShardSpec]:
             points=dmp.sweep_points,
             run_point=dmp.run_sweep_point,
             merge=dmp.merge_dm_profile,
+        ),
+        "dm_sched": ShardSpec(
+            points=dms.sweep_points,
+            run_point=dms.run_sweep_point,
+            merge=dms.merge_dm_sched,
         ),
         "fig4_efficiency": ShardSpec(
             points=f4.sweep_points,

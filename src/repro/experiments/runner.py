@@ -32,6 +32,7 @@ from repro.experiments import (
     chaos,
     delta_sweep,
     dm_profile,
+    dm_sched,
     durability_sweep,
     fig1_deployment,
     fig2_trace,
@@ -142,6 +143,7 @@ EXPERIMENTS: Dict[str, Callable[[], Any]] = {
     "scale_sweep": scale_sweep.run_scale_sweep,
     "durability_sweep": durability_sweep.run_durability_sweep,
     "dm_profile": dm_profile.run_dm_profile,
+    "dm_sched": dm_sched.run_dm_sched,
 }
 
 

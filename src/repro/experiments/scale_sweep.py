@@ -30,6 +30,16 @@ contention).  Each CM runs an event-driven script chained through
 ``Completion.then`` — no per-CM driver threads, so the harness itself
 stays off the resource ceilings it is measuring.
 
+One *directory-bound* point rides the sweep as well (PR 10): the
+``aio+paired`` variant makes each adjacent pair of strong CMs share a
+cell, so real revocation rounds contend across the fleet, and runs the
+directory with ``concurrent_rounds=0`` — the conflict-aware scheduler
+overlapping independent pairs' rounds on real sockets.  It closes the
+loop between the transport-plane numbers here and the bare-DM numbers
+in ``BENCH_dmprofile.json``/``BENCH_dmsched.json``: the gate is
+correctness (sustained, zero errors, exact end state under contention),
+and the point is excluded from the max-sustainable transport ratios.
+
 The ``--check`` gate also replays one deterministic Fig-4-style
 workload on sim / threaded-TCP / asyncio-TCP and requires identical
 message-type counts and end state: three backends, one protocol.
@@ -71,6 +81,12 @@ from repro.testing import (
 DEFAULT_RAMP: Tuple[int, ...] = (100, 300, 1000, 3000)
 FULL_RAMP: Tuple[int, ...] = (100, 300, 1000, 3000, 10000)
 TRANSPORTS: Tuple[str, ...] = ("tcp", "aio")
+
+#: The directory-bound contention variant: "<transport>+paired" makes
+#: CM pairs share a cell and runs the directory's concurrent round
+#: scheduler unbounded.  One such point rides the sweep at the ramp's
+#: smallest size.
+PAIRED_SPEC = "aio+paired"
 
 # Rough per-CM file-descriptor appetite of the threaded backend: one
 # listening socket, plus the CM->DM and DM->CM connections at two fds
@@ -168,9 +184,13 @@ class _CmDriver:
         lock: threading.Lock,
         acquire_latencies: List[float],
         on_done,
+        paired: bool = False,
     ) -> None:
         self.agent = Agent()
-        self.cell = _cell(index)
+        # Paired variant: CMs 2k and 2k+1 share cell k, so strong-mode
+        # acquires contend within each pair (real revocation rounds)
+        # while pairs stay mutually independent.
+        self.cell = _cell(index // 2) if paired else _cell(index)
         self.cm = system.add_view(
             f"cm{index:05d}", self.agent, props_for([self.cell]),
             extract_from_view, merge_into_view, mode="strong",
@@ -246,17 +266,26 @@ def _skipped_point(spec: str, n_cms: int, cycles: int, reason: str) -> ScalePoin
 
 
 def _run_point(spec: str, n_cms: int, cycles: int) -> ScalePoint:
-    if spec == "tcp":
+    base, _, variant = spec.partition("+")
+    paired = variant == "paired"
+    if paired:
+        n_cms -= n_cms % 2  # pairs need an even fleet
+    if base == "tcp":
         reason = tcp_capacity_reason(n_cms)
         if reason is not None:
             return _skipped_point(spec, n_cms, cycles, reason)
     reset_message_ids()
     budget = point_budget(n_cms, cycles)
-    transport = _make_transport(spec, n_cms)
-    store = Store({_cell(i): 0 for i in range(n_cms)})
+    transport = _make_transport(base, n_cms)
+    n_cells = n_cms // 2 if paired else n_cms
+    store = Store({_cell(i): 0 for i in range(n_cells)})
     system = FleccSystem(
         transport, store, extract_from_object, merge_into_object,
         extract_cells=extract_cells,
+        # The paired point is the directory-bound leg: unbounded
+        # concurrent rounds, so independent pairs' revocation rounds
+        # overlap.  None keeps the serial default elsewhere.
+        concurrent_rounds=0 if paired else None,
     )
     lock = threading.Lock()
     done = threading.Event()
@@ -273,7 +302,7 @@ def _run_point(spec: str, n_cms: int, cycles: int) -> ScalePoint:
                 done.set()
 
     drivers = [
-        _CmDriver(system, i, cycles, lock, latencies, on_done)
+        _CmDriver(system, i, cycles, lock, latencies, on_done, paired=paired)
         for i in range(n_cms)
     ]
     t0 = time.monotonic()
@@ -286,8 +315,11 @@ def _run_point(spec: str, n_cms: int, cycles: int) -> ScalePoint:
     n_errors = len(errors) + handler_errors
     wrong_cells = 0
     if completed and not n_errors:
+        # Paired cells absorb both partners' increments; strong-mode
+        # serializability makes the sum exact either way.
+        expected = cycles * (2 if paired else 1)
         wrong_cells = sum(
-            1 for i in range(n_cms) if store.cells[_cell(i)] != cycles
+            1 for i in range(n_cells) if store.cells[_cell(i)] != expected
         )
     system.close()
     transport.close()
@@ -420,8 +452,16 @@ class ScaleSweepResult:
 def sweep_points(
     ramp: Sequence[int] = DEFAULT_RAMP, cycles: int = 2
 ) -> List[Tuple[str, int, int]]:
-    """Picklable point descriptors: ``(transport, n_cms, cycles)``."""
-    return [(spec, n, cycles) for spec in TRANSPORTS for n in ramp]
+    """Picklable point descriptors: ``(transport, n_cms, cycles)``.
+
+    Includes the directory-bound ``aio+paired`` contention point at
+    the ramp's smallest size (rounded down to an even fleet)."""
+    points = [(spec, n, cycles) for spec in TRANSPORTS for n in ramp]
+    if ramp:
+        paired_n = min(ramp) - (min(ramp) % 2)
+        if paired_n >= 2:
+            points.append((PAIRED_SPEC, paired_n, cycles))
+    return points
 
 
 def run_sweep_point(
@@ -546,6 +586,16 @@ def check_acceptance(payload: Dict[str, Any]) -> List[str]:
             "sim/tcp/aio Fig-4 message counts differ on the parity workload"
         )
     points = payload["points"]
+    # The directory-bound paired point gates on correctness only: real
+    # revocation rounds under the concurrent scheduler must sustain
+    # with zero errors and the exact serializable end state.  It never
+    # enters the transport ratios (its transport name is "aio+paired").
+    for p in points:
+        if p["transport"].endswith("+paired") and p["ran"] and not p["sustainable"]:
+            problems.append(
+                f"directory-bound paired point ({p['n_cms']} CMs, "
+                f"concurrent rounds) not sustainable: {p['reason']}"
+            )
     ramp_top = payload["ramp_top"]
     aio_max = payload["aio_max_sustainable_cms"]
     tcp_max = payload["tcp_max_sustainable_cms"]

@@ -128,6 +128,11 @@ class MessageStats:
     # the primary-copy cells restored from snapshot + WAL replay.
     recoveries: int = 0
     cells_replayed: int = 0
+    # Conflict-aware round scheduler (core/directory.py): peak number
+    # of directory rounds ever in flight simultaneously (a gauge —
+    # merge keeps the max).  Stays 1 on a serial (concurrent_rounds=1)
+    # directory and 0 when no round ever started.
+    concurrent_rounds_hwm: int = 0
     # Directory op-path profiling (core/profiling.py): cumulative time
     # and sample count per op phase, mirrored here by DirectoryProfiler
     # so phase totals ride the same merge/summary pipeline as message
@@ -224,6 +229,11 @@ class MessageStats:
         self.recoveries += 1
         self.cells_replayed += cells
 
+    def record_concurrent_rounds(self, depth: int) -> None:
+        """Track the peak number of simultaneously running rounds."""
+        if depth > self.concurrent_rounds_hwm:
+            self.concurrent_rounds_hwm = depth
+
     def record_op_phase(self, phase: str, ns: int) -> None:
         """Account one profiled directory op phase (duration in ns)."""
         self.op_phase_ns[phase] += ns
@@ -261,8 +271,11 @@ class MessageStats:
         self.frames_compressed += other.frames_compressed
         self.frames_stored += other.frames_stored
         self.bytes_saved_compression += other.bytes_saved_compression
-        # hwm is a gauge: the merged peak is the larger of the two.
+        # hwms are gauges: the merged peak is the larger of the two.
         self.send_queue_hwm = max(self.send_queue_hwm, other.send_queue_hwm)
+        self.concurrent_rounds_hwm = max(
+            self.concurrent_rounds_hwm, other.concurrent_rounds_hwm
+        )
         self.flushes_coalesced += other.flushes_coalesced
         self.backpressure_stalls += other.backpressure_stalls
         self.recoveries += other.recoveries
@@ -318,6 +331,7 @@ class MessageStats:
         self.frames_stored = 0
         self.bytes_saved_compression = 0
         self.send_queue_hwm = 0
+        self.concurrent_rounds_hwm = 0
         self.flushes_coalesced = 0
         self.backpressure_stalls = 0
         self.recoveries = 0
@@ -368,6 +382,11 @@ class MessageStats:
             lines.append(
                 f"  (durability: recoveries={self.recoveries} "
                 f"cells_replayed={self.cells_replayed})"
+            )
+        if self.concurrent_rounds_hwm > 1:
+            lines.append(
+                f"  (scheduler: concurrent_rounds_hwm="
+                f"{self.concurrent_rounds_hwm})"
             )
         if self.op_phase_count:
             for phase in sorted(self.op_phase_count):

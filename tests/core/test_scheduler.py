@@ -1,0 +1,583 @@
+"""Conflict-aware round scheduler: overlap, no-barging, fault fences.
+
+PR 10 replaces the directory's single in-flight op slot with a
+scheduler that may run *independent* rounds (disjoint conflict scopes)
+concurrently.  These tests drive a bare directory through a slow fake
+cache-manager hub whose INVALIDATE/FETCH acks arrive after a simulated
+delay — so rounds genuinely dwell in flight — and assert:
+
+- serial mode (``concurrent_rounds=1``, the default) keeps the one-op
+  FIFO discipline exactly;
+- independent rounds overlap (makespan ~ one ack wait, not G of them)
+  and the ``concurrent_rounds_hwm`` gauge witnesses it;
+- conflicting ops wait FIFO per conflict group — no barging — while
+  unrelated ops overtake them;
+- the ``queue_wait`` profiler phase records scheduler head-of-line
+  wait and stays out of the implicit CPU-time total;
+- a handler fault mid-round (commit hook) or at serve time no longer
+  wedges the op slot: the loss is recorded, the offender quarantined,
+  and the next op proceeds (the PR's wedge regression);
+- a hypothesis state machine replays random interleavings on
+  ``concurrent_rounds`` in {1, 4, unbounded} and demands identical end
+  state, message counts, conflict answers and protocol invariants,
+  with an injected assertion that no two overlapping rounds ever had
+  intersecting scopes.
+"""
+
+from typing import Dict, Optional
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import DiscreteSet, Property, PropertySet
+from repro.core import messages as M
+from repro.core.directory import DirectoryManager
+from repro.core.image import ObjectImage
+from repro.core.profiling import PHASES
+from repro.core.sharding import ShardedFleccSystem
+from repro.core.system import FleccSystem
+from repro.net.message import Message
+from repro.net.sim_transport import SimTransport
+from repro.net.stats import MessageStats
+from repro.sim import SimKernel
+from repro.testing import (
+    Agent,
+    Store,
+    extract_cells,
+    extract_from_object,
+    extract_from_view,
+    merge_into_object,
+    merge_into_view,
+)
+
+ACK_DELAY = 1.0
+
+
+def _vid(i: int) -> str:
+    return f"w{i:05d}"
+
+
+def _props(i: int) -> PropertySet:
+    """Pair groups: views 2k and 2k+1 share grp{k}, nothing else."""
+    return PropertySet([
+        Property("cells", DiscreteSet({f"own{i:05d}", f"grp{i // 2:05d}"}))
+    ])
+
+
+def _extract(store: Dict[str, int], props: PropertySet) -> ObjectImage:
+    img = ObjectImage()
+    p = props.get("cells") if props is not None else None
+    if p is None:
+        for k, v in store.items():
+            img.cells[k] = v
+        return img
+    for k in p.domain.values:
+        if k in store:
+            img.cells[k] = store[k]
+    return img
+
+
+def _merge(store: Dict[str, int], image: ObjectImage, props: PropertySet) -> None:
+    for k in image.keys():
+        store[k] = image.get(k)
+
+
+class _Harness:
+    """Bare directory + one hub endpoint with delayed, fault-injectable
+    round acks (mirrors the dm_sched experiment harness)."""
+
+    def __init__(
+        self,
+        concurrent_rounds: int = 0,
+        ack_delay: float = 0.0,
+        merge_fn=None,
+        extract_fn=None,
+    ) -> None:
+        self.kernel = SimKernel()
+        self.transport = SimTransport(self.kernel, default_latency=0.01)
+        self.ack_delay = ack_delay
+        self.ack_image: Optional[ObjectImage] = None
+        self.store: Dict[str, int] = {}
+        self.dm = DirectoryManager(
+            transport=self.transport,
+            address="dir",
+            component=self.store,
+            extract_from_object=extract_fn or _extract,
+            merge_into_object=merge_fn or _merge,
+            static_map=None,
+            profile=True,
+            concurrent_rounds=concurrent_rounds,
+        )
+        self.replies = []
+        self._seq: Dict[str, int] = {}
+        self.endpoint = self.transport.bind("cmhub", self._on_message)
+
+    def _on_message(self, msg: Message) -> None:
+        if msg.msg_type in (M.INVALIDATE, M.FETCH_REQ):
+            kind = (
+                M.INVALIDATE_ACK if msg.msg_type == M.INVALIDATE
+                else M.FETCH_REPLY
+            )
+            image = self.ack_image if self.ack_image is not None else ObjectImage()
+            reply = msg.reply(
+                kind, {"view_id": msg.payload.get("view_id"), "image": image}
+            )
+            if self.ack_delay:
+                self.transport.schedule(
+                    self.ack_delay, lambda r=reply: self.endpoint.send(r)
+                )
+            else:
+                self.endpoint.send(reply)
+        else:
+            self.replies.append(msg)
+
+    def drain(self) -> None:
+        self.kernel.run()
+
+    def now(self) -> float:
+        return self.transport.now()
+
+    def register(self, view_id: str, props: PropertySet) -> Message:
+        m = Message(M.REGISTER, "cmhub", "dir", {
+            "view_id": view_id, "properties": props, "mode": "weak",
+        })
+        self.endpoint.send(m)
+        return m
+
+    def pull(self, view_id: str) -> Message:
+        m = Message(M.PULL_REQ, "cmhub", "dir", {"view_id": view_id})
+        self.endpoint.send(m)
+        return m
+
+    def acquire(self, view_id: str) -> Message:
+        m = Message(M.ACQUIRE, "cmhub", "dir", {"view_id": view_id})
+        self.endpoint.send(m)
+        return m
+
+    def push(self, view_id: str, cells: Dict[str, int]) -> Message:
+        seq = self._seq.get(view_id, 0) + 1
+        self._seq[view_id] = seq
+        m = Message(M.PUSH, "cmhub", "dir", {
+            "view_id": view_id, "image": ObjectImage(dict(cells)),
+            "state_seq": seq,
+        })
+        self.endpoint.send(m)
+        return m
+
+    def grants_for(self, *requests: Message):
+        """GRANT replies matched to the given requests, in arrival order."""
+        ids = {m.msg_id for m in requests}
+        return [
+            r for r in self.replies
+            if r.msg_type == M.GRANT and r.reply_to in ids
+        ]
+
+    def close(self) -> None:
+        self.dm.close()
+        self.transport.close()
+
+
+def _paired_fleet(h: _Harness, n_groups: int) -> None:
+    """Register G pair groups and pull every partner (odd view) active,
+    so each leader's ACQUIRE must run a revocation round."""
+    for i in range(2 * n_groups):
+        h.register(_vid(i), _props(i))
+    h.drain()
+    for k in range(n_groups):
+        h.pull(_vid(2 * k + 1))
+    h.drain()
+
+
+# ---------------------------------------------------------------------------
+# Overlap and no-barging
+# ---------------------------------------------------------------------------
+
+
+def test_serial_default_keeps_one_op_discipline():
+    assert DirectoryManager.__init__.__defaults__ is not None
+    h = _Harness(concurrent_rounds=1, ack_delay=ACK_DELAY)
+    assert h.dm.concurrent_rounds == 1
+    _paired_fleet(h, 3)
+    t0 = h.now()
+    reqs = [h.acquire(_vid(2 * k)) for k in range(3)]
+    h.drain()
+    assert h.now() - t0 > 2.5 * ACK_DELAY  # three ack waits, serialized
+    assert h.dm.counters["concurrent_rounds_hwm"] == 1
+    assert h.dm.counters["rounds_overlapped"] == 0
+    grants = h.grants_for(*reqs)
+    assert [g.reply_to for g in grants] == [m.msg_id for m in reqs]  # FIFO
+    h.close()
+
+
+def test_independent_rounds_overlap():
+    h = _Harness(concurrent_rounds=0, ack_delay=ACK_DELAY)
+    _paired_fleet(h, 3)
+    t0 = h.now()
+    reqs = [h.acquire(_vid(2 * k)) for k in range(3)]
+    h.drain()
+    # All three ack waits overlapped: makespan ~ one wait, not three.
+    assert h.now() - t0 < 2 * ACK_DELAY
+    assert h.dm.counters["concurrent_rounds_hwm"] == 3
+    assert h.dm.counters["rounds_overlapped"] == 2
+    assert h.transport.stats.concurrent_rounds_hwm == 3  # gauge mirrored
+    assert len(h.grants_for(*reqs)) == 3
+    h.dm.check_invariants()
+    h.close()
+
+
+def test_bounded_limit_respected():
+    h = _Harness(concurrent_rounds=2, ack_delay=ACK_DELAY)
+    _paired_fleet(h, 4)
+    for k in range(4):
+        h.acquire(_vid(2 * k))
+    h.drain()
+    assert h.dm.counters["concurrent_rounds_hwm"] == 2
+    h.close()
+
+
+def test_conflicting_ops_wait_fifo():
+    h = _Harness(concurrent_rounds=0, ack_delay=ACK_DELAY)
+    _paired_fleet(h, 1)
+    r1 = h.acquire(_vid(0))   # revokes the partner; round in flight
+    r2 = h.acquire(_vid(1))   # same group: must wait for r1
+    h.drain()
+    assert h.dm.counters["concurrent_rounds_hwm"] == 1  # never overlapped
+    assert h.dm.counters["sched_conflict_waits"] >= 1
+    grants = h.grants_for(r1, r2)
+    assert [g.reply_to for g in grants] == [r1.msg_id, r2.msg_id]
+    # The second acquire won in the end: the partner holds exclusivity.
+    assert h.dm.views[_vid(1)].exclusive
+    assert not h.dm.views[_vid(0)].exclusive
+    h.close()
+
+
+def test_independent_op_overtakes_blocked_op():
+    h = _Harness(concurrent_rounds=0, ack_delay=ACK_DELAY)
+    _paired_fleet(h, 2)
+    ra = h.acquire(_vid(0))   # group 0: round in flight
+    rb = h.acquire(_vid(1))   # group 0: blocked behind ra (no barging)
+    rc = h.acquire(_vid(2))   # group 1: independent — starts immediately
+    h.drain()
+    grants = h.grants_for(ra, rb, rc)
+    order = [g.reply_to for g in grants]
+    # The independent round finished before the blocked same-group op
+    # (under the old FIFO it would have queued behind both of group 0's).
+    assert order.index(rc.msg_id) < order.index(rb.msg_id)
+    assert len(grants) == 3  # nobody starved
+    h.close()
+
+
+# ---------------------------------------------------------------------------
+# queue_wait profiling
+# ---------------------------------------------------------------------------
+
+
+def test_queue_wait_phase_recorded_and_excluded_from_total():
+    assert "queue_wait" in PHASES
+    h = _Harness(concurrent_rounds=1, ack_delay=ACK_DELAY)
+    _paired_fleet(h, 2)
+    h.acquire(_vid(0))
+    h.acquire(_vid(2))        # independent, but serial mode queues it
+    h.drain()
+    prof = h.dm.profiler
+    qw = prof.phases["queue_wait"]
+    assert qw.count >= 2 and qw.total_ns > 0
+    # The implicit total is CPU work: head-of-line wait stays out of it
+    # (it spans other ops' ack round trips), as does the wal subset.
+    expected = sum(
+        hist.total_ns for name, hist in prof.phases.items()
+        if name != "queue_wait"
+        and (name != "wal" or "commit" not in prof.phases)
+    )
+    assert prof.total_ns() == expected
+    assert prof.total_ns("queue_wait") == qw.total_ns
+    h.close()
+
+
+def test_sharded_plane_surfaces_queue_wait_and_concurrency():
+    kernel = SimKernel()
+    transport = SimTransport(kernel, default_latency=1.0)
+    store = Store({"k00": 0, "k01": 1})
+    system = ShardedFleccSystem(
+        transport, store, extract_from_object, merge_into_object,
+        n_shards=2, extract_cells=extract_cells, profile=True,
+        concurrent_rounds=4,
+    )
+    assert all(dm.concurrent_rounds == 4 for dm in system.plane.shards)
+    agent = Agent()
+    cm = system.add_view(
+        "v1", agent, PropertySet(), extract_from_view, merge_into_view,
+    )
+
+    def script():
+        yield cm.start()
+        yield cm.init_image()
+
+    from repro.core.system import run_all_scripts
+
+    run_all_scripts(transport, [script()])
+    merged = system.plane.merged_profile()
+    assert merged is not None
+    assert "queue_wait" in merged.phases  # rides the per-shard fold
+
+
+def test_system_builder_passthrough():
+    kernel = SimKernel()
+    transport = SimTransport(kernel, default_latency=1.0)
+    system = FleccSystem(
+        transport, Store({"a": 1}), extract_from_object, merge_into_object,
+        extract_cells=extract_cells, concurrent_rounds=0,
+    )
+    assert system.directory.concurrent_rounds == 0
+    system.close()
+    # None keeps the directory's own serial default.
+    transport2 = SimTransport(SimKernel(), default_latency=1.0)
+    system2 = FleccSystem(
+        transport2, Store({"a": 1}), extract_from_object, merge_into_object,
+        extract_cells=extract_cells,
+    )
+    assert system2.directory.concurrent_rounds == 1
+    system2.close()
+
+
+def test_stats_concurrent_rounds_gauge():
+    s = MessageStats()
+    s.record_concurrent_rounds(3)
+    s.record_concurrent_rounds(2)   # gauge keeps the high-water mark
+    assert s.concurrent_rounds_hwm == 3
+    other = MessageStats()
+    other.record_concurrent_rounds(5)
+    s.merge(other)
+    assert s.concurrent_rounds_hwm == 5
+    assert "concurrent_rounds_hwm=5" in s.summary()
+    s.reset()
+    assert s.concurrent_rounds_hwm == 0
+
+
+# ---------------------------------------------------------------------------
+# Wedge regressions: handler faults mid-round must release the slot
+# ---------------------------------------------------------------------------
+
+
+def test_commit_fault_mid_round_quarantines_and_releases_slot():
+    def poisoned_merge(store, image, props):
+        if "poison" in image.keys():
+            raise ValueError("merge hook exploded")
+        _merge(store, image, props)
+
+    h = _Harness(concurrent_rounds=1, merge_fn=poisoned_merge)
+    _paired_fleet(h, 2)
+    h.ack_image = ObjectImage({"poison": 1})  # the partner's dying handover
+    r1 = h.acquire(_vid(0))
+    h.drain()
+    # The fault was fenced: recorded, offender quarantined, round done.
+    assert h.dm.counters["round_faults"] == 1
+    assert _vid(1) in h.dm.quarantined
+    assert len(h.grants_for(r1)) == 1       # the round still finalized
+    assert not h.dm._running                # the slot was released
+    # The slot is usable: an unrelated group's round proceeds untouched.
+    h.ack_image = None
+    r2 = h.acquire(_vid(2))
+    h.drain()
+    assert len(h.grants_for(r2)) == 1
+    assert h.dm.counters["round_faults"] == 1
+    h.dm.check_invariants()
+    h.close()
+
+
+def test_serve_fault_replies_error_and_next_op_proceeds():
+    # One-shot bomb: the serve blows up once, then the hook recovers —
+    # so the quarantine stash (which re-runs the extract to snapshot
+    # the slice) can record the loss.
+    armed = {"shots": 0}
+
+    def bomb_extract(store, props):
+        if armed["shots"] > 0:
+            armed["shots"] -= 1
+            raise RuntimeError("extract exploded")
+        return _extract(store, props)
+
+    h = _Harness(concurrent_rounds=1, extract_fn=bomb_extract)
+    _paired_fleet(h, 2)
+    armed["shots"] = 1
+    r1 = h.acquire(_vid(0))   # full revocation round, then serve blows up
+    h.drain()
+    errors = [
+        r for r in h.replies
+        if r.msg_type == M.ERROR and r.reply_to == r1.msg_id
+    ]
+    assert len(errors) == 1
+    assert h.dm.counters["serve_faults"] == 1
+    assert _vid(0) in h.dm.quarantined      # the requester is suspect
+    assert not h.dm._running
+    r2 = h.acquire(_vid(2))
+    h.drain()
+    assert len(h.grants_for(r2)) == 1       # not wedged
+    h.close()
+
+
+# ---------------------------------------------------------------------------
+# Randomized interleavings: serial / bounded / unbounded must converge
+# ---------------------------------------------------------------------------
+
+LEG_LIMITS = (1, 4, 0)
+N_PAIRS = 3
+VERBS = (
+    "pull_even", "pull_odd", "acquire_even", "acquire_odd",
+    "push_even", "push_odd",
+)
+
+
+def _install_scope_check(dm: DirectoryManager) -> None:
+    """Assert, at every round start, that the new op's conflict scope is
+    disjoint from every in-flight round's scope — the scheduler's core
+    safety claim, checked from the inside on every interleaving."""
+    orig = dm._start_running
+
+    def checked(op):
+        if op.scope is not None:
+            for other in dm._running.values():
+                assert op.scope.isdisjoint(other.scope), (
+                    f"conflicting rounds overlapped: {sorted(op.scope)} "
+                    f"vs {sorted(other.scope)}"
+                )
+        orig(op)
+
+    dm._start_running = checked
+
+
+def _conflict_answers(dm: DirectoryManager):
+    return {
+        vid: sorted(dm.conflict_set_of(vid)) for vid in sorted(dm.views)
+    }
+
+
+class SchedulerParityMachine(RuleBasedStateMachine):
+    """Random register/pull/acquire/push/unregister/prop-update
+    interleavings, mirrored across concurrent_rounds in {1, 4, 0}.
+
+    Each rule issues at most one op per pair group before draining, and
+    groups are mutually independent — so every leg must converge to the
+    same end state, the same Fig-4 message counts and the same conflict
+    answers no matter how the scheduler interleaved the groups.  The
+    scope check above rides inside each directory throughout.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.harnesses = []
+        for limit in LEG_LIMITS:
+            h = _Harness(concurrent_rounds=limit, ack_delay=0.5)
+            _install_scope_check(h.dm)
+            for i in range(2 * N_PAIRS):
+                h.register(_vid(i), _props(i))
+            h.drain()
+            self.harnesses.append(h)
+        self.churn_next = 0
+        self.live_churn = []  # (view_id, group)
+
+    def _apply(self, fn):
+        for h in self.harnesses:
+            fn(h)
+            h.drain()
+
+    @rule(data=st.data())
+    def burst(self, data):
+        groups = sorted(data.draw(
+            st.sets(st.sampled_from(range(N_PAIRS)), min_size=1)
+        ))
+        plan = [
+            (g, data.draw(st.sampled_from(VERBS), label=f"verb for g{g}"))
+            for g in groups
+        ]
+
+        def run(h):
+            for g, verb in plan:
+                even, odd = _vid(2 * g), _vid(2 * g + 1)
+                if verb == "pull_even":
+                    h.pull(even)
+                elif verb == "pull_odd":
+                    h.pull(odd)
+                elif verb == "acquire_even":
+                    h.acquire(even)
+                elif verb == "acquire_odd":
+                    h.acquire(odd)
+                elif verb == "push_even":
+                    h.push(even, {f"grp{g:05d}": g + 1})
+                elif verb == "push_odd":
+                    h.push(odd, {f"own{2 * g + 1:05d}": 7})
+
+        self._apply(run)
+
+    @rule(g=st.sampled_from(range(N_PAIRS)))
+    def churn_join(self, g):
+        c = self.churn_next
+        self.churn_next += 1
+        vid = f"c{g}x{c:03d}"
+        props = PropertySet([
+            Property("cells", DiscreteSet({vid, f"grp{g:05d}"}))
+        ])
+        self._apply(lambda h: h.register(vid, props))
+        self.live_churn.append((vid, g))
+
+    @rule(data=st.data())
+    def churn_pull(self, data):
+        if not self.live_churn:
+            return
+        vid, _g = data.draw(st.sampled_from(self.live_churn))
+        self._apply(lambda h: h.pull(vid))
+
+    @rule(data=st.data())
+    def churn_leave(self, data):
+        if not self.live_churn:
+            return
+        entry = data.draw(st.sampled_from(self.live_churn))
+        self.live_churn.remove(entry)
+        vid, _g = entry
+
+        def run(h):
+            h.endpoint.send(Message(
+                M.UNREGISTER, "cmhub", "dir", {"view_id": vid}
+            ))
+
+        self._apply(run)
+
+    @rule(g=st.sampled_from(range(N_PAIRS)), tag=st.integers(0, 3))
+    def reshape(self, g, tag):
+        i = 2 * g
+        props = PropertySet([
+            Property("cells", DiscreteSet({
+                f"own{i:05d}", f"grp{g:05d}", f"xtra{g}t{tag}",
+            }))
+        ])
+
+        def run(h):
+            h.endpoint.send(Message(
+                M.PROP_UPDATE, "cmhub", "dir",
+                {"view_id": _vid(i), "properties": props},
+            ))
+
+        self._apply(run)
+
+    @invariant()
+    def legs_agree(self):
+        stores = [sorted(h.store.items()) for h in self.harnesses]
+        assert all(s == stores[0] for s in stores)
+        answers = [_conflict_answers(h.dm) for h in self.harnesses]
+        assert all(a == answers[0] for a in answers)
+        counts = [dict(h.transport.stats.by_type) for h in self.harnesses]
+        assert all(c == counts[0] for c in counts)
+        for h in self.harnesses:
+            h.dm.check_invariants()
+            assert not h.dm._running and not h.dm._op_queue
+
+    def teardown(self):
+        for h in self.harnesses:
+            h.close()
+
+
+TestSchedulerParity = SchedulerParityMachine.TestCase
+TestSchedulerParity.settings = settings(
+    max_examples=12, stateful_step_count=10, deadline=None
+)

@@ -118,5 +118,6 @@ def test_registry_names_are_stable():
         "abl5_rw_semantics", "abl6_loss_tolerance",
         "ext1_mixed_workload", "chaos", "delta_sweep", "wire_sweep",
         "shard_sweep", "scale_sweep", "durability_sweep", "dm_profile",
+        "dm_sched",
     }
     assert set(EXPERIMENTS) == expected

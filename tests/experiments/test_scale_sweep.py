@@ -31,11 +31,27 @@ def result():
 
 
 def test_all_small_points_sustain(result):
-    assert len(result.points) == 4
+    assert len(result.points) == 5
     for p in result.points:
         assert p.ran and p.sustainable, (p.transport, p.n_cms, p.reason)
         assert p.errors == 0
         assert p.elapsed < p.budget
+
+
+def test_paired_point_is_directory_bound_and_sustains(result):
+    paired = [p for p in result.points if p.transport == "aio+paired"]
+    assert len(paired) == 1
+    p = paired[0]
+    # Rides at the ramp's smallest size, rounded to an even fleet.
+    assert p.n_cms == 20
+    assert p.ran and p.sustainable, p.reason
+    # Pair contention forces real revocation rounds: each acquire after
+    # the first in a pair costs an INVALIDATE/ACK exchange, so this
+    # point moves more messages per CM than the disjoint points.
+    disjoint_aio = next(
+        q for q in result.points if q.transport == "aio" and q.n_cms == 20
+    )
+    assert p.messages > disjoint_aio.messages
 
 
 def test_aio_coalesces_and_bounds_queues(result):
@@ -65,7 +81,7 @@ def test_bench_payload_shape_and_acceptance(result):
     assert payload["ramp_top"] == 60
     assert payload["aio_max_sustainable_cms"] == 60
     assert payload["tcp_max_sustainable_cms"] == 60
-    assert len(payload["points"]) == 4
+    assert len(payload["points"]) == 5
     for point in payload["points"]:
         assert {"transport", "n_cms", "sustainable", "acquire_p99_s",
                 "frames_per_sec", "coalesced_ratio",
@@ -105,7 +121,8 @@ def test_skipped_tcp_point_is_recorded_not_run():
 def test_sweep_points_cover_both_transports():
     pts = sweep_points((100, 1000), cycles=2)
     assert ("tcp", 100, 2) in pts and ("aio", 1000, 2) in pts
-    assert len(pts) == 4
+    assert ("aio+paired", 100, 2) in pts
+    assert len(pts) == 5
     assert set(FULL_RAMP) - set(DEFAULT_RAMP) == {10000}
 
 
@@ -135,3 +152,14 @@ def test_check_acceptance_flags_failures():
     ratio["tcp_max_sustainable_cms"] = 1000
     ratio["aio_over_tcp_ratio"] = 2.0
     assert any("need >= 3x" in p for p in check_acceptance(ratio))
+
+    # The directory-bound paired point gates on correctness.
+    broken = dict(ramped)
+    broken["points"] = [{
+        "transport": "aio+paired", "n_cms": 20, "ran": True,
+        "sustainable": False, "reason": "wrong end state in 3 cells",
+    }]
+    assert any(
+        "paired point" in p and "not sustainable" in p
+        for p in check_acceptance(broken)
+    )

@@ -19,7 +19,7 @@ from repro.net.message import reset_message_ids
 BACKENDS = ("sim", "tcp", "aio")
 
 
-def _lifecycle_run(spec: str):
+def _lifecycle_run(spec: str, concurrent_rounds=None):
     """One deterministic two-phase workload; returns (end state, by_type,
     per-view results).  Phases are sequential single-actor lifecycles, so
     message counts cannot depend on wall-clock races — that is what
@@ -33,6 +33,7 @@ def _lifecycle_run(spec: str):
         testing.extract_from_object,
         testing.merge_into_object,
         extract_cells=testing.extract_cells,
+        concurrent_rounds=concurrent_rounds,
     )
     weak_agent, strong_agent = testing.Agent(), testing.Agent()
     weak = system.add_view(
@@ -153,6 +154,22 @@ def test_reliable_transport_stacks_on_aio():
     assert inner.stats.total > 0
     system.close()
     transport.close()
+
+
+def test_concurrent_scheduler_parity_across_backends(lifecycle_runs):
+    """The concurrent round scheduler (PR 10) must be invisible at this
+    workload: ``concurrent_rounds=4`` on all three backends produces
+    the same end state and Fig-4 census as the serial runs."""
+    runs = {
+        spec: _lifecycle_run(spec, concurrent_rounds=4) for spec in BACKENDS
+    }
+    states = {spec: run[0] for spec, run in runs.items()}
+    counts = {spec: run[1] for spec, run in runs.items()}
+    assert states["sim"] == states["tcp"] == states["aio"]
+    assert counts["sim"] == counts["tcp"] == counts["aio"]
+    # And identical to the serial-scheduler reference runs.
+    assert states["sim"] == lifecycle_runs["sim"][0]
+    assert counts["sim"] == lifecycle_runs["sim"][1]
 
 
 def test_sharded_plane_runs_on_aio():
